@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark suite.
+
+The full evaluation grid (Figures 5a-5f and 6) is simulated once per
+session at BENCH fidelity and shared by every figure bench; each bench
+then extracts, validates and reports its figure. Reports are also written
+to ``benchmarks/output/`` for inclusion in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import pickle
+
+import pytest
+
+from repro.harness.fidelity import BENCH
+from repro.harness.figures import EvaluationGrid, evaluation_grid
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+_GRID_CACHE = OUTPUT_DIR / f"grid-{BENCH.name}-{BENCH.seed}.pkl"
+
+
+@pytest.fixture(scope="session")
+def grid() -> EvaluationGrid:
+    """The full design x workload x load evaluation matrix.
+
+    Cached on disk (the simulations behind it take many minutes); delete
+    ``benchmarks/output/grid-*.pkl`` to force a re-simulation.
+    """
+    if _GRID_CACHE.exists():
+        with _GRID_CACHE.open("rb") as fh:
+            return pickle.load(fh)
+    result = evaluation_grid(fidelity=BENCH)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    with _GRID_CACHE.open("wb") as fh:
+        pickle.dump(result, fh)
+    return result
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def save_report(report_dir: pathlib.Path, name: str, text: str) -> None:
+    (report_dir / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,32 @@
+"""Fig 1(a): utilization of a closed-loop system under microsecond stalls."""
+
+import numpy as np
+
+from benchmarks.conftest import save_report
+from repro.harness.figures import fig1a
+from repro.harness.reporting import format_table
+
+
+def test_fig1a_closed_loop(benchmark, report_dir):
+    data = benchmark.pedantic(fig1a, kwargs={"points": 41}, rounds=1, iterations=1)
+    surface = data["utilization"]
+    compute = data["compute_us"]
+    stall = data["stall_us"]
+
+    # Shape claims from the figure's discussion (Section II-A).
+    assert surface[0, -1] > 0.999  # ns-scale stalls: ~100% utilization
+    assert surface[-1, 0] < 0.001  # stalls >> compute: ~0%
+    # Equal compute and stall -> 50%, the precipitous-drop regime.
+    mid = np.argmin(np.abs(compute - 1.0))
+    assert abs(surface[mid, mid] - 0.5) < 1e-9
+
+    # Report a coarse slice of the surface.
+    picks = [0, 10, 20, 30, 40]
+    rows = []
+    for si in picks:
+        rows.append(
+            [f"stall={stall[si]:.2g}us"]
+            + [f"{surface[si, ci]:.3f}" for ci in picks]
+        )
+    headers = ["utilization"] + [f"compute={compute[ci]:.2g}us" for ci in picks]
+    save_report(report_dir, "fig1a", format_table(headers, rows, "Fig 1(a)"))

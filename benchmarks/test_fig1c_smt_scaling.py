@@ -1,0 +1,55 @@
+"""Fig 1(c): throughput vs SMT thread count for the FLANN variants."""
+
+import numpy as np
+
+from benchmarks.conftest import save_report
+from repro.harness.figures import fig1c
+from repro.harness.reporting import format_table
+
+THREADS = (1, 2, 4, 6, 8, 11, 13, 15, 16)
+
+
+def test_fig1c_smt_thread_scaling(benchmark, report_dir):
+    data = benchmark.pedantic(
+        fig1c,
+        kwargs={
+            "thread_counts": THREADS,
+            "num_requests": 4,
+            "max_instructions": 90_000,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    curves = data["normalized"]
+
+    def peak_threads(name):
+        values = curves[name]
+        return THREADS[int(np.argmax(values))]
+
+    # Shape claims (Section II-B): stall-free FLANN saturates around 8-13
+    # threads; the 50%-stalled FLANN-1-1 keeps scaling to high counts and
+    # needs more threads than the baseline to reach its peak region.
+    baseline = np.asarray(curves["baseline"])
+    f11 = np.asarray(curves["FLANN-1-1"])
+    assert baseline[THREADS.index(8)] > baseline[0]  # multithreading helps
+    assert f11[THREADS.index(15)] > f11[THREADS.index(4)]
+    # FLANN-1-1 at few threads is far below the no-stall baseline.
+    assert f11[0] < 0.8 * baseline[0]
+    # FLANN-10-10 (long stalls) underperforms the baseline everywhere.
+    f1010 = np.asarray(curves["FLANN-10-10"])
+    assert (f1010 <= baseline + 0.35).all()
+
+    rows = [
+        [name] + [f"{v:.2f}" for v in values] for name, values in curves.items()
+    ]
+    save_report(
+        report_dir,
+        "fig1c",
+        format_table(
+            ["variant"] + [f"{t}t" for t in THREADS],
+            rows,
+            "Fig 1(c): normalized throughput vs SMT threads "
+            f"(peaks: baseline@{peak_threads('baseline')}t, "
+            f"FLANN-1-1@{peak_threads('FLANN-1-1')}t)",
+        ),
+    )

@@ -1,0 +1,44 @@
+"""Fig 2(a): OoO vs in-order SMT throughput on SPEC-like mixes."""
+
+from benchmarks.conftest import save_report
+from repro.harness.figures import fig2a
+from repro.harness.reporting import format_table
+
+THREADS = (1, 2, 4, 6, 8, 10)
+
+
+def test_fig2a_ino_vs_ooo(benchmark, report_dir):
+    data = benchmark.pedantic(
+        fig2a,
+        kwargs={"thread_counts": THREADS, "num_instructions": 14_000},
+        rounds=1,
+        iterations=1,
+    )
+    ooo = data["ooo_ipc"]
+    ino = data["ino_ipc"]
+
+    # Shape claims (Section III-A / [49, 82, 83]): the OoO advantage is
+    # large at one thread and shrinks as threads are added; by ~8 threads
+    # the in-order datapath is close.
+    gap_1 = ooo[0] / ino[0]
+    gap_8 = ooo[THREADS.index(8)] / ino[THREADS.index(8)]
+    assert gap_1 > 1.5
+    assert gap_8 < gap_1 * 0.75
+    assert gap_8 < 1.5
+    # In-order throughput grows with thread count.
+    assert ino[THREADS.index(8)] > 1.5 * ino[0]
+
+    rows = [
+        ["OoO SMT"] + [f"{v:.2f}" for v in ooo],
+        ["InO SMT"] + [f"{v:.2f}" for v in ino],
+        ["OoO/InO"] + [f"{o / i:.2f}" for o, i in zip(ooo, ino)],
+    ]
+    save_report(
+        report_dir,
+        "fig2a",
+        format_table(
+            ["datapath"] + [f"{t}t" for t in THREADS],
+            rows,
+            "Fig 2(a): aggregate IPC of SPEC-like mixes, OoO vs InO SMT",
+        ),
+    )

@@ -1,0 +1,36 @@
+"""Fig 2(b): probability of >= 8 ready threads vs virtual context count."""
+
+from benchmarks.conftest import save_report
+from repro.analytic.binomial import contexts_needed
+from repro.harness.figures import fig2b
+from repro.harness.reporting import format_table
+
+
+def test_fig2b_virtual_contexts(benchmark, report_dir):
+    data = benchmark.pedantic(fig2b, kwargs={"max_contexts": 40}, rounds=1, iterations=1)
+    contexts = data["contexts"]
+    curves = data["curves"]
+
+    # Paper design points: 11 contexts at p=0.1; 21 at p=0.5 (>= 90%).
+    def at(n, p):
+        return float(curves[p][list(contexts).index(n)])
+
+    assert at(11, 0.1) >= 0.9
+    assert at(21, 0.5) >= 0.9
+    assert at(16, 0.5) < 0.9  # fewer are not enough at p=0.5
+    assert contexts_needed(0.1, 0.9) <= 11
+    assert contexts_needed(0.5, 0.9) <= 21
+
+    picks = [8, 11, 16, 21, 32, 40]
+    rows = []
+    for p in (0.1, 0.5):
+        rows.append([f"p={p}"] + [f"{at(n, p):.3f}" for n in picks])
+    save_report(
+        report_dir,
+        "fig2b",
+        format_table(
+            ["stall prob"] + [f"n={n}" for n in picks],
+            rows,
+            "Fig 2(b): P(>= 8 ready threads)",
+        ),
+    )

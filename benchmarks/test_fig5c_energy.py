@@ -1,0 +1,25 @@
+"""Fig 5(c): normalized energy per instruction."""
+
+from benchmarks.conftest import save_report
+from repro.harness.figures import fig5c
+
+
+def test_fig5c_energy(benchmark, grid, report_dir):
+    report = benchmark.pedantic(fig5c, args=(grid,), rounds=1, iterations=1)
+
+    dup = grid.average_over("duplexity", "energy_vs_baseline")
+    smt = grid.average_over("smt", "energy_vs_baseline")
+    repl = grid.average_over("duplexity_replication", "energy_vs_baseline")
+
+    # Paper: Duplexity reduces energy by ~34% vs baseline and ~21% vs SMT;
+    # replication falls short of Duplexity on energy (power-hungry
+    # replicated structures).
+    assert dup < 0.85
+    assert dup < smt
+    assert dup <= repl * 1.05
+
+    summary = (
+        f"averages vs baseline: duplexity={dup:.2f} "
+        f"({100 * (1 - dup):.0f}% saving), smt={smt:.2f}, replication={repl:.2f}"
+    )
+    save_report(report_dir, "fig5c", report + "\n" + summary)

@@ -1,0 +1,32 @@
+"""Fig 5(d): normalized 99th-percentile tail latency."""
+
+from benchmarks.conftest import save_report
+from repro.harness.figures import fig5d
+
+
+def test_fig5d_tail_latency(benchmark, grid, report_dir):
+    report = benchmark.pedantic(fig5d, args=(grid,), rounds=1, iterations=1)
+
+    dup = grid.average_over("duplexity", "tail_99_vs_baseline")
+    smt = grid.average_over("smt", "tail_99_vs_baseline")
+    smt_plus = grid.average_over("smt_plus", "tail_99_vs_baseline")
+    morph = grid.average_over("morphcore", "tail_99_vs_baseline")
+
+    smt_worst = max(
+        c.tail_99_vs_baseline for c in grid.cells if c.design_name == "smt"
+    )
+
+    # Paper: SMT inflates tails by up to 7.2x, MorphCore sits in between,
+    # while Duplexity only adds ~19%.
+    assert dup < 1.4
+    assert morph > dup
+    assert smt > morph
+    assert smt_worst > 3.0
+    # SMT+ prioritization recovers part of SMT's tail loss on average.
+    assert smt_plus < smt * 1.2
+
+    summary = (
+        f"avg normalized 99p tails: duplexity={dup:.2f} morphcore={morph:.2f} "
+        f"smt+={smt_plus:.2f} smt={smt:.2f} (worst smt cell {smt_worst:.1f}x)"
+    )
+    save_report(report_dir, "fig5d", report + "\n" + summary)

@@ -1,0 +1,28 @@
+"""Fig 5(e): normalized iso-throughput 99th-percentile tail latency."""
+
+from benchmarks.conftest import save_report
+from repro.harness.figures import fig5e
+
+
+def test_fig5e_iso_throughput_tail(benchmark, grid, report_dir):
+    report = benchmark.pedantic(fig5e, args=(grid,), rounds=1, iterations=1)
+
+    dup = grid.average_over("duplexity", "iso_tail_99_vs_baseline")
+    smt = grid.average_over("smt", "iso_tail_99_vs_baseline")
+    morph = grid.average_over("morphcore", "iso_tail_99_vs_baseline")
+
+    # Paper: at equal cost, Duplexity's higher density lets it run at
+    # lower per-core load, cutting the 99p tail 1.8x vs baseline (and
+    # 2.7x vs SMT); MorphCore variants also beat the baseline; SMT
+    # variants are WORSE than the baseline iso-throughput.
+    assert dup < 0.8
+    assert morph < 1.0
+    assert smt > 1.0
+    assert dup < morph
+
+    summary = (
+        f"avg iso-throughput tails vs baseline: duplexity={dup:.2f} "
+        f"({1 / dup:.1f}x better), morphcore={morph:.2f}, smt={smt:.2f} "
+        f"(duplexity {smt / dup:.1f}x better than smt)"
+    )
+    save_report(report_dir, "fig5e", report + "\n" + summary)

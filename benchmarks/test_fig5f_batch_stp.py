@@ -1,0 +1,28 @@
+"""Fig 5(f): normalized system throughput (STP) of batch threads."""
+
+from benchmarks.conftest import save_report
+from repro.harness.figures import fig5f
+
+
+def test_fig5f_batch_stp(benchmark, grid, report_dir):
+    report = benchmark.pedantic(fig5f, args=(grid,), rounds=1, iterations=1)
+
+    dup = grid.average_over("duplexity", "batch_stp_vs_baseline")
+    smt = grid.average_over("smt", "batch_stp_vs_baseline")
+    repl = grid.average_over("duplexity_replication", "batch_stp_vs_baseline")
+    morph_plus = grid.average_over("morphcore_plus", "batch_stp_vs_baseline")
+
+    # Paper: Duplexity improves batch STP by ~52% over baseline and ~24%
+    # over SMT, staying within ~8% of the replication variant (which does
+    # not steal lender-cache capacity).
+    assert dup > 1.2
+    assert dup > smt
+    assert dup > repl * 0.85
+    assert morph_plus > 1.0
+
+    summary = (
+        f"avg batch STP vs baseline: duplexity={dup:.2f} smt={smt:.2f} "
+        f"replication={repl:.2f} morphcore+={morph_plus:.2f} "
+        f"(duplexity within {100 * abs(1 - dup / repl):.1f}% of replication)"
+    )
+    save_report(report_dir, "fig5f", report + "\n" + summary)

@@ -1,0 +1,31 @@
+"""Table I: microarchitecture details."""
+
+from benchmarks.conftest import save_report
+from repro.harness.figures import table1
+from repro.harness.reporting import format_table
+
+
+def test_table1_configs(benchmark, report_dir):
+    rows = benchmark.pedantic(table1, rounds=1, iterations=1)
+    text = " ".join(v for _, v in rows)
+    # Every Table I headline parameter must be represented.
+    for needle in (
+        "4-wide OoO",
+        "144-entry ROB",
+        "48-entry LQ",
+        "32-entry SQ",
+        "ICOUNT",
+        "8-way InO HSMT",
+        "32 virtual contexts",
+        "128-entry ARF",
+        "2KB/4KB I/D write-through L0",
+        "64KB I/D",
+        "2-way SA",
+        "1 MB per core",
+        "50 ns",
+        "56Gbit/s, 90M ops/s",
+    ):
+        assert needle in text, needle
+    save_report(
+        report_dir, "table1", format_table(["component", "configuration"], rows, "Table I")
+    )

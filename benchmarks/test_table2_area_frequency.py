@@ -1,0 +1,33 @@
+"""Table II: area and clock frequency per design."""
+
+from benchmarks.conftest import save_report
+from repro.harness.figures import table2, table2_matches_paper
+from repro.harness.reporting import format_table
+from repro.power.mcpat import (
+    master_core_overheads_mm2,
+    replication_overheads_mm2,
+)
+
+
+def test_table2_area_frequency(benchmark, report_dir):
+    rows = benchmark.pedantic(table2, rounds=1, iterations=1)
+    assert table2_matches_paper()
+
+    # Bottom-up overhead accounting reproduces the paper's ~5% / ~38%
+    # master-core area overhead claims.
+    master_oh = sum(master_core_overheads_mm2().values()) / 12.1
+    repl_oh = sum(replication_overheads_mm2().values()) / 12.1
+    assert abs(master_oh - 0.05) < 0.012
+    assert abs(repl_oh - 0.38) < 0.05
+
+    table_rows = [
+        [name, f"{area:.1f}", "-" if freq != freq else f"{freq:.2f}"]
+        for name, area, freq in rows
+    ]
+    table_rows.append(["master-core overhead (model)", f"{master_oh * 100:.1f}%", "-"])
+    table_rows.append(["replication overhead (model)", f"{repl_oh * 100:.1f}%", "-"])
+    save_report(
+        report_dir,
+        "table2",
+        format_table(["component", "area (mm^2)", "freq (GHz)"], table_rows, "Table II"),
+    )

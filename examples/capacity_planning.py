@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Capacity planning with the paper's analytic models.
+
+Answers the questions a Duplexity deployment would ask, using the closed
+forms from Sections II and IV:
+
+1. How much CPU does a given compute/stall profile waste? (Fig 1a model)
+2. How long are the idle holes at my QPS and load?        (Fig 1b model)
+3. How many virtual contexts must the OS provision?       (Fig 2b model)
+4. How many dyads can share one NIC port?                 (Section VIII)
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.analytic import contexts_needed, prob_at_least_ready, utilization
+from repro.harness.reporting import format_table
+from repro.net.nic import dyads_per_nic, nic_utilization
+from repro.queueing.idle import IdlePeriodLaw
+from repro.workloads.filler import FILLER_COMPUTE_US, FILLER_INSTRUCTIONS_PER_US
+
+
+def stall_waste() -> None:
+    print("1) CPU time lost to microsecond stalls (closed-loop model)\n")
+    rows = []
+    for compute_us, stall_us, label in [
+        (3.0, 0.0001, "DRAM miss every 3 us"),
+        (10.0, 1.0, "FLANN-HA: 1 us RDMA per 10 us compute"),
+        (1.0, 1.0, "FLANN-LL: 1 us RDMA per 1 us compute"),
+        (3.0, 8.0, "RSC: 8 us Optane per 3 us compute"),
+        (3.0, 4.0, "McRouter: 4 us leaf wait per 3 us routing"),
+    ]:
+        rows.append([label, f"{(1 - utilization(compute_us, stall_us)) * 100:.1f}%"])
+    print(format_table(["scenario", "CPU wasted"], rows))
+    print()
+
+
+def idle_holes() -> None:
+    print("2) Idle-period lengths between requests (M/G/1 idle law)\n")
+    rows = []
+    for qps in (200e3, 1e6):
+        for load in (0.3, 0.5, 0.7):
+            law = IdlePeriodLaw(qps, load)
+            rows.append(
+                [
+                    f"{qps / 1e3:.0f}K QPS",
+                    f"{load:.0%}",
+                    f"{law.mean_idle_us:.1f}",
+                    f"{law.quantile(0.9) * 1e6:.1f}",
+                ]
+            )
+    print(format_table(["service rate", "load", "mean idle (us)", "p90 idle (us)"], rows))
+    print("   -> too short for power management or context switches; "
+          "exactly right for thread borrowing\n")
+
+
+def context_provisioning() -> None:
+    print("3) Virtual contexts needed to keep 8 physical contexts busy\n")
+    rows = []
+    for p, label in [(0.1, "batch threads rarely stall"),
+                     (0.5, "batch threads ~50% stalled (RDMA-heavy)")]:
+        needed = contexts_needed(p, target_probability=0.9)
+        rows.append([label, needed, f"{prob_at_least_ready(needed, p) * 100:.0f}%"])
+    print(format_table(["workload", "contexts needed", "P(>=8 ready)"], rows))
+    print("   -> the paper provisions 32 per dyad to cover the worst case\n")
+
+
+def nic_sharing() -> None:
+    print("4) NIC sharing (FDR 4x InfiniBand, 90M IOPS)\n")
+    # A fully-utilized dyad: master + 4-IPC of filler/lender batch work,
+    # one RDMA read per FILLER_COMPUTE_US of batch compute.
+    batch_ips = 2 * 4 * 3.3e9 * 0.5  # two cores, half-utilized issue slots
+    batch_ops = batch_ips / (FILLER_COMPUTE_US * FILLER_INSTRUCTIONS_PER_US)
+    master_ops = 100_000  # 100K QPS of single-RDMA requests
+    ops = batch_ops + master_ops
+    u = nic_utilization(ops)
+    print(f"   busy dyad issues ~{ops / 1e6:.1f}M remote ops/s "
+          f"= {u.iops_utilization * 100:.1f}% of one port's IOPS")
+    print(f"   data rate used: {u.data_rate_utilization * 100:.2f}% "
+          "(single-cache-line ops are IOPS-limited, not bandwidth-limited)")
+    print(f"   -> {dyads_per_nic(ops)} dyads can share one NIC port")
+
+
+def main() -> None:
+    stall_waste()
+    idle_holes()
+    context_provisioning()
+    nic_sharing()
+
+
+if __name__ == "__main__":
+    main()

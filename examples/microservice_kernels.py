@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""The microservice kernels behind the workload models, run for real.
+
+The paper's evaluation drives four microservices; this reproduction
+implements each one's algorithmic kernel, and this example exercises them
+end-to-end:
+
+* FLANN      -> locality-sensitive hashing k-NN (repro.workloads.lsh)
+* RSC        -> cuckoo-hash block-address mapping (repro.workloads.cuckoo)
+* McRouter   -> consistent-hash request routing (repro.workloads.consistent_hash)
+* WordStem   -> Porter stemming (repro.workloads.porter)
+* fillers    -> BSP PageRank / SSSP over a power-law graph partitioned
+                across "RDMA-connected" workers (repro.workloads.graph/...)
+
+Run:  python examples/microservice_kernels.py
+"""
+
+import numpy as np
+
+from repro.workloads import (
+    ConsistentHashRing,
+    CuckooHashTable,
+    LSHConfig,
+    LSHIndex,
+    generate_power_law_graph,
+    pagerank,
+    sssp,
+    stem_document,
+)
+
+
+def flann_demo() -> None:
+    print("== FLANN: LSH approximate nearest neighbours")
+    rng = np.random.default_rng(0)
+    index = LSHIndex(LSHConfig(num_tables=8, hash_bits=10, dimensions=64, probes=2))
+    corpus = rng.standard_normal((500, 64))
+    for vector in corpus:
+        index.add(vector)
+    queries = corpus[:50] + 0.05 * rng.standard_normal((50, 64))
+    recall = index.recall_against_exact(queries, k=1)
+    candidates = len(index.candidates(queries[0]))
+    print(f"  indexed 500 vectors; query scans ~{candidates} candidates "
+          f"instead of 500; 1-NN recall {recall * 100:.0f}%\n")
+
+
+def rsc_demo() -> None:
+    print("== RSC: remote-block -> local-SSD-slot mapping (cuckoo hashing)")
+    table = CuckooHashTable(1024)
+    rng = np.random.default_rng(1)
+    blocks = rng.integers(0, 1 << 48, size=1500)
+    for slot, block in enumerate(blocks):
+        table.put(int(block), slot)
+    hits = sum(table.get(int(b)) is not None for b in blocks)
+    print(f"  mapped {len(blocks)} remote blocks; lookups touch at most two "
+          f"slots; hit rate {hits / len(blocks) * 100:.0f}%, "
+          f"{table.displacements} displacements, {table.rehashes} rehashes\n")
+
+
+def mcrouter_demo() -> None:
+    print("== McRouter: consistent-hash routing to 100 leaf KV servers")
+    ring = ConsistentHashRing([f"leaf-{i:03d}" for i in range(100)])
+    keys = [f"user:{i}" for i in range(10_000)]
+    before = {k: ring.route(k) for k in keys}
+    ring.remove_server("leaf-042")
+    moved = sum(1 for k in keys if ring.route(k) != before[k])
+    print(f"  routed {len(keys)} keys; removing one leaf moved only "
+          f"{moved} keys ({moved / len(keys) * 100:.1f}%) — the consistent-"
+          "hashing property\n")
+
+
+def wordstem_demo() -> None:
+    print("== WordStem: Porter stemming")
+    words = ("caresses ponies relational conditional hopefulness "
+             "electricity adjustable vietnamization motoring").split()
+    stems = stem_document(words)
+    for word, out in zip(words, stems):
+        print(f"  {word:16s} -> {out}")
+    print()
+
+
+def filler_demo() -> None:
+    print("== Fillers: BSP graph analytics over a partitioned power-law graph")
+    graph = generate_power_law_graph(
+        2000, edges_per_vertex=6, num_partitions=2, seed=2
+    )
+    ranks, pr_stats = pagerank(graph)
+    dist, sssp_stats = sssp(graph, source=0)
+    reachable = int(np.isfinite(dist).sum())
+    print(f"  graph: {graph.num_vertices} vertices, {graph.num_edges} edges, "
+          f"{graph.remote_edge_fraction() * 100:.0f}% of edges remote")
+    print(f"  PageRank: converged in {len(pr_stats.local_accesses)} supersteps; "
+          f"{pr_stats.remote_fraction * 100:.0f}% of neighbour reads were RDMA")
+    print(f"  SSSP: {reachable} vertices reachable from 0 in "
+          f"{len(sssp_stats.local_accesses)} supersteps")
+    print("  -> every remote read is a ~1 us RDMA stall: exactly the "
+          "microsecond holes HSMT swaps across\n")
+
+
+def main() -> None:
+    flann_demo()
+    rsc_demo()
+    mcrouter_demo()
+    wordstem_demo()
+    filler_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Server consolidation: a full Duplexity chip plus the OS scheduling layer.
+
+Places the paper's four microservices on the dyads of one Duplexity chip
+(Fig 4c), lets the cluster scheduler provision virtual contexts per
+Section IV's rules, fills the remaining contexts with batch jobs, and
+reports chip-level throughput, power, and NIC needs.
+
+Run:  python examples/server_consolidation.py
+"""
+
+from repro.core import (
+    BatchJob,
+    ClusterScheduler,
+    DuplexityChip,
+    Service,
+    contexts_to_provision,
+)
+from repro.harness.fidelity import FAST
+from repro.harness.reporting import format_table
+from repro.workloads import flann_ha, mcrouter, rsc, wordstem
+
+
+def schedule_cluster() -> None:
+    print("1) OS-level placement and context provisioning (Section IV)\n")
+    scheduler = ClusterScheduler(num_dyads=4)
+    for service in (
+        Service("mcrouter"),
+        Service("rsc"),
+        Service("flann-ha"),
+        Service("wordstem", incurs_stalls=False),
+    ):
+        scheduler.place_service(service)
+    placement = scheduler.submit_batch(
+        BatchJob("pagerank", threads=60, stall_probability=0.5)
+    )
+    scheduler.submit_batch(BatchJob("sssp", threads=30, stall_probability=0.5))
+    rows = [
+        [idx, svc, used, prov]
+        for idx, svc, used, prov in scheduler.utilization_summary()
+    ]
+    print(format_table(["dyad", "service", "batch contexts used", "provisioned"], rows))
+    print(f"   pagerank spread over dyads {sorted(placement)}; "
+          f"{scheduler.total_free_contexts()} contexts still free")
+    print(f"   (rule of thumb: p=0.5 batch + stalling master -> "
+          f"{contexts_to_provision(0.5, True)} contexts per dyad)\n")
+
+
+def chip_report() -> None:
+    print("2) Chip-level composition (Fig 4c)\n")
+    chip = DuplexityChip("duplexity", num_dyads=4, fidelity=FAST)
+    chip.assign(mcrouter(), 0.5)
+    chip.assign(rsc(), 0.5)
+    chip.assign(flann_ha(), 0.5)
+    chip.assign(wordstem(), 0.5)
+    report = chip.report()
+    rows = [
+        [d.workload_name, f"{d.load:.0%}", f"{d.utilization * 100:.1f}%",
+         f"{d.rates.total_ips / 1e9:.1f}G", f"{d.nic_ops_per_second / 1e6:.1f}M"]
+        for d in report.dyads
+    ]
+    print(format_table(
+        ["dyad workload", "load", "core util", "instr/s", "NIC ops/s"], rows
+    ))
+    print(f"\n   chip area {report.area_mm2:.0f} mm^2, power {report.power_w:.1f} W")
+    print(f"   aggregate {report.total_ips / 1e9:.1f}G instr/s -> "
+          f"{report.performance_density / 1e9:.2f}G instr/s/mm^2, "
+          f"{report.energy_per_instruction_nj:.2f} nJ/instr")
+    print(f"   NIC ports needed: {report.nic_ports_needed}")
+
+
+def main() -> None:
+    schedule_cluster()
+    chip_report()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""repro — reproduction of "Enhancing Server Efficiency in the Face of
+Killer Microseconds" (Duplexity, HPCA 2019).
+
+Duplexity pairs a latency-optimized *master-core* with a throughput-
+optimized *lender-core* into a *dyad*; when the latency-critical
+master-thread stalls on a microsecond-scale event or idles between
+requests, the master-core morphs into an in-order HSMT mode and borrows
+filler threads from the lender-core's virtual-context pool — with
+segregated state so the master restarts in ~50 cycles at full speed.
+
+Quickstart::
+
+    from repro import Dyad, mcrouter
+
+    dyad = Dyad(mcrouter(), design="duplexity", time_scale=0.25)
+    result = dyad.simulate(num_requests=16)
+    print(result.dyad.utilization)
+
+Package layout:
+
+* :mod:`repro.core` — master-cores, lender-cores, dyads (the paper's
+  contribution);
+* :mod:`repro.uarch` — cycle-accounting core timing models (gem5 stand-in);
+* :mod:`repro.caches` / :mod:`repro.branch` — memory hierarchy and branch
+  prediction substrates;
+* :mod:`repro.workloads` — microservice kernels (LSH, cuckoo hashing,
+  consistent hashing, Porter stemming, BSP graph analytics) and their
+  instruction-trace models;
+* :mod:`repro.queueing` — M/G/1 request-granularity simulation (BigHouse
+  stand-in);
+* :mod:`repro.power` / :mod:`repro.net` — McPAT/CACTI-style area/power
+  models and the FDR InfiniBand NIC model;
+* :mod:`repro.analytic` — closed-form models from the paper's motivation;
+* :mod:`repro.harness` — the experiment runner that regenerates every
+  table and figure.
+"""
+
+from repro.core import Dyad, DyadResult, DyadSimulator, all_designs, get_design
+from repro.harness import evaluation_grid, run_cell, run_grid
+from repro.workloads import (
+    flann_ha,
+    flann_ll,
+    flann_xy,
+    mcrouter,
+    rsc,
+    standard_microservices,
+    wordstem,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dyad",
+    "DyadResult",
+    "DyadSimulator",
+    "all_designs",
+    "evaluation_grid",
+    "flann_ha",
+    "flann_ll",
+    "flann_xy",
+    "get_design",
+    "mcrouter",
+    "rsc",
+    "run_cell",
+    "run_grid",
+    "standard_microservices",
+    "wordstem",
+    "__version__",
+]

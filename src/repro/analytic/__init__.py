@@ -1,0 +1,23 @@
+"""Analytic models from the paper's motivation and design sections."""
+
+from repro.analytic.binomial import (
+    contexts_needed,
+    expected_ready,
+    prob_at_least_ready,
+    ready_curve,
+)
+from repro.analytic.closed_loop import (
+    utilization,
+    utilization_loss,
+    utilization_surface,
+)
+
+__all__ = [
+    "contexts_needed",
+    "expected_ready",
+    "prob_at_least_ready",
+    "ready_curve",
+    "utilization",
+    "utilization_loss",
+    "utilization_surface",
+]

@@ -1,0 +1,79 @@
+"""Binomial ready-thread model for HSMT provisioning (Fig 2b, Section III-A).
+
+"The distribution of ready threads is then given by a Binomial
+k ~ Binomial(n, 1 - p), where k represents the number of ready threads,
+n the number of virtual contexts, and p the probability a thread is
+stalled."  The figure plots P(k >= 8) against n for p in {0.1, 0.5}.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def prob_at_least_ready(
+    virtual_contexts: int, stall_probability: float, required_ready: int = 8
+) -> float:
+    """P(at least ``required_ready`` of ``virtual_contexts`` threads ready).
+
+    Each thread is independently stalled with probability
+    ``stall_probability``.
+    """
+    n = virtual_contexts
+    if n < 0:
+        raise ValueError("virtual context count must be non-negative")
+    if not 0 <= stall_probability <= 1:
+        raise ValueError(f"stall probability must be in [0, 1], got {stall_probability!r}")
+    if required_ready <= 0:
+        return 1.0
+    if required_ready > n:
+        return 0.0
+    ready_p = 1.0 - stall_probability
+    total = 0.0
+    for k in range(required_ready, n + 1):
+        total += math.comb(n, k) * ready_p**k * stall_probability ** (n - k)
+    return min(total, 1.0)
+
+
+def ready_curve(
+    context_range: np.ndarray, stall_probability: float, required_ready: int = 8
+) -> np.ndarray:
+    """P(k >= required_ready) over a sweep of virtual context counts."""
+    return np.array(
+        [
+            prob_at_least_ready(int(n), stall_probability, required_ready)
+            for n in context_range
+        ]
+    )
+
+
+def contexts_needed(
+    stall_probability: float,
+    target_probability: float = 0.9,
+    required_ready: int = 8,
+    max_contexts: int = 256,
+) -> int:
+    """Smallest virtual-context count achieving the target ready probability.
+
+    Reproduces the paper's design points: with p = 0.1, 11 contexts keep 8
+    physical contexts 90% utilized; with p = 0.5, 21 contexts are needed.
+    """
+    if not 0 < target_probability < 1:
+        raise ValueError("target probability must be in (0, 1)")
+    for n in range(required_ready, max_contexts + 1):
+        if prob_at_least_ready(n, stall_probability, required_ready) >= target_probability:
+            return n
+    raise ValueError(
+        f"no context count up to {max_contexts} achieves P >= {target_probability}"
+    )
+
+
+def expected_ready(virtual_contexts: int, stall_probability: float) -> float:
+    """Mean number of ready threads."""
+    if virtual_contexts < 0:
+        raise ValueError("virtual context count must be non-negative")
+    if not 0 <= stall_probability <= 1:
+        raise ValueError("stall probability must be in [0, 1]")
+    return virtual_contexts * (1.0 - stall_probability)

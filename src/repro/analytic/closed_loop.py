@@ -1,0 +1,50 @@
+"""Closed-loop utilization model for microsecond-scale stalls (Fig 1a).
+
+Section II-A models a single job alternating between compute periods and
+stalls: "The modeled system alternates between periods of computation and
+stalls.  During stalls, CPU time is wasted, reducing utilization."
+
+For mean compute interval ``C`` and mean stall duration ``S`` the long-run
+utilization of the renewal process is ``C / (C + S)``.  The figure sweeps
+both axes on a log scale; :func:`utilization_surface` regenerates it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def utilization(compute_us: float, stall_us: float) -> float:
+    """Long-run CPU utilization of the alternating compute/stall loop."""
+    if compute_us < 0 or stall_us < 0:
+        raise ValueError("durations must be non-negative")
+    if compute_us == 0 and stall_us == 0:
+        return 1.0
+    if compute_us == 0:
+        return 0.0
+    return compute_us / (compute_us + stall_us)
+
+
+def utilization_surface(
+    compute_grid_us: np.ndarray, stall_grid_us: np.ndarray
+) -> np.ndarray:
+    """Utilization over a (stall x compute) grid; rows index stalls.
+
+    Regenerates Figure 1(a): utilization converges to 1 for short stalls,
+    degrades gradually for long compute intervals, and collapses toward 0
+    when stalls exceed the compute interval.
+    """
+    compute = np.asarray(compute_grid_us, dtype=float)
+    stall = np.asarray(stall_grid_us, dtype=float)
+    if (compute < 0).any() or (stall < 0).any():
+        raise ValueError("durations must be non-negative")
+    c = compute[np.newaxis, :]
+    s = stall[:, np.newaxis]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = c / (c + s)
+    return np.nan_to_num(out, nan=1.0)
+
+
+def utilization_loss(compute_us: float, stall_us: float) -> float:
+    """Fraction of CPU time lost to stalls."""
+    return 1.0 - utilization(compute_us, stall_us)

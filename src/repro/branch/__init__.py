@@ -1,0 +1,18 @@
+"""Branch prediction: direction predictors, BTB, and RAS."""
+
+from repro.branch.btb import BranchTargetBuffer, ReturnAddressStack
+from repro.branch.predictors import (
+    BimodalPredictor,
+    GsharePredictor,
+    TournamentPredictor,
+    make_predictor,
+)
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "GsharePredictor",
+    "ReturnAddressStack",
+    "TournamentPredictor",
+    "make_predictor",
+]

@@ -1,0 +1,70 @@
+"""Branch Target Buffer and Return Address Stack (Table I: 2K BTB, 32 RAS)."""
+
+from __future__ import annotations
+
+
+class BranchTargetBuffer:
+    """Direct-mapped tagged target cache.
+
+    ``lookup`` returns the cached target or ``None`` on a miss; a miss on a
+    taken branch costs a fetch bubble even when the direction predictor is
+    right, which the pipeline models charge as a reduced penalty.
+    """
+
+    def __init__(self, entries: int):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"BTB entries must be a positive power of two, got {entries}")
+        self.entries = entries
+        self._mask = entries - 1
+        self._tags: list[int | None] = [None] * entries
+        self._targets: list[int] = [0] * entries
+        self.hits = 0
+        self.misses = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def lookup(self, pc: int) -> int | None:
+        idx = self._index(pc)
+        if self._tags[idx] == pc:
+            self.hits += 1
+            return self._targets[idx]
+        self.misses += 1
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        idx = self._index(pc)
+        self._tags[idx] = pc
+        self._targets[idx] = target
+
+    def reset(self) -> None:
+        """Invalidate all entries (cold state)."""
+        self._tags = [None] * self.entries
+        self._targets = [0] * self.entries
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular return-address stack."""
+
+    def __init__(self, depth: int):
+        if depth <= 0:
+            raise ValueError(f"RAS depth must be positive, got {depth}")
+        self.depth = depth
+        self._stack: list[int] = []
+
+    def push(self, return_address: int) -> None:
+        self._stack.append(return_address)
+        if len(self._stack) > self.depth:
+            # Overflow discards the oldest entry, as in hardware.
+            self._stack.pop(0)
+
+    def pop(self) -> int | None:
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def reset(self) -> None:
+        self._stack.clear()

@@ -1,0 +1,159 @@
+"""Branch direction predictors (Table I).
+
+The baseline/master core uses a tournament predictor combining a 16K-entry
+bimodal table, a 16K-entry gshare table, and a 16K-entry selector.  The
+lender-core (and the master-core's segregated filler-mode predictor) uses a
+smaller 8K-entry gshare.
+
+All predictors expose ``predict(pc) -> bool`` and
+``update(pc, taken) -> None`` and keep 2-bit saturating counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.params import BranchPredictorConfig
+
+_TAKEN_THRESHOLD = 2  # counter >= 2 predicts taken
+_COUNTER_MAX = 3
+_WEAKLY_TAKEN = 2
+
+
+def _require_power_of_two(entries: int, what: str) -> None:
+    if entries <= 0 or entries & (entries - 1):
+        raise ValueError(f"{what} must be a positive power of two, got {entries}")
+
+
+class BimodalPredictor:
+    """Per-PC 2-bit saturating counter table."""
+
+    #: Bimodal prediction is history-free.
+    history_bits = 0
+
+    def __init__(self, entries: int):
+        _require_power_of_two(entries, "bimodal entries")
+        self.entries = entries
+        self._mask = entries - 1
+        self._table = np.full(entries, _WEAKLY_TAKEN, dtype=np.int8)
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int, history: int | None = None) -> bool:
+        return bool(self._table[self._index(pc)] >= _TAKEN_THRESHOLD)
+
+    def update(self, pc: int, taken: bool, history: int | None = None) -> None:
+        idx = self._index(pc)
+        counter = self._table[idx]
+        if taken:
+            if counter < _COUNTER_MAX:
+                self._table[idx] = counter + 1
+        elif counter > 0:
+            self._table[idx] = counter - 1
+
+    def reset(self) -> None:
+        """Return all counters to weakly-taken (cold state)."""
+        self._table.fill(_WEAKLY_TAKEN)
+
+
+class GsharePredictor:
+    """Global-history-XOR-PC indexed 2-bit counter table.
+
+    The history register can be kept internally (single-threaded use) or
+    supplied per call (SMT cores keep one history register per hardware
+    thread while sharing the counter tables).
+    """
+
+    def __init__(self, entries: int, history_bits: int | None = None):
+        _require_power_of_two(entries, "gshare entries")
+        self.entries = entries
+        self._mask = entries - 1
+        self.history_bits = (
+            history_bits if history_bits is not None else entries.bit_length() - 1
+        )
+        self._history_mask = (1 << self.history_bits) - 1
+        self._history = 0
+        self._table = np.full(entries, _WEAKLY_TAKEN, dtype=np.int8)
+
+    def _index(self, pc: int, history: int) -> int:
+        return ((pc >> 2) ^ history) & self._mask
+
+    def predict(self, pc: int, history: int | None = None) -> bool:
+        h = self._history if history is None else history
+        return bool(self._table[self._index(pc, h)] >= _TAKEN_THRESHOLD)
+
+    def update(self, pc: int, taken: bool, history: int | None = None) -> None:
+        h = self._history if history is None else history
+        idx = self._index(pc, h)
+        counter = self._table[idx]
+        if taken:
+            if counter < _COUNTER_MAX:
+                self._table[idx] = counter + 1
+        elif counter > 0:
+            self._table[idx] = counter - 1
+        if history is None:
+            self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+    def reset(self) -> None:
+        """Clear counters and global history (cold state)."""
+        self._table.fill(_WEAKLY_TAKEN)
+        self._history = 0
+
+
+class TournamentPredictor:
+    """Bimodal + gshare with a per-PC selector choosing between them."""
+
+    def __init__(
+        self,
+        bimodal_entries: int,
+        gshare_entries: int,
+        selector_entries: int,
+    ):
+        _require_power_of_two(selector_entries, "selector entries")
+        self.bimodal = BimodalPredictor(bimodal_entries)
+        self.gshare = GsharePredictor(gshare_entries)
+        self._selector_mask = selector_entries - 1
+        # Selector counter >= 2 chooses gshare.
+        self._selector = np.full(selector_entries, _WEAKLY_TAKEN, dtype=np.int8)
+
+    @property
+    def history_bits(self) -> int:
+        return self.gshare.history_bits
+
+    def _selector_index(self, pc: int) -> int:
+        return (pc >> 2) & self._selector_mask
+
+    def predict(self, pc: int, history: int | None = None) -> bool:
+        if self._selector[self._selector_index(pc)] >= _TAKEN_THRESHOLD:
+            return self.gshare.predict(pc, history)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool, history: int | None = None) -> None:
+        bimodal_correct = self.bimodal.predict(pc) == taken
+        gshare_correct = self.gshare.predict(pc, history) == taken
+        idx = self._selector_index(pc)
+        counter = self._selector[idx]
+        if gshare_correct and not bimodal_correct:
+            if counter < _COUNTER_MAX:
+                self._selector[idx] = counter + 1
+        elif bimodal_correct and not gshare_correct:
+            if counter > 0:
+                self._selector[idx] = counter - 1
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, taken, history)
+
+    def reset(self) -> None:
+        """Cold-reset component predictors and the selector."""
+        self.bimodal.reset()
+        self.gshare.reset()
+        self._selector.fill(_WEAKLY_TAKEN)
+
+
+def make_predictor(config: BranchPredictorConfig):
+    """Build the direction predictor described by ``config``."""
+    if config.kind == "tournament":
+        return TournamentPredictor(
+            config.bimodal_entries, config.gshare_entries, config.selector_entries
+        )
+    return GsharePredictor(config.gshare_entries)

@@ -1,0 +1,13 @@
+"""Caches, TLBs and memory-hierarchy latency composition."""
+
+from repro.caches.cache import SetAssociativeCache
+from repro.caches.hierarchy import CacheLevel, MemoryHierarchy, link_inclusive
+from repro.caches.tlb import TLB
+
+__all__ = [
+    "CacheLevel",
+    "MemoryHierarchy",
+    "SetAssociativeCache",
+    "TLB",
+    "link_inclusive",
+]

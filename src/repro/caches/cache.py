@@ -1,0 +1,145 @@
+"""Set-associative cache with LRU replacement.
+
+The timing models use caches for *hit/miss classification only*; latency
+composition across levels lives in :mod:`repro.caches.hierarchy`.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import CacheConfig
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache keyed by line address.
+
+    Addresses are byte addresses; the cache derives line/set indices from
+    the configured line size.  ``access`` returns ``True`` on a hit and
+    (for misses) allocates the line, evicting the LRU way.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache"):
+        self.config = config
+        self.name = name
+        self._line_shift = config.line_bytes.bit_length() - 1
+        if 1 << self._line_shift != config.line_bytes:
+            raise ValueError(f"line size must be a power of two, got {config.line_bytes}")
+        self._num_sets = config.num_sets
+        # Per-set list of line tags ordered MRU-first.
+        self._sets: list[list[int]] = [[] for _ in range(self._num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # -- address helpers ------------------------------------------------
+
+    def line_address(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def _set_index(self, line: int) -> int:
+        return line % self._num_sets
+
+    # -- operations -----------------------------------------------------
+
+    def access(self, addr: int, *, allocate_on_miss: bool = True) -> bool:
+        """Look up ``addr``; return True on hit.
+
+        On a miss, the line is allocated (unless ``allocate_on_miss`` is
+        False) and the victim, if any, is evicted LRU-first.
+        """
+        line = self.line_address(addr)
+        ways = self._sets[self._set_index(line)]
+        if line in ways:
+            self.hits += 1
+            if ways[0] != line:
+                ways.remove(line)
+                ways.insert(0, line)
+            return True
+        self.misses += 1
+        if allocate_on_miss:
+            self.fill(addr)
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Check residency without updating LRU state or statistics."""
+        line = self.line_address(addr)
+        return line in self._sets[self._set_index(line)]
+
+    def fill(self, addr: int, *, at_lru: bool = False) -> int | None:
+        """Insert the line holding ``addr``; return the evicted line or None.
+
+        ``at_lru`` inserts at the LRU position instead of MRU — the
+        standard anti-thrash treatment for prefetched/streaming lines, so
+        a streaming co-runner recycles its own lines rather than evicting
+        another thread's hot set.
+        """
+        line = self.line_address(addr)
+        ways = self._sets[self._set_index(line)]
+        if line in ways:
+            if not at_lru and ways[0] != line:
+                ways.remove(line)
+                ways.insert(0, line)
+            return None
+        if at_lru:
+            if len(ways) >= self.config.associativity:
+                # Replace the current LRU line directly.
+                victim = ways.pop()
+                self.evictions += 1
+                ways.append(line)
+                return victim
+            ways.append(line)
+            return None
+        ways.insert(0, line)
+        if len(ways) > self.config.associativity:
+            victim = ways.pop()
+            self.evictions += 1
+            return victim
+        return None
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line holding ``addr``; return True if it was present."""
+        line = self.line_address(addr)
+        ways = self._sets[self._set_index(line)]
+        if line in ways:
+            ways.remove(line)
+            self.invalidations += 1
+            return True
+        return False
+
+    def invalidate_line(self, line: int) -> bool:
+        """Drop line (already a line address); return True if present."""
+        ways = self._sets[self._set_index(line)]
+        if line in ways:
+            ways.remove(line)
+            self.invalidations += 1
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Empty the cache.  Write-through caches can do this at any time."""
+        for ways in self._sets:
+            ways.clear()
+
+    # -- statistics -----------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def resident_lines(self) -> set[int]:
+        """All line addresses currently resident (for inclusion checks)."""
+        return {line for ways in self._sets for line in ways}

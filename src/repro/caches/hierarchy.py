@@ -1,0 +1,147 @@
+"""Latency composition across cache levels.
+
+A :class:`MemoryHierarchy` strings together an optional L0 filter cache, an
+L1, a shared LLC and DRAM, and answers "how many cycles does this access
+take?".  Duplexity's dyad wiring (Section III-B3) is expressed by building
+two hierarchies over shared level objects:
+
+* the master-thread path: master L1 -> LLC -> DRAM;
+* the filler path on the master-core: L0 (write-through) -> *lender's* L1
+  (+3 cycles remote) -> LLC -> DRAM.
+
+Inclusion between the lender L1D and the master L0D is maintained through
+eviction/invalidation callbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.caches.cache import SetAssociativeCache
+
+
+@dataclass
+class CacheLevel:
+    """A cache plus its hit latency and back-invalidation hooks."""
+
+    cache: SetAssociativeCache
+    hit_latency: int
+    #: Called with the victim line address whenever this level evicts,
+    #: letting an inclusive parent shoot down children (L1D -> L0D).
+    on_evict: list[Callable[[int], None]] = field(default_factory=list)
+
+    def notify_evict(self, line: int) -> None:
+        for hook in self.on_evict:
+            hook(line)
+
+
+class MemoryHierarchy:
+    """One access port through a stack of cache levels down to DRAM.
+
+    ``levels`` is ordered nearest-first.  ``extra_cycles_after`` charges a
+    per-level traversal penalty *when the lookup goes past that level*
+    (e.g. the ~3-cycle master-to-lender hop after the L0).
+    """
+
+    def __init__(
+        self,
+        levels: list[CacheLevel],
+        memory_latency_cycles: int,
+        extra_cycles_after: dict[int, int] | None = None,
+        name: str = "port",
+        prefetch_next_line: bool = True,
+    ):
+        if not levels:
+            raise ValueError("hierarchy needs at least one cache level")
+        self.levels = levels
+        self.memory_latency_cycles = memory_latency_cycles
+        self.extra_cycles_after = dict(extra_cycles_after or {})
+        self.name = name
+        self.prefetch_next_line = prefetch_next_line
+        self.accesses = 0
+        self.total_latency = 0
+        #: Number of lookups that reached each level (index-aligned).
+        self.level_lookups = [0] * len(levels)
+        self.memory_lookups = 0
+        self.prefetches = 0
+        self._last_line = -1
+        self._line_bytes = levels[0].cache.config.line_bytes
+
+    def access(self, addr: int, *, is_write: bool = False) -> int:
+        """Perform a demand access; return its latency in cycles.
+
+        Misses allocate at every traversed level (fill on the way back).
+        Write-through levels propagate writes downward even on hits so
+        that inclusive parents observe them.
+        """
+        self.accesses += 1
+        latency = 0
+        fill_levels: list[CacheLevel] = []
+        hit_index: int | None = None
+        for i, level in enumerate(self.levels):
+            self.level_lookups[i] += 1
+            latency += level.hit_latency
+            write_through = level.cache.config.write_through
+            if level.cache.access(addr, allocate_on_miss=False):
+                if is_write and write_through and i + 1 < len(self.levels):
+                    # The write continues to the next level but the load
+                    # latency is satisfied here; charge only the hit.
+                    self.levels[i + 1].cache.access(addr, allocate_on_miss=True)
+                hit_index = i
+                break
+            fill_levels.append(level)
+            latency += self.extra_cycles_after.get(i, 0)
+        else:
+            self.memory_lookups += 1
+            latency += self.memory_latency_cycles
+        # Fill the line into every level we missed in.
+        for level in fill_levels:
+            victim = level.cache.fill(addr)
+            if victim is not None:
+                level.notify_evict(victim)
+        # `hit_index` is informational; kept for future coherence hooks.
+        del hit_index
+        self.total_latency += latency
+        # Stream (next-line) prefetch: when the access stream crosses into
+        # a new line, pull the following line in behind it.  Models the
+        # L1 stream prefetchers ubiquitous in server cores; prefetch
+        # bandwidth is not charged.
+        if self.prefetch_next_line:
+            line = addr >> 6 if self._line_bytes == 64 else addr // self._line_bytes
+            if line != self._last_line:
+                self._last_line = line
+                self.prefetch((line + 1) * self._line_bytes)
+        return latency
+
+    def prefetch(self, addr: int) -> None:
+        """Install ``addr``'s line at every level without charging latency.
+
+        Prefetched lines insert at the LRU position (thrash-resistant
+        streaming insertion), so prefetch streams recycle their own lines.
+        """
+        self.prefetches += 1
+        for level in self.levels:
+            if not level.cache.probe(addr):
+                victim = level.cache.fill(addr, at_lru=True)
+                if victim is not None:
+                    level.notify_evict(victim)
+
+    @property
+    def average_latency(self) -> float:
+        return self.total_latency / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.total_latency = 0
+        self.level_lookups = [0] * len(self.levels)
+        self.memory_lookups = 0
+
+
+def link_inclusive(parent: CacheLevel, child: SetAssociativeCache) -> None:
+    """Make ``child`` inclusive in ``parent``: parent evictions invalidate it.
+
+    Models Section III-B3: "The lender-core L1 D-cache maintains inclusion
+    with L0 D-cache and forwards invalidations to maintain coherence."
+    """
+    parent.on_evict.append(child.invalidate_line)

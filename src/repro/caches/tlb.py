@@ -1,0 +1,56 @@
+"""Fully-associative TLB with LRU replacement (Table I: 64-entry I/D)."""
+
+from __future__ import annotations
+
+from repro.common.params import TLBConfig
+
+
+class TLB:
+    """Translation lookaside buffer keyed by virtual page number."""
+
+    def __init__(self, config: TLBConfig, name: str = "tlb"):
+        self.config = config
+        self.name = name
+        self._page_shift = config.page_bytes.bit_length() - 1
+        if 1 << self._page_shift != config.page_bytes:
+            raise ValueError(f"page size must be a power of two, got {config.page_bytes}")
+        self._entries: list[int] = []  # virtual page numbers, MRU-first
+        self.hits = 0
+        self.misses = 0
+
+    def page_number(self, addr: int) -> int:
+        return addr >> self._page_shift
+
+    def translate(self, addr: int) -> bool:
+        """Return True on a TLB hit; misses allocate (hardware walk)."""
+        vpn = self.page_number(addr)
+        if vpn in self._entries:
+            self.hits += 1
+            if self._entries[0] != vpn:
+                self._entries.remove(vpn)
+                self._entries.insert(0, vpn)
+            return True
+        self.misses += 1
+        self._entries.insert(0, vpn)
+        if len(self._entries) > self.config.entries:
+            self._entries.pop()
+        return False
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)

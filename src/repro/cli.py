@@ -1,0 +1,163 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Examples::
+
+    python -m repro table2
+    python -m repro fig1b
+    python -m repro fig5a --fidelity fast --workload mcrouter
+    python -m repro cell duplexity mcrouter 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import figures
+from repro.harness.experiment import run_cell
+from repro.harness.fidelity import BENCH, FAST, FULL, Fidelity
+from repro.harness.reporting import format_table
+from repro.workloads.microservices import standard_microservices
+
+FIDELITIES: dict[str, Fidelity] = {"fast": FAST, "bench": BENCH, "full": FULL}
+
+GRID_FIGURES = {
+    "fig5a": figures.fig5a,
+    "fig5b": figures.fig5b,
+    "fig5c": figures.fig5c,
+    "fig5d": figures.fig5d,
+    "fig5e": figures.fig5e,
+    "fig5f": figures.fig5f,
+    "fig6": figures.fig6,
+}
+
+
+def _workloads(name: str | None):
+    available = {w.name.lower(): w for w in standard_microservices()}
+    if name is None:
+        return None
+    key = name.lower()
+    if key not in available:
+        raise SystemExit(f"unknown workload {name!r}; pick from {sorted(available)}")
+    return [available[key]]
+
+
+def _print_fig1a() -> None:
+    data = figures.fig1a(points=9)
+    headers = ["stall us \\ compute us"] + [
+        f"{c:.2g}" for c in data["compute_us"]
+    ]
+    rows = [
+        [f"{s:.2g}"] + [f"{u:.2f}" for u in row]
+        for s, row in zip(data["stall_us"], data["utilization"])
+    ]
+    print(format_table(headers, rows, "Fig 1(a): closed-loop utilization"))
+
+
+def _print_fig1b() -> None:
+    rows = [
+        [f"{e['qps']:.0f}", e["load"], f"{e['mean_idle_us']:.2f}"]
+        for e in figures.fig1b(simulate=False)
+    ]
+    print(format_table(["QPS", "load", "mean idle (us)"], rows, "Fig 1(b)"))
+
+
+def _print_fig1c(fidelity: Fidelity) -> None:
+    threads = (1, 2, 4, 8, 11, 15)
+    data = figures.fig1c(thread_counts=threads)
+    rows = [
+        [name] + [f"{v:.2f}" for v in vals]
+        for name, vals in data["normalized"].items()
+    ]
+    print(
+        format_table(
+            ["variant"] + [f"{t}t" for t in threads], rows, "Fig 1(c)"
+        )
+    )
+
+
+def _print_fig2a(fidelity: Fidelity) -> None:
+    threads = (1, 2, 4, 8)
+    data = figures.fig2a(thread_counts=threads)
+    rows = [
+        ["OoO"] + [f"{v:.2f}" for v in data["ooo_ipc"]],
+        ["InO"] + [f"{v:.2f}" for v in data["ino_ipc"]],
+    ]
+    print(format_table(["datapath"] + [f"{t}t" for t in threads], rows, "Fig 2(a)"))
+
+
+def _print_fig2b() -> None:
+    data = figures.fig2b()
+    picks = [8, 11, 16, 21, 32]
+    contexts = list(data["contexts"])
+    rows = [
+        [f"p={p}"] + [f"{data['curves'][p][contexts.index(n)]:.3f}" for n in picks]
+        for p in (0.1, 0.5)
+    ]
+    print(format_table(["stall prob"] + [f"n={n}" for n in picks], rows, "Fig 2(b)"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables/figures of the Duplexity paper (HPCA 2019).",
+    )
+    parser.add_argument(
+        "target",
+        help="table1|table2|fig1a|fig1b|fig1c|fig2a|fig2b|fig5a..fig5f|fig6|cell",
+    )
+    parser.add_argument("args", nargs="*", help="for `cell`: DESIGN WORKLOAD LOAD")
+    parser.add_argument("--fidelity", choices=sorted(FIDELITIES), default="fast")
+    parser.add_argument("--workload", help="restrict grid figures to one workload")
+    options = parser.parse_args(argv)
+    fidelity = FIDELITIES[options.fidelity]
+
+    target = options.target.lower()
+    if target == "table1":
+        print(format_table(["component", "configuration"], figures.table1(), "Table I"))
+    elif target == "table2":
+        rows = [
+            [name, f"{area:.1f}", "-" if freq != freq else f"{freq:.2f}"]
+            for name, area, freq in figures.table2()
+        ]
+        print(format_table(["component", "area (mm^2)", "freq (GHz)"], rows, "Table II"))
+    elif target == "fig1a":
+        _print_fig1a()
+    elif target == "fig1b":
+        _print_fig1b()
+    elif target == "fig1c":
+        _print_fig1c(fidelity)
+    elif target == "fig2a":
+        _print_fig2a(fidelity)
+    elif target == "fig2b":
+        _print_fig2b()
+    elif target in GRID_FIGURES:
+        grid = figures.evaluation_grid(
+            fidelity=fidelity, workloads=_workloads(options.workload)
+        )
+        print(GRID_FIGURES[target](grid))
+    elif target == "cell":
+        if len(options.args) != 3:
+            raise SystemExit("usage: repro cell DESIGN WORKLOAD LOAD")
+        design, workload_name, load = options.args
+        (workload,) = _workloads(workload_name)
+        cell = run_cell(design, workload, float(load), fidelity)
+        for field in (
+            "utilization",
+            "master_slowdown",
+            "tail_99_us",
+            "tail_99_vs_baseline",
+            "iso_tail_99_vs_baseline",
+            "performance_density_vs_baseline",
+            "energy_vs_baseline",
+            "batch_stp_vs_baseline",
+            "nic_iops_utilization",
+        ):
+            print(f"{field:36s} {getattr(cell, field):.4f}")
+    else:
+        raise SystemExit(f"unknown target {options.target!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

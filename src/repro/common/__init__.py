@@ -1,0 +1,34 @@
+"""Shared configuration, units, RNG streams and distributions."""
+
+from repro.common import distributions, params, rng, units
+from repro.common.distributions import (
+    Deterministic,
+    Distribution,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Pareto,
+    ScaledDistribution,
+    SumDistribution,
+    Uniform,
+)
+from repro.common.rng import SeedSequenceFactory, derive_seed, stream
+
+__all__ = [
+    "Deterministic",
+    "Distribution",
+    "Exponential",
+    "LogNormal",
+    "Mixture",
+    "Pareto",
+    "ScaledDistribution",
+    "SeedSequenceFactory",
+    "SumDistribution",
+    "Uniform",
+    "derive_seed",
+    "distributions",
+    "params",
+    "rng",
+    "stream",
+    "units",
+]

@@ -1,0 +1,272 @@
+"""Microarchitecture configuration dataclasses (paper Table I / Table II).
+
+These are the single source of truth for structure sizes; the pipeline
+models, the power models, and the benchmark that regenerates Table I all
+read from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.units import KB, MB, ghz
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    """Branch predictor sizing.
+
+    ``kind`` is ``"tournament"`` (bimodal + gshare + selector) or
+    ``"gshare"`` (gshare only).  Entry counts are per-table.
+    """
+
+    kind: str = "tournament"
+    bimodal_entries: int = 16 * 1024
+    gshare_entries: int = 16 * 1024
+    selector_entries: int = 16 * 1024
+    btb_entries: int = 2 * 1024
+    ras_entries: int = 32
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("tournament", "gshare"):
+            raise ValueError(f"unknown predictor kind {self.kind!r}")
+
+
+#: The reduced-size predictor provisioned for filler-threads in the
+#: master-core (Table I: "tournament(16k)/gshare(8k)").
+FILLER_PREDICTOR = BranchPredictorConfig(
+    kind="gshare", gshare_entries=8 * 1024, btb_entries=2 * 1024, ras_entries=32
+)
+
+LENDER_PREDICTOR = BranchPredictorConfig(
+    kind="gshare", gshare_entries=8 * 1024, btb_entries=2 * 1024, ras_entries=32
+)
+
+MASTER_PREDICTOR = BranchPredictorConfig(kind="tournament")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """A set-associative cache."""
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int = 64
+    hit_latency_cycles: int = 2
+    write_through: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache dimensions must be positive")
+        lines = self.size_bytes // self.line_bytes
+        if lines % self.associativity:
+            raise ValueError(
+                f"cache of {lines} lines not divisible into {self.associativity} ways"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """A fully-associative TLB."""
+
+    entries: int = 64
+    page_bytes: int = 4096
+    miss_latency_cycles: int = 30  # page-table walk
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError("TLB must have at least one entry")
+
+
+# Table I cache hierarchy.
+L1I_CONFIG = CacheConfig(size_bytes=64 * KB, associativity=2, hit_latency_cycles=2)
+L1D_CONFIG = CacheConfig(size_bytes=64 * KB, associativity=2, hit_latency_cycles=3)
+LLC_CONFIG_PER_CORE = CacheConfig(
+    size_bytes=1 * MB, associativity=8, hit_latency_cycles=20
+)
+L0I_CONFIG = CacheConfig(
+    size_bytes=2 * KB, associativity=2, hit_latency_cycles=1, write_through=True
+)
+L0D_CONFIG = CacheConfig(
+    size_bytes=4 * KB, associativity=2, hit_latency_cycles=1, write_through=True
+)
+
+#: DRAM access latency (Table I: 50 ns).
+MEMORY_LATENCY_NS = 50.0
+
+#: Extra latency for a filler-thread on the master-core to reach the
+#: lender-core's L1 caches (Section III-B3: "~3 cycles higher").
+REMOTE_L1_EXTRA_CYCLES = 3
+
+
+@dataclass(frozen=True)
+class OoOCoreConfig:
+    """Baseline 4-wide OoO core (Table I)."""
+
+    width: int = 4
+    rob_entries: int = 144
+    physical_registers: int = 144
+    load_queue_entries: int = 48
+    store_queue_entries: int = 32
+    issue_queue_entries: int = 60
+    predictor: BranchPredictorConfig = MASTER_PREDICTOR
+    itlb: TLBConfig = TLBConfig()
+    dtlb: TLBConfig = TLBConfig()
+    l1i: CacheConfig = L1I_CONFIG
+    l1d: CacheConfig = L1D_CONFIG
+    frequency_hz: float = ghz(3.4)
+    mispredict_penalty_cycles: int = 14
+
+
+@dataclass(frozen=True)
+class SMTCoreConfig:
+    """2-way SMT core: baseline datapath + second hardware context.
+
+    ``fetch_policy`` is ``"icount"`` (design SMT) or ``"priority"``
+    (design SMT+, which also caps the co-runner's storage-resource share).
+    """
+
+    base: OoOCoreConfig = OoOCoreConfig(frequency_hz=ghz(3.35))
+    threads: int = 2
+    fetch_policy: str = "icount"
+    corunner_storage_cap: float = 1.0  # SMT+: 0.30 (Section V, [119])
+
+    def __post_init__(self) -> None:
+        if self.fetch_policy not in ("icount", "priority"):
+            raise ValueError(f"unknown fetch policy {self.fetch_policy!r}")
+        if not 0 < self.corunner_storage_cap <= 1:
+            raise ValueError("corunner_storage_cap must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class LenderCoreConfig:
+    """Lender-core: 8-way InO Hierarchical SMT (Table I)."""
+
+    physical_contexts: int = 8
+    virtual_contexts: int = 32
+    issue_width: int = 4
+    arf_entries: int = 128
+    predictor: BranchPredictorConfig = LENDER_PREDICTOR
+    itlb: TLBConfig = TLBConfig()
+    dtlb: TLBConfig = TLBConfig()
+    l1i: CacheConfig = L1I_CONFIG
+    l1d: CacheConfig = L1D_CONFIG
+    frequency_hz: float = ghz(3.4)
+    #: Cycles to swap a stalled physical context with a ready virtual one
+    #: (architectural-register dump + load through the dedicated region).
+    context_swap_cycles: int = 40
+    #: Round-robin scheduling quantum for virtual contexts (Section IV).
+    quantum_us: float = 100.0
+
+
+@dataclass(frozen=True)
+class MasterCoreConfig:
+    """Master-core: morphs between 1-thread OoO and 8-thread InO HSMT.
+
+    Table I: same OoO microarchitecture as baseline; separate TLBs for the
+    two modes; reduced gshare(8k) predictor for filler mode; 2 KB / 4 KB
+    write-through L0 I/D caches used as bandwidth filters toward the
+    lender-core's L1s.
+    """
+
+    ooo: OoOCoreConfig = OoOCoreConfig(frequency_hz=ghz(3.25))
+    filler_contexts: int = 8
+    filler_predictor: BranchPredictorConfig = FILLER_PREDICTOR
+    filler_itlb: TLBConfig = TLBConfig()
+    filler_dtlb: TLBConfig = TLBConfig()
+    l0i: CacheConfig = L0I_CONFIG
+    l0d: CacheConfig = L0D_CONFIG
+    #: Replicate L1 caches for filler threads instead of borrowing the
+    #: lender's (the naive Fig 4(a) design; +38% area).
+    replicate_caches: bool = False
+    #: Cycles to drain/flush and switch OoO -> InO HSMT mode.
+    morph_cycles: int = 100
+    #: Cycles to squash fillers, spill their registers through the L0 and
+    #: resume the master-thread (Section III-B4: "roughly a 50-cycle delay").
+    fast_restart_cycles: int = 50
+    frequency_hz: float = ghz(3.25)
+
+
+@dataclass(frozen=True)
+class MorphCoreConfig:
+    """MorphCore as proposed in [49]: morphs to 8-thread InO SMT.
+
+    Unlike a master-core it (a) evicts the master's architectural registers
+    via microcode on a mode switch, so restart is slow, (b) has no
+    segregated filler state, so fillers thrash the master's caches, TLB and
+    predictor, and (c) in the plain variant has only its 8 hardware threads
+    (no HSMT backlog).
+    """
+
+    ooo: OoOCoreConfig = OoOCoreConfig(frequency_hz=ghz(3.3))
+    filler_contexts: int = 8
+    hsmt: bool = False  # MorphCore+ sets True and pairs with a lender-core
+    morph_cycles: int = 100
+    #: Microcode register swap on master resume: spill the 8 filler
+    #: threads' 256 architectural registers to the dedicated memory
+    #: region and reload the master's own 32 (which MorphCore evicted on
+    #: morph, unlike a master-core) — all through a cache hierarchy the
+    #: fillers just polluted.  Contrast Duplexity's ~50-cycle L0-backed
+    #: spill (Section III-B4).
+    slow_restart_cycles: int = 1200
+    frequency_hz: float = ghz(3.3)
+
+
+@dataclass(frozen=True)
+class NICConfig:
+    """FDR 4x InfiniBand NIC (Table I / Section VIII)."""
+
+    data_rate_gbps: float = 56.0
+    max_iops: float = 90e6
+
+
+@dataclass(frozen=True)
+class DyadConfig:
+    """A Duplexity dyad: master-core + lender-core sharing virtual contexts."""
+
+    master: MasterCoreConfig = MasterCoreConfig()
+    lender: LenderCoreConfig = LenderCoreConfig()
+    nic: NICConfig = NICConfig()
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """A Duplexity server chip: several dyads around a shared LLC (Fig 4c)."""
+
+    dyads: int = 8
+    dyad: DyadConfig = field(default_factory=DyadConfig)
+    llc_per_core: CacheConfig = LLC_CONFIG_PER_CORE
+
+
+# ----------------------------------------------------------------------
+# Table II: area (mm^2, 32 nm) and clock frequency per design.  The power
+# model in repro.power is calibrated to reproduce these; they are recorded
+# here as the published reference values.
+# ----------------------------------------------------------------------
+
+TABLE_II_AREA_MM2 = {
+    "baseline": 12.1,
+    "smt": 12.2,
+    "morphcore": 12.4,
+    "master_core": 12.7,
+    "master_core_replication": 16.7,
+    "lender_core": 5.5,
+    "llc_per_mb": 3.9,
+}
+
+TABLE_II_FREQUENCY_GHZ = {
+    "baseline": 3.4,
+    "smt": 3.35,
+    "morphcore": 3.3,
+    "master_core": 3.25,
+    "master_core_replication": 3.25,
+    "lender_core": 3.4,
+}

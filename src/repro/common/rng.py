@@ -1,0 +1,49 @@
+"""Deterministic random-number stream management.
+
+Every stochastic component of the reproduction draws from an explicitly
+seeded stream so that experiments are bit-for-bit reproducible.  Streams are
+derived from a root seed plus a string *label*, so two components with
+different labels never share a stream even when constructed in a different
+order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(root_seed: int, label: str) -> int:
+    """Derive a child seed from ``root_seed`` and a stream ``label``.
+
+    Uses SHA-256 so that the derived seeds are uncorrelated even for
+    adjacent root seeds or similar labels.
+    """
+    digest = hashlib.sha256(f"{root_seed}:{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def stream(root_seed: int, label: str) -> np.random.Generator:
+    """Return an independent numpy Generator for ``label``."""
+    return np.random.default_rng(derive_seed(root_seed, label))
+
+
+class SeedSequenceFactory:
+    """Hands out independent, reproducible RNG streams by label.
+
+    Repeated requests for the same label return *fresh* generators seeded
+    identically, so a component can be re-created mid-experiment and replay
+    the exact same randomness.
+    """
+
+    def __init__(self, root_seed: int = 0):
+        self.root_seed = int(root_seed)
+
+    def get(self, label: str) -> np.random.Generator:
+        """Return a fresh generator for ``label``."""
+        return stream(self.root_seed, label)
+
+    def child(self, label: str) -> "SeedSequenceFactory":
+        """Return a factory whose streams are all namespaced under ``label``."""
+        return SeedSequenceFactory(derive_seed(self.root_seed, label))

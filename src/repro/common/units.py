@@ -1,0 +1,69 @@
+"""Time and size unit helpers.
+
+The simulators internally count in *cycles* (core models) or *seconds*
+(queueing models).  These helpers keep conversions explicit so a caller can
+never confuse a microsecond with a cycle count.
+"""
+
+from __future__ import annotations
+
+NS_PER_S = 1e9
+US_PER_S = 1e6
+MS_PER_S = 1e3
+
+KB = 1024
+MB = 1024 * KB
+
+
+def seconds_from_us(us: float) -> float:
+    """Convert microseconds to seconds."""
+    return us / US_PER_S
+
+
+def us_from_seconds(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds * US_PER_S
+
+
+def seconds_from_ns(ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return ns / NS_PER_S
+
+
+def ns_from_seconds(seconds: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return seconds * NS_PER_S
+
+
+def cycles_from_seconds(seconds: float, frequency_hz: float) -> float:
+    """Number of clock cycles elapsed in ``seconds`` at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    return seconds * frequency_hz
+
+
+def seconds_from_cycles(cycles: float, frequency_hz: float) -> float:
+    """Wall-clock duration of ``cycles`` clock cycles at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    return cycles / frequency_hz
+
+
+def cycles_from_us(us: float, frequency_hz: float) -> float:
+    """Number of clock cycles in ``us`` microseconds at ``frequency_hz``."""
+    return cycles_from_seconds(seconds_from_us(us), frequency_hz)
+
+
+def us_from_cycles(cycles: float, frequency_hz: float) -> float:
+    """Microseconds elapsed over ``cycles`` clock cycles at ``frequency_hz``."""
+    return us_from_seconds(seconds_from_cycles(cycles, frequency_hz))
+
+
+def cycles_from_ns(ns: float, frequency_hz: float) -> float:
+    """Number of clock cycles in ``ns`` nanoseconds at ``frequency_hz``."""
+    return cycles_from_seconds(seconds_from_ns(ns), frequency_hz)
+
+
+def ghz(value: float) -> float:
+    """Frequency in Hz from GHz, e.g. ``ghz(3.4) == 3.4e9``."""
+    return value * 1e9

@@ -1,0 +1,33 @@
+"""Duplexity: master-cores, lender-cores, dyads (the paper's contribution)."""
+
+from repro.core.chip import ChipReport, DuplexityChip, DyadAssignment
+from repro.core.designs import DESIGN_NAMES, Design, all_designs, get_design
+from repro.core.dyad import DyadResult, DyadSimulator
+from repro.core.master import MasterCoreComplex
+from repro.core.scheduling import (
+    BatchJob,
+    ClusterScheduler,
+    Service,
+    contexts_to_provision,
+)
+from repro.core.server import Dyad, DyadSimulationResult, dyad_llc_config
+
+__all__ = [
+    "BatchJob",
+    "ChipReport",
+    "ClusterScheduler",
+    "DESIGN_NAMES",
+    "Design",
+    "Dyad",
+    "DyadResult",
+    "DyadSimulationResult",
+    "DyadAssignment",
+    "DyadSimulator",
+    "DuplexityChip",
+    "MasterCoreComplex",
+    "Service",
+    "all_designs",
+    "contexts_to_provision",
+    "dyad_llc_config",
+    "get_design",
+]

@@ -1,0 +1,178 @@
+"""Chip-level composition: a Duplexity server processor (Fig 4c).
+
+A Duplexity chip arranges several dyads around a shared LLC and one or
+more NIC ports.  Simulating every dyad cycle-by-cycle would be redundant
+(dyads are independent up to LLC/NIC sharing), so the chip model composes
+per-dyad measurements: each dyad runs one microservice at its own load,
+and the chip reports aggregate throughput, power, and NIC-port
+requirements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.params import NICConfig
+from repro.core.designs import Design, get_design
+from repro.harness import metrics
+from repro.harness.fidelity import FAST, Fidelity
+from repro.harness.measure import CoreMeasurement, measure
+from repro.net.nic import nic_utilization
+from repro.power.mcpat import (
+    core_power_model,
+    design_area_mm2,
+    lender_power_model,
+    llc_area_mm2,
+    llc_static_w,
+)
+from repro.workloads.microservices import Microservice
+
+
+@dataclass(frozen=True)
+class DyadAssignment:
+    """One dyad's workload: a microservice at an offered load."""
+
+    workload: Microservice
+    load: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.load < 1:
+            raise ValueError(f"load must be in (0, 1), got {self.load!r}")
+
+
+@dataclass(frozen=True)
+class DyadReport:
+    """Composed metrics for one dyad on the chip."""
+
+    workload_name: str
+    load: float
+    utilization: float
+    rates: metrics.RateBreakdown
+    nic_ops_per_second: float
+
+
+@dataclass(frozen=True)
+class ChipReport:
+    """Aggregate metrics for the whole chip."""
+
+    design_name: str
+    dyads: tuple[DyadReport, ...]
+    area_mm2: float
+    power_w: float
+    nic_ports_needed: int
+
+    @property
+    def total_ips(self) -> float:
+        return sum(d.rates.total_ips for d in self.dyads)
+
+    @property
+    def mean_utilization(self) -> float:
+        return sum(d.utilization for d in self.dyads) / len(self.dyads)
+
+    @property
+    def performance_density(self) -> float:
+        return self.total_ips / self.area_mm2
+
+    @property
+    def energy_per_instruction_nj(self) -> float:
+        if self.total_ips <= 0:
+            return float("inf")
+        return self.power_w / self.total_ips * 1e9
+
+
+class DuplexityChip:
+    """A server chip of ``num_dyads`` dyads sharing an LLC and NIC ports."""
+
+    def __init__(
+        self,
+        design: Design | str = "duplexity",
+        num_dyads: int = 8,
+        nic: NICConfig | None = None,
+        fidelity: Fidelity = FAST,
+    ):
+        if num_dyads <= 0:
+            raise ValueError("need at least one dyad")
+        if isinstance(design, str):
+            design = get_design(design)
+        self.design = design
+        self.num_dyads = num_dyads
+        self.nic = nic or NICConfig()
+        self.fidelity = fidelity
+        self.assignments: list[DyadAssignment] = []
+
+    def assign(self, workload: Microservice, load: float) -> None:
+        """Place one microservice on the next free dyad."""
+        if len(self.assignments) >= self.num_dyads:
+            raise RuntimeError(f"all {self.num_dyads} dyads are assigned")
+        self.assignments.append(DyadAssignment(workload=workload, load=load))
+
+    @property
+    def area_mm2(self) -> float:
+        """Cores + lender-cores + 2 MB of LLC per dyad (Table I/II)."""
+        per_dyad = (
+            design_area_mm2(self.design.name)
+            + design_area_mm2("lender_core")
+            + llc_area_mm2(metrics.LLC_MB_PER_PAIRING)
+        )
+        return per_dyad * self.num_dyads
+
+    def report(self) -> ChipReport:
+        """Compose per-dyad measurements into chip-level metrics."""
+        if not self.assignments:
+            raise RuntimeError("assign at least one workload before reporting")
+        core_model = core_power_model(self.design.name)
+        lender_model = lender_power_model()
+        dyad_reports: list[DyadReport] = []
+        power = 0.0
+        total_ops = 0.0
+        base_cache: dict[str, CoreMeasurement] = {}
+        for assignment in self.assignments:
+            m = measure(self.design, assignment.workload, self.fidelity)
+            base = base_cache.get(assignment.workload.name)
+            if base is None:
+                base = measure("baseline", assignment.workload, self.fidelity)
+                base_cache[assignment.workload.name] = base
+            service = metrics.service_model_for(
+                self.design, m, base, assignment.workload
+            )
+            inflation = (
+                service.mean_service_time()
+                / assignment.workload.service_distribution().mean()
+            )
+            utilization = metrics.utilization_at_load(
+                m, assignment.workload, assignment.load, inflation
+            )
+            rates = metrics.rate_breakdown(
+                m, assignment.workload, assignment.load, inflation
+            )
+            ops = metrics.dyad_network_ops_per_second(
+                m, assignment.workload, assignment.load, inflation
+            )
+            dyad_reports.append(
+                DyadReport(
+                    workload_name=assignment.workload.name,
+                    load=assignment.load,
+                    utilization=utilization,
+                    rates=rates,
+                    nic_ops_per_second=ops,
+                )
+            )
+            power += core_model.power_w(
+                ooo_ips=rates.master_ips, inorder_ips=rates.filler_ips
+            )
+            power += lender_model.power_w(ooo_ips=0.0, inorder_ips=rates.lender_ips)
+            total_ops += ops
+        # Idle (unassigned) dyads still leak static power.
+        idle = self.num_dyads - len(dyad_reports)
+        power += idle * (core_model.static_w + lender_model.static_w)
+        power += llc_static_w(metrics.LLC_MB_PER_PAIRING * self.num_dyads)
+
+        port_util = nic_utilization(total_ops, self.nic).binding_utilization
+        ports = max(1, int(port_util) + (1 if port_util % 1 else 0))
+        return ChipReport(
+            design_name=self.design.name,
+            dyads=tuple(dyad_reports),
+            area_mm2=self.area_mm2,
+            power_w=power,
+            nic_ports_needed=ports,
+        )

@@ -1,0 +1,211 @@
+"""The server-design points compared in the evaluation (Section V).
+
+Each design couples a latency-critical master-thread with (zero or more)
+batch/filler threads under a different microarchitectural policy:
+
+==========================  =================================================
+``baseline``                4-wide OoO, microservice only (design 1)
+``smt``                     + one batch SMT thread, ICOUNT fetch (design 2)
+``smt_plus``                SMT with master prioritization and a 30% storage
+                            cap for the co-runner (design 3)
+``morphcore``               MorphCore [49]: morphs to 8 InO filler threads on
+                            a stall; fillers share ALL master state; slow
+                            microcode register swap on restart (design 4)
+``morphcore_plus``          MorphCore + HSMT virtual-context pool borrowed
+                            from a paired lender-core (design 5)
+``duplexity_replication``   Master-core whose filler mode uses fully
+                            replicated stateful structures, incl. L1 caches
+                            (design 6, Fig 4a)
+``duplexity``               The final design: segregated filler TLB/
+                            predictor, L0 filter caches, filler path into the
+                            lender-core's L1s, 50-cycle fast restart
+                            (design 7, Fig 4b)
+==========================  =================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.params import (
+    TABLE_II_AREA_MM2,
+    TABLE_II_FREQUENCY_GHZ,
+    MasterCoreConfig,
+    MorphCoreConfig,
+    OoOCoreConfig,
+    SMTCoreConfig,
+)
+from repro.common.units import ghz
+
+#: Canonical evaluation order (matches the paper's figure legends).
+DESIGN_NAMES = (
+    "baseline",
+    "smt",
+    "smt_plus",
+    "morphcore",
+    "morphcore_plus",
+    "duplexity_replication",
+    "duplexity",
+)
+
+
+@dataclass(frozen=True)
+class Design:
+    """One evaluated server design point."""
+
+    name: str
+    #: Does the core morph into a multithreaded filler mode on stalls?
+    morphs: bool
+    #: Does it draw fillers from an HSMT virtual-context pool?
+    hsmt: bool
+    #: Are the filler threads' stateful structures segregated from the
+    #: master-thread's (predictor/TLB), and which caches do fillers use?
+    filler_cache_policy: str  # "none" | "master" | "replicated" | "lender"
+    #: Cycles to resume the master-thread after evicting fillers.
+    restart_cycles: int
+    #: Cycles to morph into filler mode after a stall begins.
+    morph_cycles: int
+    #: Number of hardware filler contexts when morphed (physical).
+    filler_contexts: int
+    #: SMT co-run (continuous co-location, no morphing).
+    smt_corunners: int
+    smt_fetch_policy: str  # "icount" | "priority" | "n/a"
+    area_mm2: float
+    frequency_ghz: float
+
+    @property
+    def frequency_hz(self) -> float:
+        return ghz(self.frequency_ghz)
+
+    @property
+    def is_smt(self) -> bool:
+        return self.smt_corunners > 0
+
+    def ooo_config(self) -> OoOCoreConfig:
+        """The master-thread's OoO configuration at this design's clock."""
+        return OoOCoreConfig(frequency_hz=self.frequency_hz)
+
+    def smt_config(self) -> SMTCoreConfig:
+        if not self.is_smt:
+            raise ValueError(f"design {self.name!r} is not an SMT design")
+        cap = 0.30 if self.smt_fetch_policy == "priority" else 1.0
+        return SMTCoreConfig(
+            base=OoOCoreConfig(frequency_hz=self.frequency_hz),
+            threads=1 + self.smt_corunners,
+            fetch_policy=self.smt_fetch_policy,
+            corunner_storage_cap=cap,
+        )
+
+
+_MORPH_DEFAULTS = MorphCoreConfig()
+_MASTER_DEFAULTS = MasterCoreConfig()
+
+
+def get_design(name: str) -> Design:
+    """Look up a design point by its canonical name."""
+    try:
+        return _DESIGNS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown design {name!r}; expected one of {DESIGN_NAMES}"
+        ) from None
+
+
+def all_designs() -> list[Design]:
+    """All seven evaluated designs, in canonical order."""
+    return [_DESIGNS[name] for name in DESIGN_NAMES]
+
+
+_DESIGNS = {
+    "baseline": Design(
+        name="baseline",
+        morphs=False,
+        hsmt=False,
+        filler_cache_policy="none",
+        restart_cycles=0,
+        morph_cycles=0,
+        filler_contexts=0,
+        smt_corunners=0,
+        smt_fetch_policy="n/a",
+        area_mm2=TABLE_II_AREA_MM2["baseline"],
+        frequency_ghz=TABLE_II_FREQUENCY_GHZ["baseline"],
+    ),
+    "smt": Design(
+        name="smt",
+        morphs=False,
+        hsmt=False,
+        filler_cache_policy="master",
+        restart_cycles=0,
+        morph_cycles=0,
+        filler_contexts=0,
+        smt_corunners=1,
+        smt_fetch_policy="icount",
+        area_mm2=TABLE_II_AREA_MM2["smt"],
+        frequency_ghz=TABLE_II_FREQUENCY_GHZ["smt"],
+    ),
+    "smt_plus": Design(
+        name="smt_plus",
+        morphs=False,
+        hsmt=False,
+        filler_cache_policy="master",
+        restart_cycles=0,
+        morph_cycles=0,
+        filler_contexts=0,
+        smt_corunners=1,
+        smt_fetch_policy="priority",
+        area_mm2=TABLE_II_AREA_MM2["smt"],
+        frequency_ghz=TABLE_II_FREQUENCY_GHZ["smt"],
+    ),
+    "morphcore": Design(
+        name="morphcore",
+        morphs=True,
+        hsmt=False,
+        filler_cache_policy="master",
+        restart_cycles=_MORPH_DEFAULTS.slow_restart_cycles,
+        morph_cycles=_MORPH_DEFAULTS.morph_cycles,
+        filler_contexts=_MORPH_DEFAULTS.filler_contexts,
+        smt_corunners=0,
+        smt_fetch_policy="n/a",
+        area_mm2=TABLE_II_AREA_MM2["morphcore"],
+        frequency_ghz=TABLE_II_FREQUENCY_GHZ["morphcore"],
+    ),
+    "morphcore_plus": Design(
+        name="morphcore_plus",
+        morphs=True,
+        hsmt=True,
+        filler_cache_policy="master",
+        restart_cycles=_MORPH_DEFAULTS.slow_restart_cycles,
+        morph_cycles=_MORPH_DEFAULTS.morph_cycles,
+        filler_contexts=_MORPH_DEFAULTS.filler_contexts,
+        smt_corunners=0,
+        smt_fetch_policy="n/a",
+        area_mm2=TABLE_II_AREA_MM2["morphcore"],
+        frequency_ghz=TABLE_II_FREQUENCY_GHZ["morphcore"],
+    ),
+    "duplexity_replication": Design(
+        name="duplexity_replication",
+        morphs=True,
+        hsmt=True,
+        filler_cache_policy="replicated",
+        restart_cycles=_MASTER_DEFAULTS.fast_restart_cycles,
+        morph_cycles=_MASTER_DEFAULTS.morph_cycles,
+        filler_contexts=_MASTER_DEFAULTS.filler_contexts,
+        smt_corunners=0,
+        smt_fetch_policy="n/a",
+        area_mm2=TABLE_II_AREA_MM2["master_core_replication"],
+        frequency_ghz=TABLE_II_FREQUENCY_GHZ["master_core_replication"],
+    ),
+    "duplexity": Design(
+        name="duplexity",
+        morphs=True,
+        hsmt=True,
+        filler_cache_policy="lender",
+        restart_cycles=_MASTER_DEFAULTS.fast_restart_cycles,
+        morph_cycles=_MASTER_DEFAULTS.morph_cycles,
+        filler_contexts=_MASTER_DEFAULTS.filler_contexts,
+        smt_corunners=0,
+        smt_fetch_policy="n/a",
+        area_mm2=TABLE_II_AREA_MM2["master_core"],
+        frequency_ghz=TABLE_II_FREQUENCY_GHZ["master_core"],
+    ),
+}

@@ -1,0 +1,209 @@
+"""Dyad co-simulation: master-thread execution with filler-thread windows.
+
+This orchestrates the two engines of a :class:`~repro.core.master.
+MasterCoreComplex` over a shared timeline (Section III):
+
+1. the master-thread runs in single-threaded OoO mode until it initiates a
+   microsecond-scale REMOTE access;
+2. the core morphs (``morph_cycles``), then filler threads execute in
+   in-order HSMT mode for the remainder of the stall window — optionally
+   against the lender-core's caches;
+3. when the remote access returns, fillers are squashed, the master pays
+   the design's restart penalty (50 cycles for Duplexity's fast eviction,
+   a microcode register reload for MorphCore) and resumes.
+
+The result records the cycle breakdown needed by every Section VI/VII
+metric: master/filler instruction counts, stall and overhead cycles, and
+the utilization of the master-core's retire bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.designs import Design
+from repro.core.master import MasterCoreComplex
+
+#: Stall windows shorter than this many cycles are not worth morphing for
+#: (the hardware recognizes microsecond-scale stalls specifically).
+MIN_MORPH_WINDOW = 64
+
+
+@dataclass
+class DyadResult:
+    """Cycle/instruction breakdown of one dyad co-simulation."""
+
+    design_name: str
+    total_cycles: int
+    master_instructions: int
+    filler_instructions: int
+    stall_cycles: int
+    morph_overhead_cycles: int
+    restart_overhead_cycles: int
+    stall_windows: int
+    morphed_windows: int
+    width: int = 4
+    #: Per-window filler instruction counts (for overhead analysis).
+    window_filler_instructions: list[int] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        """Retired instructions over peak retire bandwidth (Fig 5a)."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return (self.master_instructions + self.filler_instructions) / (
+            self.width * self.total_cycles
+        )
+
+    @property
+    def master_only_utilization(self) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.master_instructions / (self.width * self.total_cycles)
+
+    @property
+    def master_ipc(self) -> float:
+        """Master instructions per total cycle (stalls included)."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.master_instructions / self.total_cycles
+
+    @property
+    def master_compute_cycles(self) -> int:
+        """Cycles the master-thread was actually executing."""
+        return max(
+            1,
+            self.total_cycles - self.stall_cycles - self.restart_overhead_cycles,
+        )
+
+    @property
+    def master_compute_ipc(self) -> float:
+        """Master IPC over its compute (non-stalled) cycles — the quantity
+        whose ratio to the baseline gives the service-time slowdown."""
+        return self.master_instructions / self.master_compute_cycles
+
+    @property
+    def filler_ipc_in_windows(self) -> float:
+        """Filler IPC over the stall windows that were morphed into."""
+        window_cycles = self.stall_cycles - self.morph_overhead_cycles
+        if window_cycles <= 0:
+            return 0.0
+        return self.filler_instructions / window_cycles
+
+    @property
+    def stall_fraction(self) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.stall_cycles / self.total_cycles
+
+
+class DyadSimulator:
+    """Runs the master/filler co-simulation for morphing designs (and the
+    trivial master-only loop for the baseline)."""
+
+    def __init__(self, complex_: MasterCoreComplex):
+        self.complex = complex_
+        self.design: Design = complex_.design
+
+    def run(self, max_master_instructions: int | None = None) -> DyadResult:
+        """Run the master trace to completion (or an instruction budget),
+        filling stall windows per the design's policy."""
+        master = self.complex.master_thread
+        if master is None:
+            raise RuntimeError("attach a master trace before running the dyad")
+        if self.design.morphs and not self.complex.filler_threads:
+            raise RuntimeError("morphing design has no filler contexts")
+
+        engine = self.complex.master_engine
+        filler_engine = self.complex.filler_engine
+        start_master_instr = master.instructions
+        start_filler_instr = (
+            filler_engine.instructions if filler_engine is not None else 0
+        )
+        start_cycle = engine.now
+
+        stall_cycles = 0
+        morph_overhead = 0
+        restart_overhead = 0
+        stall_windows = 0
+        morphed_windows = 0
+        window_instr: list[int] = []
+
+        while not master.done:
+            if max_master_instructions is not None:
+                budget = max_master_instructions - (
+                    master.instructions - start_master_instr
+                )
+                if budget <= 0:
+                    break
+            else:
+                budget = None
+            engine.run(stop_after_remote=True, max_instructions=budget)
+            saw_remote = master.last_remote_complete > start_cycle
+            if saw_remote:
+                # The master just initiated a blocking REMOTE access.
+                t_issue = master.last_remote_issue
+                t_complete = master.last_remote_complete
+                window = t_complete - t_issue
+                stall_windows += 1
+                stall_cycles += window
+                # Guard against re-processing the same remote next time.
+                master.last_remote_complete = start_cycle
+
+                if (
+                    self.design.morphs
+                    and filler_engine is not None
+                    and window > self.design.morph_cycles + MIN_MORPH_WINDOW
+                ):
+                    morphed_windows += 1
+                    w_start = t_issue + self.design.morph_cycles
+                    morph_overhead += self.design.morph_cycles
+                    before = filler_engine.instructions
+                    filler_engine.fast_forward(w_start)
+                    filler_engine.run(until_cycle=t_complete)
+                    window_instr.append(filler_engine.instructions - before)
+                    # Fast (or slow) filler eviction + master restart.
+                    master.next_fetch = max(
+                        master.next_fetch, t_complete + self.design.restart_cycles
+                    )
+                    restart_overhead += self.design.restart_cycles
+            if master.done:
+                break
+            if not saw_remote and budget is not None and (
+                master.instructions - start_master_instr >= max_master_instructions
+            ):
+                break
+
+        total_cycles = engine.now - start_cycle
+        filler_instr = (
+            filler_engine.instructions - start_filler_instr
+            if filler_engine is not None
+            else 0
+        )
+        return DyadResult(
+            design_name=self.design.name,
+            total_cycles=total_cycles,
+            master_instructions=master.instructions - start_master_instr,
+            filler_instructions=filler_instr,
+            stall_cycles=stall_cycles,
+            morph_overhead_cycles=morph_overhead,
+            restart_overhead_cycles=restart_overhead,
+            stall_windows=stall_windows,
+            morphed_windows=morphed_windows,
+            width=engine.width,
+            window_filler_instructions=window_instr,
+        )
+
+    def run_filler_only(self, cycles: int) -> float:
+        """Run only the filler engine for ``cycles`` and return its IPC —
+        the fill rate available during *idle* periods between requests."""
+        filler_engine = self.complex.filler_engine
+        if filler_engine is None:
+            return 0.0
+        start = filler_engine.now
+        # Void any pre-window thread frontiers so no instruction is
+        # fetched before `start` (which would overstate the fill rate).
+        filler_engine.fast_forward(start)
+        before = filler_engine.instructions
+        filler_engine.run(until_cycle=start + cycles)
+        return (filler_engine.instructions - before) / cycles

@@ -1,0 +1,250 @@
+"""The master-core complex: morphable OoO core plus filler-mode machinery.
+
+A :class:`MasterCoreComplex` builds, for a given design point, everything
+that lives on the master-core side of a dyad:
+
+* the master-thread's OoO engine with its private L1s (shared LLC),
+* the filler-mode engine (in-order, 8 physical contexts) wired to the
+  design's filler cache policy:
+
+  - ``master``:     fillers share the master's L1s, TLBs and predictor
+                    (MorphCore/MorphCore+ — they thrash master state);
+  - ``replicated``: fillers get their own full-size L1s, TLBs and
+                    predictor (the naive Fig 4a design);
+  - ``lender``:     fillers go through 2 KB/4 KB write-through L0 filter
+                    caches into the *lender-core's* L1s (+3 cycles), with
+                    a segregated gshare predictor and TLBs (Duplexity).
+
+The dyad-level co-simulation that alternates the two engines lives in
+:mod:`repro.core.dyad`.
+"""
+
+from __future__ import annotations
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.predictors import make_predictor
+from repro.caches.cache import SetAssociativeCache
+from repro.caches.hierarchy import CacheLevel, MemoryHierarchy, link_inclusive
+from repro.caches.tlb import TLB
+from repro.common.params import (
+    LLC_CONFIG_PER_CORE,
+    REMOTE_L1_EXTRA_CYCLES,
+    LenderCoreConfig,
+    MasterCoreConfig,
+    OoOCoreConfig,
+)
+from repro.common.units import cycles_from_us
+from repro.core.designs import Design
+from repro.uarch.cores import CacheStack, build_cache_stack, memory_cycles
+from repro.uarch.engine import CorePorts, ThreadState, TimingEngine
+from repro.uarch.hsmt import HSMTScheduler
+from repro.uarch.isa import Trace
+
+#: In-order scoreboard depth per filler context.
+FILLER_WINDOW = 32
+
+
+class MasterCoreComplex:
+    """Master-core structures for one design point.
+
+    ``llc`` may be shared with a lender-core's stack (the dyad shares its
+    LLC slice); ``lender_stack`` must be provided when the design's filler
+    cache policy is ``"lender"``.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        *,
+        config: MasterCoreConfig | None = None,
+        llc: SetAssociativeCache | None = None,
+        lender_stack: CacheStack | None = None,
+        name: str = "master",
+    ):
+        if design.is_smt or not design.morphs:
+            if design.name != "baseline":
+                raise ValueError(
+                    f"design {design.name!r} does not use a morphable master-core"
+                )
+        self.design = design
+        self.config = config or MasterCoreConfig(
+            ooo=OoOCoreConfig(frequency_hz=design.frequency_hz),
+            frequency_hz=design.frequency_hz,
+        )
+        self.name = name
+        if llc is None:
+            llc = SetAssociativeCache(LLC_CONFIG_PER_CORE, f"{name}.llc")
+        self.llc = llc
+
+        # -- master-thread side -------------------------------------------
+        self.master_stack = build_cache_stack(self.config.ooo, llc=llc, name=name)
+        self.master_engine = TimingEngine(
+            width=self.config.ooo.width,
+            frequency_hz=self.design.frequency_hz,
+            name=f"{name}.ooo",
+        )
+        self.master_thread: ThreadState | None = None
+
+        # -- filler side -----------------------------------------------------
+        self.filler_engine: TimingEngine | None = None
+        self.filler_scheduler: HSMTScheduler | None = None
+        self.filler_ports: CorePorts | None = None
+        self.l0i: SetAssociativeCache | None = None
+        self.l0d: SetAssociativeCache | None = None
+        self.filler_threads: list[ThreadState] = []
+        if design.morphs:
+            self._build_filler_side(lender_stack)
+
+    # ------------------------------------------------------------------
+
+    def _build_filler_side(self, lender_stack: CacheStack | None) -> None:
+        design = self.design
+        config = self.config
+        mem = memory_cycles(design.frequency_hz)
+        llc_level = CacheLevel(self.llc, LLC_CONFIG_PER_CORE.hit_latency_cycles)
+
+        if design.filler_cache_policy == "master":
+            # MorphCore: fillers reuse every master structure.
+            self.filler_ports = self.master_stack.ports()
+        elif design.filler_cache_policy == "replicated":
+            # Fig 4(a): full private replicas of the stateful structures.
+            l1i = SetAssociativeCache(config.ooo.l1i, f"{self.name}.filler.l1i")
+            l1d = SetAssociativeCache(config.ooo.l1d, f"{self.name}.filler.l1d")
+            self.filler_ports = CorePorts(
+                ihier=MemoryHierarchy(
+                    [CacheLevel(l1i, config.ooo.l1i.hit_latency_cycles), llc_level],
+                    mem,
+                    name=f"{self.name}.filler.ifetch",
+                ),
+                dhier=MemoryHierarchy(
+                    [CacheLevel(l1d, config.ooo.l1d.hit_latency_cycles), llc_level],
+                    mem,
+                    name=f"{self.name}.filler.data",
+                ),
+                itlb=TLB(config.filler_itlb, f"{self.name}.filler.itlb"),
+                dtlb=TLB(config.filler_dtlb, f"{self.name}.filler.dtlb"),
+                predictor=make_predictor(config.filler_predictor),
+                btb=BranchTargetBuffer(config.filler_predictor.btb_entries),
+            )
+        elif design.filler_cache_policy == "lender":
+            if lender_stack is None:
+                raise ValueError(
+                    "Duplexity's filler path needs the paired lender-core's caches"
+                )
+            # L0 filter caches in front of the lender's L1s (+3-cycle hop).
+            self.l0i = SetAssociativeCache(config.l0i, f"{self.name}.l0i")
+            self.l0d = SetAssociativeCache(config.l0d, f"{self.name}.l0d")
+            lender_l1i_level = CacheLevel(
+                lender_stack.l1i, lender_stack.l1i.config.hit_latency_cycles
+            )
+            lender_l1d_level = CacheLevel(
+                lender_stack.l1d, lender_stack.l1d.config.hit_latency_cycles
+            )
+            ihier = MemoryHierarchy(
+                [CacheLevel(self.l0i, config.l0i.hit_latency_cycles),
+                 lender_l1i_level, llc_level],
+                mem,
+                extra_cycles_after={0: REMOTE_L1_EXTRA_CYCLES},
+                name=f"{self.name}.filler.ifetch",
+            )
+            dhier = MemoryHierarchy(
+                [CacheLevel(self.l0d, config.l0d.hit_latency_cycles),
+                 lender_l1d_level, llc_level],
+                mem,
+                extra_cycles_after={0: REMOTE_L1_EXTRA_CYCLES},
+                name=f"{self.name}.filler.data",
+            )
+            # Section III-B3: the lender L1D keeps the L0D inclusive and
+            # forwards invalidations — from *either* access port.
+            link_inclusive(lender_l1d_level, self.l0d)
+            link_inclusive(lender_stack.dhier.levels[0], self.l0d)
+            link_inclusive(lender_l1i_level, self.l0i)
+            link_inclusive(lender_stack.ihier.levels[0], self.l0i)
+            self.filler_ports = CorePorts(
+                ihier=ihier,
+                dhier=dhier,
+                itlb=TLB(config.filler_itlb, f"{self.name}.filler.itlb"),
+                dtlb=TLB(config.filler_dtlb, f"{self.name}.filler.dtlb"),
+                predictor=make_predictor(config.filler_predictor),
+                btb=BranchTargetBuffer(config.filler_predictor.btb_entries),
+            )
+        else:
+            raise ValueError(
+                f"unknown filler cache policy {design.filler_cache_policy!r}"
+            )
+
+        self.filler_engine = TimingEngine(
+            width=config.ooo.width,
+            frequency_hz=design.frequency_hz,
+            name=f"{self.name}.filler",
+        )
+        if design.hsmt:
+            lender_defaults = LenderCoreConfig()
+            quantum = int(
+                cycles_from_us(lender_defaults.quantum_us, design.frequency_hz)
+            )
+            self.filler_scheduler = HSMTScheduler(
+                self.filler_engine,
+                physical_contexts=design.filler_contexts,
+                swap_cycles=lender_defaults.context_swap_cycles,
+                quantum_cycles=quantum,
+            )
+
+    # ------------------------------------------------------------------
+
+    def attach_master_trace(self, trace: Trace) -> ThreadState:
+        """Install the latency-critical master-thread."""
+        if self.master_thread is not None:
+            raise RuntimeError("master trace already attached")
+        self.master_thread = ThreadState(
+            trace,
+            self.master_stack.ports(),
+            kind="ooo",
+            rob_cap=self.config.ooo.rob_entries,
+            lq_cap=self.config.ooo.load_queue_entries,
+            sq_cap=self.config.ooo.store_queue_entries,
+            remote_policy="block",
+            name=f"{self.name}.master",
+        )
+        self.master_engine.add_thread(self.master_thread)
+        return self.master_thread
+
+    def add_filler_trace(self, trace: Trace) -> ThreadState:
+        """Register one filler virtual context (or hardware thread, for
+        non-HSMT MorphCore)."""
+        if self.filler_engine is None or self.filler_ports is None:
+            raise RuntimeError(f"design {self.design.name!r} has no filler mode")
+        if self.design.hsmt:
+            thread = ThreadState(
+                trace,
+                self.filler_ports,
+                kind="inorder",
+                rob_cap=FILLER_WINDOW,
+                loop=True,
+                remote_policy="scheduler",
+                name=f"{self.name}.vc{len(self.filler_threads)}",
+            )
+            assert self.filler_scheduler is not None
+            self.filler_scheduler.add_context(thread)
+        else:
+            if len(self.filler_threads) >= self.design.filler_contexts:
+                raise RuntimeError(
+                    f"MorphCore supports only {self.design.filler_contexts} "
+                    "hardware filler threads"
+                )
+            thread = ThreadState(
+                trace,
+                self.filler_ports,
+                kind="inorder",
+                rob_cap=FILLER_WINDOW,
+                loop=True,
+                remote_policy="block",
+                name=f"{self.name}.f{len(self.filler_threads)}",
+            )
+            self.filler_engine.add_thread(thread)
+        self.filler_threads.append(thread)
+        return thread
+
+    @property
+    def filler_instructions(self) -> int:
+        return self.filler_engine.instructions if self.filler_engine else 0

@@ -1,0 +1,203 @@
+"""OS/cluster-level scheduling for Duplexity servers (Section IV).
+
+The paper leaves virtual-context provisioning to software: "The OS must
+schedule latency-critical threads on master-cores and provision the
+virtual contexts for each dyad ... a dyad appears to software as if it
+supports a variable number of hardware threads."  This module implements
+that layer:
+
+* :func:`contexts_to_provision` — the paper's provisioning rule: 32
+  contexts when both sides stall frequently, 16 when batch threads do not
+  stall, 21 when only batch threads stall (Fig 2b maths);
+* :class:`DyadDescriptor` / :class:`ClusterScheduler` — assign
+  latency-critical services to master-cores and spread batch jobs over
+  dyad context pools, parking unused contexts (HLT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analytic.binomial import contexts_needed
+
+#: Physical contexts per core side (master borrows up to 8; lender has 8).
+PHYSICAL_CONTEXTS = 8
+
+#: Hardware ceiling on the dedicated context-backing memory per dyad.
+MAX_CONTEXTS_PER_DYAD = 32
+
+
+def contexts_to_provision(
+    batch_stall_probability: float,
+    master_stalls: bool,
+    target_ready_probability: float = 0.9,
+) -> int:
+    """Virtual contexts the OS should activate for one dyad.
+
+    Implements Section IV's provisioning discussion:
+
+    * batch threads never stall and the master does -> 16 (8 to fill each
+      core's physical contexts);
+    * only the batch threads stall -> enough to keep the lender's 8
+      physical contexts busy (21 at p = 0.5, per Fig 2b);
+    * both stall -> the full 32-context pool.
+    """
+    if not 0 <= batch_stall_probability <= 1:
+        raise ValueError("stall probability must be in [0, 1]")
+    if batch_stall_probability < 0.05:
+        return 2 * PHYSICAL_CONTEXTS if master_stalls else PHYSICAL_CONTEXTS
+    needed_for_lender = contexts_needed(
+        batch_stall_probability,
+        target_ready_probability,
+        required_ready=PHYSICAL_CONTEXTS,
+        max_contexts=MAX_CONTEXTS_PER_DYAD,
+    )
+    if not master_stalls:
+        return min(needed_for_lender, MAX_CONTEXTS_PER_DYAD)
+    # Both sides consume ready contexts: provision the full pool.
+    return MAX_CONTEXTS_PER_DYAD
+
+
+@dataclass
+class BatchJob:
+    """A latency-insensitive job that can be split into worker threads."""
+
+    name: str
+    threads: int
+    stall_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.threads <= 0:
+            raise ValueError("job needs at least one thread")
+        if not 0 <= self.stall_probability <= 1:
+            raise ValueError("stall probability must be in [0, 1]")
+
+
+@dataclass
+class Service:
+    """A latency-critical microservice needing a dedicated master-core."""
+
+    name: str
+    incurs_stalls: bool = True
+
+
+@dataclass
+class DyadDescriptor:
+    """Software-visible state of one dyad."""
+
+    index: int
+    service: Service | None = None
+    provisioned_contexts: int = 0
+    batch_assignments: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def used_contexts(self) -> int:
+        return sum(self.batch_assignments.values())
+
+    @property
+    def free_contexts(self) -> int:
+        return self.provisioned_contexts - self.used_contexts
+
+    @property
+    def parked_contexts(self) -> int:
+        """Contexts HLT-parked (provisionable but unused hardware slots)."""
+        return MAX_CONTEXTS_PER_DYAD - self.provisioned_contexts
+
+
+class ClusterScheduler:
+    """Places services on master-cores and batch threads on dyad pools.
+
+    Mirrors the paper's split of responsibilities: the OS sees the
+    master-core as a single-threaded core and the virtual contexts as the
+    lender-core's; the hardware time-multiplexes contexts transparently.
+    """
+
+    def __init__(self, num_dyads: int):
+        if num_dyads <= 0:
+            raise ValueError("need at least one dyad")
+        self.dyads = [DyadDescriptor(index=i) for i in range(num_dyads)]
+
+    # -- services -----------------------------------------------------------
+
+    def place_service(self, service: Service) -> DyadDescriptor:
+        """Give ``service`` a dedicated master-core (one per dyad)."""
+        for dyad in self.dyads:
+            if dyad.service is None:
+                dyad.service = service
+                self._reprovision(dyad)
+                return dyad
+        raise RuntimeError("no free master-core for the service")
+
+    # -- batch work -----------------------------------------------------------
+
+    def submit_batch(self, job: BatchJob) -> dict[int, int]:
+        """Spread a batch job's threads over free virtual contexts.
+
+        Returns {dyad index: threads placed}.  Raises if the cluster
+        cannot host the whole job (the caller may then split the job
+        further — Section IV notes batch tasks repartition flexibly).
+        """
+        placement: dict[int, int] = {}
+        remaining = job.threads
+        for dyad in self.dyads:
+            self._reprovision(dyad, job.stall_probability)
+            if remaining == 0:
+                break
+            take = min(remaining, dyad.free_contexts)
+            if take > 0:
+                dyad.batch_assignments[job.name] = (
+                    dyad.batch_assignments.get(job.name, 0) + take
+                )
+                placement[dyad.index] = placement.get(dyad.index, 0) + take
+                remaining -= take
+        if remaining:
+            # Roll back the partial placement.
+            for idx, count in placement.items():
+                dyad = self.dyads[idx]
+                dyad.batch_assignments[job.name] -= count
+                if dyad.batch_assignments[job.name] == 0:
+                    del dyad.batch_assignments[job.name]
+            raise RuntimeError(
+                f"cluster has capacity for only {job.threads - remaining} of "
+                f"{job.threads} threads"
+            )
+        return placement
+
+    def complete_batch(self, job_name: str) -> int:
+        """Release a finished job's contexts; returns threads freed."""
+        freed = 0
+        for dyad in self.dyads:
+            freed += dyad.batch_assignments.pop(job_name, 0)
+        return freed
+
+    # -- accounting -----------------------------------------------------------
+
+    def total_free_contexts(self) -> int:
+        return sum(d.free_contexts for d in self.dyads)
+
+    def utilization_summary(self) -> list[tuple[int, str, int, int]]:
+        """(dyad, service, used contexts, provisioned) rows for reporting."""
+        return [
+            (
+                d.index,
+                d.service.name if d.service else "-",
+                d.used_contexts,
+                d.provisioned_contexts,
+            )
+            for d in self.dyads
+        ]
+
+    def _reprovision(
+        self, dyad: DyadDescriptor, batch_stall_probability: float = 0.5
+    ) -> None:
+        master_stalls = dyad.service.incurs_stalls if dyad.service else False
+        wanted = contexts_to_provision(batch_stall_probability, master_stalls)
+        if dyad.batch_assignments:
+            # Grow-only while jobs are running: hot-unplug of an active
+            # context is not supported (CPU hot-plug [88] removes only
+            # idle ones), and earlier jobs' stall profiles still apply.
+            dyad.provisioned_contexts = max(
+                dyad.provisioned_contexts, wanted, dyad.used_contexts
+            )
+        else:
+            dyad.provisioned_contexts = wanted

@@ -1,0 +1,171 @@
+"""High-level Duplexity server facade.
+
+Wires a complete dyad — lender-core, master-core complex, shared LLC
+slice, filler virtual-context pool — for a given design point and
+microservice, and exposes one-call simulation entry points.  This is the
+main convenience API used by the examples; the benchmark harness uses the
+lower-level pieces directly for finer control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.caches.cache import SetAssociativeCache
+from repro.common.params import (
+    LLC_CONFIG_PER_CORE,
+    CacheConfig,
+    LenderCoreConfig,
+    NICConfig,
+)
+from repro.core.designs import Design, get_design
+from repro.core.dyad import DyadResult, DyadSimulator
+from repro.core.master import MasterCoreComplex
+from repro.uarch.cores import CoreRunResult, LenderCoreModel
+from repro.workloads.filler import FILLER_THREADS_PER_DYAD, filler_context_traces
+from repro.workloads.microservices import (
+    DEFAULT_INSTRUCTIONS_PER_US,
+    Microservice,
+)
+
+
+def dyad_llc_config(per_core: CacheConfig = LLC_CONFIG_PER_CORE) -> CacheConfig:
+    """The dyad's shared LLC slice: 1 MB per core, two cores (Table I)."""
+    from dataclasses import replace
+
+    return replace(per_core, size_bytes=per_core.size_bytes * 2)
+
+
+@dataclass
+class DyadSimulationResult:
+    """Bundled outcome of a full dyad simulation."""
+
+    dyad: DyadResult
+    lender: CoreRunResult | None
+
+
+class Dyad:
+    """One Duplexity dyad (or a degenerate one for the baseline design).
+
+    The virtual-context pool is split between the lender-core and the
+    master-core's filler engine; the paper shares one pool across the
+    dyad, which the split approximates since contexts are statistically
+    interchangeable.
+    """
+
+    def __init__(
+        self,
+        workload: Microservice,
+        design: Design | str = "duplexity",
+        *,
+        seed: int = 0,
+        num_contexts: int = FILLER_THREADS_PER_DYAD,
+        filler_trace_instructions: int = 20_000,
+        instructions_per_us: float = DEFAULT_INSTRUCTIONS_PER_US,
+        time_scale: float = 1.0,
+    ):
+        if isinstance(design, str):
+            design = get_design(design)
+        if design.is_smt:
+            raise ValueError(
+                "SMT designs co-locate threads on one core; use "
+                "repro.uarch.SMTCoreModel instead of a Dyad"
+            )
+        self.design = design
+        self.workload = workload
+        self.seed = seed
+        self.time_scale = time_scale
+        self.instructions_per_us = instructions_per_us
+
+        self.llc = SetAssociativeCache(dyad_llc_config(), "dyad.llc")
+        lender_config = LenderCoreConfig(frequency_hz=design.frequency_hz)
+        self.lender = LenderCoreModel(lender_config, name="lender", llc=self.llc)
+        self.master = MasterCoreComplex(
+            design,
+            llc=self.llc,
+            lender_stack=self.lender.stack,
+            name="master",
+        )
+        self.simulator = DyadSimulator(self.master)
+
+        rng = np.random.default_rng(seed)
+        if design.morphs:
+            master_pool = (
+                num_contexts // 2 if design.hsmt else design.filler_contexts
+            )
+            lender_pool = max(0, num_contexts - master_pool)
+        else:
+            # Without thread borrowing, the lender keeps the same 16
+            # contexts it would have under a dyad split (the rest of the
+            # 32-context pool parks via HLT), so lender throughput is
+            # comparable across designs.
+            master_pool = 0
+            lender_pool = min(num_contexts, num_contexts // 2 or num_contexts)
+        # Filler traces deliberately stay at full time scale even when the
+        # master side is scaled: a context's swap-reload cost is a fixed
+        # number of cycles, so scaling the filler's activation length
+        # (compute between RDMA reads) would distort the HSMT-vs-blocking
+        # tradeoff that Section III-A hinges on.
+        traces = filler_context_traces(
+            rng,
+            num_contexts=master_pool + lender_pool,
+            num_instructions=filler_trace_instructions,
+            time_scale=1.0,
+        )
+        for trace in traces[:master_pool]:
+            self.master.add_filler_trace(trace)
+        for trace in traces[master_pool:]:
+            self.lender.add_virtual_context(trace)
+
+    def simulate(
+        self,
+        num_requests: int = 20,
+        *,
+        run_lender: bool = True,
+        lender_instructions: int = 60_000,
+        warmup_requests: int = 4,
+        prewarm_filler_cycles: int = 60_000,
+    ) -> DyadSimulationResult:
+        """Run the master-side co-simulation (and optionally the lender).
+
+        The first ``warmup_requests`` requests prime the master-thread's
+        cold caches and predictors and are excluded from the reported
+        result; ``prewarm_filler_cycles`` of standalone filler execution
+        similarly primes the filler-side state (filler threads are
+        long-running batch jobs, warm long before any given stall window).
+        """
+        rng = np.random.default_rng(self.seed + 1)
+        trace = self.workload.saturated_trace(
+            rng,
+            num_requests=num_requests + warmup_requests,
+            instructions_per_us=self.instructions_per_us,
+            time_scale=self.time_scale,
+        )
+        self.master.attach_master_trace(trace)
+        if self.design.morphs and prewarm_filler_cycles:
+            self.simulator.run_filler_only(prewarm_filler_cycles)
+            assert self.master.filler_engine is not None
+            self.master.master_engine.fast_forward(self.master.filler_engine.now)
+        if warmup_requests:
+            warmup_fraction = warmup_requests / (num_requests + warmup_requests)
+            self.simulator.run(
+                max_master_instructions=int(len(trace) * warmup_fraction)
+            )
+        dyad_result = self.simulator.run()
+        lender_result = None
+        if run_lender and self.lender.contexts:
+            lender_result = self.lender.run(
+                max_instructions=lender_instructions,
+                warmup_instructions=lender_instructions // 2,
+            )
+        return DyadSimulationResult(dyad=dyad_result, lender=lender_result)
+
+    def idle_fill_ipc(self, cycles: int = 50_000) -> float:
+        """Filler IPC available during idle periods between requests."""
+        return self.simulator.run_filler_only(cycles)
+
+    @property
+    def nic(self) -> NICConfig:
+        return NICConfig()

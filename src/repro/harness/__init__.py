@@ -1,0 +1,23 @@
+"""Experiment harness: fidelity presets, measurements, metrics, figures."""
+
+from repro.harness.experiment import CellResult, run_cell, run_grid
+from repro.harness.fidelity import BENCH, FAST, FULL, Fidelity
+from repro.harness.figures import EvaluationGrid, evaluation_grid
+from repro.harness.measure import CoreMeasurement, clear_cache, measure
+from repro.harness.reporting import format_table
+
+__all__ = [
+    "BENCH",
+    "CellResult",
+    "CoreMeasurement",
+    "EvaluationGrid",
+    "FAST",
+    "FULL",
+    "Fidelity",
+    "clear_cache",
+    "evaluation_grid",
+    "format_table",
+    "measure",
+    "run_cell",
+    "run_grid",
+]

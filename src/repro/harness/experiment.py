@@ -1,0 +1,174 @@
+"""Experiment runner: one cell = (design, workload, load) -> all metrics.
+
+``run_cell`` produces every Figure-5/6 quantity for a single evaluation
+point; ``run_grid`` sweeps the paper's full design x workload x load
+matrix.  Results are normalized against the baseline design at the same
+workload and load, as in the paper's figures.
+
+Loads are fractions of the workload's *nominal* capacity, so a design
+that inflates service times (SMT interference, morph restarts) runs at a
+proportionally higher effective rho — this is what amplifies tails for
+co-located designs at high load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.designs import DESIGN_NAMES, Design, get_design
+from repro.harness import metrics
+from repro.harness.fidelity import FAST, Fidelity
+from repro.harness.measure import measure
+from repro.workloads.microservices import (
+    STANDARD_LOADS,
+    Microservice,
+    standard_microservices,
+)
+
+#: Tail-latency cache: (design, workload, rate, fidelity, seed) -> seconds.
+_TAIL_CACHE: dict[tuple[str, str, float, str, int], float] = {}
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """All evaluation metrics for one (design, workload, load) point."""
+
+    design_name: str
+    workload_name: str
+    load: float
+    utilization: float
+    master_slowdown: float
+    service_inflation: float
+    tail_99_us: float
+    tail_99_vs_baseline: float
+    iso_tail_99_us: float
+    iso_tail_99_vs_baseline: float
+    performance_density_vs_baseline: float
+    energy_vs_baseline: float
+    batch_stp_vs_baseline: float
+    nic_iops_utilization: float
+
+
+def run_cell(
+    design: Design | str,
+    workload: Microservice,
+    load: float,
+    fidelity: Fidelity = FAST,
+) -> CellResult:
+    """Evaluate one design point at one load level."""
+    if isinstance(design, str):
+        design = get_design(design)
+    m = measure(design, workload, fidelity)
+    base = measure("baseline", workload, fidelity)
+    baseline_design = get_design("baseline")
+
+    service = metrics.service_model_for(design, m, base, workload)
+    base_service = metrics.service_model_for(
+        baseline_design, base, base, workload
+    )
+    nominal_mean = workload.service_distribution().mean()
+    inflation = service.mean_service_time() / nominal_mean
+    base_inflation = base_service.mean_service_time() / nominal_mean
+
+    slowdown = max(
+        base.master_compute_ipc / max(m.master_compute_ipc, 1e-9), 1.0
+    )
+    utilization = metrics.utilization_at_load(m, workload, load, inflation)
+
+    rate = metrics.nominal_arrival_rate(workload, load)
+    tail = _tail(design, service, workload, rate, fidelity)
+    base_tail = _tail(baseline_design, base_service, workload, rate, fidelity)
+
+    density = metrics.performance_density(design, m, workload, load, inflation)
+    base_density = metrics.performance_density(
+        "baseline", base, workload, load, base_inflation
+    )
+
+    iso_rate = metrics.iso_throughput_rate(rate, density, base_density)
+    iso_tail = _tail(design, service, workload, iso_rate, fidelity)
+    # The baseline is the iso-cost reference: its iso tail is its tail at
+    # the nominal rate.
+    iso_base_tail = base_tail
+
+    energy = metrics.energy_per_instruction_nj(
+        design, m, workload, load, inflation
+    )
+    base_energy = metrics.energy_per_instruction_nj(
+        "baseline", base, workload, load, base_inflation
+    )
+
+    stp = metrics.batch_stp(m, workload, load, inflation)
+    base_stp = metrics.batch_stp(base, workload, load, base_inflation)
+
+    return CellResult(
+        design_name=design.name,
+        workload_name=workload.name,
+        load=load,
+        utilization=utilization,
+        master_slowdown=slowdown,
+        service_inflation=inflation,
+        tail_99_us=tail * 1e6,
+        tail_99_vs_baseline=tail / base_tail if base_tail > 0 else float("inf"),
+        iso_tail_99_us=iso_tail * 1e6,
+        iso_tail_99_vs_baseline=(
+            iso_tail / iso_base_tail if iso_base_tail > 0 else float("inf")
+        ),
+        performance_density_vs_baseline=density / base_density,
+        energy_vs_baseline=energy / base_energy,
+        batch_stp_vs_baseline=stp / base_stp if base_stp > 0 else float("inf"),
+        nic_iops_utilization=metrics.dyad_nic_iops_utilization(
+            m, workload, load, inflation
+        ),
+    )
+
+
+def run_grid(
+    designs: list[str] | None = None,
+    workloads: list[Microservice] | None = None,
+    loads: tuple[float, ...] = STANDARD_LOADS,
+    fidelity: Fidelity = FAST,
+) -> list[CellResult]:
+    """Sweep the full evaluation matrix (Figures 5a-5f and 6)."""
+    designs = list(designs or DESIGN_NAMES)
+    workloads = list(workloads or standard_microservices())
+    results = []
+    for workload in workloads:
+        for design_name in designs:
+            for load in loads:
+                results.append(run_cell(design_name, workload, load, fidelity))
+    return results
+
+
+def _tail(
+    design: Design,
+    service: metrics.DesignServiceModel,
+    workload: Microservice,
+    arrival_rate: float,
+    fidelity: Fidelity,
+) -> float:
+    key = (
+        design.name,
+        workload.name,
+        round(arrival_rate, 4),
+        fidelity.name,
+        fidelity.seed,
+    )
+    cached = _TAIL_CACHE.get(key)
+    if cached is not None:
+        return cached
+    tail = metrics.tail_latency_s(
+        service,
+        arrival_rate,
+        num_requests=fidelity.queue_requests,
+        warmup=fidelity.queue_warmup,
+        seed=fidelity.seed,
+    )
+    _TAIL_CACHE[key] = tail
+    return tail
+
+
+def clear_tail_cache() -> None:
+    _TAIL_CACHE.clear()
+
+
+__all__ = ["CellResult", "clear_tail_cache", "run_cell", "run_grid"]

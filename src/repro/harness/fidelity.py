@@ -1,0 +1,72 @@
+"""Simulation fidelity presets.
+
+A :class:`Fidelity` bundles every knob trading simulation cost against
+statistical quality: trace sizes, request counts, time scaling, and
+queueing-simulation lengths.  Tests use ``FAST``; the benchmark suite uses
+``BENCH``; ``FULL`` approaches the paper's unscaled parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Fidelity:
+    """Cost/quality preset for experiments."""
+
+    name: str
+    #: Compute/stall durations are multiplied by this factor in core sims
+    #: (ratios — and hence every reported ratio metric — are preserved).
+    time_scale: float
+    #: Requests simulated at saturation for IPC measurement.
+    num_requests: int
+    warmup_requests: int
+    #: Instructions per filler virtual-context trace.
+    filler_trace_instructions: int
+    #: Standalone filler cycles to prime filler-side caches.
+    prewarm_filler_cycles: int
+    #: Lender-core instruction budget (and its warmup share).
+    lender_instructions: int
+    #: Requests per M/G/1 queueing run and warmup discarded.
+    queue_requests: int
+    queue_warmup: int
+    #: Root seed for all random streams.
+    seed: int = 0
+
+
+FAST = Fidelity(
+    name="fast",
+    time_scale=0.2,
+    num_requests=10,
+    warmup_requests=3,
+    filler_trace_instructions=8000,
+    prewarm_filler_cycles=50_000,
+    lender_instructions=40_000,
+    queue_requests=20_000,
+    queue_warmup=2_000,
+)
+
+BENCH = Fidelity(
+    name="bench",
+    time_scale=0.25,
+    num_requests=16,
+    warmup_requests=4,
+    filler_trace_instructions=10_000,
+    prewarm_filler_cycles=80_000,
+    lender_instructions=60_000,
+    queue_requests=120_000,
+    queue_warmup=10_000,
+)
+
+FULL = Fidelity(
+    name="full",
+    time_scale=1.0,
+    num_requests=40,
+    warmup_requests=8,
+    filler_trace_instructions=30_000,
+    prewarm_filler_cycles=200_000,
+    lender_instructions=200_000,
+    queue_requests=400_000,
+    queue_warmup=40_000,
+)

@@ -1,0 +1,387 @@
+"""Per-figure/table reproduction entry points.
+
+Each ``figNx()`` / ``tableN()`` function regenerates the data behind one
+of the paper's figures or tables and returns it in a structured form; the
+``report()`` helpers render the same data as text.  The benchmark suite
+calls these functions one-to-one (one bench per table/figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analytic.binomial import ready_curve
+from repro.analytic.closed_loop import utilization_surface
+from repro.common.params import (
+    TABLE_II_AREA_MM2,
+    TABLE_II_FREQUENCY_GHZ,
+    LenderCoreConfig,
+    MasterCoreConfig,
+    OoOCoreConfig,
+)
+from repro.core.designs import DESIGN_NAMES
+from repro.harness.experiment import CellResult, run_grid
+from repro.harness.fidelity import FAST, Fidelity
+from repro.harness.reporting import format_table
+from repro.power.frequency import design_frequency_ghz
+from repro.power.mcpat import design_area_mm2, design_name_to_row
+from repro.queueing.idle import IdlePeriodLaw
+from repro.queueing.mg1 import MG1Simulator
+from repro.common.distributions import LogNormal
+from repro.uarch.cores import InOrderSMTCoreModel, SMTCoreModel
+from repro.common.params import SMTCoreConfig
+from repro.workloads.microservices import (
+    STANDARD_LOADS,
+    Microservice,
+    flann_xy,
+)
+from repro.workloads.spec import spec_mix_traces
+
+
+# ----------------------------------------------------------------------
+# Figure 1
+# ----------------------------------------------------------------------
+
+
+def fig1a(points: int = 25) -> dict:
+    """Utilization surface of the closed-loop stall model (Fig 1a)."""
+    compute_us = np.logspace(-1, 2, points)
+    stall_us = np.logspace(-1, 2, points)
+    surface = utilization_surface(compute_us, stall_us)
+    return {"compute_us": compute_us, "stall_us": stall_us, "utilization": surface}
+
+
+def fig1b(
+    qps_levels: tuple[float, ...] = (200e3, 1e6),
+    loads: tuple[float, ...] = (0.3, 0.5, 0.7),
+    simulate: bool = True,
+    num_requests: int = 40_000,
+    seed: int = 0,
+) -> list[dict]:
+    """Idle-period CDFs of M/G/1 microservices (Fig 1b).
+
+    Returns one entry per (service rate, load) with the analytic
+    exponential CDF and, optionally, an empirical CDF from simulating the
+    queue with a heavy-tailed (lognormal) service distribution — the point
+    of the figure being that idle periods are exponential regardless.
+    """
+    grid_us = np.logspace(-1, 2.5, 60)
+    out = []
+    for qps in qps_levels:
+        for load in loads:
+            law = IdlePeriodLaw(service_rate_qps=qps, load=load)
+            entry = {
+                "qps": qps,
+                "load": load,
+                "grid_us": grid_us,
+                "analytic_cdf": np.asarray(law.cdf_us(grid_us)),
+                "mean_idle_us": law.mean_idle_us,
+            }
+            if simulate:
+                service = LogNormal(1.0 / qps, cv2=4.0)  # heavy-tailed
+                sim = MG1Simulator.at_load(load, service, seed=seed)
+                result = sim.run(num_requests, warmup=num_requests // 10)
+                from repro.queueing.idle import empirical_idle_cdf
+
+                entry["empirical_cdf"] = empirical_idle_cdf(
+                    result.idle_periods, grid_us
+                )
+            out.append(entry)
+    return out
+
+
+FIG1C_VARIANTS = (
+    ("baseline", 10.0, None),
+    ("FLANN-9-1", 9.0, 1.0),
+    ("FLANN-10-10", 10.0, 10.0),
+    ("FLANN-1-1", 1.0, 1.0),
+)
+
+
+def fig1c(
+    thread_counts: tuple[int, ...] = tuple(range(1, 17)),
+    time_scale: float = 0.2,
+    num_requests: int = 4,
+    max_instructions: int = 60_000,
+    seed: int = 0,
+) -> dict:
+    """Throughput vs SMT thread count for the FLANN variants (Fig 1c).
+
+    All threads run the same FLANN variant on a 4-wide OoO SMT core whose
+    structures are NOT scaled with thread count (only architectural
+    registers, as in the paper).  Throughput is normalized to the
+    no-stall variant at one thread.
+    """
+    curves: dict[str, list[float]] = {}
+    for name, compute, stall in FIG1C_VARIANTS:
+        workload = flann_xy(compute, stall)
+        ipcs = []
+        for threads in thread_counts:
+            # All threads serve the same microservice: they share its
+            # tables/code (slot 0) but process independent request
+            # streams (per-thread RNG).
+            traces = [
+                workload.saturated_trace(
+                    np.random.default_rng(seed + 31 * t),
+                    num_requests=num_requests,
+                    time_scale=time_scale,
+                )
+                for t in range(threads)
+            ]
+            model = SMTCoreModel(SMTCoreConfig(threads=threads), name="fig1c")
+            result = model.run(
+                traces,
+                max_instructions=max_instructions,
+                warmup_instructions=max_instructions // 2,
+                loop_all=True,
+            )
+            ipcs.append(result.ipc)
+        curves[name] = ipcs
+    reference = curves["baseline"][0] or 1.0
+    normalized = {
+        name: [v / reference for v in vals] for name, vals in curves.items()
+    }
+    return {
+        "thread_counts": list(thread_counts),
+        "ipc": curves,
+        "normalized": normalized,
+    }
+
+
+def fig2a(
+    thread_counts: tuple[int, ...] = tuple(range(1, 11)),
+    num_instructions: int = 16_000,
+    seed: int = 0,
+) -> dict:
+    """OoO vs InO SMT throughput on SPEC-like mixes (Fig 2a)."""
+    ooo: list[float] = []
+    ino: list[float] = []
+    for threads in thread_counts:
+        traces = spec_mix_traces(threads, num_instructions=num_instructions, seed=seed)
+        ooo_model = SMTCoreModel(SMTCoreConfig(threads=threads), name="fig2a-ooo")
+        budget = 25_000 * threads
+        ooo_result = ooo_model.run(
+            [t for t in traces],
+            max_instructions=budget,
+            warmup_instructions=budget // 2,
+            loop_all=True,
+        )
+        ooo.append(ooo_result.ipc)
+        ino_model = InOrderSMTCoreModel(LenderCoreConfig(), name="fig2a-ino")
+        ino_result = ino_model.run(
+            spec_mix_traces(threads, num_instructions=num_instructions, seed=seed),
+            max_instructions=budget,
+            warmup_instructions=budget // 2,
+        )
+        ino.append(ino_result.ipc)
+    return {"thread_counts": list(thread_counts), "ooo_ipc": ooo, "ino_ipc": ino}
+
+
+def fig2b(
+    max_contexts: int = 40,
+    stall_probabilities: tuple[float, ...] = (0.1, 0.5),
+) -> dict:
+    """P(>= 8 ready threads) vs virtual context count (Fig 2b)."""
+    contexts = np.arange(8, max_contexts + 1)
+    curves = {
+        p: ready_curve(contexts, p, required_ready=8)
+        for p in stall_probabilities
+    }
+    return {"contexts": contexts, "curves": curves}
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+
+
+def table1() -> list[tuple[str, str]]:
+    """Microarchitecture details (Table I), from the config dataclasses."""
+    ooo = OoOCoreConfig()
+    lender = LenderCoreConfig()
+    master = MasterCoreConfig()
+    rows = [
+        (
+            "Baseline/SMT",
+            f"{ooo.width}-wide OoO, {ooo.rob_entries}-entry ROB/PRF, "
+            f"{ooo.load_queue_entries}-entry LQ, {ooo.store_queue_entries}-entry SQ, "
+            "ICOUNT fetch for SMT",
+        ),
+        (
+            "Predictor",
+            f"Tournament: bimodal ({ooo.predictor.bimodal_entries // 1024}K), "
+            f"gshare ({ooo.predictor.gshare_entries // 1024}K), selector "
+            f"({ooo.predictor.selector_entries // 1024}K); "
+            f"{ooo.predictor.ras_entries}-entry RAS; "
+            f"{ooo.predictor.btb_entries // 1024}K-entry BTB, "
+            f"{ooo.itlb.entries}-entry I/D TLBs",
+        ),
+        (
+            "Lender-core",
+            f"{lender.physical_contexts}-way InO HSMT, "
+            f"{lender.virtual_contexts} virtual contexts, "
+            f"{lender.issue_width}-wide issue, {lender.arf_entries}-entry ARF, "
+            f"Round-Robin fetch, gshare "
+            f"({lender.predictor.gshare_entries // 1024}K) predictor",
+        ),
+        (
+            "Master-core",
+            "Transitions between single-threaded OoO and InO HSMT; uarch as "
+            f"baseline; tournament(16K)/gshare("
+            f"{master.filler_predictor.gshare_entries // 1024}K); separate "
+            "TLBs per mode; "
+            f"{master.l0i.size_bytes // 1024}KB/"
+            f"{master.l0d.size_bytes // 1024}KB I/D write-through L0 caches",
+        ),
+        (
+            "L1 caches",
+            f"Private {ooo.l1i.size_bytes // 1024}KB I/D, "
+            f"{ooo.l1i.line_bytes}B lines, {ooo.l1i.associativity}-way SA",
+        ),
+        ("LLC", "1 MB per core, 64B lines, 8-way SA"),
+        ("Memory", "50 ns access latency"),
+        ("NIC", "FDR 4x Infiniband (56Gbit/s, 90M ops/s)"),
+    ]
+    return rows
+
+
+def table2() -> list[tuple[str, float, float]]:
+    """Area and clock frequency per design (Table II), from the models."""
+    rows = []
+    for name in (
+        "baseline",
+        "smt",
+        "morphcore",
+        "duplexity",
+        "duplexity_replication",
+        "lender_core",
+    ):
+        rows.append(
+            (
+                design_name_to_row(name),
+                design_area_mm2(name),
+                design_frequency_ghz(name),
+            )
+        )
+    rows.append(("llc_per_mb", TABLE_II_AREA_MM2["llc_per_mb"], float("nan")))
+    return rows
+
+
+def table2_matches_paper() -> bool:
+    """Check the model-derived Table II against the published values."""
+    for row, area, freq in table2():
+        if abs(area - TABLE_II_AREA_MM2[row]) > 1e-6:
+            return False
+        if row != "llc_per_mb" and abs(freq - TABLE_II_FREQUENCY_GHZ[row]) > 1e-6:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Figures 5 and 6 (the main evaluation grid)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class EvaluationGrid:
+    """All Figure-5/6 metrics over designs x workloads x loads."""
+
+    cells: list[CellResult] = field(default_factory=list)
+
+    def metric(self, name: str) -> dict[tuple[str, str, float], float]:
+        return {
+            (c.design_name, c.workload_name, c.load): getattr(c, name)
+            for c in self.cells
+        }
+
+    def average_over(self, design: str, name: str) -> float:
+        values = [getattr(c, name) for c in self.cells if c.design_name == design]
+        if not values:
+            raise ValueError(f"no cells for design {design!r}")
+        return float(np.mean(values))
+
+    def improvement(self, metric: str, design: str, reference: str) -> float:
+        """Mean ratio of a metric for ``design`` over ``reference`` across
+        matched (workload, load) cells."""
+        ref = {
+            (c.workload_name, c.load): getattr(c, metric)
+            for c in self.cells
+            if c.design_name == reference
+        }
+        ratios = [
+            getattr(c, metric) / ref[(c.workload_name, c.load)]
+            for c in self.cells
+            if c.design_name == design and (c.workload_name, c.load) in ref
+        ]
+        if not ratios:
+            raise ValueError("no matched cells")
+        return float(np.mean(ratios))
+
+    def report(self, metric: str, title: str) -> str:
+        loads = sorted({c.load for c in self.cells})
+        workloads = sorted({c.workload_name for c in self.cells})
+        designs = [d for d in DESIGN_NAMES if any(c.design_name == d for c in self.cells)]
+        headers = ["workload", "load"] + designs
+        values = self.metric(metric)
+        rows = []
+        for workload in workloads:
+            for load in loads:
+                row = [workload, load]
+                for design in designs:
+                    row.append(values.get((design, workload, load), float("nan")))
+                rows.append(row)
+        return format_table(headers, rows, title=title)
+
+
+def evaluation_grid(
+    fidelity: Fidelity = FAST,
+    designs: list[str] | None = None,
+    workloads: list[Microservice] | None = None,
+    loads: tuple[float, ...] = STANDARD_LOADS,
+) -> EvaluationGrid:
+    """Run the full evaluation matrix once; every Fig 5/6 view reads it."""
+    return EvaluationGrid(
+        cells=run_grid(designs=designs, workloads=workloads, loads=loads, fidelity=fidelity)
+    )
+
+
+def fig5a(grid: EvaluationGrid) -> str:
+    return grid.report("utilization", "Fig 5(a): core utilization")
+
+
+def fig5b(grid: EvaluationGrid) -> str:
+    return grid.report(
+        "performance_density_vs_baseline",
+        "Fig 5(b): normalized performance density",
+    )
+
+
+def fig5c(grid: EvaluationGrid) -> str:
+    return grid.report("energy_vs_baseline", "Fig 5(c): normalized energy")
+
+
+def fig5d(grid: EvaluationGrid) -> str:
+    return grid.report(
+        "tail_99_vs_baseline", "Fig 5(d): normalized 99% tail latency"
+    )
+
+
+def fig5e(grid: EvaluationGrid) -> str:
+    return grid.report(
+        "iso_tail_99_vs_baseline",
+        "Fig 5(e): normalized iso-throughput 99% tail latency",
+    )
+
+
+def fig5f(grid: EvaluationGrid) -> str:
+    return grid.report(
+        "batch_stp_vs_baseline", "Fig 5(f): normalized batch-thread STP"
+    )
+
+
+def fig6(grid: EvaluationGrid) -> str:
+    return grid.report(
+        "nic_iops_utilization", "Fig 6: NIC IOPS utilization per dyad"
+    )

@@ -1,0 +1,215 @@
+"""Per-(design, workload) core measurements (the gem5 stage of Section V).
+
+Every Figure-5/6 metric derives from a handful of load-independent core
+measurements: the master-thread's compute IPC under each design, the
+master-core's utilization at saturation, the filler fill rates inside
+stall windows and idle periods, and the paired lender-core's throughput.
+This module runs the appropriate core simulation per design family and
+caches the results, so a whole load sweep costs one simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.designs import Design, get_design
+from repro.core.server import Dyad
+from repro.harness.fidelity import FAST, Fidelity
+from repro.uarch.cores import SMTCoreModel
+from repro.workloads.filler import filler_trace
+from repro.workloads.microservices import Microservice
+
+#: Measurement cache: (design, workload, fidelity name, seed) -> result.
+_CACHE: dict[tuple[str, str, str, int], "CoreMeasurement"] = {}
+
+
+@dataclass(frozen=True)
+class CoreMeasurement:
+    """Load-independent core-simulation outputs for one design point."""
+
+    design_name: str
+    workload_name: str
+    frequency_hz: float
+    #: Master-thread IPC over non-stalled cycles (sets the service-time
+    #: slowdown relative to the baseline design).
+    master_compute_ipc: float
+    #: Master-core utilization at saturation (Fig 5a's 100%-load value).
+    utilization_at_saturation: float
+    #: Master instructions per cycle of wall time at saturation.
+    master_ipc_saturated: float
+    #: Filler aggregate IPC available during *idle* periods.
+    idle_fill_ipc: float
+    #: Paired lender-core aggregate IPC (with any cache-sharing losses).
+    lender_ipc: float
+    #: Fraction of request occupancy the master spends stalled.
+    master_stall_fraction: float
+    #: Per-window overhead cycles a morphing design pays (morph + restart).
+    switch_overhead_cycles: int
+
+    @property
+    def width(self) -> int:
+        return 4
+
+
+def measure(
+    design: Design | str,
+    workload: Microservice,
+    fidelity: Fidelity = FAST,
+) -> CoreMeasurement:
+    """Measure (with caching) the core-level behaviour of one design."""
+    if isinstance(design, str):
+        design = get_design(design)
+    key = (design.name, workload.name, fidelity.name, fidelity.seed)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    if design.is_smt:
+        result = _measure_smt(design, workload, fidelity)
+    else:
+        result = _measure_dyad(design, workload, fidelity)
+    _CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+
+
+def _measure_dyad(
+    design: Design, workload: Microservice, fidelity: Fidelity
+) -> CoreMeasurement:
+    dyad = Dyad(
+        workload,
+        design,
+        seed=fidelity.seed,
+        filler_trace_instructions=fidelity.filler_trace_instructions,
+        time_scale=fidelity.time_scale,
+    )
+    sim = dyad.simulate(
+        num_requests=fidelity.num_requests,
+        warmup_requests=fidelity.warmup_requests,
+        run_lender=True,
+        lender_instructions=fidelity.lender_instructions,
+        prewarm_filler_cycles=fidelity.prewarm_filler_cycles,
+    )
+    r = sim.dyad
+    idle_ipc = dyad.idle_fill_ipc(cycles=30_000) if design.morphs else 0.0
+    lender_ipc = sim.lender.ipc if sim.lender is not None else 0.0
+    return CoreMeasurement(
+        design_name=design.name,
+        workload_name=workload.name,
+        frequency_hz=design.frequency_hz,
+        master_compute_ipc=r.master_compute_ipc,
+        utilization_at_saturation=r.utilization,
+        master_ipc_saturated=r.master_ipc,
+        idle_fill_ipc=idle_ipc,
+        lender_ipc=lender_ipc,
+        master_stall_fraction=r.stall_fraction,
+        switch_overhead_cycles=design.morph_cycles + design.restart_cycles,
+    )
+
+
+#: SMT co-location dynamics are bimodal (cache/slot feedback between the
+#: two threads); single runs are noisy, so SMT measurements ensemble-
+#: average this many independent replicas.
+SMT_REPLICAS = 3
+
+
+def _measure_smt(
+    design: Design, workload: Microservice, fidelity: Fidelity
+) -> CoreMeasurement:
+    replicas = [
+        _measure_smt_once(design, workload, fidelity, replica)
+        for replica in range(SMT_REPLICAS)
+    ]
+    mean = lambda attr: sum(getattr(r, attr) for r in replicas) / len(replicas)
+    return CoreMeasurement(
+        design_name=design.name,
+        workload_name=workload.name,
+        frequency_hz=design.frequency_hz,
+        master_compute_ipc=mean("master_compute_ipc"),
+        utilization_at_saturation=mean("utilization_at_saturation"),
+        master_ipc_saturated=mean("master_ipc_saturated"),
+        idle_fill_ipc=mean("idle_fill_ipc"),
+        lender_ipc=mean("lender_ipc"),
+        master_stall_fraction=mean("master_stall_fraction"),
+        switch_overhead_cycles=0,
+    )
+
+
+def _measure_smt_once(
+    design: Design, workload: Microservice, fidelity: Fidelity, replica: int = 0
+) -> CoreMeasurement:
+    rng = np.random.default_rng(fidelity.seed + 7 + 1013 * replica)
+    master_trace = workload.saturated_trace(
+        rng,
+        num_requests=fidelity.num_requests + fidelity.warmup_requests,
+        time_scale=fidelity.time_scale,
+    )
+    batch = filler_trace(
+        rng,
+        num_instructions=fidelity.filler_trace_instructions,
+        slot=40,
+        time_scale=fidelity.time_scale,
+    )
+    model = SMTCoreModel(design.smt_config(), name=design.name)
+    warmup_fraction = fidelity.warmup_requests / (
+        fidelity.num_requests + fidelity.warmup_requests
+    )
+    warmup = int(len(master_trace) * warmup_fraction)
+    result = model.run([master_trace, batch], warmup_instructions=warmup)
+
+    cycles = result.engine.cycles
+    master_instr = result.thread_instructions[0]
+    master_stall = (
+        result.thread_stall_cycles[0] if result.thread_stall_cycles else 0
+    )
+    compute_cycles = max(1, cycles - master_stall)
+
+    # Batch thread running alone on the SMT core: its fill rate during the
+    # master's idle periods.
+    alone_model = SMTCoreModel(design.smt_config(), name=f"{design.name}-idle")
+    alone_batch = filler_trace(
+        rng,
+        num_instructions=fidelity.filler_trace_instructions,
+        slot=41,
+        time_scale=fidelity.time_scale,
+    )
+    alone = alone_model.run(
+        [alone_batch],
+        max_instructions=fidelity.lender_instructions,
+        warmup_instructions=fidelity.lender_instructions // 2,
+        loop_all=True,
+    )
+
+    # The paired throughput core (lender-equivalent) for density/STP.
+    lender_ipc = _paired_lender_ipc(workload, fidelity)
+
+    return CoreMeasurement(
+        design_name=design.name,
+        workload_name=workload.name,
+        frequency_hz=design.frequency_hz,
+        master_compute_ipc=master_instr / compute_cycles,
+        utilization_at_saturation=result.utilization,
+        master_ipc_saturated=master_instr / max(1, cycles),
+        idle_fill_ipc=alone.ipc,
+        lender_ipc=lender_ipc,
+        master_stall_fraction=master_stall / max(1, cycles),
+        switch_overhead_cycles=0,
+    )
+
+
+def _paired_lender_ipc(workload: Microservice, fidelity: Fidelity) -> float:
+    """Throughput of the standalone HSMT companion core.
+
+    Baseline/SMT pairings give the lender exclusive caches, so one
+    measurement serves every non-dyad design; it is cached under a
+    baseline dyad measurement.
+    """
+    baseline = measure("baseline", workload, fidelity)
+    return baseline.lender_ipc

@@ -1,0 +1,15 @@
+"""Network (RDMA / InfiniBand NIC) models."""
+
+from repro.net.nic import (
+    CACHE_LINE_BYTES,
+    NICUtilization,
+    dyads_per_nic,
+    nic_utilization,
+)
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "NICUtilization",
+    "dyads_per_nic",
+    "nic_utilization",
+]

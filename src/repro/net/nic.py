@@ -1,0 +1,58 @@
+"""NIC bandwidth/IOPS model (Section VIII, Fig 6).
+
+"Most NICs impose two bandwidth constraints: a maximum data rate, and a
+maximum I/O operations per second (IOPS), respectively 56 Gbit/s and 90M
+ops/s for FDR [124, 125].  As our workloads issue single-cache-line
+remote accesses, they are IOPS-limited."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.params import NICConfig
+
+#: Bytes moved per single-cache-line RDMA operation.
+CACHE_LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class NICUtilization:
+    """Utilization of a NIC's two constraints for a given op rate."""
+
+    ops_per_second: float
+    nic: NICConfig
+
+    @property
+    def iops_utilization(self) -> float:
+        """Fraction of the NIC's op-rate budget consumed."""
+        return self.ops_per_second / self.nic.max_iops
+
+    @property
+    def data_rate_utilization(self) -> float:
+        """Fraction of the NIC's data-rate budget consumed (single-line ops)."""
+        bits_per_second = self.ops_per_second * CACHE_LINE_BYTES * 8
+        return bits_per_second / (self.nic.data_rate_gbps * 1e9)
+
+    @property
+    def binding_utilization(self) -> float:
+        """The tighter of the two constraints (IOPS for 64B ops)."""
+        return max(self.iops_utilization, self.data_rate_utilization)
+
+
+def nic_utilization(ops_per_second: float, nic: NICConfig | None = None) -> NICUtilization:
+    """Utilization of one NIC port at ``ops_per_second`` remote ops."""
+    if ops_per_second < 0:
+        raise ValueError("op rate cannot be negative")
+    return NICUtilization(ops_per_second=ops_per_second, nic=nic or NICConfig())
+
+
+def dyads_per_nic(per_dyad_ops_per_second: float, nic: NICConfig | None = None) -> int:
+    """How many dyads can share one NIC port (Section VIII: 14 for FDR)."""
+    if per_dyad_ops_per_second <= 0:
+        raise ValueError("per-dyad op rate must be positive")
+    nic = nic or NICConfig()
+    util = nic_utilization(per_dyad_ops_per_second, nic).binding_utilization
+    if util <= 0:
+        raise ValueError("op rate produced zero utilization")
+    return max(1, int(1.0 / util))

@@ -1,0 +1,38 @@
+"""Area, power, and frequency models (McPAT/CACTI substitutes, 32 nm)."""
+
+from repro.power.cacti import (
+    cache_area_mm2,
+    cache_read_energy_nj,
+    sram_area_mm2,
+    tlb_area_mm2,
+)
+from repro.power.frequency import design_frequency_ghz, design_frequency_hz
+from repro.power.mcpat import (
+    AREA_FRACTIONS,
+    CorePower,
+    core_power_model,
+    design_area_mm2,
+    lender_power_model,
+    llc_area_mm2,
+    llc_static_w,
+    master_core_overheads_mm2,
+    replication_overheads_mm2,
+)
+
+__all__ = [
+    "AREA_FRACTIONS",
+    "CorePower",
+    "cache_area_mm2",
+    "cache_read_energy_nj",
+    "core_power_model",
+    "design_area_mm2",
+    "design_frequency_ghz",
+    "design_frequency_hz",
+    "lender_power_model",
+    "llc_area_mm2",
+    "llc_static_w",
+    "master_core_overheads_mm2",
+    "replication_overheads_mm2",
+    "sram_area_mm2",
+    "tlb_area_mm2",
+]

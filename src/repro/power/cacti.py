@@ -1,0 +1,72 @@
+"""SRAM array area/energy model (CACTI substitute, 32 nm).
+
+CACTI computes cache area from detailed circuit models; we use a linear
+per-byte model with port and tag overheads, calibrated so that the
+structures in the paper land on the published Table II numbers (e.g. the
+LLC at 3.9 mm^2/MB and the +4.0 mm^2 cost of replicating the master-core's
+L1 pair plus auxiliary structures).
+"""
+
+from __future__ import annotations
+
+from repro.common.params import CacheConfig, TLBConfig
+
+#: mm^2 per KB of single-ported SRAM data array at 32 nm (calibrated so
+#: 1 MB of LLC = 3.9 mm^2 including tags/peripherals).
+MM2_PER_KB_LLC = 3.9 / 1024.0
+
+#: L1 arrays are faster (lower density): more peripherals per bit.
+#: Calibrated so replicating the master-core's dual-ported 64 KB L1 pair
+#: costs the ~4 mm^2 implied by Table II (16.7 vs 12.7 mm^2).
+MM2_PER_KB_L1 = 0.0207
+
+#: Additional area factor per extra read/write port.
+PORT_FACTOR = 0.35
+
+#: Tag + control overhead as a fraction of the data array.
+TAG_OVERHEAD = 0.12
+
+
+def sram_area_mm2(size_bytes: int, *, ports: int = 1, density: str = "l1") -> float:
+    """Area of an SRAM array in mm^2 at 32 nm."""
+    if size_bytes <= 0:
+        raise ValueError("array size must be positive")
+    if ports < 1:
+        raise ValueError("need at least one port")
+    per_kb = MM2_PER_KB_L1 if density == "l1" else MM2_PER_KB_LLC
+    base = (size_bytes / 1024.0) * per_kb
+    return base * (1.0 + TAG_OVERHEAD) * (1.0 + PORT_FACTOR * (ports - 1))
+
+
+def cache_area_mm2(config: CacheConfig, ports: int = 1) -> float:
+    """Area of a cache, tags included."""
+    density = "llc" if config.size_bytes >= 512 * 1024 else "l1"
+    return sram_area_mm2(config.size_bytes, ports=ports, density=density)
+
+
+def tlb_area_mm2(config: TLBConfig) -> float:
+    """Area of a fully-associative TLB (CAM entries are area-hungry).
+
+    Calibrated so that the master-core's pair of filler TLBs costs the
+    paper's reported 0.7% of the baseline core.
+    """
+    entry_bytes = 16  # VPN + PPN + permissions
+    cam_factor = 1.35  # CAM cell vs SRAM cell
+    return sram_area_mm2(config.entries * entry_bytes, ports=2) * cam_factor
+
+
+#: Dynamic read energy, nJ per 64B access (order-of-magnitude CACTI values).
+READ_ENERGY_NJ = {
+    "l0": 0.01,
+    "l1": 0.05,
+    "llc": 0.25,
+    "dram": 15.0,
+}
+
+
+def cache_read_energy_nj(config: CacheConfig) -> float:
+    if config.size_bytes <= 8 * 1024:
+        return READ_ENERGY_NJ["l0"]
+    if config.size_bytes < 512 * 1024:
+        return READ_ENERGY_NJ["l1"]
+    return READ_ENERGY_NJ["llc"]

@@ -1,0 +1,41 @@
+"""Clock-frequency model for the evaluated designs (Table II).
+
+The paper derates the clock for each added capability: SMT thread
+selection lengthens fetch/issue paths slightly; MorphCore's InO/OoO
+datapath muxes cost ~20 gates per pipeline stage, an estimated 4% cycle
+time penalty [106] which the master-core inherits (plus its extra filler
+structures).  This module reproduces Table II's frequencies from those
+derating factors.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import ghz
+
+#: Baseline clock at 32 nm.
+BASE_GHZ = 3.4
+
+#: Multiplicative cycle-time penalties.
+PENALTIES = {
+    "baseline": 0.0,
+    "smt": 0.015,  # ICOUNT fetch arbitration
+    "smt_plus": 0.015,
+    "morphcore": 0.03,  # InO/OoO datapath muxing
+    "morphcore_plus": 0.03,
+    "duplexity": 0.044,  # muxes (4%) + filler-port arbitration
+    "duplexity_replication": 0.044,
+    "lender_core": 0.0,  # simple InO datapath keeps the base clock
+}
+
+
+def design_frequency_ghz(design_name: str) -> float:
+    """Derated clock frequency in GHz, rounded to Table II's precision."""
+    try:
+        penalty = PENALTIES[design_name]
+    except KeyError:
+        raise ValueError(f"unknown design {design_name!r}") from None
+    return round(BASE_GHZ * (1.0 - penalty), 2)
+
+
+def design_frequency_hz(design_name: str) -> float:
+    return ghz(design_frequency_ghz(design_name))

@@ -1,0 +1,67 @@
+"""A minimal discrete-event simulation engine.
+
+Used by the request-granularity queueing models (and available to any
+substrate that needs ordered event dispatch).  Events are ``(time, seq,
+callback)`` tuples in a binary heap; ``seq`` breaks ties FIFO so the
+simulation is deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+
+class EventQueue:
+    """Time-ordered event dispatcher."""
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Callable[[], Any]]] = []
+        self._seq = 0
+        self.now = 0.0
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> None:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], Any]) -> None:
+        """Schedule ``callback`` at absolute ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} < now {self.now}")
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def step(self) -> bool:
+        """Run the next event; return False when the queue is empty."""
+        if not self._heap:
+            return False
+        time, _, callback = heapq.heappop(self._heap)
+        self.now = time
+        callback()
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run events until the queue empties, ``until`` passes, or
+        ``max_events`` have executed.  Returns the number executed."""
+        executed = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            self.step()
+            executed += 1
+        return executed
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def empty(self) -> bool:
+        return not self._heap
+
+    def peek_time(self) -> float | None:
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,66 @@
+"""Idle-period analysis for M/G/1 servers (paper Section II-A, Fig 1b).
+
+Because Poisson arrivals are memoryless, the idle periods of *any* M/G/1
+queue are exponentially distributed with mean 1/lambda, independent of the
+service distribution [69].  For a service rate ``mu`` (requests/s) at
+offered load ``rho``, arrivals come at ``lambda = rho * mu`` and idle
+periods average ``1 / (rho * mu)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IdlePeriodLaw:
+    """The exponential idle-period distribution of an M/G/1 server."""
+
+    service_rate_qps: float
+    load: float
+
+    def __post_init__(self) -> None:
+        if self.service_rate_qps <= 0:
+            raise ValueError("service rate must be positive")
+        if not 0 < self.load < 1:
+            raise ValueError(f"load must be in (0, 1), got {self.load!r}")
+
+    @property
+    def arrival_rate(self) -> float:
+        return self.load * self.service_rate_qps
+
+    @property
+    def mean_idle_seconds(self) -> float:
+        return 1.0 / self.arrival_rate
+
+    @property
+    def mean_idle_us(self) -> float:
+        return self.mean_idle_seconds * 1e6
+
+    def cdf(self, t_seconds: float) -> float:
+        """P(idle period <= t)."""
+        if t_seconds < 0:
+            return 0.0
+        return 1.0 - math.exp(-self.arrival_rate * t_seconds)
+
+    def cdf_us(self, t_us: np.ndarray | float) -> np.ndarray | float:
+        """Vectorized CDF over durations in microseconds."""
+        t = np.asarray(t_us, dtype=float) / 1e6
+        return 1.0 - np.exp(-self.arrival_rate * np.maximum(t, 0.0))
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF in seconds."""
+        if not 0 <= q < 1:
+            raise ValueError(f"quantile must be in [0, 1), got {q!r}")
+        return -math.log(1.0 - q) / self.arrival_rate
+
+
+def empirical_idle_cdf(idle_periods: np.ndarray, grid_us: np.ndarray) -> np.ndarray:
+    """Empirical CDF of measured idle periods evaluated on a microsecond grid."""
+    if idle_periods.size == 0:
+        raise ValueError("no idle periods observed")
+    sorted_us = np.sort(idle_periods) * 1e6
+    return np.searchsorted(sorted_us, grid_us, side="right") / sorted_us.size

@@ -1,0 +1,111 @@
+"""Statistics for queueing experiments: percentiles and confidence intervals.
+
+Implements the BigHouse convergence criterion from Section V of the paper:
+"We simulate the queuing system until we achieve 95% confidence intervals
+of 5% error in reported results."  The percentile CI uses batch means over
+independent simulation segments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Two-sided z value for a 95% confidence interval.
+Z_95 = 1.959963984540054
+
+
+def percentile(samples: np.ndarray, q: float) -> float:
+    """The ``q``-quantile (0..1) using the inverted-CDF definition.
+
+    Tail-latency studies conventionally report the order statistic (the
+    smallest observed value with at least a ``q`` fraction of mass at or
+    below it), not an interpolated value.
+    """
+    if not 0 <= q <= 1:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if samples.size == 0:
+        raise ValueError("cannot take a percentile of zero samples")
+    return float(np.quantile(samples, q, method="inverted_cdf"))
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A point estimate with a symmetric 95% confidence half-width."""
+
+    value: float
+    half_width: float
+    batches: int
+
+    @property
+    def relative_error(self) -> float:
+        """CI half-width as a fraction of the estimate."""
+        if self.value == 0:
+            return math.inf if self.half_width else 0.0
+        return abs(self.half_width / self.value)
+
+    def converged(self, target_relative_error: float = 0.05) -> bool:
+        return self.relative_error <= target_relative_error
+
+
+def batch_means_percentile(
+    samples: np.ndarray, q: float, batches: int = 20
+) -> Estimate:
+    """Percentile estimate with a batch-means 95% CI.
+
+    Splits ``samples`` (in arrival order, so batches approximate
+    independent segments) into ``batches`` chunks, computes the percentile
+    per chunk, and derives a t-free normal CI over the batch statistics.
+    """
+    if batches < 2:
+        raise ValueError("need at least 2 batches for a CI")
+    if samples.size < batches:
+        raise ValueError(f"need >= {batches} samples, got {samples.size}")
+    chunks = np.array_split(samples, batches)
+    stats = np.array([percentile(chunk, q) for chunk in chunks])
+    mean = float(stats.mean())
+    stderr = float(stats.std(ddof=1) / math.sqrt(batches))
+    return Estimate(value=mean, half_width=Z_95 * stderr, batches=batches)
+
+
+def batch_means_mean(samples: np.ndarray, batches: int = 20) -> Estimate:
+    """Mean estimate with a batch-means 95% CI."""
+    if batches < 2:
+        raise ValueError("need at least 2 batches for a CI")
+    if samples.size < batches:
+        raise ValueError(f"need >= {batches} samples, got {samples.size}")
+    chunks = np.array_split(samples, batches)
+    stats = np.array([float(chunk.mean()) for chunk in chunks])
+    mean = float(stats.mean())
+    stderr = float(stats.std(ddof=1) / math.sqrt(batches))
+    return Estimate(value=mean, half_width=Z_95 * stderr, batches=batches)
+
+
+def simulate_until_converged(
+    run_segment,
+    extract,
+    q: float = 0.99,
+    target_relative_error: float = 0.05,
+    min_segments: int = 4,
+    max_segments: int = 64,
+) -> tuple[Estimate, np.ndarray]:
+    """Run simulation segments until the percentile CI converges.
+
+    ``run_segment(i)`` produces a sample array for segment ``i``;
+    ``extract`` maps it to the samples of interest.  Returns the final
+    estimate and all pooled samples.
+    """
+    pooled: list[np.ndarray] = []
+    estimate: Estimate | None = None
+    for i in range(max_segments):
+        pooled.append(np.asarray(extract(run_segment(i)), dtype=float))
+        if i + 1 < min_segments:
+            continue
+        samples = np.concatenate(pooled)
+        estimate = batch_means_percentile(samples, q, batches=min(20, i + 1))
+        if estimate.converged(target_relative_error):
+            return estimate, samples
+    assert estimate is not None
+    return estimate, np.concatenate(pooled)

@@ -1,0 +1,43 @@
+"""Cycle-accounting core timing models (the reproduction's gem5)."""
+
+from repro.uarch.cores import (
+    BaselineCoreModel,
+    CacheStack,
+    CoreRunResult,
+    InOrderSMTCoreModel,
+    LenderCoreModel,
+    SMTCoreModel,
+    build_cache_stack,
+    memory_cycles,
+)
+from repro.uarch.engine import (
+    CorePorts,
+    EngineResult,
+    ThreadState,
+    TimingEngine,
+)
+from repro.uarch.hsmt import HSMTScheduler
+from repro.uarch.isa import NO_REG, NUM_ARCH_REGS, Op, Trace, TraceBuilder
+from repro.uarch.slots import SlotAllocator
+
+__all__ = [
+    "BaselineCoreModel",
+    "CacheStack",
+    "CorePorts",
+    "CoreRunResult",
+    "EngineResult",
+    "HSMTScheduler",
+    "InOrderSMTCoreModel",
+    "LenderCoreModel",
+    "NO_REG",
+    "NUM_ARCH_REGS",
+    "Op",
+    "SMTCoreModel",
+    "SlotAllocator",
+    "ThreadState",
+    "TimingEngine",
+    "Trace",
+    "TraceBuilder",
+    "build_cache_stack",
+    "memory_cycles",
+]

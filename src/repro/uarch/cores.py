@@ -1,0 +1,427 @@
+"""Configured core timing models for the paper's design points.
+
+Each builder wires caches, TLBs, predictors and a
+:class:`~repro.uarch.engine.TimingEngine` into one of the evaluated
+microarchitectures:
+
+* :class:`BaselineCoreModel` — 4-wide OoO, single thread (design 1);
+* :class:`SMTCoreModel` — baseline + co-runner threads, ICOUNT or
+  prioritized/partitioned SMT+ (designs 2-3, and Fig 1c thread sweeps);
+* :class:`InOrderSMTCoreModel` — n-thread in-order SMT datapath
+  (Fig 2a's InO side);
+* :class:`LenderCoreModel` — 8-way InO HSMT with a virtual-context run
+  queue (Section III-A).
+
+The morphable master-core and the dyad composition live in
+:mod:`repro.core`; they reuse these building blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.predictors import make_predictor
+from repro.caches.cache import SetAssociativeCache
+from repro.caches.hierarchy import CacheLevel, MemoryHierarchy
+from repro.caches.tlb import TLB
+from repro.common.params import (
+    LLC_CONFIG_PER_CORE,
+    MEMORY_LATENCY_NS,
+    LenderCoreConfig,
+    OoOCoreConfig,
+    SMTCoreConfig,
+)
+from repro.common.units import cycles_from_ns, cycles_from_us
+from repro.uarch.engine import CorePorts, EngineResult, ThreadState, TimingEngine
+from repro.uarch.hsmt import HSMTScheduler
+from repro.uarch.isa import Trace
+
+
+def memory_cycles(frequency_hz: float) -> int:
+    """DRAM access latency in core cycles (Table I: 50 ns)."""
+    return int(round(cycles_from_ns(MEMORY_LATENCY_NS, frequency_hz)))
+
+
+@dataclass
+class CacheStack:
+    """The cache/TLB/predictor complex shared by a core's threads."""
+
+    l1i: SetAssociativeCache
+    l1d: SetAssociativeCache
+    llc: SetAssociativeCache
+    ihier: MemoryHierarchy
+    dhier: MemoryHierarchy
+    itlb: TLB
+    dtlb: TLB
+    predictor: object
+    btb: BranchTargetBuffer
+
+    def ports(self) -> CorePorts:
+        return CorePorts(
+            ihier=self.ihier,
+            dhier=self.dhier,
+            itlb=self.itlb,
+            dtlb=self.dtlb,
+            predictor=self.predictor,
+            btb=self.btb,
+        )
+
+
+def build_cache_stack(
+    config: OoOCoreConfig | LenderCoreConfig,
+    *,
+    llc: SetAssociativeCache | None = None,
+    name: str = "core",
+) -> CacheStack:
+    """Build a private L1 I/D + (possibly shared) LLC stack for one core."""
+    l1i = SetAssociativeCache(config.l1i, f"{name}.l1i")
+    l1d = SetAssociativeCache(config.l1d, f"{name}.l1d")
+    if llc is None:
+        llc = SetAssociativeCache(LLC_CONFIG_PER_CORE, f"{name}.llc")
+    llc_level = CacheLevel(llc, LLC_CONFIG_PER_CORE.hit_latency_cycles)
+    mem = memory_cycles(config.frequency_hz)
+    ihier = MemoryHierarchy(
+        [CacheLevel(l1i, config.l1i.hit_latency_cycles), llc_level],
+        mem,
+        name=f"{name}.ifetch",
+    )
+    dhier = MemoryHierarchy(
+        [CacheLevel(l1d, config.l1d.hit_latency_cycles), llc_level],
+        mem,
+        name=f"{name}.data",
+    )
+    return CacheStack(
+        l1i=l1i,
+        l1d=l1d,
+        llc=llc,
+        ihier=ihier,
+        dhier=dhier,
+        itlb=TLB(config.itlb, f"{name}.itlb"),
+        dtlb=TLB(config.dtlb, f"{name}.dtlb"),
+        predictor=make_predictor(config.predictor),
+        btb=BranchTargetBuffer(config.predictor.btb_entries),
+    )
+
+
+@dataclass
+class CoreRunResult:
+    """Result of a measured core-model run (post-warmup deltas)."""
+
+    engine: EngineResult
+    threads: list[ThreadState]
+    thread_instructions: list[int]
+    thread_stall_cycles: list[int] | None = None
+
+    @property
+    def ipc(self) -> float:
+        return self.engine.ipc
+
+    @property
+    def utilization(self) -> float:
+        return self.engine.utilization
+
+    def thread_ipc(self, index: int) -> float:
+        if self.engine.cycles <= 0:
+            return 0.0
+        return self.thread_instructions[index] / self.engine.cycles
+
+    def thread_compute_ipc(self, index: int) -> float:
+        """IPC of a thread over its non-stalled cycles."""
+        stalls = self.thread_stall_cycles[index] if self.thread_stall_cycles else 0
+        cycles = max(1, self.engine.cycles - stalls)
+        return self.thread_instructions[index] / cycles
+
+
+def measured_run(
+    engine: TimingEngine,
+    threads: list[ThreadState],
+    *,
+    warmup_instructions: int = 0,
+    max_instructions: int | None = None,
+    until_cycle: int | None = None,
+) -> CoreRunResult:
+    """Run ``engine`` with a warmup phase excluded from the measurement.
+
+    Warmup primes caches, TLBs and predictors (the paper's detailed
+    simulations similarly fast-forward past cold state); the returned
+    result covers only the measurement interval.
+    """
+    if warmup_instructions:
+        engine.run(max_instructions=warmup_instructions)
+    snapshot = [t.instructions for t in threads]
+    stall_snapshot = [t.remote_stall_cycles for t in threads]
+    result = engine.run(max_instructions=max_instructions, until_cycle=until_cycle)
+    deltas = [t.instructions - s for t, s in zip(threads, snapshot)]
+    stall_deltas = [
+        t.remote_stall_cycles - s for t, s in zip(threads, stall_snapshot)
+    ]
+    return CoreRunResult(
+        engine=result,
+        threads=threads,
+        thread_instructions=deltas,
+        thread_stall_cycles=stall_deltas,
+    )
+
+
+class BaselineCoreModel:
+    """Design (1): a 4-wide OoO core running a single thread."""
+
+    def __init__(self, config: OoOCoreConfig | None = None, name: str = "baseline"):
+        self.config = config or OoOCoreConfig()
+        self.name = name
+        self.stack = build_cache_stack(self.config, name=name)
+        self.engine = TimingEngine(
+            width=self.config.width,
+            frequency_hz=self.config.frequency_hz,
+            name=name,
+        )
+
+    def run(
+        self,
+        trace: Trace,
+        max_instructions: int | None = None,
+        warmup_instructions: int = 0,
+    ) -> CoreRunResult:
+        thread = ThreadState(
+            trace,
+            self.stack.ports(),
+            kind="ooo",
+            rob_cap=self.config.rob_entries,
+            lq_cap=self.config.load_queue_entries,
+            sq_cap=self.config.store_queue_entries,
+            name=f"{self.name}.t0",
+        )
+        self.engine.add_thread(thread)
+        return measured_run(
+            self.engine,
+            [thread],
+            warmup_instructions=warmup_instructions,
+            max_instructions=max_instructions,
+        )
+
+
+class SMTCoreModel:
+    """Designs (2)-(3) and Fig 1c: OoO SMT with N hardware threads.
+
+    Thread 0 is the latency-critical thread.  With ``fetch_policy ==
+    "icount"`` storage is partitioned evenly (ICOUNT keeps occupancy
+    balanced); with ``"priority"`` (SMT+) the critical thread keeps the
+    full structures and co-runners are capped at
+    ``corunner_storage_cap`` of each (Section V, [118, 119]).
+    """
+
+    def __init__(self, config: SMTCoreConfig | None = None, name: str = "smt"):
+        self.config = config or SMTCoreConfig()
+        self.name = name
+        self.stack = build_cache_stack(self.config.base, name=name)
+        self.engine = TimingEngine(
+            width=self.config.base.width,
+            frequency_hz=self.config.base.frequency_hz,
+            name=name,
+        )
+
+    def _storage_caps(self, num_threads: int, is_critical: bool) -> tuple[int, int, int]:
+        base = self.config.base
+        if self.config.fetch_policy == "priority":
+            if is_critical:
+                return base.rob_entries, base.load_queue_entries, base.store_queue_entries
+            cap = self.config.corunner_storage_cap
+            return (
+                max(1, int(base.rob_entries * cap)),
+                max(1, int(base.load_queue_entries * cap)),
+                max(1, int(base.store_queue_entries * cap)),
+            )
+        # ICOUNT shares storage dynamically: threads stalled on long
+        # events hold few entries, so a ready thread's effective window
+        # exceeds a static 1/N split.  Model this with a floor on the
+        # per-thread share.
+        share = max(1, num_threads)
+        return (
+            max(base.rob_entries // share, min(32, base.rob_entries)),
+            max(base.load_queue_entries // share, min(12, base.load_queue_entries)),
+            max(base.store_queue_entries // share, min(8, base.store_queue_entries)),
+        )
+
+    def run(
+        self,
+        traces: list[Trace],
+        max_instructions: int | None = None,
+        warmup_instructions: int = 0,
+        loop_all: bool = False,
+    ) -> CoreRunResult:
+        """Run the threads; thread 0 is the latency-critical one.
+
+        By default co-runners loop and thread 0 runs to completion;
+        ``loop_all`` makes every thread loop (symmetric throughput
+        sweeps), in which case ``max_instructions`` must bound the run.
+        """
+        if not traces:
+            raise ValueError("need at least one trace")
+        if loop_all and max_instructions is None:
+            raise ValueError("loop_all runs need an instruction budget")
+        ports = self.stack.ports()
+        # Co-runners leave fetch/issue slots free for the critical thread:
+        # ICOUNT biases toward the (usually low-occupancy) critical thread;
+        # SMT+ gives it strict bandwidth priority [118].
+        corunner_reserve = 2 if self.config.fetch_policy == "priority" else 1
+        threads = []
+        for i, trace in enumerate(traces):
+            rob, lq, sq = self._storage_caps(len(traces), is_critical=(i == 0))
+            priority = 0 if (i == 0 and self.config.fetch_policy == "priority") else 1
+            thread = ThreadState(
+                trace,
+                ports,
+                kind="ooo",
+                rob_cap=rob,
+                lq_cap=lq,
+                sq_cap=sq,
+                loop=loop_all or (i > 0),
+                name=f"{self.name}.t{i}",
+                priority=priority,
+            )
+            # Reserving slots models criticality; in symmetric many-thread
+            # sweeps (Fig 1c) no thread is privileged, so no reserve.
+            if i > 0 and (self.config.fetch_policy == "priority" or len(traces) == 2):
+                thread.slot_reserve = corunner_reserve
+            threads.append(self.engine.add_thread(thread))
+        # Co-runners loop forever; bound the run by the critical thread or
+        # an explicit instruction budget.
+        if max_instructions is None:
+            if warmup_instructions:
+                self.engine.run(max_instructions=warmup_instructions)
+            snapshot = [t.instructions for t in threads]
+            stall_snapshot = [t.remote_stall_cycles for t in threads]
+            start_cycle = self.engine.now
+            start_instructions = self.engine.instructions
+            critical = threads[0]
+            while not critical.done:
+                self.engine.run(max_instructions=50_000)
+            result = EngineResult(
+                instructions=self.engine.instructions - start_instructions,
+                cycles=self.engine.now - start_cycle,
+                width=self.engine.width,
+                start_cycle=start_cycle,
+            )
+            deltas = [t.instructions - s for t, s in zip(threads, snapshot)]
+            stall_deltas = [
+                t.remote_stall_cycles - s for t, s in zip(threads, stall_snapshot)
+            ]
+            return CoreRunResult(
+                engine=result,
+                threads=threads,
+                thread_instructions=deltas,
+                thread_stall_cycles=stall_deltas,
+            )
+        return measured_run(
+            self.engine,
+            threads,
+            warmup_instructions=warmup_instructions,
+            max_instructions=max_instructions,
+        )
+
+
+class InOrderSMTCoreModel:
+    """An n-thread in-order SMT datapath (Fig 2a's InO curves).
+
+    All threads share fetch/issue/commit bandwidth, caches, and the
+    predictor; each issues strictly in program order.
+    """
+
+    #: In-flight instruction window per in-order thread (scoreboard depth).
+    INORDER_WINDOW = 32
+
+    def __init__(
+        self,
+        config: LenderCoreConfig | None = None,
+        name: str = "ino-smt",
+        llc: SetAssociativeCache | None = None,
+    ):
+        self.config = config or LenderCoreConfig()
+        self.name = name
+        self.stack = build_cache_stack(self.config, llc=llc, name=name)
+        self.engine = TimingEngine(
+            width=self.config.issue_width,
+            frequency_hz=self.config.frequency_hz,
+            name=name,
+        )
+
+    def run(
+        self,
+        traces: list[Trace],
+        max_instructions: int = 100_000,
+        warmup_instructions: int = 0,
+    ) -> CoreRunResult:
+        ports = self.stack.ports()
+        threads = [
+            self.engine.add_thread(
+                ThreadState(
+                    trace,
+                    ports,
+                    kind="inorder",
+                    rob_cap=self.INORDER_WINDOW,
+                    loop=True,
+                    name=f"{self.name}.t{i}",
+                )
+            )
+            for i, trace in enumerate(traces)
+        ]
+        return measured_run(
+            self.engine,
+            threads,
+            warmup_instructions=warmup_instructions,
+            max_instructions=max_instructions,
+        )
+
+
+class LenderCoreModel:
+    """The lender-core: 8-way InO HSMT over a virtual-context run queue."""
+
+    def __init__(
+        self,
+        config: LenderCoreConfig | None = None,
+        name: str = "lender",
+        llc: SetAssociativeCache | None = None,
+    ):
+        self.config = config or LenderCoreConfig()
+        self.name = name
+        self.stack = build_cache_stack(self.config, llc=llc, name=name)
+        self.engine = TimingEngine(
+            width=self.config.issue_width,
+            frequency_hz=self.config.frequency_hz,
+            name=name,
+        )
+        quantum = int(cycles_from_us(self.config.quantum_us, self.config.frequency_hz))
+        self.scheduler = HSMTScheduler(
+            self.engine,
+            physical_contexts=self.config.physical_contexts,
+            swap_cycles=self.config.context_swap_cycles,
+            quantum_cycles=quantum,
+        )
+        self.contexts: list[ThreadState] = []
+
+    def add_virtual_context(self, trace: Trace, name: str | None = None) -> ThreadState:
+        thread = ThreadState(
+            trace,
+            self.stack.ports(),
+            kind="inorder",
+            rob_cap=InOrderSMTCoreModel.INORDER_WINDOW,
+            loop=True,
+            remote_policy="scheduler",
+            name=name or f"{self.name}.vc{len(self.contexts)}",
+        )
+        self.scheduler.add_context(thread)
+        self.contexts.append(thread)
+        return thread
+
+    def run(
+        self, max_instructions: int = 100_000, warmup_instructions: int = 0
+    ) -> CoreRunResult:
+        if not self.contexts:
+            raise ValueError("lender-core has no virtual contexts to run")
+        return measured_run(
+            self.engine,
+            list(self.contexts),
+            warmup_instructions=warmup_instructions,
+            max_instructions=max_instructions,
+        )

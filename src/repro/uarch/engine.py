@@ -1,0 +1,550 @@
+"""Event-driven multi-threaded core timing model.
+
+This is the reproduction's gem5: a trace-driven cycle-accounting model
+that supports
+
+* single-threaded out-of-order issue (baseline / master-thread mode),
+* multi-threaded SMT with shared fetch/issue/commit bandwidth, shared
+  caches and predictors, and per-thread storage partitions (SMT, SMT+),
+* in-order issue per thread (lender-core datapath, MorphCore/master-core
+  filler mode), and
+* microsecond-scale REMOTE stall events, with pluggable policies (block
+  the thread, or hand the event to an HSMT scheduler that swaps contexts).
+
+Every instruction passes through fetch -> dispatch -> issue -> execute ->
+commit.  Bandwidth at fetch/issue/commit is arbitrated by shared
+:class:`~repro.uarch.slots.SlotAllocator` objects; storage (ROB, LQ, SQ)
+is tracked per thread; data dependencies flow through per-thread
+architectural-register scoreboards; memory operations take their latency
+from a :class:`~repro.caches.hierarchy.MemoryHierarchy`; branch outcomes
+are checked against real direction predictors and a BTB.
+
+The model is *event-driven per instruction* rather than cycle-stepped:
+each thread is advanced one instruction at a time, threads being
+interleaved in global-time order through a heap.  This keeps Python
+overhead at O(instructions), not O(cycles x width).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.caches.hierarchy import MemoryHierarchy
+from repro.caches.tlb import TLB
+from repro.uarch.isa import NO_REG, NUM_ARCH_REGS, Op, Trace
+from repro.uarch.slots import SlotAllocator
+
+#: Cycles from fetch to dispatch (frontend depth).
+FRONTEND_DEPTH = 5
+#: Extra fetch bubble when a taken branch misses in the BTB.
+BTB_MISS_BUBBLE = 2
+
+_OP_LOAD = int(Op.LOAD)
+_OP_STORE = int(Op.STORE)
+_OP_BRANCH = int(Op.BRANCH)
+_OP_REMOTE = int(Op.REMOTE)
+_OP_IALU = int(Op.IALU)
+_OP_IMUL = int(Op.IMUL)
+_OP_FP = int(Op.FP)
+
+_EXEC_LATENCY = {_OP_IALU: 1, _OP_IMUL: 3, _OP_FP: 4, _OP_BRANCH: 1, _OP_STORE: 1}
+
+# _step outcomes.
+_OK = 0
+_REMOTE_BLOCKED = 1
+_DEFERRED = 2  # fetch would cross the window's fetch limit; not executed
+
+
+@dataclass
+class CorePorts:
+    """The stateful structures one thread fetches/loads through.
+
+    Threads that share a ``CorePorts`` (or parts of one) interfere with
+    each other; Duplexity's state segregation is expressed by giving
+    filler threads a different ``CorePorts`` than the master-thread.
+    """
+
+    ihier: MemoryHierarchy
+    dhier: MemoryHierarchy
+    itlb: TLB | None = None
+    dtlb: TLB | None = None
+    predictor: object | None = None  # direction predictor (predict/update)
+    btb: BranchTargetBuffer | None = None
+
+
+class ThreadState:
+    """Per-thread (or per-virtual-context) execution state."""
+
+    __slots__ = (
+        "trace",
+        "ports",
+        "kind",
+        "cursor",
+        "loop",
+        "done",
+        "reg_ready",
+        "rob",
+        "rob_cap",
+        "lq",
+        "lq_cap",
+        "sq",
+        "sq_cap",
+        "next_fetch",
+        "last_issue",
+        "last_commit",
+        "last_line",
+        "last_page",
+        "instructions",
+        "mispredicts",
+        "branches",
+        "remote_ops",
+        "remote_stall_cycles",
+        "remote_policy",
+        "active",
+        "activated_at",
+        "name",
+        "priority",
+        "first_fetch",
+        "bp_history",
+        "last_remote_issue",
+        "last_remote_complete",
+        "slot_reserve",
+    )
+
+    def __init__(
+        self,
+        trace: Trace,
+        ports: CorePorts,
+        *,
+        kind: str = "ooo",
+        rob_cap: int = 144,
+        lq_cap: int = 48,
+        sq_cap: int = 32,
+        loop: bool = False,
+        remote_policy: str = "block",
+        name: str = "thread",
+        priority: int = 0,
+    ):
+        if kind not in ("ooo", "inorder"):
+            raise ValueError(f"unknown thread kind {kind!r}")
+        if remote_policy not in ("block", "scheduler"):
+            raise ValueError(f"unknown remote policy {remote_policy!r}")
+        if len(trace) == 0:
+            raise ValueError("cannot run an empty trace")
+        self.trace = trace
+        self.ports = ports
+        self.kind = kind
+        self.cursor = 0
+        self.loop = loop
+        self.done = False
+        self.reg_ready = [0] * NUM_ARCH_REGS
+        self.rob: list[int] = []  # commit cycles, FIFO via index
+        self.rob_cap = rob_cap
+        self.lq: list[int] = []
+        self.lq_cap = lq_cap
+        self.sq: list[int] = []
+        self.sq_cap = sq_cap
+        self.next_fetch = 0
+        self.last_issue = 0
+        self.last_commit = 0
+        self.last_line = -1
+        self.last_page = -1
+        self.instructions = 0
+        self.mispredicts = 0
+        self.branches = 0
+        self.remote_ops = 0
+        self.remote_stall_cycles = 0
+        self.remote_policy = remote_policy
+        self.active = True
+        self.activated_at = 0
+        self.name = name
+        self.priority = priority
+        self.first_fetch: int | None = None
+        # Per-thread global branch history: SMT threads share predictor
+        # tables but keep private history registers.
+        self.bp_history = 0
+        # Timing of the most recent REMOTE access (for co-simulation).
+        self.last_remote_issue = -1
+        self.last_remote_complete = -1
+        # Pipeline slots per cycle this thread must leave free for
+        # higher-priority threads (0 = may fill every slot).
+        self.slot_reserve = 0
+
+    def ipc(self, cycles: int) -> float:
+        return self.instructions / cycles if cycles > 0 else 0.0
+
+
+class Scheduler(Protocol):
+    """Hook interface for HSMT-style context scheduling."""
+
+    def on_remote(self, thread: ThreadState, issue: int, complete: int) -> None:
+        """Called when ``thread`` initiates a REMOTE access completing at
+        ``complete``; the scheduler may deactivate it and swap another in."""
+        ...
+
+    def before_instruction(self, thread: ThreadState, now: int) -> bool:
+        """Called before each instruction; return False to preempt the
+        thread (it will not execute this instruction now)."""
+        ...
+
+    def on_idle(self, now: int) -> int | None:
+        """Called when no active thread can run; return the cycle at which
+        a context becomes runnable, or None if none ever will."""
+        ...
+
+
+@dataclass
+class EngineResult:
+    """Aggregate outcome of an engine run."""
+
+    instructions: int
+    cycles: int
+    width: int
+    start_cycle: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles > 0 else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Retired slots over peak retire bandwidth (paper Section VI-A)."""
+        return self.ipc / self.width if self.width else 0.0
+
+
+class TimingEngine:
+    """Multi-threaded, resumable, event-driven timing model."""
+
+    def __init__(
+        self,
+        *,
+        width: int = 4,
+        frequency_hz: float = 3.4e9,
+        frontend_depth: int = FRONTEND_DEPTH,
+        name: str = "core",
+    ):
+        self.width = width
+        self.frequency_hz = frequency_hz
+        self.frontend_depth = frontend_depth
+        self.name = name
+        self.fetch_slots = SlotAllocator(width, "fetch")
+        self.issue_slots = SlotAllocator(width, "issue")
+        self.commit_slots = SlotAllocator(width, "commit")
+        self.threads: list[ThreadState] = []
+        self.scheduler: Scheduler | None = None
+        self._heap: list[tuple[int, int, int]] = []  # (cycle, seq, thread idx)
+        self._seq = 0
+        self.now = 0
+        self.instructions = 0
+        self._prune_countdown = 4096
+        # During run(until_cycle=...), no instruction may FETCH at or past
+        # this cycle: filler work in flight at a window's end is squashed
+        # by the master-thread's restart, so it must not be counted.
+        self._fetch_limit: int | None = None
+
+    # -- construction ----------------------------------------------------
+
+    def add_thread(self, thread: ThreadState) -> ThreadState:
+        idx = len(self.threads)
+        self.threads.append(thread)
+        if thread.active:
+            self._push(thread, idx)
+        return thread
+
+    def _push(self, thread: ThreadState, idx: int | None = None) -> None:
+        # The key is the thread's own next-fetch time, NOT clamped to
+        # engine ``now`` (which tracks the max commit seen and may run far
+        # ahead of other threads' frontiers); clamping would make
+        # ``until_cycle`` windows end early.
+        if idx is None:
+            idx = self.threads.index(thread)
+        heapq.heappush(
+            self._heap, (thread.next_fetch, thread.priority, self._seq, idx)
+        )
+        self._seq += 1
+
+    def activate(self, thread: ThreadState, at_cycle: int) -> None:
+        """(Re-)insert a context into the run heap at ``at_cycle``."""
+        thread.active = True
+        thread.activated_at = at_cycle
+        thread.next_fetch = max(thread.next_fetch, at_cycle)
+        # In-order issue continuity must not drag a re-activated context
+        # into the past relative to its new start.
+        thread.last_issue = max(thread.last_issue, at_cycle)
+        self._push(thread)
+
+    def stall_cycles_for_ns(self, ns: float) -> int:
+        return int(ns * self.frequency_hz / 1e9)
+
+    def fast_forward(self, cycle: int) -> None:
+        """Advance the clock to ``cycle`` without executing anything.
+
+        Used by windowed co-simulation (filler threads run on the
+        master-core only while the master-thread is stalled): between
+        windows the filler engine's time jumps forward to the next
+        window's start.  Pending thread wake-ups earlier than ``cycle``
+        simply become runnable immediately.
+        """
+        if cycle > self.now:
+            self.now = cycle
+        # Void the interval before ``cycle`` even when the engine's
+        # high-water commit time already passed it: threads may not
+        # retroactively claim fetch/issue bandwidth from a period when the
+        # core was not theirs.
+        for thread in self.threads:
+            if not thread.done:
+                thread.next_fetch = max(thread.next_fetch, cycle)
+                thread.last_issue = max(thread.last_issue, cycle)
+                thread.last_commit = max(thread.last_commit, cycle)
+        self.fetch_slots.retire_before(cycle)
+        self.issue_slots.retire_before(cycle)
+        self.commit_slots.retire_before(cycle)
+        if self._heap:
+            rebuilt = [
+                (max(entry_cycle, cycle), prio, seq, idx)
+                for entry_cycle, prio, seq, idx in self._heap
+            ]
+            heapq.heapify(rebuilt)
+            self._heap = rebuilt
+
+    # -- main loop --------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        until_cycle: int | None = None,
+        max_instructions: int | None = None,
+        stop_after_remote: bool = False,
+    ) -> EngineResult:
+        """Advance the model.
+
+        Stops when all threads are done, ``until_cycle`` is reached (no
+        instruction whose fetch would start later is processed),
+        ``max_instructions`` have retired in this call, or — with
+        ``stop_after_remote`` — immediately after any thread with the
+        ``block`` remote policy initiates a REMOTE access.
+        """
+        start_cycle = self.now
+        start_instructions = self.instructions
+        executed = 0
+        heap = self._heap
+        self._fetch_limit = until_cycle
+        while True:
+            if not heap:
+                # No runnable context: let an HSMT scheduler wake/activate
+                # blocked virtual contexts (advancing time to the wake).
+                if self.scheduler is None:
+                    break
+                wake = self.scheduler.on_idle(self.now)
+                if wake is None:
+                    break
+                self.now = max(self.now, wake)
+                if not heap:
+                    break
+                continue
+            cycle, _prio, _seq, idx = heap[0]
+            if until_cycle is not None and cycle >= until_cycle:
+                break
+            heapq.heappop(heap)
+            thread = self.threads[idx]
+            if not thread.active or thread.done:
+                continue
+            if self.scheduler is not None and not self.scheduler.before_instruction(
+                thread, cycle
+            ):
+                # Preempted: the scheduler has re-queued or deactivated it.
+                continue
+            status = self._step(thread, idx)
+            if status == _DEFERRED:
+                self._push(thread, idx)
+                continue
+            executed += 1
+            if not thread.done and thread.active:
+                self._push(thread, idx)
+            if max_instructions is not None and executed >= max_instructions:
+                break
+            if stop_after_remote and status == _REMOTE_BLOCKED:
+                break
+        self._fetch_limit = None
+        return EngineResult(
+            instructions=self.instructions - start_instructions,
+            cycles=self.now - start_cycle,
+            width=self.width,
+            start_cycle=start_cycle,
+        )
+
+    # -- per-instruction model ---------------------------------------------
+
+    def _step(self, thread: ThreadState, idx: int) -> int:
+        """Process one instruction of ``thread``; returns an ``_OK`` /
+        ``_REMOTE_BLOCKED`` / ``_DEFERRED`` status."""
+        trace = thread.trace
+        i = thread.cursor
+        op = int(trace.op[i])
+        ports = thread.ports
+
+        # ---- fetch ----
+        earliest = thread.next_fetch
+        fetch_extra = 0
+        pc = int(trace.pc[i])
+        line = pc >> 6
+        if line != thread.last_line:
+            thread.last_line = line
+            if ports.itlb is not None:
+                page = pc >> 12
+                if page != thread.last_page:
+                    thread.last_page = page
+                    if not ports.itlb.translate(pc):
+                        fetch_extra += ports.itlb.config.miss_latency_cycles
+            # The hit latency is pipelined into the frontend depth; only
+            # the *miss* latency beyond a hit stalls fetch.
+            lat = ports.ihier.access(pc)
+            fetch_extra += max(0, lat - ports.ihier.levels[0].hit_latency)
+        max_used = self.width - thread.slot_reserve if thread.slot_reserve else None
+        fetch_cycle = self.fetch_slots.alloc(earliest, max_used)
+        if self._fetch_limit is not None and fetch_cycle >= self._fetch_limit:
+            # The fetch would land past the window's end; the master's
+            # restart squashes it.  Release the slot and defer.
+            self.fetch_slots.free(fetch_cycle)
+            thread.next_fetch = max(thread.next_fetch, fetch_cycle)
+            return _DEFERRED
+        avail = fetch_cycle + fetch_extra + self.frontend_depth
+
+        # ---- storage structures (dispatch gating) ----
+        rob = thread.rob
+        if len(rob) >= thread.rob_cap:
+            avail = max(avail, rob[0] + 1)
+            del rob[0]
+        if op == _OP_LOAD:
+            lq = thread.lq
+            if len(lq) >= thread.lq_cap:
+                avail = max(avail, lq[0] + 1)
+                del lq[0]
+        elif op == _OP_STORE:
+            sq = thread.sq
+            if len(sq) >= thread.sq_cap:
+                avail = max(avail, sq[0] + 1)
+                del sq[0]
+
+        # ---- issue (dependencies + bandwidth) ----
+        reg_ready = thread.reg_ready
+        dep = avail
+        src1 = trace.src1[i]
+        if src1 != NO_REG:
+            r = reg_ready[src1]
+            if r > dep:
+                dep = r
+        src2 = trace.src2[i]
+        if src2 != NO_REG:
+            r = reg_ready[src2]
+            if r > dep:
+                dep = r
+        if thread.kind == "inorder" and thread.last_issue > dep:
+            dep = thread.last_issue
+        issue = self.issue_slots.alloc(dep, max_used)
+        if thread.kind == "inorder":
+            thread.last_issue = issue
+
+        # ---- execute ----
+        status = _OK
+        if op == _OP_LOAD:
+            latency = ports.dhier.access(int(trace.addr[i]))
+            if ports.dtlb is not None and not ports.dtlb.translate(int(trace.addr[i])):
+                latency += ports.dtlb.config.miss_latency_cycles
+        elif op == _OP_STORE:
+            ports.dhier.access(int(trace.addr[i]), is_write=True)
+            if ports.dtlb is not None:
+                ports.dtlb.translate(int(trace.addr[i]))
+            latency = 1
+        elif op == _OP_REMOTE:
+            latency = self.stall_cycles_for_ns(float(trace.stall_ns[i]))
+            thread.remote_ops += 1
+            thread.remote_stall_cycles += latency
+            thread.last_remote_issue = issue
+            thread.last_remote_complete = issue + latency
+        else:
+            latency = _EXEC_LATENCY[op]
+        complete = issue + latency
+
+        dst = trace.dst[i]
+        if dst != NO_REG:
+            reg_ready[dst] = complete
+
+        # ---- control flow ----
+        next_fetch = fetch_cycle  # same-cycle fetch group by default
+        if op == _OP_BRANCH:
+            thread.branches += 1
+            taken = bool(trace.taken[i])
+            predictor = ports.predictor
+            if predictor is not None:
+                history = thread.bp_history
+                predicted = predictor.predict(pc, history)
+                predictor.update(pc, taken, history)
+                bits = predictor.history_bits
+                if bits:
+                    thread.bp_history = ((history << 1) | taken) & ((1 << bits) - 1)
+                if predicted != taken:
+                    thread.mispredicts += 1
+                    next_fetch = complete + 1
+                elif taken and ports.btb is not None:
+                    target = int(trace.target[i])
+                    cached = ports.btb.lookup(pc)
+                    ports.btb.update(pc, target)
+                    if cached != target:
+                        next_fetch = fetch_cycle + BTB_MISS_BUBBLE
+        elif op == _OP_REMOTE:
+            if thread.remote_policy == "block":
+                # The thread cannot run ahead of a blocking remote access.
+                next_fetch = complete
+                status = _REMOTE_BLOCKED
+        thread.next_fetch = max(next_fetch, fetch_cycle)
+
+        # ---- commit (in order) ----
+        commit = self.commit_slots.alloc(max(complete, thread.last_commit), max_used)
+        thread.last_commit = commit
+        rob.append(commit)
+        if op == _OP_LOAD:
+            thread.lq.append(commit)
+        elif op == _OP_STORE:
+            thread.sq.append(commit)
+
+        thread.instructions += 1
+        self.instructions += 1
+        if thread.first_fetch is None:
+            thread.first_fetch = fetch_cycle
+        if commit > self.now:
+            self.now = commit
+
+        # ---- advance cursor ----
+        i += 1
+        if i >= len(trace):
+            if thread.loop:
+                i = 0
+            else:
+                thread.done = True
+        thread.cursor = i
+
+        # ---- scheduler notification for REMOTE under HSMT ----
+        if op == _OP_REMOTE and thread.remote_policy == "scheduler":
+            if self.scheduler is None:
+                raise RuntimeError(
+                    f"thread {thread.name!r} uses the scheduler remote policy "
+                    "but the engine has no scheduler attached"
+                )
+            self.scheduler.on_remote(thread, issue, complete)
+
+        # ---- bookkeeping ----
+        self._prune_countdown -= 1
+        if self._prune_countdown <= 0:
+            self._prune_countdown = 4096
+            horizon = min(
+                (t.next_fetch for t in self.threads if not t.done), default=self.now
+            )
+            self.fetch_slots.retire_before(horizon)
+            self.issue_slots.retire_before(horizon)
+            self.commit_slots.retire_before(horizon)
+
+        return status

@@ -1,0 +1,164 @@
+"""Instruction classes and the trace container consumed by timing models.
+
+The core models are *trace driven*: a workload is a sequence of micro-ops
+with register dependencies, memory addresses, branch outcomes and
+microsecond-scale remote-access events.  Traces are stored as parallel
+numpy arrays for compactness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+import numpy as np
+
+
+class Op(IntEnum):
+    """Micro-op classes with distinct execution behaviour."""
+
+    IALU = 0  # single-cycle integer
+    IMUL = 1  # integer multiply
+    FP = 2  # floating point / SIMD
+    LOAD = 3  # memory read through the D-hierarchy
+    STORE = 4  # memory write through the D-hierarchy
+    BRANCH = 5  # conditional branch (direction predicted)
+    REMOTE = 6  # microsecond-scale stall (RDMA / Optane / leaf wait)
+
+
+#: Execution latency (cycles) of each op class; LOAD/STORE latency comes
+#: from the cache hierarchy and REMOTE from the trace's stall field.
+EXEC_LATENCY = {
+    Op.IALU: 1,
+    Op.IMUL: 3,
+    Op.FP: 4,
+    Op.LOAD: 0,  # + hierarchy latency
+    Op.STORE: 1,
+    Op.BRANCH: 1,
+    Op.REMOTE: 0,  # + stall duration
+}
+
+#: Number of architectural registers visible to the trace generator
+#: (x86-64: 16 GP + 16 XMM; we model a flat space of 32).
+NUM_ARCH_REGS = 32
+
+#: Sentinel for "no register".
+NO_REG = -1
+
+
+@dataclass
+class Trace:
+    """A micro-op trace as parallel arrays.
+
+    Fields (all length ``n``):
+
+    * ``op`` — :class:`Op` codes (uint8)
+    * ``dst`` — destination register or ``NO_REG`` (int8)
+    * ``src1``/``src2`` — source registers or ``NO_REG`` (int8)
+    * ``addr`` — byte address for LOAD/STORE (int64, 0 otherwise)
+    * ``pc`` — instruction address (int64)
+    * ``taken`` — branch outcome (bool, False for non-branches)
+    * ``target`` — branch target (int64, 0 for non-branches)
+    * ``stall_ns`` — REMOTE stall duration in nanoseconds (float64)
+    """
+
+    op: np.ndarray
+    dst: np.ndarray
+    src1: np.ndarray
+    src2: np.ndarray
+    addr: np.ndarray
+    pc: np.ndarray
+    taken: np.ndarray
+    target: np.ndarray
+    stall_ns: np.ndarray
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        n = len(self.op)
+        for field_name in ("dst", "src1", "src2", "addr", "pc", "taken", "target", "stall_ns"):
+            if len(getattr(self, field_name)) != n:
+                raise ValueError(f"trace field {field_name!r} has mismatched length")
+
+    def __len__(self) -> int:
+        return len(self.op)
+
+    @property
+    def num_remote(self) -> int:
+        return int((self.op == Op.REMOTE).sum())
+
+    @property
+    def total_stall_ns(self) -> float:
+        return float(self.stall_ns.sum())
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A view-based sub-trace (no copies)."""
+        return Trace(
+            op=self.op[start:stop],
+            dst=self.dst[start:stop],
+            src1=self.src1[start:stop],
+            src2=self.src2[start:stop],
+            addr=self.addr[start:stop],
+            pc=self.pc[start:stop],
+            taken=self.taken[start:stop],
+            target=self.target[start:stop],
+            stall_ns=self.stall_ns[start:stop],
+            name=self.name,
+        )
+
+
+class TraceBuilder:
+    """Incrementally assemble a :class:`Trace`."""
+
+    def __init__(self, name: str = "trace"):
+        self.name = name
+        self._op: list[int] = []
+        self._dst: list[int] = []
+        self._src1: list[int] = []
+        self._src2: list[int] = []
+        self._addr: list[int] = []
+        self._pc: list[int] = []
+        self._taken: list[bool] = []
+        self._target: list[int] = []
+        self._stall_ns: list[float] = []
+
+    def add(
+        self,
+        op: Op,
+        *,
+        dst: int = NO_REG,
+        src1: int = NO_REG,
+        src2: int = NO_REG,
+        addr: int = 0,
+        pc: int = 0,
+        taken: bool = False,
+        target: int = 0,
+        stall_ns: float = 0.0,
+    ) -> None:
+        if op == Op.REMOTE and stall_ns <= 0:
+            raise ValueError("REMOTE ops must carry a positive stall duration")
+        self._op.append(int(op))
+        self._dst.append(dst)
+        self._src1.append(src1)
+        self._src2.append(src2)
+        self._addr.append(addr)
+        self._pc.append(pc)
+        self._taken.append(taken)
+        self._target.append(target)
+        self._stall_ns.append(stall_ns)
+
+    def __len__(self) -> int:
+        return len(self._op)
+
+    def build(self) -> Trace:
+        return Trace(
+            op=np.asarray(self._op, dtype=np.uint8),
+            dst=np.asarray(self._dst, dtype=np.int8),
+            src1=np.asarray(self._src1, dtype=np.int8),
+            src2=np.asarray(self._src2, dtype=np.int8),
+            addr=np.asarray(self._addr, dtype=np.int64),
+            pc=np.asarray(self._pc, dtype=np.int64),
+            taken=np.asarray(self._taken, dtype=bool),
+            target=np.asarray(self._target, dtype=np.int64),
+            stall_ns=np.asarray(self._stall_ns, dtype=np.float64),
+            name=self.name,
+        )

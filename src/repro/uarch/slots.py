@@ -1,0 +1,91 @@
+"""Per-cycle bandwidth allocation shared across hardware threads.
+
+Pipeline stages (fetch, issue, commit) admit at most ``width`` micro-ops
+per cycle; a :class:`SlotAllocator` hands out the earliest cycle with a
+free slot at or after a requested cycle.  Allocators are shared between
+threads of an SMT/HSMT core, which is how bandwidth interference arises in
+the timing models.
+"""
+
+from __future__ import annotations
+
+
+class SlotAllocator:
+    """First-fit per-cycle slot allocator with bounded bookkeeping.
+
+    Keeps a dict of cycle -> slots-used and prunes entries older than a
+    low-water mark that callers advance monotonically (``retire_before``).
+    """
+
+    def __init__(self, width: int, name: str = "stage"):
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.width = width
+        self.name = name
+        self._used: dict[int, int] = {}
+        self._floor = 0  # cycles below this are permanently full/pruned
+        self.allocated = 0
+
+    def alloc(self, earliest: int, max_used: int | None = None) -> int:
+        """Reserve one slot at the first cycle >= ``earliest`` with room.
+
+        ``max_used`` caps how full a cycle this caller may fill: a
+        low-priority SMT co-runner allocating with ``max_used = width - r``
+        leaves ``r`` slots per cycle for the latency-critical thread
+        (SMT+ bandwidth prioritization; ICOUNT's bias toward the
+        low-occupancy thread).
+        """
+        cycle = max(int(earliest), self._floor)
+        used = self._used
+        cap = self.width if max_used is None else min(max_used, self.width)
+        if cap < 1:
+            raise ValueError("slot cap leaves no capacity")
+        while used.get(cycle, 0) >= cap:
+            cycle += 1
+        used[cycle] = used.get(cycle, 0) + 1
+        self.allocated += 1
+        return cycle
+
+    def peek(self, earliest: int) -> int:
+        """First cycle >= ``earliest`` with room, without reserving."""
+        cycle = max(int(earliest), self._floor)
+        used = self._used
+        width = self.width
+        while used.get(cycle, 0) >= width:
+            cycle += 1
+        return cycle
+
+    def free(self, cycle: int) -> None:
+        """Release one previously reserved slot at ``cycle``."""
+        cycle = int(cycle)
+        used = self._used.get(cycle, 0)
+        if used <= 0:
+            raise ValueError(f"no slot reserved at cycle {cycle} to free")
+        if used == 1:
+            del self._used[cycle]
+        else:
+            self._used[cycle] = used - 1
+        self.allocated -= 1
+
+    def used_at(self, cycle: int) -> int:
+        return self._used.get(int(cycle), 0)
+
+    def retire_before(self, cycle: int) -> None:
+        """Allow pruning of bookkeeping older than ``cycle``.
+
+        Callers must guarantee no future ``alloc`` will request a cycle
+        below this mark.
+        """
+        cycle = int(cycle)
+        if cycle <= self._floor:
+            return
+        self._floor = cycle
+        # Amortize pruning: rebuild only once the table is large, so the
+        # rebuild cost is O(table) per O(table) retirements.
+        if len(self._used) > 8192:
+            self._used = {c: u for c, u in self._used.items() if c >= cycle}
+
+    def reset(self) -> None:
+        self._used.clear()
+        self._floor = 0
+        self.allocated = 0

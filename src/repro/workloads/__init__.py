@@ -1,0 +1,63 @@
+"""Microservice kernels, batch workloads and instruction-trace generation."""
+
+from repro.workloads import filler, microservices, tracegen
+from repro.workloads.consistent_hash import ConsistentHashRing
+from repro.workloads.cuckoo import CuckooHashTable
+from repro.workloads.filler import filler_context_traces, filler_trace
+from repro.workloads.graph import (
+    PartitionedGraph,
+    degree_distribution,
+    generate_power_law_graph,
+)
+from repro.workloads.lsh import LSHConfig, LSHIndex
+from repro.workloads.microservices import (
+    DEFAULT_INSTRUCTIONS_PER_US,
+    STANDARD_LOADS,
+    Microservice,
+    Phase,
+    flann_ha,
+    flann_ll,
+    flann_xy,
+    mcrouter,
+    rsc,
+    standard_microservices,
+    wordstem,
+)
+from repro.workloads.pagerank import BSPStats, pagerank
+from repro.workloads.porter import stem, stem_document
+from repro.workloads.sssp import sssp
+from repro.workloads.tracegen import RemoteSpec, TraceProfile, generate_trace
+
+__all__ = [
+    "BSPStats",
+    "ConsistentHashRing",
+    "CuckooHashTable",
+    "DEFAULT_INSTRUCTIONS_PER_US",
+    "LSHConfig",
+    "LSHIndex",
+    "Microservice",
+    "PartitionedGraph",
+    "Phase",
+    "RemoteSpec",
+    "STANDARD_LOADS",
+    "TraceProfile",
+    "degree_distribution",
+    "filler",
+    "filler_context_traces",
+    "filler_trace",
+    "flann_ha",
+    "flann_ll",
+    "flann_xy",
+    "generate_power_law_graph",
+    "generate_trace",
+    "mcrouter",
+    "microservices",
+    "pagerank",
+    "rsc",
+    "sssp",
+    "standard_microservices",
+    "stem",
+    "stem_document",
+    "tracegen",
+    "wordstem",
+]

@@ -1,0 +1,82 @@
+"""Consistent-hash ring (McRouter substrate).
+
+The McRouter microservice "routes Key-Value operations to 100 leaf
+servers via a consistent hash function" (Section V).  This is a classic
+ring with virtual nodes: servers are hashed to many points on a 64-bit
+ring; a key routes to the first server point clockwise from its hash.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+_RING_BITS = 64
+_RING_MASK = (1 << _RING_BITS) - 1
+
+
+def _hash_to_ring(data: str) -> int:
+    digest = hashlib.sha256(data.encode()).digest()
+    return int.from_bytes(digest[:8], "little") & _RING_MASK
+
+
+class ConsistentHashRing:
+    """Consistent hashing with virtual nodes."""
+
+    def __init__(self, servers: list[str] | None = None, replicas: int = 100):
+        if replicas <= 0:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        self._points: list[int] = []
+        self._owners: dict[int, str] = {}
+        self._servers: set[str] = set()
+        for server in servers or []:
+            self.add_server(server)
+
+    def add_server(self, server: str) -> None:
+        if server in self._servers:
+            raise ValueError(f"server {server!r} already on the ring")
+        self._servers.add(server)
+        for replica in range(self.replicas):
+            point = _hash_to_ring(f"{server}#{replica}")
+            # Deterministically resolve (vanishingly rare) point collisions
+            # in favour of the lexicographically smaller server.
+            if point in self._owners and self._owners[point] <= server:
+                continue
+            if point not in self._owners:
+                bisect.insort(self._points, point)
+            self._owners[point] = server
+
+    def remove_server(self, server: str) -> None:
+        if server not in self._servers:
+            raise KeyError(server)
+        self._servers.remove(server)
+        dead = [p for p, s in self._owners.items() if s == server]
+        for point in dead:
+            del self._owners[point]
+            idx = bisect.bisect_left(self._points, point)
+            del self._points[idx]
+
+    def route(self, key: str) -> str:
+        """The server responsible for ``key``."""
+        if not self._points:
+            raise RuntimeError("ring has no servers")
+        point = _hash_to_ring(key)
+        idx = bisect.bisect_right(self._points, point)
+        if idx == len(self._points):
+            idx = 0  # wrap around the ring
+        return self._owners[self._points[idx]]
+
+    @property
+    def servers(self) -> frozenset[str]:
+        return frozenset(self._servers)
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def load_distribution(self, keys: list[str]) -> dict[str, int]:
+        """Count how many of ``keys`` land on each server."""
+        counts = {server: 0 for server in self._servers}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts

@@ -1,0 +1,127 @@
+"""Cuckoo hash table (Remote Storage Caching substrate).
+
+The paper's RSC microservice "maps linear block addresses of a remote
+storage system to a local low-latency SSD using Cuckoo hashing [111]".
+This is a standard two-table cuckoo hash with bounded displacement chains
+and rehash-on-failure, storing block-address -> SSD-slot mappings.
+
+Lookups touch at most two random table slots — the memory behaviour the
+RSC trace profile mirrors.
+"""
+
+from __future__ import annotations
+
+
+class CuckooHashTable:
+    """Two-choice cuckoo hash map with integer keys."""
+
+    MAX_DISPLACEMENTS = 32
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 2:
+            raise ValueError("capacity must be at least 2")
+        # Per-table capacity; each key has one candidate slot per table.
+        self._size = capacity
+        self._table1: list[tuple[int, object] | None] = [None] * capacity
+        self._table2: list[tuple[int, object] | None] = [None] * capacity
+        self._count = 0
+        self._seed = 0x9E3779B97F4A7C15
+        self.lookups = 0
+        self.displacements = 0
+        self.rehashes = 0
+
+    # -- hashing ----------------------------------------------------------
+
+    def _hash1(self, key: int) -> int:
+        x = (key ^ self._seed) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+        x = (x ^ (x >> 31)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+        return (x ^ (x >> 29)) % self._size
+
+    def _hash2(self, key: int) -> int:
+        x = (key + self._seed) * 0xD6E8FEB86659FD93 & 0xFFFFFFFFFFFFFFFF
+        x = (x ^ (x >> 32)) * 0xD6E8FEB86659FD93 & 0xFFFFFFFFFFFFFFFF
+        return (x ^ (x >> 32)) % self._size
+
+    # -- operations ---------------------------------------------------------
+
+    def get(self, key: int):
+        """Return the value for ``key`` or None (at most two probes)."""
+        self.lookups += 1
+        entry = self._table1[self._hash1(key)]
+        if entry is not None and entry[0] == key:
+            return entry[1]
+        entry = self._table2[self._hash2(key)]
+        if entry is not None and entry[0] == key:
+            return entry[1]
+        return None
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None
+
+    def put(self, key: int, value) -> None:
+        """Insert or update ``key``; grows and rehashes on insertion failure."""
+        slot1 = self._hash1(key)
+        entry = self._table1[slot1]
+        if entry is not None and entry[0] == key:
+            self._table1[slot1] = (key, value)
+            return
+        slot2 = self._hash2(key)
+        entry = self._table2[slot2]
+        if entry is not None and entry[0] == key:
+            self._table2[slot2] = (key, value)
+            return
+        item = (key, value)
+        for _ in range(self.MAX_DISPLACEMENTS):
+            slot = self._hash1(item[0])
+            item, self._table1[slot] = self._table1[slot], item
+            if item is None:
+                self._count += 1
+                return
+            self.displacements += 1
+            slot = self._hash2(item[0])
+            item, self._table2[slot] = self._table2[slot], item
+            if item is None:
+                self._count += 1
+                return
+            self.displacements += 1
+        # _rehash re-inserts everything (including the pending item)
+        # through put(), which does the counting.
+        self._rehash(item)
+
+    def remove(self, key: int) -> bool:
+        slot = self._hash1(key)
+        entry = self._table1[slot]
+        if entry is not None and entry[0] == key:
+            self._table1[slot] = None
+            self._count -= 1
+            return True
+        slot = self._hash2(key)
+        entry = self._table2[slot]
+        if entry is not None and entry[0] == key:
+            self._table2[slot] = None
+            self._count -= 1
+            return True
+        return False
+
+    def _rehash(self, pending: tuple[int, object]) -> None:
+        """Grow both tables and re-insert everything plus ``pending``."""
+        self.rehashes += 1
+        old_entries = [e for e in self._table1 if e is not None]
+        old_entries += [e for e in self._table2 if e is not None]
+        old_entries.append(pending)
+        self._size *= 2
+        self._seed = (self._seed * 6364136223846793005 + 1442695040888963407) & (
+            (1 << 64) - 1
+        )
+        self._table1 = [None] * self._size
+        self._table2 = [None] * self._size
+        self._count = 0
+        for key, value in old_entries:
+            self.put(key, value)
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def load_factor(self) -> float:
+        return self._count / (2 * self._size)

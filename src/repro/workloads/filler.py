@@ -1,0 +1,156 @@
+"""Filler-thread (batch) workloads: BSP graph analytics over RDMA.
+
+Section V: "Filler-threads execute distributed PageRank and Single-Source
+Shortest Path algorithms based on bulk synchronous processing and [a]
+synchronous queue pair-based disaggregated memory model ... Reading a
+remote vertex requires a single-cache-line RDMA read that takes 1 us.
+Since almost half of vertices are accessed remotely through RDMA, our
+filler-threads also require 1 us stall time per each 1-2 us of compute.
+We execute 32 filler-threads per dyad."
+
+The actual BSP kernels live in :mod:`repro.workloads.pagerank` and
+:mod:`repro.workloads.sssp`; this module produces the instruction traces
+whose compute/stall temporal structure matches them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.uarch.isa import Trace
+from repro.workloads.tracegen import RemoteSpec, TraceProfile, generate_trace
+
+#: Mean RDMA read latency for a single cache line (Section V, [15]).
+RDMA_STALL_US = 1.0
+
+#: Mean wall-clock compute between remote vertex reads (paper: 1-2 us).
+FILLER_COMPUTE_US = 1.0
+
+#: Instructions a filler thread executes per microsecond of *its own*
+#: wall-clock compute.  Filler threads time-share an in-order SMT core, so
+#: their per-thread rate (~0.45 IPC at 3.25 GHz) is far below the
+#: master-core's nominal rate; the paper's "1 us stall per 1-2 us of
+#: compute" is wall-clock, which at this rate makes a thread stalled
+#: roughly 40-50% of the time — the p ~ 0.5 regime of Fig 2b.
+FILLER_INSTRUCTIONS_PER_US = 1400.0
+
+#: Virtual contexts provisioned per dyad (Section IV).
+FILLER_THREADS_PER_DYAD = 32
+
+PAGERANK_PROFILE = TraceProfile(
+    name="pagerank",
+    load_fraction=0.35,
+    store_fraction=0.08,
+    imul_fraction=0.02,
+    fp_fraction=0.12,  # rank accumulation
+    # Batch tasks are partitioned at fine granularity (Section IV:
+    # "partition data shards or tasks among threads at finer granularity").
+    # A virtual context's per-activation state must stay lean: contexts
+    # are swapped out on every RDMA read, so large per-context hot sets
+    # would be reloaded on every reactivation.  BSP graph workers stream
+    # their shard (vertex scans) with a small live set.
+    working_set_bytes=32 << 10,
+    hot_set_bytes=2 << 10,  # current vertex batch + rank segment
+    hot_fraction=0.9,
+    sequential_fraction=0.7,  # vertex scans
+    pointer_chase_fraction=0.02,
+    code_bytes=4 << 10,
+    branch_predictability=0.95,  # tight loops
+    dep_chain=0.15,
+)
+
+SSSP_PROFILE = TraceProfile(
+    name="sssp",
+    load_fraction=0.32,
+    store_fraction=0.10,  # distance updates
+    imul_fraction=0.02,
+    fp_fraction=0.05,
+    working_set_bytes=32 << 10,  # fine-grained frontier shard
+    hot_set_bytes=2 << 10,
+    hot_fraction=0.9,
+    sequential_fraction=0.7,
+    pointer_chase_fraction=0.03,  # frontier indirection
+    code_bytes=4 << 10,
+    branch_predictability=0.88,  # relaxation test is data dependent
+    dep_chain=0.15,
+)
+
+
+def filler_remote_spec(
+    compute_us: float = FILLER_COMPUTE_US,
+    stall_us: float = RDMA_STALL_US,
+    instructions_per_us: float = FILLER_INSTRUCTIONS_PER_US,
+) -> RemoteSpec:
+    """Remote-access pattern: one RDMA read per ``compute_us`` of compute."""
+    return RemoteSpec(
+        mean_interval_instructions=max(1.0, compute_us * instructions_per_us),
+        mean_stall_us=stall_us,
+    )
+
+
+def filler_trace(
+    rng: np.random.Generator,
+    num_instructions: int = 20_000,
+    slot: int = 0,
+    kind: str = "pagerank",
+    compute_us: float = FILLER_COMPUTE_US,
+    stall_us: float | None = RDMA_STALL_US,
+    instructions_per_us: float = FILLER_INSTRUCTIONS_PER_US,
+    time_scale: float = 1.0,
+) -> Trace:
+    """One filler virtual-context trace.
+
+    ``slot`` relocates the context's code/data so contexts contend for
+    cache capacity rather than aliasing onto the same lines.  ``stall_us =
+    None`` produces a stall-free batch thread (the paper's "If batch
+    threads do not incur us-scale stalls" scenario).  ``time_scale``
+    shrinks compute intervals and stalls together, as in
+    :meth:`~repro.workloads.microservices.Microservice.saturated_trace`.
+    """
+    if kind == "pagerank":
+        profile = PAGERANK_PROFILE
+    elif kind == "sssp":
+        profile = SSSP_PROFILE
+    else:
+        raise ValueError(f"unknown filler kind {kind!r}")
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    profile = profile.relocated(slot)
+    remote = (
+        filler_remote_spec(
+            compute_us * time_scale, stall_us * time_scale, instructions_per_us
+        )
+        if stall_us
+        else None
+    )
+    return generate_trace(profile, num_instructions, rng, remote=remote)
+
+
+def filler_context_traces(
+    rng: np.random.Generator,
+    num_contexts: int = FILLER_THREADS_PER_DYAD,
+    num_instructions: int = 20_000,
+    stall_us: float | None = RDMA_STALL_US,
+    instructions_per_us: float = FILLER_INSTRUCTIONS_PER_US,
+    time_scale: float = 1.0,
+    first_slot: int = 1,
+) -> list[Trace]:
+    """A dyad's virtual-context pool: alternating PageRank/SSSP workers.
+
+    ``first_slot`` defaults to 1 so context address ranges never collide
+    with the master-thread's (slot-0) code/data segments.
+    """
+    if num_contexts <= 0:
+        raise ValueError("need at least one context")
+    return [
+        filler_trace(
+            rng,
+            num_instructions=num_instructions,
+            slot=first_slot + i,
+            kind="pagerank" if i % 2 == 0 else "sssp",
+            stall_us=stall_us,
+            instructions_per_us=instructions_per_us,
+            time_scale=time_scale,
+        )
+        for i in range(num_contexts)
+    ]

@@ -1,0 +1,130 @@
+"""Locality-Sensitive Hashing for approximate nearest neighbours (FLANN).
+
+The FLANN microservice "uses Locality Sensitive Hashing (LSH) to perform
+k-nearest neighbor identification" (Section II-B).  This module
+implements random-hyperplane LSH for cosine similarity: each table hashes
+a vector to a ``hash_bits``-bit signature; candidates are the union of
+same-bucket points across tables, optionally expanded with multi-probe
+(Hamming-distance-1 buckets).
+
+"The computation FLANN performs between remote accesses varies with the
+number of LSH tables, buckets, and probes" — those are exactly this
+class's knobs, which the FLANN-HA/FLANN-LL microservice variants tune.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LSHConfig:
+    """Tuning knobs for an LSH index."""
+
+    num_tables: int = 8
+    hash_bits: int = 12
+    dimensions: int = 64
+    probes: int = 1  # 1 = exact bucket; >1 adds Hamming-1 neighbours
+
+    def __post_init__(self) -> None:
+        if self.num_tables <= 0 or self.hash_bits <= 0 or self.dimensions <= 0:
+            raise ValueError("LSH parameters must be positive")
+        if self.probes < 1:
+            raise ValueError("probes must be >= 1")
+        if self.hash_bits > 30:
+            raise ValueError("hash_bits > 30 would need impractically many buckets")
+
+
+class LSHIndex:
+    """Random-hyperplane LSH index over row vectors."""
+
+    def __init__(self, config: LSHConfig, seed: int = 0):
+        self.config = config
+        rng = np.random.default_rng(seed)
+        # One (hash_bits x dims) hyperplane matrix per table.
+        self._planes = rng.standard_normal(
+            (config.num_tables, config.hash_bits, config.dimensions)
+        )
+        self._buckets: list[dict[int, list[int]]] = [
+            {} for _ in range(config.num_tables)
+        ]
+        self._points: list[np.ndarray] = []
+
+    def _signatures(self, vector: np.ndarray) -> np.ndarray:
+        """The per-table bucket signature of ``vector``."""
+        projections = self._planes @ vector  # (tables, bits)
+        bits = (projections > 0).astype(np.int64)
+        weights = 1 << np.arange(self.config.hash_bits, dtype=np.int64)
+        return bits @ weights
+
+    def add(self, vector: np.ndarray) -> int:
+        """Index a vector; returns its integer id."""
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (self.config.dimensions,):
+            raise ValueError(
+                f"expected a {self.config.dimensions}-dim vector, got {vector.shape}"
+            )
+        point_id = len(self._points)
+        self._points.append(vector)
+        for table, signature in enumerate(self._signatures(vector)):
+            self._buckets[table].setdefault(int(signature), []).append(point_id)
+        return point_id
+
+    def _probe_signatures(self, signature: int) -> list[int]:
+        sigs = [signature]
+        for bit in range(min(self.config.probes - 1, self.config.hash_bits)):
+            sigs.append(signature ^ (1 << bit))
+        return sigs
+
+    def candidates(self, query: np.ndarray) -> list[int]:
+        """Candidate ids whose buckets collide with the query."""
+        query = np.asarray(query, dtype=float)
+        found: set[int] = set()
+        for table, signature in enumerate(self._signatures(query)):
+            buckets = self._buckets[table]
+            for sig in self._probe_signatures(int(signature)):
+                found.update(buckets.get(sig, ()))
+        return sorted(found)
+
+    def query(self, query: np.ndarray, k: int = 1) -> list[int]:
+        """Approximate k nearest neighbours by cosine similarity.
+
+        Scans only LSH candidates; falls back to an empty list when no
+        bucket collides (callers may then lower ``hash_bits`` or raise
+        ``probes``).
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        query = np.asarray(query, dtype=float)
+        ids = self.candidates(query)
+        if not ids:
+            return []
+        matrix = np.stack([self._points[i] for i in ids])
+        qn = np.linalg.norm(query)
+        norms = np.linalg.norm(matrix, axis=1)
+        denom = np.where(norms * qn > 0, norms * qn, 1.0)
+        sims = (matrix @ query) / denom
+        order = np.argsort(-sims)[:k]
+        return [ids[i] for i in order]
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def recall_against_exact(self, queries: np.ndarray, k: int = 1) -> float:
+        """Fraction of queries whose approximate 1-NN set intersects the
+        exact k-NN set — the standard LSH quality metric."""
+        if not self._points:
+            raise RuntimeError("index is empty")
+        matrix = np.stack(self._points)
+        hits = 0
+        for query in queries:
+            approx = set(self.query(query, k))
+            dots = matrix @ query
+            norms = np.linalg.norm(matrix, axis=1) * np.linalg.norm(query)
+            sims = dots / np.where(norms > 0, norms, 1.0)
+            exact = set(np.argsort(-sims)[:k].tolist())
+            if approx & exact:
+                hits += 1
+        return hits / len(queries)

@@ -1,0 +1,351 @@
+"""Microservice workload models (paper Section V, "Workloads").
+
+Each microservice is described by
+
+* a :class:`~repro.workloads.tracegen.TraceProfile` mirroring the memory
+  and control behaviour of its real kernel (the kernels themselves live in
+  :mod:`repro.workloads.lsh`, ``cuckoo``, ``consistent_hash``, ``porter``),
+  and
+* a sequence of request *phases*, each a compute segment optionally
+  followed by a microsecond-scale stall (RDMA read, Optane access,
+  synchronous leaf fan-out).
+
+From these, the model can produce (a) the request service-time
+distribution consumed by the queueing layer and (b) saturated instruction
+traces (back-to-back requests) consumed by the core timing models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.distributions import (
+    Deterministic,
+    Distribution,
+    Exponential,
+    LogNormal,
+    SumDistribution,
+    Uniform,
+)
+from repro.common.units import seconds_from_us
+from repro.uarch.isa import NO_REG, Op, Trace
+from repro.workloads.tracegen import TraceProfile, generate_trace
+
+#: Nominal instructions executed per microsecond of compute on the
+#: baseline core (IPC ~1.2 at 3.25-3.4 GHz).  Used to convert the paper's
+#: microsecond phase durations into trace instruction counts.
+DEFAULT_INSTRUCTIONS_PER_US = 4000.0
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One compute segment, optionally ending in a microsecond stall.
+
+    Durations are in **microseconds** (matching the paper's tables).
+    ``stall_is_network`` marks stalls that consume NIC operations (RDMA
+    reads, leaf fan-out) as opposed to local-device stalls (Optane SSD);
+    the Fig 6 IOPS accounting counts only the former.
+    """
+
+    compute_us: Distribution
+    stall_us: Distribution | None = None
+    stall_is_network: bool = True
+
+    def mean_compute_us(self) -> float:
+        return self.compute_us.mean()
+
+    def mean_stall_us(self) -> float:
+        return self.stall_us.mean() if self.stall_us is not None else 0.0
+
+
+@dataclass(frozen=True)
+class Microservice:
+    """A latency-critical microservice workload."""
+
+    name: str
+    profile: TraceProfile
+    phases: tuple[Phase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("microservice needs at least one phase")
+
+    # -- aggregate timing -----------------------------------------------
+
+    def mean_compute_us(self) -> float:
+        return sum(p.mean_compute_us() for p in self.phases)
+
+    def mean_stall_us(self) -> float:
+        return sum(p.mean_stall_us() for p in self.phases)
+
+    def mean_service_us(self) -> float:
+        """Mean request occupancy: compute plus synchronous stalls."""
+        return self.mean_compute_us() + self.mean_stall_us()
+
+    def stall_fraction(self) -> float:
+        """Fraction of request occupancy spent stalled."""
+        service = self.mean_service_us()
+        return self.mean_stall_us() / service if service > 0 else 0.0
+
+    def service_distribution(self) -> Distribution:
+        """Request occupancy distribution in **seconds** (for queueing)."""
+        parts: list[Distribution] = []
+        for phase in self.phases:
+            parts.append(_us_to_seconds_dist(phase.compute_us))
+            if phase.stall_us is not None:
+                parts.append(_us_to_seconds_dist(phase.stall_us))
+        if len(parts) == 1:
+            return parts[0]
+        return SumDistribution(tuple(parts))
+
+    def has_stalls(self) -> bool:
+        return any(p.stall_us is not None for p in self.phases)
+
+    def network_ops_per_request(self) -> int:
+        """NIC operations one request issues (Fig 6 accounting)."""
+        return sum(
+            1
+            for p in self.phases
+            if p.stall_us is not None and p.stall_is_network
+        )
+
+    # -- trace generation -------------------------------------------------
+
+    def saturated_trace(
+        self,
+        rng: np.random.Generator,
+        num_requests: int = 50,
+        instructions_per_us: float = DEFAULT_INSTRUCTIONS_PER_US,
+        time_scale: float = 1.0,
+        slot: int = 0,
+    ) -> Trace:
+        """Back-to-back requests (100% load): compute segments with REMOTE
+        stalls spliced at phase boundaries.
+
+        This is the trace the core models run to measure master-thread IPC
+        and utilization, mirroring Section II-B's saturated-queue setup.
+
+        ``time_scale`` < 1 shrinks *both* compute and stall durations by
+        the same factor, preserving the compute-to-stall ratio (and hence
+        every ratio metric) while cutting simulation cost.
+        """
+        if num_requests <= 0:
+            raise ValueError("need at least one request")
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        segment_lengths: list[int] = []
+        stall_after: list[float] = []  # stall in us after each segment (0 = none)
+        for _ in range(num_requests):
+            for phase in self.phases:
+                compute_us = max(phase.compute_us.sample(rng), 0.05) * time_scale
+                segment_lengths.append(
+                    max(8, int(round(compute_us * instructions_per_us)))
+                )
+                if phase.stall_us is not None:
+                    stall_after.append(
+                        max(phase.stall_us.sample(rng), 0.05) * time_scale
+                    )
+                else:
+                    stall_after.append(0.0)
+
+        total_compute = int(sum(segment_lengths))
+        profile = self.profile.relocated(slot) if slot else self.profile
+        base = generate_trace(profile, total_compute, rng)
+        return _splice_remotes(base, segment_lengths, stall_after, self.name)
+
+
+def _us_to_seconds_dist(dist_us: Distribution) -> Distribution:
+    return dist_us.scaled(seconds_from_us(1.0))
+
+
+def _splice_remotes(
+    base: Trace,
+    segment_lengths: list[int],
+    stall_after_us: list[float],
+    name: str,
+) -> Trace:
+    """Insert REMOTE ops after each compute segment with a nonzero stall."""
+    positions: list[int] = []
+    stalls_ns: list[float] = []
+    cursor = 0
+    for length, stall_us in zip(segment_lengths, stall_after_us):
+        cursor += length
+        if stall_us > 0:
+            positions.append(cursor)
+            stalls_ns.append(stall_us * 1000.0)
+    if not positions:
+        return Trace(
+            op=base.op,
+            dst=base.dst,
+            src1=base.src1,
+            src2=base.src2,
+            addr=base.addr,
+            pc=base.pc,
+            taken=base.taken,
+            target=base.target,
+            stall_ns=base.stall_ns,
+            name=name,
+        )
+    pos = np.asarray(positions, dtype=np.int64)
+    return Trace(
+        op=np.insert(base.op, pos, np.uint8(Op.REMOTE)),
+        dst=np.insert(base.dst, pos, np.int8(NO_REG)),
+        src1=np.insert(base.src1, pos, np.int8(NO_REG)),
+        src2=np.insert(base.src2, pos, np.int8(NO_REG)),
+        addr=np.insert(base.addr, pos, 0),
+        pc=np.insert(base.pc, pos, base.pc[np.minimum(pos, len(base.pc) - 1)]),
+        taken=np.insert(base.taken, pos, False),
+        target=np.insert(base.target, pos, 0),
+        stall_ns=np.insert(base.stall_ns, pos, np.asarray(stalls_ns)),
+        name=name,
+    )
+
+
+# ----------------------------------------------------------------------
+# Trace profiles mirroring each kernel's behaviour.
+# ----------------------------------------------------------------------
+
+FLANN_PROFILE = TraceProfile(
+    name="flann",
+    load_fraction=0.28,
+    store_fraction=0.06,
+    imul_fraction=0.06,  # hash computations
+    fp_fraction=0.18,  # distance computations over float vectors
+    working_set_bytes=2 << 20,  # LSH tables
+    hot_set_bytes=48 << 10,
+    hot_fraction=0.9,
+    sequential_fraction=0.35,  # candidate-list scans
+    code_bytes=48 << 10,
+    branch_predictability=0.93,
+    dep_chain=0.35,
+)
+
+RSC_PROFILE = TraceProfile(
+    name="rsc",
+    load_fraction=0.30,
+    store_fraction=0.12,  # 4KB memcpy writes
+    imul_fraction=0.04,  # cuckoo hash mixing
+    fp_fraction=0.0,
+    working_set_bytes=16 << 20,  # block-address mapping table
+    hot_set_bytes=32 << 10,
+    hot_fraction=0.85,
+    sequential_fraction=0.55,  # memcpy streams
+    pointer_chase_fraction=0.05,  # dependent cuckoo probes
+    code_bytes=24 << 10,
+    branch_predictability=0.95,
+    dep_chain=0.3,
+)
+
+MCROUTER_PROFILE = TraceProfile(
+    name="mcrouter",
+    load_fraction=0.24,
+    store_fraction=0.10,  # request serialization
+    imul_fraction=0.05,  # consistent-hash computation
+    fp_fraction=0.0,
+    working_set_bytes=512 << 10,  # routing ring + connection state
+    hot_set_bytes=32 << 10,
+    hot_fraction=0.9,
+    sequential_fraction=0.3,
+    pointer_chase_fraction=0.06,  # ring binary search
+    code_bytes=32 << 10,
+    branch_predictability=0.9,
+    dep_chain=0.4,
+)
+
+WORDSTEM_PROFILE = TraceProfile(
+    name="wordstem",
+    load_fraction=0.18,
+    store_fraction=0.05,
+    imul_fraction=0.0,
+    fp_fraction=0.0,
+    working_set_bytes=64 << 10,  # stateless: only the request text
+    hot_set_bytes=16 << 10,
+    hot_fraction=0.9,
+    sequential_fraction=0.6,  # walks the word character by character
+    code_bytes=96 << 10,  # "hard-codes all stemming paths into control-flow"
+    branch_predictability=0.82,  # data-dependent suffix checks
+    dep_chain=0.45,
+)
+
+
+# ----------------------------------------------------------------------
+# The paper's four microservices (Section V).
+# ----------------------------------------------------------------------
+
+
+def flann_ha() -> Microservice:
+    """FLANN High-Accuracy: 10 us LSH lookup + 1 us-mean RDMA read."""
+    return Microservice(
+        name="FLANN-HA",
+        profile=FLANN_PROFILE,
+        phases=(Phase(LogNormal(10.0, 0.1), Exponential(1.0)),),
+    )
+
+
+def flann_ll() -> Microservice:
+    """FLANN Low-Latency: 1 us lookup (longer hash keys) + 1 us RDMA."""
+    return Microservice(
+        name="FLANN-LL",
+        profile=FLANN_PROFILE,
+        phases=(Phase(LogNormal(1.0, 0.1), Exponential(1.0)),),
+    )
+
+
+def flann_xy(compute_us: float, stall_us: float | None) -> Microservice:
+    """The FLANN-X-Y variants of Section II-B (Fig 1c).
+
+    ``compute_us`` of deterministic compute followed by an exponentially
+    distributed stall of mean ``stall_us`` (None = the no-stall baseline).
+    """
+    if compute_us <= 0:
+        raise ValueError("compute must be positive")
+    stall = Exponential(stall_us) if stall_us else None
+    label = f"FLANN-{compute_us:g}-{stall_us:g}" if stall_us else "FLANN-baseline"
+    return Microservice(
+        name=label,
+        profile=FLANN_PROFILE,
+        phases=(Phase(Deterministic(compute_us), stall),),
+    )
+
+
+def rsc() -> Microservice:
+    """Remote Storage Caching: 3 us cuckoo lookup, 8 us Optane access via
+    user-level polling, then a 4 us 4KB memcpy."""
+    return Microservice(
+        name="RSC",
+        profile=RSC_PROFILE,
+        phases=(
+            Phase(LogNormal(3.0, 0.1), Exponential(8.0), stall_is_network=False),
+            Phase(LogNormal(4.0, 0.05), None),
+        ),
+    )
+
+
+def mcrouter() -> Microservice:
+    """McRouter: 3 us consistent-hash routing, then a synchronous 3-5 us
+    wait for the RDMA-based leaf KV store."""
+    return Microservice(
+        name="McRouter",
+        profile=MCROUTER_PROFILE,
+        phases=(Phase(LogNormal(3.0, 0.2), Uniform(3.0, 5.0)),),
+    )
+
+
+def wordstem() -> Microservice:
+    """Word Stemming: 4 us of Porter stemming, no microsecond stalls."""
+    return Microservice(
+        name="WordStem",
+        profile=WORDSTEM_PROFILE,
+        phases=(Phase(LogNormal(4.0, 0.3), None),),
+    )
+
+
+def standard_microservices() -> list[Microservice]:
+    """The four microservices evaluated in Figures 5 and 6."""
+    return [flann_ha(), flann_ll(), rsc(), mcrouter(), wordstem()]
+
+
+#: The load levels evaluated throughout Section VI/VII.
+STANDARD_LOADS = (0.3, 0.5, 0.7)

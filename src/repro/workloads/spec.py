@@ -1,0 +1,97 @@
+"""SPEC-like batch workload mixes (Fig 2a substrate).
+
+Figure 2(a) compares in-order against out-of-order SMT issue on
+"multi-threaded SPEC workload mixes".  We model four archetypes spanning
+the SPEC behaviour space — compute-bound integer, memory-bound,
+floating-point, and branchy integer — and build mixes by cycling through
+them across hardware threads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.uarch.isa import Trace
+from repro.workloads.tracegen import TraceProfile, generate_trace
+
+SPEC_COMPUTE = TraceProfile(
+    name="spec-compute",
+    load_fraction=0.18,
+    store_fraction=0.06,
+    imul_fraction=0.08,
+    fp_fraction=0.0,
+    working_set_bytes=64 << 10,
+    hot_set_bytes=16 << 10,
+    hot_fraction=0.9,
+    sequential_fraction=0.5,
+    code_bytes=16 << 10,
+    branch_predictability=0.96,
+    dep_chain=0.3,
+)
+
+SPEC_MEMORY = TraceProfile(
+    name="spec-memory",
+    load_fraction=0.35,
+    store_fraction=0.12,
+    imul_fraction=0.01,
+    fp_fraction=0.02,
+    working_set_bytes=1 << 20,
+    hot_set_bytes=32 << 10,
+    hot_fraction=0.7,
+    sequential_fraction=0.45,
+    pointer_chase_fraction=0.08,
+    code_bytes=12 << 10,
+    branch_predictability=0.94,
+    dep_chain=0.25,
+)
+
+SPEC_FP = TraceProfile(
+    name="spec-fp",
+    load_fraction=0.26,
+    store_fraction=0.1,
+    imul_fraction=0.01,
+    fp_fraction=0.3,
+    working_set_bytes=256 << 10,
+    hot_set_bytes=32 << 10,
+    hot_fraction=0.8,
+    sequential_fraction=0.7,
+    code_bytes=8 << 10,
+    branch_predictability=0.98,
+    dep_chain=0.3,
+)
+
+SPEC_BRANCHY = TraceProfile(
+    name="spec-branchy",
+    load_fraction=0.22,
+    store_fraction=0.08,
+    imul_fraction=0.02,
+    fp_fraction=0.0,
+    working_set_bytes=96 << 10,
+    hot_set_bytes=24 << 10,
+    hot_fraction=0.85,
+    sequential_fraction=0.3,
+    code_bytes=64 << 10,
+    branch_predictability=0.85,
+    dep_chain=0.35,
+)
+
+SPEC_PROFILES = (SPEC_COMPUTE, SPEC_MEMORY, SPEC_FP, SPEC_BRANCHY)
+
+
+def spec_mix_traces(
+    num_threads: int,
+    rng: np.random.Generator | None = None,
+    num_instructions: int = 20_000,
+    seed: int = 0,
+) -> list[Trace]:
+    """A mix of SPEC-like traces, one per thread, cycling archetypes."""
+    if num_threads <= 0:
+        raise ValueError("need at least one thread")
+    traces = []
+    for i in range(num_threads):
+        profile = SPEC_PROFILES[i % len(SPEC_PROFILES)].relocated(i + 1)
+        thread_rng = (
+            np.random.default_rng(seed * 1000 + i) if rng is None else rng
+        )
+        traces.append(generate_trace(profile, num_instructions, thread_rng))
+    return traces

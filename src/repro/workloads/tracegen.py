@@ -1,0 +1,313 @@
+"""Synthetic instruction-trace generation from workload profiles.
+
+The timing models are trace driven; this module turns a compact
+description of a workload's character — instruction mix, working set,
+locality, branch behaviour, dependency density — into a
+:class:`~repro.uarch.isa.Trace`.  Each microservice/filler workload in
+:mod:`repro.workloads.microservices` carries a :class:`TraceProfile`
+mirroring the memory/control behaviour of its real algorithmic kernel
+(cuckoo probes are two dependent random loads; Porter stemming is branchy
+with a tiny working set; PageRank alternates sequential vertex scans with
+random neighbour reads; and so on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.uarch.isa import NO_REG, NUM_ARCH_REGS, Op, Trace
+
+#: Instructions per basic block (a branch ends each block).
+BLOCK_SIZE = 8
+_LINE = 64
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Statistical character of a workload's instruction stream.
+
+    Fractions are of all instructions (``load_fraction`` + ... <= 1; the
+    remainder are single-cycle integer ops).  ``branch_fraction`` is
+    implied by ``BLOCK_SIZE`` (one branch per block) and not listed.
+    """
+
+    name: str
+    load_fraction: float = 0.25
+    store_fraction: float = 0.10
+    imul_fraction: float = 0.02
+    fp_fraction: float = 0.05
+    #: Bytes of data touched (uniformly) by cold accesses.
+    working_set_bytes: int = 1 << 20
+    #: Bytes of the hot subset absorbing ``hot_fraction`` of accesses.
+    hot_set_bytes: int = 1 << 14
+    hot_fraction: float = 0.8
+    #: Fraction of loads/stores that walk sequentially (unit-stride).
+    sequential_fraction: float = 0.3
+    #: Fraction of loads whose address depends on the previous load
+    #: (pointer chasing; serializes the pipeline).
+    pointer_chase_fraction: float = 0.0
+    #: Static code footprint in bytes.
+    code_bytes: int = 32 << 10
+    #: Probability a branch outcome follows its per-PC bias (predictable).
+    branch_predictability: float = 0.9
+    #: Taken probability for the unpredictable remainder.
+    branch_taken_prob: float = 0.5
+    #: Probability an instruction reads the previous instruction's result.
+    dep_chain: float = 0.3
+    #: Base of this workload's data segment (distinct per thread/context
+    #: so threads do not accidentally share lines).
+    data_base: int = 0x1000_0000
+    code_base: int = 0x40_0000
+
+    def __post_init__(self) -> None:
+        total = (
+            self.load_fraction
+            + self.store_fraction
+            + self.imul_fraction
+            + self.fp_fraction
+        )
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"instruction mix fractions sum to {total} > 1")
+        for frac_name in (
+            "hot_fraction",
+            "sequential_fraction",
+            "pointer_chase_fraction",
+            "branch_predictability",
+            "branch_taken_prob",
+            "dep_chain",
+        ):
+            value = getattr(self, frac_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{frac_name} must be in [0, 1], got {value}")
+        if self.hot_set_bytes > self.working_set_bytes:
+            raise ValueError("hot set cannot exceed the working set")
+
+    def relocated(self, slot: int) -> "TraceProfile":
+        """A copy with data/code moved to a per-thread address range, so
+        concurrent contexts have distinct (interfering-by-capacity, not
+        by-sharing) footprints.
+
+        The per-slot stride includes a cache-line-odd skew so different
+        slots do not land on the same cache sets (as a real loader's
+        allocation would not).
+        """
+        from dataclasses import replace
+
+        skew = slot * 0x1AC0  # odd multiple of the 64B line size
+        return replace(
+            self,
+            data_base=self.data_base + slot * 0x0400_0000 + skew,
+            code_base=self.code_base + slot * 0x10_0000 + skew,
+        )
+
+
+@dataclass(frozen=True)
+class RemoteSpec:
+    """Microsecond-scale remote accesses injected into a trace.
+
+    A REMOTE op is inserted on average every ``mean_interval_instructions``
+    instructions (geometric spacing, i.e. exponential in instruction
+    count), each stalling for an exponentially distributed duration of
+    mean ``mean_stall_us`` (clipped to ``min_stall_us``).
+    """
+
+    mean_interval_instructions: float
+    mean_stall_us: float
+    min_stall_us: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.mean_interval_instructions < 1:
+            raise ValueError("remote interval must be at least one instruction")
+        if self.mean_stall_us <= 0:
+            raise ValueError("stall mean must be positive")
+
+
+def generate_trace(
+    profile: TraceProfile,
+    num_instructions: int,
+    rng: np.random.Generator,
+    remote: RemoteSpec | None = None,
+) -> Trace:
+    """Generate ``num_instructions`` micro-ops following ``profile``.
+
+    The code layout is a set of fixed basic blocks; control flow walks
+    them with biased branches so the I-cache and branch predictor see
+    realistic, repeating-but-imperfect patterns.
+    """
+    if num_instructions <= 0:
+        raise ValueError("need a positive instruction count")
+
+    n = num_instructions
+    op = np.empty(n, dtype=np.uint8)
+    dst = np.full(n, NO_REG, dtype=np.int8)
+    src1 = np.full(n, NO_REG, dtype=np.int8)
+    src2 = np.full(n, NO_REG, dtype=np.int8)
+    addr = np.zeros(n, dtype=np.int64)
+    pc = np.zeros(n, dtype=np.int64)
+    taken = np.zeros(n, dtype=bool)
+    target = np.zeros(n, dtype=np.int64)
+    stall_ns = np.zeros(n, dtype=np.float64)
+
+    num_blocks = max(1, profile.code_bytes // (BLOCK_SIZE * 4))
+    # The control-flow graph (per-block bias and static branch targets) is
+    # a property of the CODE, not of one execution: two threads running
+    # the same profile see identical branch PCs with identical targets and
+    # consistent per-PC bias, as threads of one binary would.
+    from repro.common.rng import derive_seed
+
+    layout_rng = np.random.default_rng(
+        derive_seed(profile.code_base, f"layout:{profile.name}")
+    )
+    block_bias = layout_rng.random(num_blocks) < 0.5
+
+    # Pre-draw the randomness in bulk for speed.
+    kind_draws = rng.random(n)
+    locality_draws = rng.random(n)
+    seq_draws = rng.random(n)
+    chase_draws = rng.random(n)
+    dep_draws = rng.random(n)
+    pred_draws = rng.random(n)
+    taken_draws = rng.random(n)
+    cold_span = max(64, profile.working_set_bytes - profile.hot_set_bytes)
+    cold_offsets = rng.integers(0, max(1, cold_span // 8), size=n)
+    hot_offsets = rng.integers(0, max(1, profile.hot_set_bytes // 8), size=n)
+    reg_draws = rng.integers(2, NUM_ARCH_REGS, size=(n, 2))
+    # Branch targets are static per block, as in real code: a taken
+    # block-ending branch always jumps to the same successor.
+    block_target = layout_rng.integers(0, num_blocks, size=num_blocks)
+
+    load_cut = profile.load_fraction
+    store_cut = load_cut + profile.store_fraction
+    imul_cut = store_cut + profile.imul_fraction
+    fp_cut = imul_cut + profile.fp_fraction
+
+    if remote is not None:
+        expected = int(n / remote.mean_interval_instructions * 2) + 16
+        remote_gap = rng.geometric(
+            1.0 / remote.mean_interval_instructions, size=expected
+        )
+        remote_positions = np.cumsum(remote_gap)
+        remote_stalls = np.maximum(
+            rng.exponential(remote.mean_stall_us, size=remote_positions.size),
+            remote.min_stall_us,
+        )
+        remote_idx = 0
+        next_remote = int(remote_positions[0])
+    else:
+        next_remote = -1
+        remote_idx = 0
+        remote_stalls = None
+        remote_positions = None
+
+    block = 0
+    offset = 0
+    last_dst = 0  # register holding the most recent result
+    last_load_dst = 1
+    seq_addr = profile.data_base
+    hot_base = profile.data_base
+    cold_base = profile.data_base + profile.hot_set_bytes
+    data_base = profile.data_base
+    code_base = profile.code_base
+    next_rotating_reg = 2
+
+    for i in range(n):
+        cur_pc = code_base + (block * BLOCK_SIZE + offset) * 4
+        pc[i] = cur_pc
+
+        if remote is not None and i == next_remote:
+            op[i] = Op.REMOTE
+            stall_ns[i] = remote_stalls[remote_idx] * 1000.0
+            # The remote read returns a value consumers may use.
+            dst[i] = last_load_dst
+            last_dst = last_load_dst
+            remote_idx += 1
+            if remote_idx < len(remote_positions):
+                next_remote = int(remote_positions[remote_idx])
+            else:
+                next_remote = -1
+        elif offset == BLOCK_SIZE - 1:
+            # Block-ending branch.
+            op[i] = Op.BRANCH
+            if pred_draws[i] < profile.branch_predictability:
+                outcome = bool(block_bias[block])
+            else:
+                outcome = taken_draws[i] < profile.branch_taken_prob
+            taken[i] = outcome
+            if outcome:
+                nxt = int(block_target[block])
+            else:
+                nxt = (block + 1) % num_blocks
+            target[i] = code_base + nxt * BLOCK_SIZE * 4
+            src1[i] = last_dst
+            block = nxt
+            offset = 0
+            continue
+        else:
+            draw = kind_draws[i]
+            if draw < load_cut:
+                op[i] = Op.LOAD
+                if chase_draws[i] < profile.pointer_chase_fraction:
+                    # Address depends on the previous load's value.
+                    src1[i] = last_load_dst
+                    addr[i] = cold_base + int(cold_offsets[i]) * 8
+                elif seq_draws[i] < profile.sequential_fraction:
+                    seq_addr += 8
+                    if seq_addr >= data_base + profile.working_set_bytes:
+                        seq_addr = data_base
+                    addr[i] = seq_addr
+                elif locality_draws[i] < profile.hot_fraction:
+                    addr[i] = hot_base + int(hot_offsets[i]) * 8
+                else:
+                    addr[i] = cold_base + int(cold_offsets[i]) * 8
+                d = next_rotating_reg
+                dst[i] = d
+                last_load_dst = d
+                last_dst = d
+            elif draw < store_cut:
+                op[i] = Op.STORE
+                if seq_draws[i] < profile.sequential_fraction:
+                    seq_addr += 8
+                    if seq_addr >= data_base + profile.working_set_bytes:
+                        seq_addr = data_base
+                    addr[i] = seq_addr
+                elif locality_draws[i] < profile.hot_fraction:
+                    addr[i] = hot_base + int(hot_offsets[i]) * 8
+                else:
+                    addr[i] = cold_base + int(cold_offsets[i]) * 8
+                src1[i] = last_dst if dep_draws[i] < profile.dep_chain else reg_draws[i, 0]
+                src2[i] = reg_draws[i, 1]
+            else:
+                if draw < imul_cut:
+                    op[i] = Op.IMUL
+                elif draw < fp_cut:
+                    op[i] = Op.FP
+                else:
+                    op[i] = Op.IALU
+                src1[i] = last_dst if dep_draws[i] < profile.dep_chain else reg_draws[i, 0]
+                src2[i] = reg_draws[i, 1]
+                d = next_rotating_reg
+                dst[i] = d
+                last_dst = d
+            next_rotating_reg += 1
+            if next_rotating_reg >= NUM_ARCH_REGS:
+                next_rotating_reg = 2
+
+        offset += 1
+        if offset >= BLOCK_SIZE:
+            offset = 0
+            block = (block + 1) % num_blocks
+
+    return Trace(
+        op=op,
+        dst=dst,
+        src1=src1,
+        src2=src2,
+        addr=addr,
+        pc=pc,
+        taken=taken,
+        target=target,
+        stall_ns=stall_ns,
+        name=profile.name,
+    )

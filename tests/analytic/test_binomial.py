@@ -1,0 +1,94 @@
+"""Binomial ready-thread model (Fig 2b)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytic.binomial import (
+    contexts_needed,
+    expected_ready,
+    prob_at_least_ready,
+    ready_curve,
+)
+
+
+class TestPaperDesignPoints:
+    def test_11_contexts_suffice_at_p01(self):
+        # "When threads are stalled only 10% of the time, 11 virtual
+        # contexts are sufficient to keep the 8 physical contexts 90%
+        # utilized."
+        assert prob_at_least_ready(11, 0.1) >= 0.9
+        assert contexts_needed(0.1, 0.9) <= 11
+
+    def test_21_contexts_needed_at_p05(self):
+        # "when threads are 50% stalled, 21 virtual contexts are needed."
+        assert prob_at_least_ready(21, 0.5) >= 0.9
+        assert prob_at_least_ready(18, 0.5) < 0.9
+        assert contexts_needed(0.5, 0.9) <= 21
+
+    def test_32_contexts_cover_pessimistic_case(self):
+        # Section IV: 32 virtual contexts per dyad suffice in the most
+        # pessimistic scenario.
+        assert prob_at_least_ready(32, 0.5) > 0.97
+
+
+class TestModel:
+    def test_exact_boundaries(self):
+        assert prob_at_least_ready(8, 0.0) == 1.0
+        assert prob_at_least_ready(7, 0.0) == 0.0
+        assert prob_at_least_ready(100, 1.0) == 0.0
+
+    def test_requires_zero_ready(self):
+        assert prob_at_least_ready(5, 0.5, required_ready=0) == 1.0
+
+    def test_matches_binomial_tail(self):
+        # Cross-check against a direct Monte Carlo estimate.
+        rng = np.random.default_rng(0)
+        n, p = 16, 0.4
+        ready = (rng.random((200_000, n)) > p).sum(axis=1)
+        mc = (ready >= 8).mean()
+        assert prob_at_least_ready(n, p) == pytest.approx(mc, abs=0.01)
+
+    def test_monotone_in_contexts(self):
+        curve = ready_curve(np.arange(8, 40), 0.5)
+        assert (np.diff(curve) >= -1e-12).all()
+
+    def test_monotone_in_stall_probability(self):
+        assert prob_at_least_ready(16, 0.2) > prob_at_least_ready(16, 0.6)
+
+    def test_expected_ready(self):
+        assert expected_ready(20, 0.25) == pytest.approx(15.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prob_at_least_ready(-1, 0.5)
+        with pytest.raises(ValueError):
+            prob_at_least_ready(10, 1.5)
+        with pytest.raises(ValueError):
+            contexts_needed(0.5, 1.5)
+        with pytest.raises(ValueError):
+            expected_ready(10, -0.1)
+
+    def test_contexts_needed_unreachable(self):
+        with pytest.raises(ValueError):
+            contexts_needed(0.99, 0.999, max_contexts=16)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=64),
+    p=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_probability_bounded(n, p):
+    value = prob_at_least_ready(n, p)
+    assert 0.0 <= value <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=8, max_value=48),
+    p=st.floats(min_value=0.01, max_value=0.99),
+)
+def test_adding_a_context_never_hurts(n, p):
+    assert prob_at_least_ready(n + 1, p) >= prob_at_least_ready(n, p) - 1e-12

@@ -1,0 +1,97 @@
+"""Closed-loop utilization model (Fig 1a)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytic.closed_loop import (
+    utilization,
+    utilization_loss,
+    utilization_surface,
+)
+
+
+class TestPointModel:
+    def test_no_stall_full_utilization(self):
+        assert utilization(10.0, 0.0) == 1.0
+
+    def test_all_stall_zero_utilization(self):
+        assert utilization(0.0, 10.0) == 0.0
+
+    def test_equal_compute_and_stall(self):
+        assert utilization(5.0, 5.0) == 0.5
+
+    def test_dram_scale_stall_negligible(self):
+        # "a DRAM-scale stall every few microseconds sacrifices an
+        # insignificant fraction of utilization".
+        assert utilization(3.0, 0.0001) > 0.999
+
+    def test_stall_exceeding_compute_collapses(self):
+        # "rapidly dropping towards 0% if stalls exceed the average
+        # computation interval".
+        assert utilization(1.0, 10.0) < 0.1
+
+    def test_loss_complements(self):
+        assert utilization(2.0, 3.0) + utilization_loss(2.0, 3.0) == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            utilization(-1.0, 1.0)
+
+
+class TestSurface:
+    def test_shape(self):
+        c = np.logspace(-1, 2, 10)
+        s = np.logspace(-1, 2, 12)
+        surface = utilization_surface(c, s)
+        assert surface.shape == (12, 10)
+
+    def test_monotone_in_compute(self):
+        c = np.logspace(-1, 2, 20)
+        surface = utilization_surface(c, np.array([1.0]))
+        assert (np.diff(surface[0]) > 0).all()
+
+    def test_monotone_in_stall(self):
+        s = np.logspace(-1, 2, 20)
+        surface = utilization_surface(np.array([1.0]), s)
+        assert (np.diff(surface[:, 0]) < 0).all()
+
+    def test_corners_match_figure(self):
+        c = np.logspace(-1, 2, 10)
+        s = np.logspace(-1, 2, 10)
+        surface = utilization_surface(c, s)
+        # Short stalls, long compute: ~100%.
+        assert surface[0, -1] > 0.99
+        # Long stalls, short compute: ~0%.
+        assert surface[-1, 0] < 0.01
+
+    def test_matches_point_model(self):
+        c = np.array([2.0, 7.0])
+        s = np.array([3.0])
+        surface = utilization_surface(c, s)
+        assert surface[0, 0] == pytest.approx(utilization(2.0, 3.0))
+        assert surface[0, 1] == pytest.approx(utilization(7.0, 3.0))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    compute=st.floats(min_value=0.001, max_value=1000.0),
+    stall=st.floats(min_value=0.0, max_value=1000.0),
+)
+def test_utilization_bounded(compute, stall):
+    u = utilization(compute, stall)
+    assert 0.0 <= u <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    compute=st.floats(min_value=0.01, max_value=100.0),
+    stall=st.floats(min_value=0.01, max_value=100.0),
+    scale=st.floats(min_value=0.1, max_value=10.0),
+)
+def test_utilization_scale_invariant(compute, stall, scale):
+    # Only the ratio matters (this justifies the time_scale knob).
+    assert utilization(compute, stall) == pytest.approx(
+        utilization(compute * scale, stall * scale)
+    )

@@ -1,0 +1,78 @@
+"""Branch target buffer and return address stack."""
+
+import pytest
+
+from repro.branch.btb import BranchTargetBuffer, ReturnAddressStack
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(256)
+        assert btb.lookup(0x400) is None
+        btb.update(0x400, 0x900)
+        assert btb.lookup(0x400) == 0x900
+
+    def test_stats(self):
+        btb = BranchTargetBuffer(256)
+        btb.lookup(0x400)
+        btb.update(0x400, 0x900)
+        btb.lookup(0x400)
+        assert btb.misses == 1
+        assert btb.hits == 1
+
+    def test_aliasing_eviction(self):
+        btb = BranchTargetBuffer(64)
+        pc_a = 0x100
+        pc_b = 0x100 + 64 * 4  # same direct-mapped index
+        btb.update(pc_a, 0x900)
+        btb.update(pc_b, 0xA00)
+        assert btb.lookup(pc_a) is None  # evicted by the alias
+        assert btb.lookup(pc_b) == 0xA00
+
+    def test_target_update(self):
+        btb = BranchTargetBuffer(64)
+        btb.update(0x100, 0x900)
+        btb.update(0x100, 0xB00)
+        assert btb.lookup(0x100) == 0xB00
+
+    def test_power_of_two(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(100)
+
+    def test_reset(self):
+        btb = BranchTargetBuffer(64)
+        btb.update(0x100, 0x900)
+        btb.reset()
+        assert btb.lookup(0x100) is None
+
+
+class TestRAS:
+    def test_lifo(self):
+        ras = ReturnAddressStack(8)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_empty_pop(self):
+        assert ReturnAddressStack(8).pop() is None
+
+    def test_overflow_discards_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(0x1)
+        ras.push(0x2)
+        ras.push(0x3)
+        assert len(ras) == 2
+        assert ras.pop() == 0x3
+        assert ras.pop() == 0x2
+        assert ras.pop() is None
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(0)
+
+    def test_reset(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x1)
+        ras.reset()
+        assert len(ras) == 0

@@ -1,0 +1,169 @@
+"""Branch direction predictors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.branch.predictors import (
+    BimodalPredictor,
+    GsharePredictor,
+    TournamentPredictor,
+    make_predictor,
+)
+from repro.common.params import FILLER_PREDICTOR, MASTER_PREDICTOR
+
+
+class TestBimodal:
+    def test_learns_always_taken(self):
+        p = BimodalPredictor(1024)
+        for _ in range(4):
+            p.update(0x400, True)
+        assert p.predict(0x400)
+
+    def test_learns_never_taken(self):
+        p = BimodalPredictor(1024)
+        for _ in range(4):
+            p.update(0x400, False)
+        assert not p.predict(0x400)
+
+    def test_hysteresis(self):
+        p = BimodalPredictor(1024)
+        for _ in range(8):
+            p.update(0x400, True)
+        p.update(0x400, False)  # one anomaly does not flip a saturated counter
+        assert p.predict(0x400)
+
+    def test_independent_pcs(self):
+        p = BimodalPredictor(1024)
+        for _ in range(4):
+            p.update(0x400, True)
+            p.update(0x404, False)
+        assert p.predict(0x400)
+        assert not p.predict(0x404)
+
+    def test_aliasing_within_table(self):
+        p = BimodalPredictor(64)
+        pc_a, pc_b = 0x100, 0x100 + 64 * 4  # same index
+        for _ in range(4):
+            p.update(pc_a, True)
+        assert p.predict(pc_b)  # aliased entry
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(1000)
+
+    def test_reset(self):
+        p = BimodalPredictor(64)
+        for _ in range(4):
+            p.update(0x100, False)
+        p.reset()
+        assert p.predict(0x100)  # back to weakly taken
+
+
+class TestGshare:
+    def test_learns_pattern_with_history(self):
+        # Alternating T/N/T/N is perfectly predictable with history.
+        p = GsharePredictor(4096)
+        outcome = True
+        for _ in range(200):
+            p.update(0x500, outcome)
+            outcome = not outcome
+        correct = 0
+        for _ in range(100):
+            if p.predict(0x500) == outcome:
+                correct += 1
+            p.update(0x500, outcome)
+            outcome = not outcome
+        assert correct >= 95
+
+    def test_external_history_does_not_touch_internal(self):
+        p = GsharePredictor(1024)
+        before = p._history
+        p.update(0x400, True, history=0b1010)
+        assert p._history == before
+
+    def test_internal_history_advances(self):
+        p = GsharePredictor(1024)
+        p.update(0x400, True)
+        assert p._history == 1
+
+    def test_per_thread_histories_separate_entries(self):
+        p = GsharePredictor(4096)
+        # Thread A (history 0): pc always taken; thread B (other history):
+        # same pc never taken.  Separate histories index separate counters.
+        for _ in range(4):
+            p.update(0x400, True, history=0)
+            p.update(0x400, False, history=0b111111)
+        assert p.predict(0x400, history=0)
+        assert not p.predict(0x400, history=0b111111)
+
+    def test_history_bits_default(self):
+        assert GsharePredictor(8192).history_bits == 13
+
+
+class TestTournament:
+    def test_selector_prefers_bimodal_for_biased_branch(self):
+        p = TournamentPredictor(1024, 1024, 1024)
+        # Strongly biased branch with noisy history: bimodal wins.
+        rng = np.random.default_rng(0)
+        history = 0
+        for _ in range(500):
+            p.update(0x700, True, history)
+            history = int(rng.integers(0, 1024))  # scrambled history
+        assert p.predict(0x700, int(rng.integers(0, 1024)))
+
+    def test_learns_alternation_via_gshare(self):
+        p = TournamentPredictor(1024, 4096, 1024)
+        outcome = True
+        for _ in range(300):
+            p.update(0x800, outcome)
+            outcome = not outcome
+        correct = sum(
+            (p.predict(0x800) == (i % 2 == 0), p.update(0x800, i % 2 == 0))[0]
+            for i in range(100)
+        )
+        assert correct >= 90
+
+    def test_history_bits_exposed(self):
+        p = TournamentPredictor(1024, 8192, 1024)
+        assert p.history_bits == 13
+
+    def test_reset(self):
+        p = TournamentPredictor(1024, 1024, 1024)
+        for _ in range(8):
+            p.update(0x100, False)
+        p.reset()
+        assert p.predict(0x100)
+
+
+class TestFactory:
+    def test_tournament_from_config(self):
+        p = make_predictor(MASTER_PREDICTOR)
+        assert isinstance(p, TournamentPredictor)
+
+    def test_gshare_from_config(self):
+        p = make_predictor(FILLER_PREDICTOR)
+        assert isinstance(p, GsharePredictor)
+        assert p.entries == 8 * 1024
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    pcs=st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=20),
+    outcomes=st.lists(st.booleans(), min_size=1, max_size=20),
+)
+def test_predict_always_returns_bool(pcs, outcomes):
+    p = TournamentPredictor(256, 256, 256)
+    for pc, taken in zip(pcs, outcomes):
+        assert isinstance(p.predict(pc), bool)
+        p.update(pc, taken)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=1 << 30))
+def test_fully_biased_branch_eventually_predicted(pc):
+    p = BimodalPredictor(4096)
+    for _ in range(4):
+        p.update(pc, True)
+    assert p.predict(pc)

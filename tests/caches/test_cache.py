@@ -1,0 +1,168 @@
+"""Set-associative cache behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caches.cache import SetAssociativeCache
+from repro.common.params import CacheConfig
+
+
+def small_cache(size=1024, assoc=2, line=64):
+    return SetAssociativeCache(CacheConfig(size_bytes=size, associativity=assoc, line_bytes=line))
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert not c.access(0x1000)
+        assert c.access(0x1000)
+
+    def test_same_line_offsets_hit(self):
+        c = small_cache()
+        c.access(0x1000)
+        assert c.access(0x103F)  # same 64B line
+
+    def test_adjacent_line_misses(self):
+        c = small_cache()
+        c.access(0x1000)
+        assert not c.access(0x1040)
+
+    def test_stats(self):
+        c = small_cache()
+        c.access(0x1000)
+        c.access(0x1000)
+        c.access(0x2000)
+        assert c.hits == 1
+        assert c.misses == 2
+        assert c.accesses == 3
+        assert c.hit_rate == pytest.approx(1 / 3)
+
+    def test_no_allocate_on_miss(self):
+        c = small_cache()
+        assert not c.access(0x1000, allocate_on_miss=False)
+        assert not c.probe(0x1000)
+
+
+class TestLRU:
+    def test_lru_eviction_order(self):
+        # 2-way: fill both ways of a set, touch the first, insert a third.
+        c = small_cache(size=256, assoc=2, line=64)  # 2 sets
+        num_sets = c.config.num_sets
+        stride = num_sets * 64
+        a, b, d = 0x0, stride, 2 * stride  # all map to set 0
+        c.access(a)
+        c.access(b)
+        c.access(a)  # a becomes MRU
+        c.access(d)  # evicts b
+        assert c.probe(a)
+        assert not c.probe(b)
+        assert c.probe(d)
+
+    def test_eviction_count(self):
+        c = small_cache(size=256, assoc=2, line=64)
+        stride = c.config.num_sets * 64
+        for i in range(3):
+            c.access(i * stride)
+        assert c.evictions == 1
+
+    def test_occupancy_bounded(self):
+        c = small_cache(size=512, assoc=2, line=64)
+        for i in range(100):
+            c.access(i * 64)
+        assert c.occupancy <= c.config.num_lines
+
+
+class TestFillAtLRU:
+    def test_lru_fill_is_first_victim(self):
+        c = small_cache(size=256, assoc=2, line=64)
+        stride = c.config.num_sets * 64
+        a, b, d = 0x0, stride, 2 * stride
+        c.access(a)       # MRU
+        c.fill(b, at_lru=True)   # inserted at LRU position
+        c.access(d)       # evicts the LRU: b, not a
+        assert c.probe(a)
+        assert not c.probe(b)
+
+    def test_lru_fill_when_room(self):
+        c = small_cache(size=256, assoc=2, line=64)
+        c.fill(0x0, at_lru=True)
+        assert c.probe(0x0)
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        c = small_cache()
+        c.access(0x1000)
+        assert c.invalidate(0x1000)
+        assert not c.probe(0x1000)
+        assert c.invalidations == 1
+
+    def test_invalidate_absent(self):
+        c = small_cache()
+        assert not c.invalidate(0x1000)
+
+    def test_invalidate_line_address(self):
+        c = small_cache()
+        c.access(0x1000)
+        assert c.invalidate_line(0x1000 >> 6)
+        assert not c.probe(0x1000)
+
+    def test_flush(self):
+        c = small_cache()
+        for i in range(8):
+            c.access(i * 64)
+        c.flush()
+        assert c.occupancy == 0
+
+
+class TestResidency:
+    def test_resident_lines(self):
+        c = small_cache()
+        c.access(0x1000)
+        c.access(0x2000)
+        assert c.resident_lines() == {0x1000 >> 6, 0x2000 >> 6}
+
+    def test_fill_returns_victim(self):
+        c = small_cache(size=256, assoc=2, line=64)
+        stride = c.config.num_sets * 64
+        assert c.fill(0) is None
+        assert c.fill(stride) is None
+        victim = c.fill(2 * stride)
+        assert victim == 0  # line address of the first fill
+
+    def test_reset_stats(self):
+        c = small_cache()
+        c.access(0x1000)
+        c.reset_stats()
+        assert c.accesses == 0
+        assert c.probe(0x1000)  # contents retained
+
+
+@settings(max_examples=40, deadline=None)
+@given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=200))
+def test_occupancy_never_exceeds_capacity(addrs):
+    c = small_cache(size=512, assoc=2, line=64)
+    for addr in addrs:
+        c.access(addr)
+    assert c.occupancy <= c.config.num_lines
+    for ways in c._sets:
+        assert len(ways) <= c.config.associativity
+
+
+@settings(max_examples=40, deadline=None)
+@given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=100))
+def test_most_recent_access_always_resident(addrs):
+    c = small_cache(size=512, assoc=2, line=64)
+    for addr in addrs:
+        c.access(addr)
+        assert c.probe(addr)
+
+
+@settings(max_examples=30, deadline=None)
+@given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=2, max_size=100))
+def test_hits_plus_misses_equals_accesses(addrs):
+    c = small_cache()
+    for addr in addrs:
+        c.access(addr)
+    assert c.hits + c.misses == len(addrs)

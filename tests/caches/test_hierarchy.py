@@ -1,0 +1,153 @@
+"""Memory hierarchy latency composition, inclusion, prefetching."""
+
+import pytest
+
+from repro.caches.cache import SetAssociativeCache
+from repro.caches.hierarchy import CacheLevel, MemoryHierarchy, link_inclusive
+from repro.common.params import CacheConfig
+
+
+def build(l1_kb=4, llc_kb=32, mem=170, extra=None, prefetch=False):
+    l1 = SetAssociativeCache(CacheConfig(size_bytes=l1_kb * 1024, associativity=2), "l1")
+    llc = SetAssociativeCache(CacheConfig(size_bytes=llc_kb * 1024, associativity=8), "llc")
+    hier = MemoryHierarchy(
+        [CacheLevel(l1, 3), CacheLevel(llc, 20)],
+        mem,
+        extra_cycles_after=extra,
+        prefetch_next_line=prefetch,
+    )
+    return hier, l1, llc
+
+
+class TestLatency:
+    def test_cold_access_pays_full_path(self):
+        hier, _, _ = build()
+        assert hier.access(0x10000) == 3 + 20 + 170
+
+    def test_l1_hit(self):
+        hier, _, _ = build()
+        hier.access(0x10000)
+        assert hier.access(0x10000) == 3
+
+    def test_llc_hit_after_l1_eviction(self):
+        hier, l1, llc = build(l1_kb=1)
+        hier.access(0x10000)
+        # Evict from L1 by filling its set; line stays in LLC.
+        stride = l1.config.num_sets * 64
+        hier.access(0x10000 + stride)
+        hier.access(0x10000 + 2 * stride)
+        assert not l1.probe(0x10000)
+        assert llc.probe(0x10000)
+        assert hier.access(0x10000) == 3 + 20
+
+    def test_extra_cycles_after_level(self):
+        # The +3-cycle master-to-lender hop (Section III-B3) is charged
+        # only when the access goes past the L0.
+        hier, _, _ = build(extra={0: 3})
+        cold = hier.access(0x10000)
+        assert cold == 3 + 3 + 20 + 170
+        assert hier.access(0x10000) == 3  # L0/L1 hit: no hop
+
+    def test_needs_levels(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy([], 170)
+
+
+class TestWriteThrough:
+    def test_write_through_propagates(self):
+        l0 = SetAssociativeCache(
+            CacheConfig(size_bytes=1024, associativity=2, write_through=True), "l0"
+        )
+        l1 = SetAssociativeCache(CacheConfig(size_bytes=8192, associativity=2), "l1")
+        hier = MemoryHierarchy(
+            [CacheLevel(l0, 1), CacheLevel(l1, 3)], 170, prefetch_next_line=False
+        )
+        hier.access(0x1000, is_write=True)  # cold write allocates both
+        assert l0.probe(0x1000)
+        assert l1.probe(0x1000)
+        # A write hitting in the write-through L0 still updates the L1.
+        l1.invalidate(0x1000)
+        hier.access(0x1000, is_write=True)
+        assert l1.probe(0x1000)
+
+
+class TestInclusion:
+    def test_parent_eviction_invalidates_child(self):
+        parent_cache = SetAssociativeCache(
+            CacheConfig(size_bytes=256, associativity=2), "l1d"
+        )
+        child = SetAssociativeCache(
+            CacheConfig(size_bytes=256, associativity=2, write_through=True), "l0d"
+        )
+        parent_level = CacheLevel(parent_cache, 3)
+        link_inclusive(parent_level, child)
+        hier = MemoryHierarchy([parent_level], 170, prefetch_next_line=False)
+        stride = parent_cache.config.num_sets * 64
+        child.fill(0x0)
+        hier.access(0x0)
+        hier.access(stride)
+        hier.access(2 * stride)  # evicts line 0 from the parent
+        assert not child.probe(0x0)
+
+
+class TestPrefetch:
+    def test_next_line_prefetched(self):
+        hier, l1, llc = build(prefetch=True)
+        hier.access(0x10000)
+        assert l1.probe(0x10040)  # next line pulled in
+
+    def test_sequential_stream_hits(self):
+        hier, _, _ = build(prefetch=True)
+        hier.access(0x10000)
+        total = sum(hier.access(0x10000 + i * 8) for i in range(1, 64))
+        # With the stream prefetcher, the 504-byte walk never misses.
+        assert total == 63 * 3
+
+    def test_no_prefetch_when_disabled(self):
+        hier, l1, _ = build(prefetch=False)
+        hier.access(0x10000)
+        assert not l1.probe(0x10040)
+
+    def test_prefetch_counter(self):
+        hier, _, _ = build(prefetch=True)
+        hier.access(0x10000)
+        hier.access(0x10040)
+        assert hier.prefetches == 2
+
+
+class TestStats:
+    def test_average_latency(self):
+        hier, _, _ = build()
+        hier.access(0x10000)
+        hier.access(0x10000)
+        assert hier.accesses == 2
+        assert hier.average_latency == pytest.approx((193 + 3) / 2)
+
+    def test_level_lookups(self):
+        hier, _, _ = build()
+        hier.access(0x10000)
+        hier.access(0x10000)
+        assert hier.level_lookups[0] == 2
+        assert hier.level_lookups[1] == 1
+        assert hier.memory_lookups == 1
+
+    def test_reset(self):
+        hier, _, _ = build()
+        hier.access(0x10000)
+        hier.reset_stats()
+        assert hier.accesses == 0
+        assert hier.total_latency == 0
+
+
+class TestSharedLLC:
+    def test_two_ports_share_contents(self):
+        # Master and lender L1s over one LLC object: a line brought in by
+        # one port is an LLC hit for the other.
+        llc = SetAssociativeCache(CacheConfig(size_bytes=64 * 1024, associativity=8), "llc")
+        llc_level = CacheLevel(llc, 20)
+        l1a = SetAssociativeCache(CacheConfig(size_bytes=2048, associativity=2), "a")
+        l1b = SetAssociativeCache(CacheConfig(size_bytes=2048, associativity=2), "b")
+        port_a = MemoryHierarchy([CacheLevel(l1a, 3), llc_level], 170, prefetch_next_line=False)
+        port_b = MemoryHierarchy([CacheLevel(l1b, 3), llc_level], 170, prefetch_next_line=False)
+        port_a.access(0x5000)
+        assert port_b.access(0x5000) == 3 + 20  # LLC hit, no memory trip

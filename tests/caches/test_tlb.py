@@ -1,0 +1,77 @@
+"""TLB behaviour."""
+
+import pytest
+
+from repro.caches.tlb import TLB
+from repro.common.params import TLBConfig
+
+
+def tlb(entries=4):
+    return TLB(TLBConfig(entries=entries))
+
+
+def test_cold_miss_then_hit():
+    t = tlb()
+    assert not t.translate(0x1000)
+    assert t.translate(0x1000)
+
+
+def test_same_page_hits():
+    t = tlb()
+    t.translate(0x1000)
+    assert t.translate(0x1FFF)  # same 4 KB page
+
+
+def test_different_page_misses():
+    t = tlb()
+    t.translate(0x1000)
+    assert not t.translate(0x2000)
+
+
+def test_lru_replacement():
+    t = tlb(entries=2)
+    t.translate(0x1000)
+    t.translate(0x2000)
+    t.translate(0x1000)  # page 1 MRU
+    t.translate(0x3000)  # evicts page 2
+    assert t.translate(0x1000)
+    assert not t.translate(0x2000)
+
+
+def test_capacity_bounded():
+    t = tlb(entries=4)
+    for i in range(32):
+        t.translate(i * 4096)
+    assert t.occupancy == 4
+
+
+def test_reach():
+    # 64 entries x 4 KB pages = 256 KB reach (Table I TLBs).
+    t = tlb(entries=64)
+    for i in range(64):
+        t.translate(i * 4096)
+    for i in range(64):
+        assert t.translate(i * 4096)
+
+
+def test_flush():
+    t = tlb()
+    t.translate(0x1000)
+    t.flush()
+    assert not t.translate(0x1000)
+
+
+def test_stats():
+    t = tlb()
+    t.translate(0x1000)
+    t.translate(0x1000)
+    assert t.hits == 1
+    assert t.misses == 1
+    assert t.hit_rate == pytest.approx(0.5)
+    t.reset_stats()
+    assert t.accesses == 0
+
+
+def test_entry_validation():
+    with pytest.raises(ValueError):
+        TLB(TLBConfig(entries=0))

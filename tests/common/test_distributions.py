@@ -1,0 +1,194 @@
+"""Latency/service-time distribution behaviour."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.distributions import (
+    Deterministic,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Pareto,
+    SumDistribution,
+    Uniform,
+)
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestDeterministic:
+    def test_mean(self):
+        assert Deterministic(3.0).mean() == 3.0
+
+    def test_sample_constant(self):
+        d = Deterministic(2.5)
+        assert d.sample(rng()) == 2.5
+        np.testing.assert_array_equal(d.sample_many(rng(), 4), [2.5] * 4)
+
+    def test_cv2_zero(self):
+        assert Deterministic(1.0).squared_coefficient_of_variation() == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Deterministic(-1.0)
+
+
+class TestExponential:
+    def test_sample_mean_converges(self):
+        d = Exponential(2.0)
+        samples = d.sample_many(rng(), 40_000)
+        assert samples.mean() == pytest.approx(2.0, rel=0.05)
+
+    def test_cv2_is_one(self):
+        assert Exponential(5.0).squared_coefficient_of_variation() == 1.0
+
+    def test_all_nonnegative(self):
+        assert (Exponential(1.0).sample_many(rng(), 1000) >= 0).all()
+
+    def test_invalid_mean(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+
+class TestUniform:
+    def test_mean(self):
+        assert Uniform(3.0, 5.0).mean() == 4.0
+
+    def test_bounds(self):
+        samples = Uniform(3.0, 5.0).sample_many(rng(), 1000)
+        assert samples.min() >= 3.0
+        assert samples.max() <= 5.0
+
+    def test_cv2(self):
+        u = Uniform(0.0, 2.0)
+        # var = (b-a)^2/12 = 1/3, mean = 1 -> cv2 = 1/3
+        assert u.squared_coefficient_of_variation() == pytest.approx(1 / 3)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(5.0, 3.0)
+        with pytest.raises(ValueError):
+            Uniform(-1.0, 3.0)
+
+
+class TestLogNormal:
+    def test_mean_converges(self):
+        d = LogNormal(4.0, cv2=0.5)
+        assert d.sample_many(rng(), 60_000).mean() == pytest.approx(4.0, rel=0.05)
+
+    def test_cv2_roundtrip(self):
+        d = LogNormal(1.0, cv2=2.0)
+        samples = d.sample_many(rng(), 200_000)
+        cv2 = samples.var() / samples.mean() ** 2
+        assert cv2 == pytest.approx(2.0, rel=0.15)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            LogNormal(0.0)
+        with pytest.raises(ValueError):
+            LogNormal(1.0, cv2=0.0)
+
+
+class TestPareto:
+    def test_mean_converges(self):
+        d = Pareto(2.0, shape=3.0)
+        assert d.sample_many(rng(), 200_000).mean() == pytest.approx(2.0, rel=0.1)
+
+    def test_heavy_tail_cv2(self):
+        assert Pareto(1.0, shape=2.5).squared_coefficient_of_variation() == pytest.approx(5.0)
+        assert math.isinf(Pareto(1.0, shape=1.5).squared_coefficient_of_variation())
+
+    def test_shape_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            Pareto(1.0, shape=1.0)
+
+
+class TestScaled:
+    def test_mean_scales(self):
+        assert Exponential(2.0).scaled(3.0).mean() == pytest.approx(6.0)
+
+    def test_cv2_invariant(self):
+        assert Exponential(2.0).scaled(3.0).squared_coefficient_of_variation() == 1.0
+
+    def test_sample_many_scaled(self):
+        base = Deterministic(1.5)
+        np.testing.assert_allclose(base.scaled(2.0).sample_many(rng(), 3), [3.0] * 3)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            Exponential(1.0).scaled(0.0)
+
+
+class TestSum:
+    def test_mean_adds(self):
+        s = SumDistribution((Deterministic(1.0), Exponential(2.0)))
+        assert s.mean() == pytest.approx(3.0)
+
+    def test_sample_mean(self):
+        s = SumDistribution((Exponential(1.0), Exponential(2.0)))
+        assert s.sample_many(rng(), 50_000).mean() == pytest.approx(3.0, rel=0.05)
+
+    def test_cv2_of_deterministic_sum_is_zero(self):
+        s = SumDistribution((Deterministic(1.0), Deterministic(2.0)))
+        assert s.squared_coefficient_of_variation() == 0.0
+
+    def test_rsc_like_composition(self):
+        # 3 us lookup + 8 us Optane + 4 us memcpy = 15 us mean.
+        s = SumDistribution(
+            (Deterministic(3.0), Exponential(8.0), Deterministic(4.0))
+        )
+        assert s.mean() == pytest.approx(15.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SumDistribution(())
+
+
+class TestMixture:
+    def test_mean(self):
+        m = Mixture((Deterministic(1.0), Deterministic(3.0)), (0.5, 0.5))
+        assert m.mean() == pytest.approx(2.0)
+
+    def test_sample_many_mixes(self):
+        m = Mixture((Deterministic(1.0), Deterministic(3.0)), (0.25, 0.75))
+        samples = m.sample_many(rng(), 20_000)
+        assert set(np.unique(samples)) == {1.0, 3.0}
+        assert samples.mean() == pytest.approx(2.5, rel=0.05)
+
+    def test_weights_validated(self):
+        with pytest.raises(ValueError):
+            Mixture((Deterministic(1.0),), (0.5,))
+        with pytest.raises(ValueError):
+            Mixture((Deterministic(1.0), Deterministic(2.0)), (0.5,))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    mean=st.floats(min_value=0.01, max_value=100.0),
+    factor=st.floats(min_value=0.01, max_value=100.0),
+)
+def test_scaled_mean_property(mean, factor):
+    assert Exponential(mean).scaled(factor).mean() == pytest.approx(mean * factor)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    means=st.lists(st.floats(min_value=0.01, max_value=50.0), min_size=1, max_size=5)
+)
+def test_sum_mean_property(means):
+    s = SumDistribution(tuple(Deterministic(m) for m in means))
+    assert s.mean() == pytest.approx(sum(means))
+    assert s.sample(rng()) == pytest.approx(sum(means))
+
+
+@settings(max_examples=20, deadline=None)
+@given(mean=st.floats(min_value=0.01, max_value=10.0))
+def test_samples_nonnegative_property(mean):
+    for dist in (Exponential(mean), LogNormal(mean), Pareto(mean, 2.5)):
+        assert (dist.sample_many(rng(), 50) >= 0).all()

@@ -1,0 +1,110 @@
+"""Configuration dataclasses (Table I/II parameters)."""
+
+import pytest
+
+from repro.common import params
+from repro.common.units import KB, MB
+
+
+class TestCacheConfig:
+    def test_l1_shape(self):
+        assert params.L1I_CONFIG.size_bytes == 64 * KB
+        assert params.L1I_CONFIG.associativity == 2
+        assert params.L1I_CONFIG.num_sets == 512
+
+    def test_llc_shape(self):
+        assert params.LLC_CONFIG_PER_CORE.size_bytes == 1 * MB
+        assert params.LLC_CONFIG_PER_CORE.associativity == 8
+
+    def test_l0_write_through(self):
+        assert params.L0I_CONFIG.write_through
+        assert params.L0D_CONFIG.write_through
+        assert params.L0I_CONFIG.size_bytes == 2 * KB
+        assert params.L0D_CONFIG.size_bytes == 4 * KB
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            params.CacheConfig(size_bytes=0, associativity=2)
+        with pytest.raises(ValueError):
+            params.CacheConfig(size_bytes=1024, associativity=3, line_bytes=64)
+
+
+class TestTableIConfigs:
+    def test_baseline_ooo(self):
+        cfg = params.OoOCoreConfig()
+        assert cfg.width == 4
+        assert cfg.rob_entries == 144
+        assert cfg.load_queue_entries == 48
+        assert cfg.store_queue_entries == 32
+        assert cfg.predictor.kind == "tournament"
+
+    def test_tournament_sizes(self):
+        p = params.MASTER_PREDICTOR
+        assert p.bimodal_entries == 16 * 1024
+        assert p.gshare_entries == 16 * 1024
+        assert p.selector_entries == 16 * 1024
+        assert p.btb_entries == 2 * 1024
+        assert p.ras_entries == 32
+
+    def test_lender_core(self):
+        cfg = params.LenderCoreConfig()
+        assert cfg.physical_contexts == 8
+        assert cfg.virtual_contexts == 32
+        assert cfg.issue_width == 4
+        assert cfg.arf_entries == 128
+        assert cfg.predictor.kind == "gshare"
+        assert cfg.quantum_us == 100.0
+
+    def test_master_core(self):
+        cfg = params.MasterCoreConfig()
+        assert cfg.filler_contexts == 8
+        assert cfg.fast_restart_cycles == 50
+        assert cfg.filler_predictor.kind == "gshare"
+        assert cfg.filler_predictor.gshare_entries == 8 * 1024
+        assert not cfg.replicate_caches
+
+    def test_tlbs(self):
+        assert params.TLBConfig().entries == 64
+
+    def test_memory_latency(self):
+        assert params.MEMORY_LATENCY_NS == 50.0
+
+    def test_remote_l1_hop(self):
+        assert params.REMOTE_L1_EXTRA_CYCLES == 3
+
+    def test_nic(self):
+        nic = params.NICConfig()
+        assert nic.data_rate_gbps == 56.0
+        assert nic.max_iops == 90e6
+
+
+class TestSMTConfig:
+    def test_default_icount(self):
+        cfg = params.SMTCoreConfig()
+        assert cfg.fetch_policy == "icount"
+        assert cfg.threads == 2
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            params.SMTCoreConfig(fetch_policy="roundrobin")
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            params.SMTCoreConfig(corunner_storage_cap=0.0)
+
+
+class TestTableII:
+    def test_area_values(self):
+        assert params.TABLE_II_AREA_MM2["baseline"] == 12.1
+        assert params.TABLE_II_AREA_MM2["master_core"] == 12.7
+        assert params.TABLE_II_AREA_MM2["master_core_replication"] == 16.7
+        assert params.TABLE_II_AREA_MM2["lender_core"] == 5.5
+        assert params.TABLE_II_AREA_MM2["llc_per_mb"] == 3.9
+
+    def test_frequency_values(self):
+        assert params.TABLE_II_FREQUENCY_GHZ["baseline"] == 3.4
+        assert params.TABLE_II_FREQUENCY_GHZ["master_core"] == 3.25
+
+    def test_predictor_kind_validation(self):
+        with pytest.raises(ValueError):
+            params.BranchPredictorConfig(kind="perceptron")

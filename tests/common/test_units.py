@@ -1,0 +1,65 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro.common import units
+
+
+def test_seconds_from_us():
+    assert units.seconds_from_us(1.0) == 1e-6
+    assert units.seconds_from_us(2500.0) == pytest.approx(2.5e-3)
+
+
+def test_us_from_seconds_roundtrip():
+    assert units.us_from_seconds(units.seconds_from_us(17.5)) == pytest.approx(17.5)
+
+
+def test_seconds_from_ns():
+    assert units.seconds_from_ns(50.0) == pytest.approx(50e-9)
+
+
+def test_ns_roundtrip():
+    assert units.ns_from_seconds(units.seconds_from_ns(123.0)) == pytest.approx(123.0)
+
+
+def test_cycles_from_seconds():
+    assert units.cycles_from_seconds(1e-6, 3.4e9) == pytest.approx(3400.0)
+
+
+def test_seconds_from_cycles_inverse():
+    s = units.seconds_from_cycles(6800, 3.4e9)
+    assert s == pytest.approx(2e-6)
+
+
+def test_cycles_from_us_at_table_frequency():
+    # 100 us quantum at 3.25 GHz = 325,000 cycles (Section IV).
+    assert units.cycles_from_us(100.0, units.ghz(3.25)) == pytest.approx(325_000)
+
+
+def test_cycles_from_ns_memory_latency():
+    # 50 ns DRAM at 3.4 GHz = 170 cycles (Table I).
+    assert units.cycles_from_ns(50.0, units.ghz(3.4)) == pytest.approx(170.0)
+
+
+def test_ghz():
+    assert units.ghz(3.4) == pytest.approx(3.4e9)
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0])
+def test_nonpositive_frequency_rejected(bad):
+    with pytest.raises(ValueError):
+        units.cycles_from_seconds(1.0, bad)
+    with pytest.raises(ValueError):
+        units.seconds_from_cycles(1.0, bad)
+
+
+def test_us_from_cycles():
+    assert units.us_from_cycles(3400, 3.4e9) == pytest.approx(1.0)
+
+
+def test_size_constants():
+    assert units.KB == 1024
+    assert units.MB == 1024 * 1024
+    assert not math.isnan(units.NS_PER_S)

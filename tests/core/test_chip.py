@@ -1,0 +1,67 @@
+"""Chip-level composition (Fig 4c)."""
+
+import pytest
+
+from repro.core.chip import DuplexityChip, DyadAssignment
+from repro.workloads.microservices import mcrouter, wordstem
+from tests.harness.test_measure import TINY
+
+
+@pytest.fixture(scope="module")
+def chip_report():
+    chip = DuplexityChip("duplexity", num_dyads=4, fidelity=TINY)
+    chip.assign(mcrouter(), 0.5)
+    chip.assign(wordstem(), 0.5)
+    return chip.report()
+
+
+def test_report_covers_assigned_dyads(chip_report):
+    assert len(chip_report.dyads) == 2
+    assert {d.workload_name for d in chip_report.dyads} == {"McRouter", "WordStem"}
+
+
+def test_area_scales_with_dyads():
+    small = DuplexityChip("duplexity", num_dyads=2, fidelity=TINY)
+    large = DuplexityChip("duplexity", num_dyads=8, fidelity=TINY)
+    assert large.area_mm2 == pytest.approx(4 * small.area_mm2)
+    # 12.7 (master) + 5.5 (lender) + 7.8 (2 MB LLC) per dyad.
+    assert small.area_mm2 == pytest.approx(2 * 26.0)
+
+
+def test_aggregate_metrics_positive(chip_report):
+    assert chip_report.total_ips > 0
+    assert 0 < chip_report.mean_utilization <= 1
+    assert chip_report.power_w > 0
+    assert chip_report.performance_density > 0
+    assert 0 < chip_report.energy_per_instruction_nj < 100
+
+
+def test_nic_ports_modest(chip_report):
+    assert chip_report.nic_ports_needed == 1
+
+
+def test_idle_dyads_leak_static_power():
+    busy = DuplexityChip("duplexity", num_dyads=2, fidelity=TINY)
+    busy.assign(wordstem(), 0.5)
+    sparse = DuplexityChip("duplexity", num_dyads=6, fidelity=TINY)
+    sparse.assign(wordstem(), 0.5)
+    assert sparse.report().power_w > busy.report().power_w
+
+
+def test_assignment_capacity():
+    chip = DuplexityChip("duplexity", num_dyads=1, fidelity=TINY)
+    chip.assign(wordstem(), 0.5)
+    with pytest.raises(RuntimeError):
+        chip.assign(mcrouter(), 0.5)
+
+
+def test_report_requires_assignment():
+    with pytest.raises(RuntimeError):
+        DuplexityChip(num_dyads=1, fidelity=TINY).report()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DuplexityChip(num_dyads=0)
+    with pytest.raises(ValueError):
+        DyadAssignment(workload=wordstem(), load=1.5)

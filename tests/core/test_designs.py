@@ -1,0 +1,83 @@
+"""Design registry."""
+
+import pytest
+
+from repro.core.designs import DESIGN_NAMES, all_designs, get_design
+
+
+def test_seven_designs():
+    assert len(DESIGN_NAMES) == 7
+    assert len(all_designs()) == 7
+
+
+def test_canonical_order_matches_paper():
+    assert DESIGN_NAMES == (
+        "baseline",
+        "smt",
+        "smt_plus",
+        "morphcore",
+        "morphcore_plus",
+        "duplexity_replication",
+        "duplexity",
+    )
+
+
+def test_unknown_design():
+    with pytest.raises(ValueError):
+        get_design("hyperthreading")
+
+
+def test_baseline_properties():
+    d = get_design("baseline")
+    assert not d.morphs
+    assert not d.is_smt
+    assert d.filler_cache_policy == "none"
+    assert d.frequency_ghz == 3.4
+
+
+def test_smt_designs():
+    smt = get_design("smt")
+    assert smt.is_smt
+    assert smt.smt_fetch_policy == "icount"
+    plus = get_design("smt_plus")
+    assert plus.smt_fetch_policy == "priority"
+    assert plus.smt_config().corunner_storage_cap == 0.30
+
+
+def test_morphcore_vs_duplexity_restart():
+    morph = get_design("morphcore")
+    dup = get_design("duplexity")
+    assert morph.restart_cycles > dup.restart_cycles
+    assert dup.restart_cycles == 50  # Section III-B4
+
+    assert not morph.hsmt
+    assert get_design("morphcore_plus").hsmt
+    assert dup.hsmt
+
+
+def test_filler_cache_policies():
+    assert get_design("morphcore").filler_cache_policy == "master"
+    assert get_design("morphcore_plus").filler_cache_policy == "master"
+    assert get_design("duplexity_replication").filler_cache_policy == "replicated"
+    assert get_design("duplexity").filler_cache_policy == "lender"
+
+
+def test_areas_from_table_ii():
+    assert get_design("baseline").area_mm2 == 12.1
+    assert get_design("duplexity").area_mm2 == 12.7
+    assert get_design("duplexity_replication").area_mm2 == 16.7
+
+
+def test_frequencies_from_table_ii():
+    assert get_design("duplexity").frequency_ghz == 3.25
+    assert get_design("morphcore").frequency_ghz == 3.3
+
+
+def test_smt_config_rejected_for_non_smt():
+    with pytest.raises(ValueError):
+        get_design("duplexity").smt_config()
+
+
+def test_ooo_config_uses_design_clock():
+    cfg = get_design("duplexity").ooo_config()
+    assert cfg.frequency_hz == pytest.approx(3.25e9)

@@ -1,0 +1,123 @@
+"""Dyad co-simulation invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core import Dyad
+from repro.core.dyad import DyadResult
+from repro.workloads.microservices import flann_ll, mcrouter, wordstem
+
+
+def run(design, workload=None, **kw):
+    dyad = Dyad(
+        workload or mcrouter(),
+        design,
+        seed=5,
+        filler_trace_instructions=6000,
+        time_scale=0.2,
+    )
+    defaults = dict(num_requests=6, warmup_requests=2, run_lender=False)
+    defaults.update(kw)
+    return dyad, dyad.simulate(**defaults)
+
+
+class TestInvariants:
+    def test_utilization_bounded(self):
+        for design in ("baseline", "morphcore", "duplexity"):
+            _, sim = run(design)
+            assert 0.0 < sim.dyad.utilization <= 1.0, design
+
+    def test_baseline_has_no_filler_instructions(self):
+        _, sim = run("baseline")
+        assert sim.dyad.filler_instructions == 0
+        assert sim.dyad.morphed_windows == 0
+
+    def test_morphing_design_fills_windows(self):
+        _, sim = run("duplexity")
+        r = sim.dyad
+        assert r.morphed_windows > 0
+        assert r.filler_instructions > 0
+        assert r.morphed_windows <= r.stall_windows
+
+    def test_stall_windows_match_requests(self):
+        # McRouter has one stall phase per request.
+        _, sim = run("baseline", num_requests=5, warmup_requests=0)
+        assert sim.dyad.stall_windows == 5
+
+    def test_wordstem_never_stalls(self):
+        _, sim = run("duplexity", workload=wordstem())
+        r = sim.dyad
+        assert r.stall_windows == 0
+        assert r.filler_instructions == 0  # no in-request holes to fill
+
+    def test_overheads_accounted(self):
+        _, sim = run("duplexity")
+        r = sim.dyad
+        assert r.morph_overhead_cycles == r.morphed_windows * 100
+        assert r.restart_overhead_cycles == r.morphed_windows * 50
+
+    def test_morphcore_pays_bigger_restart(self):
+        _, sim_m = run("morphcore")
+        _, sim_d = run("duplexity")
+        per_window_m = sim_m.dyad.restart_overhead_cycles / max(
+            1, sim_m.dyad.morphed_windows
+        )
+        per_window_d = sim_d.dyad.restart_overhead_cycles / max(
+            1, sim_d.dyad.morphed_windows
+        )
+        assert per_window_m > per_window_d
+
+    def test_stall_fraction_plausible(self):
+        # McRouter: 3 us compute + 3-5 us stall => ~40-65% stalled.
+        _, sim = run("baseline")
+        assert 0.25 < sim.dyad.stall_fraction < 0.75
+
+    def test_utilization_exceeds_master_only_when_morphing(self):
+        _, sim = run("duplexity")
+        assert sim.dyad.utilization > sim.dyad.master_only_utilization
+
+
+class TestComparative:
+    def test_duplexity_beats_baseline_utilization(self):
+        _, base = run("baseline")
+        _, dup = run("duplexity")
+        assert dup.dyad.utilization > 2 * base.dyad.utilization
+
+    def test_duplexity_master_faster_than_morphcore(self):
+        # State segregation: Duplexity's master keeps (at least) the
+        # compute IPC that MorphCore's polluted master gets.
+        _, morph = run("morphcore", num_requests=10, warmup_requests=3)
+        _, dup = run("duplexity", num_requests=10, warmup_requests=3)
+        assert dup.dyad.master_compute_ipc >= morph.dyad.master_compute_ipc * 0.97
+
+
+class TestLenderSide:
+    def test_lender_runs_with_dyad(self):
+        dyad, sim = run("duplexity", run_lender=True, lender_instructions=10_000)
+        assert sim.lender is not None
+        # The measured interval covers the full budget (after a half-budget
+        # warmup excluded from the stats).
+        assert sim.lender.engine.instructions == 10_000
+
+    def test_idle_fill_rate_positive(self):
+        dyad, _ = run("duplexity")
+        assert dyad.idle_fill_ipc(cycles=15_000) > 0.5
+
+    def test_baseline_idle_fill_zero(self):
+        dyad, _ = run("baseline")
+        assert dyad.simulator.run_filler_only(1000) == 0.0
+
+
+class TestErrors:
+    def test_requires_master_trace(self):
+        from repro.core.dyad import DyadSimulator
+        from repro.core.master import MasterCoreComplex
+        from repro.core.designs import get_design
+
+        mc = MasterCoreComplex(get_design("baseline"))
+        with pytest.raises(RuntimeError):
+            DyadSimulator(mc).run()
+
+    def test_smt_rejected_by_dyad(self):
+        with pytest.raises(ValueError):
+            Dyad(mcrouter(), "smt")

@@ -1,0 +1,66 @@
+"""DyadResult metric arithmetic (no simulation)."""
+
+import pytest
+
+from repro.core.dyad import DyadResult
+
+
+def result(**overrides):
+    defaults = dict(
+        design_name="duplexity",
+        total_cycles=10_000,
+        master_instructions=5_000,
+        filler_instructions=12_000,
+        stall_cycles=4_000,
+        morph_overhead_cycles=400,
+        restart_overhead_cycles=200,
+        stall_windows=4,
+        morphed_windows=4,
+        width=4,
+    )
+    defaults.update(overrides)
+    return DyadResult(**defaults)
+
+
+def test_utilization():
+    r = result()
+    assert r.utilization == pytest.approx((5000 + 12_000) / (4 * 10_000))
+
+
+def test_master_only_utilization():
+    assert result().master_only_utilization == pytest.approx(5000 / 40_000)
+
+
+def test_master_ipc():
+    assert result().master_ipc == pytest.approx(0.5)
+
+
+def test_compute_cycles_exclude_stall_and_restart():
+    r = result()
+    assert r.master_compute_cycles == 10_000 - 4_000 - 200
+
+
+def test_compute_ipc():
+    r = result()
+    assert r.master_compute_ipc == pytest.approx(5000 / 5800)
+
+
+def test_filler_ipc_in_windows():
+    r = result()
+    assert r.filler_ipc_in_windows == pytest.approx(12_000 / 3_600)
+
+
+def test_stall_fraction():
+    assert result().stall_fraction == pytest.approx(0.4)
+
+
+def test_zero_cycles_guarded():
+    r = result(total_cycles=0)
+    assert r.utilization == 0.0
+    assert r.master_ipc == 0.0
+    assert r.stall_fraction == 0.0
+
+
+def test_no_windows_no_filler_rate():
+    r = result(stall_cycles=0, morph_overhead_cycles=0, filler_instructions=0)
+    assert r.filler_ipc_in_windows == 0.0

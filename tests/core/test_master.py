@@ -1,0 +1,122 @@
+"""Master-core complex construction per design variant."""
+
+import numpy as np
+import pytest
+
+from repro.caches.cache import SetAssociativeCache
+from repro.common.params import LenderCoreConfig
+from repro.core.designs import get_design
+from repro.core.master import MasterCoreComplex
+from repro.core.server import dyad_llc_config
+from repro.uarch.cores import LenderCoreModel
+from repro.workloads.filler import filler_trace
+from repro.workloads.microservices import mcrouter
+
+
+def build(design_name, with_lender=True):
+    design = get_design(design_name)
+    llc = SetAssociativeCache(dyad_llc_config(), "llc")
+    lender = LenderCoreModel(LenderCoreConfig(), llc=llc) if with_lender else None
+    return (
+        MasterCoreComplex(
+            design, llc=llc, lender_stack=lender.stack if lender else None
+        ),
+        lender,
+    )
+
+
+class TestVariantStructure:
+    def test_baseline_has_no_filler_side(self):
+        mc, _ = build("baseline")
+        assert mc.filler_engine is None
+        assert mc.l0i is None
+
+    def test_smt_designs_rejected(self):
+        with pytest.raises(ValueError):
+            build("smt")
+
+    def test_morphcore_shares_master_structures(self):
+        mc, _ = build("morphcore")
+        master_ports = mc.master_stack.ports()
+        assert mc.filler_ports.dhier is master_ports.dhier
+        assert mc.filler_ports.predictor is master_ports.predictor
+        assert mc.l0i is None
+
+    def test_replication_gets_private_structures(self):
+        mc, _ = build("duplexity_replication")
+        master_ports = mc.master_stack.ports()
+        assert mc.filler_ports.dhier is not master_ports.dhier
+        assert mc.filler_ports.predictor is not master_ports.predictor
+        assert mc.filler_ports.itlb is not master_ports.itlb
+        # Replicated L1s are private caches, not the lender's.
+        assert mc.l0i is None
+
+    def test_duplexity_l0_into_lender_l1(self):
+        mc, lender = build("duplexity")
+        assert mc.l0i is not None and mc.l0d is not None
+        assert mc.l0i.config.size_bytes == 2048
+        assert mc.l0d.config.size_bytes == 4096
+        # Filler data path: L0 -> lender L1D -> LLC.
+        levels = mc.filler_ports.dhier.levels
+        assert levels[0].cache is mc.l0d
+        assert levels[1].cache is lender.stack.l1d
+        assert levels[2].cache is mc.llc
+        # The +3-cycle hop past the L0 (Section III-B3).
+        assert mc.filler_ports.dhier.extra_cycles_after == {0: 3}
+
+    def test_duplexity_needs_lender(self):
+        with pytest.raises(ValueError):
+            build("duplexity", with_lender=False)
+
+    def test_duplexity_segregated_predictor(self):
+        mc, _ = build("duplexity")
+        assert mc.filler_ports.predictor is not mc.master_stack.predictor
+
+    def test_master_and_filler_share_llc(self):
+        mc, lender = build("duplexity")
+        assert mc.master_stack.llc is mc.llc
+        assert lender.stack.llc is mc.llc
+
+
+class TestInclusion:
+    def test_lender_l1d_eviction_invalidates_l0(self):
+        mc, lender = build("duplexity")
+        l1d = lender.stack.l1d
+        mc.l0d.fill(0x9000)
+        l1d.fill(0x9000)
+        # Force eviction of the line from the lender's L1D via its own port.
+        stride = l1d.config.num_sets * 64
+        lender.stack.dhier.access(0x9000 + stride)
+        lender.stack.dhier.access(0x9000 + 2 * stride)
+        lender.stack.dhier.access(0x9000 + 3 * stride)  # 2-way: 0x9000 out
+        assert not mc.l0d.probe(0x9000)
+
+
+class TestThreads:
+    def test_attach_master_once(self):
+        mc, _ = build("duplexity")
+        trace = mcrouter().saturated_trace(
+            np.random.default_rng(0), num_requests=2, time_scale=0.2
+        )
+        mc.attach_master_trace(trace)
+        with pytest.raises(RuntimeError):
+            mc.attach_master_trace(trace)
+
+    def test_filler_contexts_hsmt_unbounded(self):
+        mc, _ = build("duplexity")
+        for i in range(12):
+            mc.add_filler_trace(filler_trace(np.random.default_rng(i), 1000, slot=i + 1))
+        assert len(mc.filler_threads) == 12
+        assert mc.filler_scheduler.active_count == 8
+
+    def test_morphcore_capped_at_eight(self):
+        mc, _ = build("morphcore")
+        for i in range(8):
+            mc.add_filler_trace(filler_trace(np.random.default_rng(i), 1000, slot=i + 1))
+        with pytest.raises(RuntimeError):
+            mc.add_filler_trace(filler_trace(np.random.default_rng(9), 1000, slot=9))
+
+    def test_baseline_rejects_fillers(self):
+        mc, _ = build("baseline")
+        with pytest.raises(RuntimeError):
+            mc.add_filler_trace(filler_trace(np.random.default_rng(0), 1000, slot=1))

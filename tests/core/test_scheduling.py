@@ -1,0 +1,104 @@
+"""OS/cluster scheduling layer (Section IV)."""
+
+import pytest
+
+from repro.core.scheduling import (
+    MAX_CONTEXTS_PER_DYAD,
+    BatchJob,
+    ClusterScheduler,
+    Service,
+    contexts_to_provision,
+)
+
+
+class TestProvisioningRule:
+    def test_no_batch_stalls_with_master_stalls(self):
+        # "If batch threads do not incur us-scale stalls, 16 batch threads
+        # are sufficient; eight each to fill contexts on the lender and
+        # master-cores."
+        assert contexts_to_provision(0.0, master_stalls=True) == 16
+
+    def test_no_batch_stalls_no_master_stalls(self):
+        assert contexts_to_provision(0.0, master_stalls=False) == 8
+
+    def test_only_batch_stalls(self):
+        # "If only batch threads incur us-scale stalls ... 21 threads are
+        # sufficient to occupy the lender-core."
+        assert contexts_to_provision(0.5, master_stalls=False) == 21
+
+    def test_both_stall_uses_full_pool(self):
+        # "32 virtual contexts per dyad are sufficient ... in our most
+        # pessimistic scenarios."
+        assert contexts_to_provision(0.5, master_stalls=True) == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            contexts_to_provision(1.5, master_stalls=True)
+
+
+class TestClusterScheduler:
+    def test_service_placement_one_per_dyad(self):
+        sched = ClusterScheduler(2)
+        a = sched.place_service(Service("mcrouter"))
+        b = sched.place_service(Service("wordstem", incurs_stalls=False))
+        assert a.index != b.index
+        with pytest.raises(RuntimeError):
+            sched.place_service(Service("third"))
+
+    def test_batch_spread_over_dyads(self):
+        sched = ClusterScheduler(2)
+        placement = sched.submit_batch(BatchJob("pagerank", threads=40))
+        assert sum(placement.values()) == 40
+        assert len(placement) == 2
+
+    def test_capacity_enforced_with_rollback(self):
+        # A serviceless dyad with stall-prone batch provisions 21 contexts
+        # (the "only batch threads stall" rule), so 22 threads cannot fit.
+        sched = ClusterScheduler(1)
+        with pytest.raises(RuntimeError):
+            sched.submit_batch(BatchJob("huge", threads=22))
+        # Rollback leaves the pool clean.
+        assert sched.total_free_contexts() == 21
+        assert sched.dyads[0].batch_assignments == {}
+
+    def test_complete_batch_frees_contexts(self):
+        sched = ClusterScheduler(1)
+        sched.submit_batch(BatchJob("pr", threads=10))
+        before = sched.total_free_contexts()
+        freed = sched.complete_batch("pr")
+        assert freed == 10
+        assert sched.total_free_contexts() == before + 10
+
+    def test_provisioning_reacts_to_service(self):
+        sched = ClusterScheduler(1)
+        sched.place_service(Service("mcrouter", incurs_stalls=True))
+        sched.submit_batch(BatchJob("pr", threads=4, stall_probability=0.5))
+        assert sched.dyads[0].provisioned_contexts == 32
+
+    def test_stall_free_batch_provisions_less(self):
+        sched = ClusterScheduler(1)
+        sched.submit_batch(BatchJob("cpu-bound", threads=4, stall_probability=0.0))
+        assert sched.dyads[0].provisioned_contexts == 8
+        assert sched.dyads[0].parked_contexts == MAX_CONTEXTS_PER_DYAD - 8
+
+    def test_never_unprovision_in_use(self):
+        sched = ClusterScheduler(1)
+        sched.submit_batch(BatchJob("heavy", threads=20, stall_probability=0.5))
+        # A later stall-free job must not shrink the pool below usage.
+        sched.submit_batch(BatchJob("light", threads=1, stall_probability=0.0))
+        assert sched.dyads[0].provisioned_contexts >= 21
+
+    def test_summary_rows(self):
+        sched = ClusterScheduler(2)
+        sched.place_service(Service("rsc"))
+        rows = sched.utilization_summary()
+        assert rows[0][1] == "rsc"
+        assert rows[1][1] == "-"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterScheduler(0)
+        with pytest.raises(ValueError):
+            BatchJob("x", threads=0)
+        with pytest.raises(ValueError):
+            BatchJob("x", threads=1, stall_probability=2.0)

@@ -1,0 +1,54 @@
+"""Dyad facade (pool split, LLC sharing, simulation plumbing)."""
+
+import pytest
+
+from repro.core import Dyad, dyad_llc_config
+from repro.workloads.microservices import mcrouter
+
+
+def test_llc_slice_is_two_megabytes():
+    cfg = dyad_llc_config()
+    assert cfg.size_bytes == 2 * 1024 * 1024
+    assert cfg.associativity == 8
+
+
+def test_pool_split_for_hsmt_designs():
+    dyad = Dyad(mcrouter(), "duplexity", filler_trace_instructions=500)
+    assert len(dyad.master.filler_threads) == 16
+    assert len(dyad.lender.contexts) == 16
+
+
+def test_pool_for_morphcore_limited_to_hardware_threads():
+    dyad = Dyad(mcrouter(), "morphcore", filler_trace_instructions=500)
+    assert len(dyad.master.filler_threads) == 8
+    assert len(dyad.lender.contexts) == 24
+
+
+def test_baseline_lender_pool_matches_dyad_split():
+    dyad = Dyad(mcrouter(), "baseline", filler_trace_instructions=500)
+    assert len(dyad.master.filler_threads) == 0
+    assert len(dyad.lender.contexts) == 16
+
+
+def test_shared_llc_object():
+    dyad = Dyad(mcrouter(), "duplexity", filler_trace_instructions=500)
+    assert dyad.master.llc is dyad.llc
+    assert dyad.lender.stack.llc is dyad.llc
+
+
+def test_lender_clock_follows_design():
+    dyad = Dyad(mcrouter(), "duplexity", filler_trace_instructions=500)
+    assert dyad.lender.config.frequency_hz == pytest.approx(3.25e9)
+
+
+def test_nic_default():
+    dyad = Dyad(mcrouter(), "baseline", filler_trace_instructions=500)
+    assert dyad.nic.max_iops == 90e6
+
+
+def test_design_accepts_object_or_name():
+    from repro.core.designs import get_design
+
+    by_name = Dyad(mcrouter(), "baseline", filler_trace_instructions=500)
+    by_obj = Dyad(mcrouter(), get_design("baseline"), filler_trace_instructions=500)
+    assert by_name.design == by_obj.design

@@ -1,0 +1,65 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "144-entry ROB" in out
+
+
+def test_table2(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "12.7" in out and "3.25" in out
+
+
+def test_fig1a(capsys):
+    assert main(["fig1a"]) == 0
+    assert "closed-loop" in capsys.readouterr().out
+
+
+def test_fig1b(capsys):
+    assert main(["fig1b"]) == 0
+    assert "mean idle" in capsys.readouterr().out
+
+
+def test_fig2b(capsys):
+    assert main(["fig2b"]) == 0
+    out = capsys.readouterr().out
+    assert "n=21" in out
+
+
+def test_unknown_target():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_unknown_workload():
+    with pytest.raises(SystemExit):
+        main(["fig5a", "--workload", "doom"])
+
+
+def test_cell_usage_error():
+    with pytest.raises(SystemExit):
+        main(["cell", "duplexity"])
+
+
+def test_cell_runs(capsys):
+    from tests.harness.test_measure import TINY
+    import repro.cli as cli
+
+    # Patch the fast fidelity to the tiny test preset for speed.
+    original = cli.FIDELITIES["fast"]
+    cli.FIDELITIES["fast"] = TINY
+    try:
+        assert main(["cell", "baseline", "wordstem", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out
+        assert "tail_99_us" in out
+    finally:
+        cli.FIDELITIES["fast"] = original

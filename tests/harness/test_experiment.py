@@ -1,0 +1,116 @@
+"""Experiment runner cells and the headline orderings."""
+
+import math
+
+import pytest
+
+from repro.harness.experiment import run_cell, run_grid
+from repro.workloads.microservices import mcrouter, wordstem
+from tests.harness.test_measure import TINY
+
+
+@pytest.fixture(scope="module")
+def cells():
+    workload = mcrouter()
+    return {
+        name: run_cell(name, workload, 0.5, TINY)
+        for name in ("baseline", "smt", "morphcore", "duplexity")
+    }
+
+
+class TestCellFields:
+    def test_baseline_normalizations_are_one(self, cells):
+        base = cells["baseline"]
+        assert base.tail_99_vs_baseline == pytest.approx(1.0)
+        assert base.performance_density_vs_baseline == pytest.approx(1.0)
+        assert base.energy_vs_baseline == pytest.approx(1.0)
+        assert base.batch_stp_vs_baseline == pytest.approx(1.0)
+        assert base.master_slowdown == 1.0
+
+    def test_all_fields_finite(self, cells):
+        for name, cell in cells.items():
+            for field in (
+                "utilization",
+                "tail_99_us",
+                "iso_tail_99_us",
+                "performance_density_vs_baseline",
+                "energy_vs_baseline",
+                "batch_stp_vs_baseline",
+                "nic_iops_utilization",
+            ):
+                value = getattr(cell, field)
+                assert math.isfinite(value) and value >= 0, (name, field)
+
+    def test_identity_metadata(self, cells):
+        assert cells["duplexity"].design_name == "duplexity"
+        assert cells["duplexity"].workload_name == "McRouter"
+        assert cells["duplexity"].load == 0.5
+
+
+class TestHeadlineOrderings:
+    """The paper's qualitative results at one representative cell."""
+
+    def test_duplexity_utilization_beats_baseline(self, cells):
+        assert cells["duplexity"].utilization > 3 * cells["baseline"].utilization
+
+    def test_duplexity_utilization_beats_smt(self, cells):
+        assert cells["duplexity"].utilization > cells["smt"].utilization
+
+    def test_smt_tail_blowup(self, cells):
+        assert cells["smt"].tail_99_vs_baseline > 1.5
+
+    def test_duplexity_tail_preserved(self, cells):
+        # Paper: Duplexity increases tail by only ~19%.
+        assert cells["duplexity"].tail_99_vs_baseline < 1.4
+
+    def test_duplexity_iso_tail_better_than_baseline(self, cells):
+        assert cells["duplexity"].iso_tail_99_vs_baseline < 1.0
+
+    def test_duplexity_density_and_energy_win(self, cells):
+        assert cells["duplexity"].performance_density_vs_baseline > 1.1
+        assert cells["duplexity"].energy_vs_baseline < 0.95
+
+    def test_duplexity_batch_stp_win(self, cells):
+        assert cells["duplexity"].batch_stp_vs_baseline > 1.1
+
+    def test_morphcore_between_baseline_and_duplexity(self, cells):
+        assert (
+            cells["baseline"].utilization
+            < cells["morphcore"].utilization
+        )
+        assert cells["morphcore"].tail_99_vs_baseline > cells[
+            "duplexity"
+        ].tail_99_vs_baseline
+
+
+class TestGrid:
+    def test_utilization_never_exceeds_one(self, cells):
+        # Regression: idle-fill rates must not let composed utilization
+        # exceed the retire-bandwidth ceiling.
+        for name, cell in cells.items():
+            assert 0.0 < cell.utilization <= 1.0, name
+
+    def test_grid_covers_matrix(self):
+        results = run_grid(
+            designs=["baseline", "duplexity"],
+            workloads=[wordstem()],
+            loads=(0.3, 0.7),
+            fidelity=TINY,
+        )
+        assert len(results) == 4
+        keys = {(r.design_name, r.load) for r in results}
+        assert ("duplexity", 0.3) in keys and ("baseline", 0.7) in keys
+
+    def test_wordstem_idle_filling_still_helps(self):
+        # Even with no stalls, Duplexity fills idle periods (Fig 5a's
+        # WordStem observation).
+        results = {
+            r.design_name: r
+            for r in run_grid(
+                designs=["baseline", "duplexity"],
+                workloads=[wordstem()],
+                loads=(0.5,),
+                fidelity=TINY,
+            )
+        }
+        assert results["duplexity"].utilization > results["baseline"].utilization

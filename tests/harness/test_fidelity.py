@@ -1,0 +1,20 @@
+"""Fidelity presets."""
+
+from repro.harness.fidelity import BENCH, FAST, FULL
+
+
+def test_presets_ordered_by_cost():
+    assert FAST.num_requests <= BENCH.num_requests <= FULL.num_requests
+    assert FAST.queue_requests <= BENCH.queue_requests <= FULL.queue_requests
+    assert FAST.time_scale <= 1.0
+    assert FULL.time_scale == 1.0
+
+
+def test_distinct_names():
+    assert len({FAST.name, BENCH.name, FULL.name}) == 3
+
+
+def test_warmup_smaller_than_measurement():
+    for fid in (FAST, BENCH, FULL):
+        assert fid.warmup_requests < fid.num_requests
+        assert fid.queue_warmup < fid.queue_requests

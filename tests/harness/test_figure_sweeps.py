@@ -1,0 +1,53 @@
+"""Micro versions of the thread-sweep figures (full sweeps are benches)."""
+
+import pytest
+
+from repro.harness.figures import fig1c, fig2a
+
+
+@pytest.fixture(scope="module")
+def fig1c_micro():
+    return fig1c(thread_counts=(1, 8), num_requests=3, max_instructions=30_000)
+
+
+@pytest.fixture(scope="module")
+def fig2a_micro():
+    return fig2a(thread_counts=(1, 8), num_instructions=8000)
+
+
+class TestFig1cMicro:
+    def test_all_variants_present(self, fig1c_micro):
+        assert set(fig1c_micro["normalized"]) == {
+            "baseline",
+            "FLANN-9-1",
+            "FLANN-10-10",
+            "FLANN-1-1",
+        }
+
+    def test_normalization_reference(self, fig1c_micro):
+        assert fig1c_micro["normalized"]["baseline"][0] == pytest.approx(1.0)
+
+    def test_heavy_stall_variant_below_baseline_at_one_thread(self, fig1c_micro):
+        norm = fig1c_micro["normalized"]
+        assert norm["FLANN-1-1"][0] < norm["baseline"][0]
+
+    def test_stalled_variant_gains_from_threads(self, fig1c_micro):
+        norm = fig1c_micro["normalized"]
+        assert norm["FLANN-1-1"][1] > norm["FLANN-1-1"][0]
+
+    def test_raw_ipc_bounded(self, fig1c_micro):
+        for values in fig1c_micro["ipc"].values():
+            assert all(0 <= v <= 4.0 + 1e-9 for v in values)
+
+
+class TestFig2aMicro:
+    def test_ooo_advantage_at_one_thread(self, fig2a_micro):
+        assert fig2a_micro["ooo_ipc"][0] > 1.3 * fig2a_micro["ino_ipc"][0]
+
+    def test_gap_narrows_with_threads(self, fig2a_micro):
+        gap1 = fig2a_micro["ooo_ipc"][0] / fig2a_micro["ino_ipc"][0]
+        gap8 = fig2a_micro["ooo_ipc"][1] / fig2a_micro["ino_ipc"][1]
+        assert gap8 < gap1
+
+    def test_ino_scales_with_threads(self, fig2a_micro):
+        assert fig2a_micro["ino_ipc"][1] > fig2a_micro["ino_ipc"][0]

@@ -1,0 +1,98 @@
+"""Figure/table regenerators (fast subset; heavy sweeps live in benchmarks)."""
+
+import numpy as np
+import pytest
+
+from repro.harness import figures
+from tests.harness.test_measure import TINY
+
+
+class TestFig1a:
+    def test_surface_shape_and_corners(self):
+        data = figures.fig1a(points=15)
+        surface = data["utilization"]
+        assert surface.shape == (15, 15)
+        assert surface[0, -1] > 0.99  # short stall, long compute
+        assert surface[-1, 0] < 0.01  # long stall, short compute
+
+
+class TestFig1b:
+    def test_paper_idle_means(self):
+        data = figures.fig1b(simulate=False)
+        means = {(e["qps"], e["load"]): e["mean_idle_us"] for e in data}
+        assert means[(200e3, 0.5)] == pytest.approx(10.0)
+        assert means[(1e6, 0.5)] == pytest.approx(2.0)
+
+    def test_empirical_matches_analytic(self):
+        data = figures.fig1b(
+            qps_levels=(1e6,), loads=(0.5,), simulate=True, num_requests=20_000
+        )
+        entry = data[0]
+        gap = np.abs(entry["empirical_cdf"] - entry["analytic_cdf"]).max()
+        assert gap < 0.03
+
+
+class TestFig2b:
+    def test_curves(self):
+        data = figures.fig2b()
+        assert data["contexts"][0] == 8
+        p01 = data["curves"][0.1]
+        p05 = data["curves"][0.5]
+        assert (p01 >= p05).all()  # less-stalled threads are always ahead
+        # Paper design points.
+        idx_11 = 11 - 8
+        idx_21 = 21 - 8
+        assert p01[idx_11] >= 0.9
+        assert p05[idx_21] >= 0.9
+
+
+class TestTables:
+    def test_table1_mentions_key_parameters(self):
+        text = " | ".join(f"{k}: {v}" for k, v in figures.table1())
+        for needle in ("144-entry ROB", "32 virtual contexts", "2KB/4KB",
+                       "50 ns", "90M ops/s", "64KB"):
+            assert needle in text, needle
+
+    def test_table2_matches_paper(self):
+        assert figures.table2_matches_paper()
+
+    def test_table2_rows(self):
+        rows = {name: (area, freq) for name, area, freq in figures.table2()}
+        assert rows["master_core"] == (12.7, 3.25)
+        assert rows["lender_core"] == (5.5, 3.4)
+
+
+class TestEvaluationGrid:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        from repro.workloads.microservices import mcrouter
+
+        return figures.evaluation_grid(
+            fidelity=TINY,
+            designs=["baseline", "duplexity"],
+            workloads=[mcrouter()],
+            loads=(0.5,),
+        )
+
+    def test_reports_render(self, grid):
+        for fig in (figures.fig5a, figures.fig5b, figures.fig5c,
+                    figures.fig5d, figures.fig5e, figures.fig5f, figures.fig6):
+            text = fig(grid)
+            assert "duplexity" in text
+            assert "McRouter" in text
+
+    def test_improvement_helper(self, grid):
+        ratio = grid.improvement("utilization", "duplexity", "baseline")
+        assert ratio > 1.0
+
+    def test_average_over(self, grid):
+        avg = grid.average_over("duplexity", "utilization")
+        assert 0 < avg <= 1
+
+    def test_metric_lookup(self, grid):
+        values = grid.metric("utilization")
+        assert ("duplexity", "McRouter", 0.5) in values
+
+    def test_missing_design_raises(self, grid):
+        with pytest.raises(ValueError):
+            grid.average_over("smt", "utilization")

@@ -1,0 +1,76 @@
+"""Core measurement layer."""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.fidelity import FAST
+from repro.harness.measure import clear_cache, measure
+from repro.workloads.microservices import mcrouter
+
+TINY = dataclasses.replace(
+    FAST,
+    name="tiny",
+    num_requests=4,
+    warmup_requests=1,
+    filler_trace_instructions=4000,
+    prewarm_filler_cycles=15_000,
+    lender_instructions=12_000,
+    queue_requests=4000,
+    queue_warmup=400,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return mcrouter()
+
+
+def test_measurement_fields_sane(workload):
+    m = measure("duplexity", workload, TINY)
+    assert 0 < m.master_compute_ipc <= 4
+    assert 0 < m.utilization_at_saturation <= 1
+    assert 0 <= m.master_ipc_saturated <= m.master_compute_ipc + 1e-9
+    assert m.idle_fill_ipc > 0
+    assert m.lender_ipc > 0
+    assert 0 < m.master_stall_fraction < 1
+    assert m.switch_overhead_cycles == 150  # 100 morph + 50 restart
+
+
+def test_baseline_has_no_fill(workload):
+    m = measure("baseline", workload, TINY)
+    assert m.idle_fill_ipc == 0.0
+    assert m.switch_overhead_cycles == 0
+    assert m.utilization_at_saturation == pytest.approx(
+        m.master_ipc_saturated / 4, rel=1e-6
+    )
+
+
+def test_smt_measurement(workload):
+    m = measure("smt", workload, TINY)
+    assert m.idle_fill_ipc > 0  # batch thread runs alone during idle
+    assert m.switch_overhead_cycles == 0
+    base = measure("baseline", workload, TINY)
+    assert m.master_compute_ipc < base.master_compute_ipc  # interference
+
+
+def test_cache_returns_same_object(workload):
+    a = measure("duplexity", workload, TINY)
+    b = measure("duplexity", workload, TINY)
+    assert a is b
+
+
+def test_cache_clear(workload):
+    a = measure("baseline", workload, TINY)
+    clear_cache()
+    b = measure("baseline", workload, TINY)
+    assert a is not b
+    assert a.master_compute_ipc == pytest.approx(b.master_compute_ipc)
+
+
+def test_design_name_resolution(workload):
+    from repro.core.designs import get_design
+
+    by_name = measure("baseline", workload, TINY)
+    by_obj = measure(get_design("baseline"), workload, TINY)
+    assert by_name is by_obj

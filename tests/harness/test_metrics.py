@@ -1,0 +1,238 @@
+"""Metric composition formulas."""
+
+import numpy as np
+import pytest
+
+from repro.harness import metrics
+from repro.harness.measure import CoreMeasurement
+from repro.workloads.microservices import mcrouter, wordstem
+
+
+def fake_measurement(**overrides):
+    defaults = dict(
+        design_name="duplexity",
+        workload_name="McRouter",
+        frequency_hz=3.25e9,
+        master_compute_ipc=0.5,
+        utilization_at_saturation=0.4,
+        master_ipc_saturated=0.2,
+        idle_fill_ipc=2.4,
+        lender_ipc=2.0,
+        master_stall_fraction=0.5,
+        switch_overhead_cycles=150,
+    )
+    defaults.update(overrides)
+    return CoreMeasurement(**defaults)
+
+
+class TestUtilization:
+    def test_composition(self):
+        m = fake_measurement(switch_overhead_cycles=0)
+        util = metrics.utilization_at_load(m, mcrouter(), 0.5)
+        expected = 0.5 * 0.4 + 0.5 * (2.4 / 4)
+        assert util == pytest.approx(expected)
+
+    def test_inflation_raises_busy_fraction(self):
+        m = fake_measurement(switch_overhead_cycles=0, idle_fill_ipc=0.0)
+        low = metrics.utilization_at_load(m, mcrouter(), 0.5, service_inflation=1.0)
+        high = metrics.utilization_at_load(m, mcrouter(), 0.5, service_inflation=1.5)
+        assert high == pytest.approx(low * 1.5)
+
+    def test_busy_fraction_clamped(self):
+        m = fake_measurement(switch_overhead_cycles=0, idle_fill_ipc=0.0)
+        util = metrics.utilization_at_load(m, mcrouter(), 0.7, service_inflation=3.0)
+        assert util == pytest.approx(0.4)  # fully busy
+
+    def test_idle_efficiency_discount(self):
+        m = fake_measurement(switch_overhead_cycles=10_000_000)
+        # Gigantic switch overhead: idle fill contributes nothing.
+        util = metrics.utilization_at_load(m, mcrouter(), 0.5)
+        assert util == pytest.approx(0.5 * 0.4)
+
+    def test_idle_window_efficiency_bounds(self):
+        m = fake_measurement()
+        eff = metrics.idle_window_efficiency(m, mcrouter(), 0.5)
+        assert 0.0 <= eff <= 1.0
+        no_switch = fake_measurement(switch_overhead_cycles=0)
+        assert metrics.idle_window_efficiency(no_switch, mcrouter(), 0.5) == 1.0
+
+    def test_load_validated(self):
+        with pytest.raises(ValueError):
+            metrics.utilization_at_load(fake_measurement(), mcrouter(), 0.0)
+
+
+class TestRates:
+    def test_breakdown_sums(self):
+        m = fake_measurement(switch_overhead_cycles=0)
+        rates = metrics.rate_breakdown(m, mcrouter(), 0.5)
+        assert rates.total_ips == pytest.approx(
+            rates.master_ips + rates.filler_ips + rates.lender_ips
+        )
+        assert rates.batch_ips == pytest.approx(rates.filler_ips + rates.lender_ips)
+
+    def test_master_rate(self):
+        m = fake_measurement(switch_overhead_cycles=0)
+        rates = metrics.rate_breakdown(m, mcrouter(), 0.5)
+        assert rates.master_ips == pytest.approx(0.5 * 0.2 * 3.25e9)
+
+    def test_nominal_arrival_rate(self):
+        # McRouter: 7 us mean occupancy -> at 50% load, ~71.4K QPS.
+        rate = metrics.nominal_arrival_rate(mcrouter(), 0.5)
+        assert rate == pytest.approx(0.5 / 7e-6, rel=1e-6)
+
+
+class TestAreaAndEnergy:
+    def test_pairing_area(self):
+        area = metrics.pairing_area_mm2("duplexity")
+        assert area == pytest.approx(12.7 + 5.5 + 7.8)
+
+    def test_density_inverse_in_area(self):
+        m = fake_measurement(switch_overhead_cycles=0)
+        dup = metrics.performance_density("duplexity", m, mcrouter(), 0.5)
+        repl = metrics.performance_density(
+            "duplexity_replication", m, mcrouter(), 0.5
+        )
+        assert dup > repl  # same rates, more area for replication
+
+    def test_energy_positive_and_finite(self):
+        m = fake_measurement(switch_overhead_cycles=0)
+        e = metrics.energy_per_instruction_nj("duplexity", m, mcrouter(), 0.5)
+        assert 0 < e < 100
+
+    def test_higher_throughput_lowers_energy_per_instruction(self):
+        low = fake_measurement(switch_overhead_cycles=0, idle_fill_ipc=0.0,
+                               utilization_at_saturation=0.1)
+        high = fake_measurement(switch_overhead_cycles=0, idle_fill_ipc=2.4,
+                                utilization_at_saturation=0.6)
+        e_low = metrics.energy_per_instruction_nj("duplexity", low, mcrouter(), 0.5)
+        e_high = metrics.energy_per_instruction_nj("duplexity", high, mcrouter(), 0.5)
+        assert e_high < e_low  # static power amortized
+
+
+class TestServiceModel:
+    def test_slowdown_stretches_compute_only(self):
+        m = fake_measurement()
+        base = fake_measurement(master_compute_ipc=1.0, design_name="baseline")
+        service = metrics.service_model_for("duplexity", m, base, mcrouter())
+        assert service.slowdown == pytest.approx(2.0)
+        # mean = compute*2 + stall + per-stall restart
+        expected = 3e-6 * 2 + 4e-6 + 50 / 3.25e9
+        assert service.mean_service_time() == pytest.approx(expected)
+
+    def test_baseline_no_penalties(self):
+        base = fake_measurement(design_name="baseline")
+        service = metrics.service_model_for("baseline", base, base, mcrouter())
+        assert service.slowdown == 1.0
+        assert service.per_stall_penalty_s == 0.0
+        assert service.start_penalty_s == 0.0
+
+    def test_morph_start_penalty_applied_after_idle(self):
+        m = fake_measurement()
+        base = fake_measurement(master_compute_ipc=0.5, design_name="baseline")
+        service = metrics.service_model_for("morphcore", m, base, mcrouter())
+        rng = np.random.default_rng(0)
+        busy = np.mean([service.service_time(rng, 0.0) for _ in range(500)])
+        after_idle = np.mean([service.service_time(rng, 1.0) for _ in range(500)])
+        assert after_idle > busy
+        assert after_idle - busy == pytest.approx(
+            service.start_penalty_s, rel=0.25
+        )
+
+    def test_wordstem_has_no_stall_penalties(self):
+        m = fake_measurement(workload_name="WordStem")
+        base = fake_measurement(design_name="baseline")
+        service = metrics.service_model_for("duplexity", m, base, wordstem())
+        rng = np.random.default_rng(0)
+        sample = service.service_time(rng, 0.0)
+        assert sample > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            metrics.DesignServiceModel(mcrouter(), slowdown=0.0)
+        with pytest.raises(ValueError):
+            metrics.DesignServiceModel(mcrouter(), 1.0, per_stall_penalty_s=-1)
+
+
+class TestTail:
+    def test_saturation_clamp(self):
+        m = fake_measurement()
+        base = fake_measurement(master_compute_ipc=1.0, design_name="baseline")
+        service = metrics.service_model_for("duplexity", m, base, mcrouter())
+        # Offered rate implying rho >> 1 must still return a finite tail.
+        rate = 10.0 / service.mean_service_time()
+        tail = metrics.tail_latency_s(service, rate, num_requests=5000, warmup=500)
+        assert np.isfinite(tail)
+
+    def test_tail_grows_with_rate(self):
+        base = fake_measurement(design_name="baseline", master_compute_ipc=0.5)
+        service = metrics.service_model_for("baseline", base, base, mcrouter())
+        mean = service.mean_service_time()
+        low = metrics.tail_latency_s(service, 0.3 / mean, num_requests=20_000)
+        high = metrics.tail_latency_s(service, 0.8 / mean, num_requests=20_000)
+        assert high > low
+
+    def test_rate_validated(self):
+        base = fake_measurement(design_name="baseline")
+        service = metrics.service_model_for("baseline", base, base, mcrouter())
+        with pytest.raises(ValueError):
+            metrics.tail_latency_s(service, 0.0)
+
+
+class TestConvergedTail:
+    def test_estimate_converges_and_matches_point(self):
+        base = fake_measurement(design_name="baseline", master_compute_ipc=0.5)
+        service = metrics.service_model_for("baseline", base, base, mcrouter())
+        rate = 0.5 / service.mean_service_time()
+        estimate = metrics.tail_latency_converged_s(
+            service, rate, segment_requests=20_000, seed=1
+        )
+        assert estimate.converged(0.05)
+        point = metrics.tail_latency_s(service, rate, num_requests=60_000, seed=2)
+        assert estimate.value == pytest.approx(point, rel=0.15)
+
+    def test_saturation_clamp_applies(self):
+        base = fake_measurement(design_name="baseline")
+        service = metrics.service_model_for("baseline", base, base, mcrouter())
+        estimate = metrics.tail_latency_converged_s(
+            service, 100.0 / service.mean_service_time(),
+            segment_requests=10_000, max_segments=6,
+        )
+        assert np.isfinite(estimate.value)
+
+    def test_rate_validated(self):
+        base = fake_measurement(design_name="baseline")
+        service = metrics.service_model_for("baseline", base, base, mcrouter())
+        with pytest.raises(ValueError):
+            metrics.tail_latency_converged_s(service, 0.0)
+
+
+class TestIsoThroughput:
+    def test_denser_design_serves_more(self):
+        assert metrics.iso_throughput_rate(100.0, 2.0, 1.0) == pytest.approx(50.0)
+        assert metrics.iso_throughput_rate(100.0, 0.5, 1.0) == pytest.approx(200.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            metrics.iso_throughput_rate(100.0, 0.0, 1.0)
+
+
+class TestNIC:
+    def test_wordstem_master_contributes_nothing(self):
+        m = fake_measurement(workload_name="WordStem", switch_overhead_cycles=0,
+                             idle_fill_ipc=0.0, utilization_at_saturation=0.05,
+                             master_ipc_saturated=0.2, lender_ipc=0.0)
+        ops = metrics.dyad_network_ops_per_second(m, wordstem(), 0.5)
+        # No stall phases and no batch IPS beyond master -> tiny.
+        assert ops < metrics.dyad_network_ops_per_second(m, mcrouter(), 0.5)
+
+    def test_batch_ops_scale_with_lender(self):
+        lo = fake_measurement(switch_overhead_cycles=0, lender_ipc=0.5)
+        hi = fake_measurement(switch_overhead_cycles=0, lender_ipc=3.0)
+        assert metrics.dyad_network_ops_per_second(
+            hi, mcrouter(), 0.5
+        ) > metrics.dyad_network_ops_per_second(lo, mcrouter(), 0.5)
+
+    def test_utilization_fraction(self):
+        m = fake_measurement(switch_overhead_cycles=0)
+        u = metrics.dyad_nic_iops_utilization(m, mcrouter(), 0.5)
+        assert 0 < u < 1

@@ -1,0 +1,37 @@
+"""Table rendering."""
+
+import pytest
+
+from repro.harness.reporting import format_table
+
+
+def test_basic_table():
+    out = format_table(["a", "bb"], [[1, 2.5], [30, 0.125]])
+    lines = out.splitlines()
+    assert lines[0].startswith("a")
+    assert "--" in lines[1]
+    assert "2.5" in lines[2]
+    assert "30" in lines[3]
+
+
+def test_title():
+    out = format_table(["x"], [[1]], title="Fig 5(a)")
+    assert out.splitlines()[0] == "Fig 5(a)"
+
+
+def test_float_formatting():
+    out = format_table(["v"], [[0.123456], [1234.5], [0.001234], [0.0]])
+    assert "0.123" in out
+    assert "1.23e+03" in out or "1230" in out
+    assert "0.00123" in out
+
+
+def test_alignment():
+    out = format_table(["name", "v"], [["a", 1], ["longname", 2]])
+    rows = out.splitlines()[2:]
+    assert rows[0].index("1") == rows[1].index("2")
+
+
+def test_row_width_validated():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])

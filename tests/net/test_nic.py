@@ -1,0 +1,62 @@
+"""NIC IOPS/bandwidth model (Section VIII)."""
+
+import pytest
+
+from repro.common.params import NICConfig
+from repro.net.nic import (
+    CACHE_LINE_BYTES,
+    dyads_per_nic,
+    nic_utilization,
+)
+
+
+class TestUtilization:
+    def test_iops_fraction(self):
+        u = nic_utilization(9e6)
+        assert u.iops_utilization == pytest.approx(0.1)
+
+    def test_single_line_ops_are_iops_limited(self):
+        # 64B ops: data-rate utilization is far below IOPS utilization.
+        u = nic_utilization(90e6)  # saturate the IOPS budget
+        assert u.iops_utilization == pytest.approx(1.0)
+        data_gbps = 90e6 * CACHE_LINE_BYTES * 8 / 1e9
+        assert data_gbps < 56.0
+        assert u.data_rate_utilization < 1.0
+        assert u.binding_utilization == u.iops_utilization
+
+    def test_large_transfers_become_bandwidth_limited(self):
+        # Sanity of the other constraint: ops moving 4 KB each.
+        ops = 3e6
+        u = nic_utilization(ops)
+        bw_util_4k = ops * 4096 * 8 / (56e9)
+        assert bw_util_4k > u.data_rate_utilization  # 64B assumption is lighter
+
+    def test_zero_ops(self):
+        u = nic_utilization(0.0)
+        assert u.iops_utilization == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            nic_utilization(-1.0)
+
+
+class TestDyadSharing:
+    def test_paper_claim_14_dyads_per_port(self):
+        # "the maximum IOPS of each dyad is less than 7.1% of the FDR
+        # capability.  Hence, 14 dyads can share one NIC port."
+        per_dyad = 0.071 * 90e6
+        assert dyads_per_nic(per_dyad) == 14
+
+    def test_tiny_load_many_dyads(self):
+        assert dyads_per_nic(90e6 / 1000) == 1000
+
+    def test_overload_still_one(self):
+        assert dyads_per_nic(2 * 90e6) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dyads_per_nic(0.0)
+
+    def test_custom_nic(self):
+        edr = NICConfig(data_rate_gbps=100.0, max_iops=150e6)
+        assert nic_utilization(15e6, edr).iops_utilization == pytest.approx(0.1)

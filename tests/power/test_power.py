@@ -1,0 +1,154 @@
+"""Area/power/frequency models (Table II calibration)."""
+
+import math
+
+import pytest
+
+from repro.common.params import (
+    L0D_CONFIG,
+    L0I_CONFIG,
+    L1D_CONFIG,
+    LLC_CONFIG_PER_CORE,
+    TABLE_II_AREA_MM2,
+    TABLE_II_FREQUENCY_GHZ,
+    TLBConfig,
+)
+from repro.power.cacti import (
+    cache_area_mm2,
+    cache_read_energy_nj,
+    sram_area_mm2,
+    tlb_area_mm2,
+)
+from repro.power.frequency import design_frequency_ghz
+from repro.power.mcpat import (
+    AREA_FRACTIONS,
+    core_power_model,
+    design_area_mm2,
+    lender_power_model,
+    llc_area_mm2,
+    llc_static_w,
+    master_core_overheads_mm2,
+    replication_overheads_mm2,
+)
+
+
+class TestCacti:
+    def test_llc_density_matches_table(self):
+        # 3.9 mm^2 per MB (Table II).
+        assert cache_area_mm2(LLC_CONFIG_PER_CORE) == pytest.approx(3.9, rel=0.15)
+
+    def test_area_scales_with_size(self):
+        small = sram_area_mm2(8 * 1024)
+        big = sram_area_mm2(64 * 1024)
+        assert big == pytest.approx(8 * small)
+
+    def test_ports_cost_area(self):
+        assert sram_area_mm2(8 * 1024, ports=2) > sram_area_mm2(8 * 1024, ports=1)
+
+    def test_l0_cheaper_than_l1(self):
+        assert cache_area_mm2(L0D_CONFIG) < cache_area_mm2(L1D_CONFIG)
+
+    def test_read_energy_ordering(self):
+        assert (
+            cache_read_energy_nj(L0I_CONFIG)
+            < cache_read_energy_nj(L1D_CONFIG)
+            < cache_read_energy_nj(LLC_CONFIG_PER_CORE)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sram_area_mm2(0)
+        with pytest.raises(ValueError):
+            sram_area_mm2(1024, ports=0)
+
+
+class TestMcpat:
+    def test_table_ii_areas_exact(self):
+        assert design_area_mm2("baseline") == 12.1
+        assert design_area_mm2("smt") == 12.2
+        assert design_area_mm2("morphcore") == 12.4
+        assert design_area_mm2("duplexity") == 12.7
+        assert design_area_mm2("duplexity_replication") == 16.7
+        assert design_area_mm2("lender_core") == 5.5
+
+    def test_unknown_design(self):
+        with pytest.raises(ValueError):
+            design_area_mm2("vliw")
+
+    def test_area_fractions_sum_to_one(self):
+        assert sum(AREA_FRACTIONS.values()) == pytest.approx(1.0)
+
+    def test_master_overheads_reproduce_5_percent(self):
+        # Section V: "total area overhead of the master-core is
+        # approximately 5% compared to a baseline 4-wide OoO core".
+        total = sum(master_core_overheads_mm2().values())
+        assert total / 12.1 == pytest.approx(0.05, abs=0.012)
+
+    def test_component_overheads_match_paper(self):
+        oh = master_core_overheads_mm2()
+        base = 12.1
+        assert oh["morph_muxes"] / base == pytest.approx(0.02, abs=0.005)
+        assert oh["filler_tlbs"] / base == pytest.approx(0.007, abs=0.003)
+        assert oh["filler_predictor"] / base == pytest.approx(0.012, abs=0.004)
+        assert oh["l0_caches"] / base == pytest.approx(0.01, abs=0.004)
+
+    def test_replication_overhead_near_38_percent(self):
+        # "a master-core variant that replicates all stateful structures,
+        # including L1 caches, incurs a 38% area overhead".
+        total = sum(replication_overheads_mm2().values())
+        assert total / 12.1 == pytest.approx(0.38, abs=0.05)
+
+    def test_tlb_area_positive(self):
+        assert tlb_area_mm2(TLBConfig()) > 0
+
+    def test_llc_model(self):
+        assert llc_area_mm2(2.0) == pytest.approx(7.8)
+        assert llc_static_w(2.0) > 0
+
+    def test_power_model_components(self):
+        core = core_power_model("baseline")
+        idle = core.power_w(0.0)
+        busy = core.power_w(4 * 3.4e9)
+        assert idle == pytest.approx(core.static_w)
+        assert busy > idle
+
+    def test_inorder_epi_cheaper(self):
+        core = core_power_model("duplexity")
+        rate = 3e9
+        assert core.power_w(ooo_ips=rate) > core.power_w(
+            ooo_ips=0.0, inorder_ips=rate
+        )
+
+    def test_lender_always_inorder(self):
+        lender = lender_power_model()
+        rate = 3e9
+        assert lender.power_w(ooo_ips=rate) == pytest.approx(
+            lender.power_w(ooo_ips=0.0, inorder_ips=rate)
+        )
+
+
+class TestFrequency:
+    def test_table_ii_frequencies_exact(self):
+        for name, row in [
+            ("baseline", "baseline"),
+            ("smt", "smt"),
+            ("smt_plus", "smt"),
+            ("morphcore", "morphcore"),
+            ("morphcore_plus", "morphcore"),
+            ("duplexity", "master_core"),
+            ("duplexity_replication", "master_core_replication"),
+            ("lender_core", "lender_core"),
+        ]:
+            assert design_frequency_ghz(name) == TABLE_II_FREQUENCY_GHZ[row], name
+
+    def test_penalties_ordered(self):
+        assert (
+            design_frequency_ghz("baseline")
+            > design_frequency_ghz("smt")
+            > design_frequency_ghz("morphcore")
+            > design_frequency_ghz("duplexity")
+        )
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            design_frequency_ghz("quantum")

@@ -1,0 +1,89 @@
+"""Discrete-event engine."""
+
+import pytest
+
+from repro.queueing.event import EventQueue
+
+
+def test_events_run_in_time_order():
+    q = EventQueue()
+    order = []
+    q.schedule(3.0, lambda: order.append("c"))
+    q.schedule(1.0, lambda: order.append("a"))
+    q.schedule(2.0, lambda: order.append("b"))
+    q.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_fifo():
+    q = EventQueue()
+    order = []
+    for name in "abc":
+        q.schedule(1.0, lambda n=name: order.append(n))
+    q.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_now_advances():
+    q = EventQueue()
+    times = []
+    q.schedule(5.0, lambda: times.append(q.now))
+    q.run()
+    assert times == [5.0]
+    assert q.now == 5.0
+
+
+def test_schedule_during_event():
+    q = EventQueue()
+    order = []
+
+    def first():
+        order.append("first")
+        q.schedule(1.0, lambda: order.append("second"))
+
+    q.schedule(1.0, first)
+    q.run()
+    assert order == ["first", "second"]
+    assert q.now == 2.0
+
+
+def test_run_until():
+    q = EventQueue()
+    fired = []
+    q.schedule(1.0, lambda: fired.append(1))
+    q.schedule(10.0, lambda: fired.append(10))
+    executed = q.run(until=5.0)
+    assert executed == 1
+    assert fired == [1]
+    assert q.now == 5.0
+    assert len(q) == 1
+
+
+def test_max_events():
+    q = EventQueue()
+    for i in range(5):
+        q.schedule(float(i + 1), lambda: None)
+    assert q.run(max_events=3) == 3
+    assert len(q) == 2
+
+
+def test_step_empty():
+    assert not EventQueue().step()
+
+
+def test_no_past_scheduling():
+    q = EventQueue()
+    q.schedule(1.0, lambda: None)
+    q.run()
+    with pytest.raises(ValueError):
+        q.schedule_at(0.5, lambda: None)
+    with pytest.raises(ValueError):
+        q.schedule(-1.0, lambda: None)
+
+
+def test_peek_time():
+    q = EventQueue()
+    assert q.peek_time() is None
+    q.schedule(2.0, lambda: None)
+    assert q.peek_time() == 2.0
+    assert not q.empty

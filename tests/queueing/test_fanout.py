@@ -1,0 +1,105 @@
+"""Synchronous fan-out wait modelling (tail at scale)."""
+
+import numpy as np
+import pytest
+
+from repro.common.distributions import Deterministic, Exponential
+from repro.queueing.fanout import (
+    FanOutMax,
+    expected_max_exponential,
+    fanout_for_leaf_budget,
+    harmonic,
+    tail_amplification,
+)
+
+
+class TestHarmonic:
+    def test_values(self):
+        assert harmonic(1) == 1.0
+        assert harmonic(2) == 1.5
+        assert harmonic(4) == pytest.approx(25 / 12)
+
+    def test_zero(self):
+        assert harmonic(0) == 0.0
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            harmonic(-1)
+
+
+class TestExpectedMax:
+    def test_single_leaf_is_mean(self):
+        assert expected_max_exponential(3.0, 1) == 3.0
+
+    def test_hundred_leaves(self):
+        # McRouter fans out to 100 leaves: E[max] ~ mean * H_100 ~ 5.19x.
+        assert expected_max_exponential(1.0, 100) == pytest.approx(5.187, abs=0.01)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(2.0, size=(40_000, 8)).max(axis=1)
+        assert expected_max_exponential(2.0, 8) == pytest.approx(
+            samples.mean(), rel=0.03
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_max_exponential(0.0, 4)
+        with pytest.raises(ValueError):
+            expected_max_exponential(1.0, 0)
+
+
+class TestFanOutMax:
+    def test_deterministic_leaves(self):
+        d = FanOutMax(Deterministic(2.0), fanout=16)
+        assert d.sample(np.random.default_rng(0)) == 2.0
+        assert d.mean() == pytest.approx(2.0)
+
+    def test_sample_many_shape(self):
+        d = FanOutMax(Exponential(1.0), fanout=4)
+        samples = d.sample_many(np.random.default_rng(1), 500)
+        assert samples.shape == (500,)
+        assert (samples > 0).all()
+
+    def test_mean_grows_with_fanout(self):
+        small = FanOutMax(Exponential(1.0), fanout=2).mean()
+        large = FanOutMax(Exponential(1.0), fanout=64).mean()
+        assert large > 2 * small
+
+    def test_mean_matches_closed_form(self):
+        d = FanOutMax(Exponential(1.0), fanout=8)
+        assert d.mean() == pytest.approx(expected_max_exponential(1.0, 8), rel=0.1)
+
+    def test_max_dominates_single_draw(self):
+        rng = np.random.default_rng(2)
+        d = FanOutMax(Exponential(1.0), fanout=32)
+        singles = Exponential(1.0).sample_many(rng, 5000).mean()
+        maxes = d.sample_many(rng, 5000).mean()
+        assert maxes > 2.5 * singles
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FanOutMax(Exponential(1.0), fanout=0)
+
+
+class TestTailAmplification:
+    def test_p99_at_fanout_100(self):
+        # The tail-at-scale headline: ~63% of fan-out-100 requests see at
+        # least one leaf exceed its own p99.
+        assert tail_amplification(0.99, 100) == pytest.approx(0.634, abs=0.01)
+
+    def test_single_leaf(self):
+        assert tail_amplification(0.99, 1) == pytest.approx(0.01)
+
+    def test_budget_inverse(self):
+        fanout = fanout_for_leaf_budget(0.99, 0.10)
+        assert tail_amplification(0.99, fanout) <= 0.10
+        assert tail_amplification(0.99, fanout + 2) > 0.10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tail_amplification(1.5, 4)
+        with pytest.raises(ValueError):
+            tail_amplification(0.9, 0)
+        with pytest.raises(ValueError):
+            fanout_for_leaf_budget(1.0, 0.1)

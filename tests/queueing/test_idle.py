@@ -1,0 +1,75 @@
+"""Idle-period law (Fig 1b claims)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.distributions import Exponential, LogNormal
+from repro.queueing.idle import IdlePeriodLaw, empirical_idle_cdf
+from repro.queueing.mg1 import MG1Simulator
+
+
+class TestLaw:
+    def test_paper_mean_idle_values(self):
+        # "200K and 1M QPS services at 50% load average idle periods of
+        # only 10 us and 2 us" (Section II-A).
+        assert IdlePeriodLaw(200e3, 0.5).mean_idle_us == pytest.approx(10.0)
+        assert IdlePeriodLaw(1e6, 0.5).mean_idle_us == pytest.approx(2.0)
+
+    def test_cdf_exponential_form(self):
+        law = IdlePeriodLaw(1e6, 0.5)
+        t = law.mean_idle_seconds
+        assert law.cdf(t) == pytest.approx(1 - math.exp(-1))
+
+    def test_cdf_monotone(self):
+        law = IdlePeriodLaw(200e3, 0.3)
+        grid = np.logspace(-1, 3, 50)
+        cdf = np.asarray(law.cdf_us(grid))
+        assert (np.diff(cdf) >= 0).all()
+        assert cdf[0] >= 0 and cdf[-1] <= 1
+
+    def test_quantile_inverts_cdf(self):
+        law = IdlePeriodLaw(1e6, 0.7)
+        for q in (0.1, 0.5, 0.9):
+            assert law.cdf(law.quantile(q)) == pytest.approx(q)
+
+    def test_higher_load_shorter_idles(self):
+        low = IdlePeriodLaw(1e6, 0.3).mean_idle_us
+        high = IdlePeriodLaw(1e6, 0.7).mean_idle_us
+        assert high < low
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IdlePeriodLaw(0.0, 0.5)
+        with pytest.raises(ValueError):
+            IdlePeriodLaw(1e6, 1.0)
+        with pytest.raises(ValueError):
+            IdlePeriodLaw(1e6, 0.5).quantile(1.0)
+
+
+class TestServiceDistributionIndependence:
+    def test_idle_distribution_independent_of_service_shape(self):
+        # The paper's key queueing fact: idle periods of any M/G/1 are
+        # exponential with mean 1/lambda, independent of the service
+        # distribution [69].
+        load = 0.5
+        exp_result = MG1Simulator.at_load(load, Exponential(1.0), seed=0).run(80_000)
+        heavy_result = MG1Simulator.at_load(
+            load, LogNormal(1.0, cv2=4.0), seed=0
+        ).run(80_000)
+        expected = 1.0 / load
+        assert exp_result.idle_periods.mean() == pytest.approx(expected, rel=0.05)
+        assert heavy_result.idle_periods.mean() == pytest.approx(expected, rel=0.05)
+
+    def test_empirical_cdf_matches_analytic(self):
+        law = IdlePeriodLaw(1.0, 0.5)  # 1 req/s scale for convenience
+        result = MG1Simulator.at_load(0.5, Exponential(1.0), seed=1).run(80_000)
+        grid_us = np.logspace(4, 7.5, 30)  # seconds-scale service -> us grid
+        emp = empirical_idle_cdf(result.idle_periods, grid_us)
+        ana = np.asarray(law.cdf_us(grid_us))
+        assert np.abs(emp - ana).max() < 0.02
+
+    def test_empirical_requires_samples(self):
+        with pytest.raises(ValueError):
+            empirical_idle_cdf(np.array([]), np.array([1.0]))

@@ -1,0 +1,143 @@
+"""M/G/1 FCFS queue simulation against queueing theory."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.distributions import Deterministic, Exponential
+from repro.queueing.mg1 import (
+    DistributionService,
+    MG1Simulator,
+    RestartPenaltyService,
+)
+
+
+def mm1_mean_wait(load, mean_service):
+    """Exact M/M/1 mean waiting time: rho/(1-rho) * E[S]."""
+    return load / (1.0 - load) * mean_service
+
+
+def md1_mean_wait(load, mean_service):
+    """Exact M/D/1 mean waiting time: rho/(2(1-rho)) * E[S]."""
+    return load / (2.0 * (1.0 - load)) * mean_service
+
+
+class TestAgainstTheory:
+    def test_mm1_mean_wait(self):
+        sim = MG1Simulator.at_load(0.5, Exponential(1.0), seed=1)
+        result = sim.run(200_000, warmup=10_000)
+        assert result.wait_times.mean() == pytest.approx(
+            mm1_mean_wait(0.5, 1.0), rel=0.08
+        )
+
+    def test_md1_mean_wait_is_half_of_mm1(self):
+        sim = MG1Simulator.at_load(0.5, Deterministic(1.0), seed=1)
+        result = sim.run(200_000, warmup=10_000)
+        assert result.wait_times.mean() == pytest.approx(
+            md1_mean_wait(0.5, 1.0), rel=0.08
+        )
+
+    def test_utilization_matches_load(self):
+        sim = MG1Simulator.at_load(0.7, Exponential(2.0), seed=2)
+        result = sim.run(100_000)
+        assert result.utilization == pytest.approx(0.7, rel=0.05)
+
+    def test_idle_periods_exponential_mean(self):
+        # Idle periods of M/G/1 are Exp(lambda) regardless of service.
+        load, mean_service = 0.5, 1.0
+        lam = load / mean_service
+        sim = MG1Simulator.at_load(load, Deterministic(mean_service), seed=3)
+        result = sim.run(100_000)
+        assert result.idle_periods.mean() == pytest.approx(1.0 / lam, rel=0.05)
+
+    def test_pasta_idle_probability(self):
+        # Fraction of arrivals finding the server idle = 1 - rho.
+        sim = MG1Simulator.at_load(0.3, Exponential(1.0), seed=4)
+        result = sim.run(100_000)
+        idle_arrivals = (result.wait_times == 0).mean()
+        assert idle_arrivals == pytest.approx(0.7, abs=0.02)
+
+    def test_tail_grows_with_load(self):
+        tails = []
+        for load in (0.3, 0.6, 0.9):
+            sim = MG1Simulator.at_load(load, Exponential(1.0), seed=5)
+            tails.append(sim.run(60_000, warmup=5_000).tail_latency(0.99))
+        assert tails[0] < tails[1] < tails[2]
+
+
+class TestMechanics:
+    def test_sojourn_is_wait_plus_service(self):
+        sim = MG1Simulator.at_load(0.5, Exponential(1.0), seed=0)
+        result = sim.run(1000)
+        np.testing.assert_allclose(
+            result.sojourn_times, result.wait_times + result.service_times
+        )
+
+    def test_warmup_dropped(self):
+        sim = MG1Simulator.at_load(0.5, Exponential(1.0), seed=0)
+        full = sim.run(5000, warmup=0)
+        trimmed = MG1Simulator.at_load(0.5, Exponential(1.0), seed=0).run(
+            5000, warmup=1000
+        )
+        assert trimmed.num_requests == 4000
+        np.testing.assert_allclose(
+            trimmed.wait_times, full.wait_times[1000:]
+        )
+
+    def test_deterministic_given_seed(self):
+        a = MG1Simulator.at_load(0.5, Exponential(1.0), seed=9).run(2000)
+        b = MG1Simulator.at_load(0.5, Exponential(1.0), seed=9).run(2000)
+        np.testing.assert_array_equal(a.wait_times, b.wait_times)
+
+    def test_invalid_load(self):
+        with pytest.raises(ValueError):
+            MG1Simulator.at_load(0.0, Exponential(1.0))
+        with pytest.raises(ValueError):
+            MG1Simulator.at_load(1.0, Exponential(1.0))
+
+    def test_invalid_requests(self):
+        sim = MG1Simulator.at_load(0.5, Exponential(1.0))
+        with pytest.raises(ValueError):
+            sim.run(0)
+        with pytest.raises(ValueError):
+            sim.run(10, warmup=10)
+
+
+class TestRestartPenaltyService:
+    def test_penalty_only_after_idle(self):
+        service = RestartPenaltyService(Deterministic(1.0), penalty=0.5)
+        rng = np.random.default_rng(0)
+        assert service.service_time(rng, idle_before=0.0) == 1.0
+        assert service.service_time(rng, idle_before=0.1) == 1.5
+
+    def test_mean_excludes_penalty(self):
+        service = RestartPenaltyService(Deterministic(1.0), penalty=0.5)
+        assert service.mean_service_time() == 1.0
+
+    def test_penalty_raises_utilization(self):
+        lam = 0.5
+        plain = MG1Simulator(lam, DistributionService(Deterministic(1.0)), seed=1)
+        penalized = MG1Simulator(
+            lam, RestartPenaltyService(Deterministic(1.0), penalty=0.4), seed=1
+        )
+        u_plain = plain.run(30_000).utilization
+        u_pen = penalized.run(30_000).utilization
+        assert u_pen > u_plain
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            RestartPenaltyService(Deterministic(1.0), penalty=-0.1)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    load=st.floats(min_value=0.1, max_value=0.8),
+    mean=st.floats(min_value=0.1, max_value=10.0),
+)
+def test_waits_nonnegative_and_busy_le_duration(load, mean):
+    sim = MG1Simulator.at_load(load, Exponential(mean), seed=0)
+    result = sim.run(2000)
+    assert (result.wait_times >= 0).all()
+    assert result.busy_time <= result.duration + 1e-9
+    assert (result.idle_periods > 0).all()

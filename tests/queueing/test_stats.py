@@ -1,0 +1,99 @@
+"""Percentile estimation and confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.queueing.stats import (
+    Estimate,
+    batch_means_mean,
+    batch_means_percentile,
+    percentile,
+    simulate_until_converged,
+)
+
+
+class TestPercentile:
+    def test_order_statistic(self):
+        samples = np.arange(1, 101, dtype=float)
+        assert percentile(samples, 0.99) == 99.0
+
+    def test_median(self):
+        assert percentile(np.array([1.0, 2.0, 3.0]), 0.5) == 2.0
+
+    def test_extremes(self):
+        samples = np.array([5.0, 1.0, 3.0])
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile(np.array([1.0]), 1.5)
+        with pytest.raises(ValueError):
+            percentile(np.array([]), 0.5)
+
+
+class TestEstimate:
+    def test_relative_error(self):
+        e = Estimate(value=10.0, half_width=0.4, batches=20)
+        assert e.relative_error == pytest.approx(0.04)
+        assert e.converged(0.05)
+        assert not e.converged(0.03)
+
+    def test_zero_value(self):
+        assert Estimate(0.0, 0.0, 10).relative_error == 0.0
+        assert Estimate(0.0, 1.0, 10).relative_error == float("inf")
+
+
+class TestBatchMeans:
+    def test_percentile_ci_narrows_with_samples(self):
+        rng = np.random.default_rng(0)
+        small = batch_means_percentile(rng.exponential(1.0, 2_000), 0.99)
+        large = batch_means_percentile(rng.exponential(1.0, 200_000), 0.99)
+        assert large.half_width < small.half_width
+
+    def test_percentile_estimate_close_to_truth(self):
+        rng = np.random.default_rng(1)
+        samples = rng.exponential(1.0, 400_000)
+        est = batch_means_percentile(samples, 0.99)
+        assert est.value == pytest.approx(-np.log(0.01), rel=0.05)
+
+    def test_mean_estimate(self):
+        rng = np.random.default_rng(2)
+        est = batch_means_mean(rng.exponential(2.0, 100_000))
+        assert est.value == pytest.approx(2.0, rel=0.05)
+        assert est.converged(0.05)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            batch_means_percentile(np.arange(5.0), 0.99, batches=20)
+        with pytest.raises(ValueError):
+            batch_means_mean(np.arange(30.0), batches=1)
+
+
+class TestConvergenceLoop:
+    def test_converges_on_stable_stream(self):
+        rng = np.random.default_rng(3)
+
+        def run_segment(i):
+            return rng.exponential(1.0, 20_000)
+
+        est, samples = simulate_until_converged(
+            run_segment, lambda s: s, q=0.99, target_relative_error=0.05
+        )
+        assert est.converged(0.05)
+        assert samples.size >= 4 * 20_000
+
+    def test_respects_max_segments(self):
+        rng = np.random.default_rng(4)
+
+        def noisy_segment(i):
+            # Heavy-tailed: hard to converge quickly with few samples.
+            return rng.pareto(1.5, 50) + 1.0
+
+        est, _ = simulate_until_converged(
+            noisy_segment,
+            lambda s: s,
+            target_relative_error=0.001,
+            max_segments=6,
+        )
+        assert est.batches <= 6

@@ -1,0 +1,159 @@
+"""Configured core models."""
+
+import numpy as np
+import pytest
+
+from repro.common.params import LenderCoreConfig, OoOCoreConfig, SMTCoreConfig
+from repro.uarch.cores import (
+    BaselineCoreModel,
+    InOrderSMTCoreModel,
+    LenderCoreModel,
+    SMTCoreModel,
+    memory_cycles,
+)
+from repro.workloads.filler import filler_trace
+from repro.workloads.tracegen import TraceProfile, generate_trace
+
+
+def friendly_profile(slot=0):
+    return TraceProfile(
+        name="friendly",
+        working_set_bytes=16 << 10,
+        hot_set_bytes=8 << 10,
+        code_bytes=8 << 10,
+    ).relocated(slot)
+
+
+def trace(n=20_000, slot=0, seed=0):
+    return generate_trace(friendly_profile(slot), n, np.random.default_rng(seed))
+
+
+def test_memory_cycles_table_i():
+    assert memory_cycles(3.4e9) == 170
+    assert memory_cycles(3.25e9) == 162  # round(162.5) banker's rounding
+
+
+class TestBaseline:
+    def test_runs_to_completion(self):
+        model = BaselineCoreModel()
+        result = model.run(trace(5000))
+        assert result.threads[0].done
+        assert result.engine.instructions == 5000
+
+    def test_warmup_excluded(self):
+        model = BaselineCoreModel()
+        result = model.run(trace(20_000), warmup_instructions=10_000)
+        assert result.engine.instructions == 10_000
+        assert result.thread_instructions == [10_000]
+
+    def test_warm_ipc_reasonable(self):
+        model = BaselineCoreModel()
+        result = model.run(trace(60_000), warmup_instructions=30_000)
+        assert 1.0 < result.ipc <= 4.0
+
+    def test_utilization_definition(self):
+        model = BaselineCoreModel()
+        result = model.run(trace(20_000), warmup_instructions=10_000)
+        assert result.utilization == pytest.approx(result.ipc / 4)
+
+
+class TestSMT:
+    def test_corunner_loops_until_critical_done(self):
+        model = SMTCoreModel()
+        result = model.run([trace(8000), trace(3000, slot=1, seed=1)])
+        assert result.threads[0].done
+        assert not result.threads[1].done
+        assert result.thread_instructions[1] > 3000  # looped
+
+    def test_storage_partition_icount(self):
+        model = SMTCoreModel(SMTCoreConfig(fetch_policy="icount"))
+        rob, lq, sq = model._storage_caps(2, is_critical=True)
+        assert rob == 72 and lq == 24 and sq == 16
+
+    def test_storage_priority_full_for_critical(self):
+        model = SMTCoreModel(SMTCoreConfig(fetch_policy="priority", corunner_storage_cap=0.3))
+        assert model._storage_caps(2, is_critical=True) == (144, 48, 32)
+        rob, lq, sq = model._storage_caps(2, is_critical=False)
+        assert rob == int(144 * 0.3)
+        assert lq == int(48 * 0.3)
+
+    def test_dynamic_sharing_floor(self):
+        model = SMTCoreModel(SMTCoreConfig(fetch_policy="icount"))
+        rob, lq, sq = model._storage_caps(16, is_critical=False)
+        assert rob == 32  # floor, not 144//16 = 9
+
+    def test_corunner_reserves_slots(self):
+        model = SMTCoreModel(SMTCoreConfig(fetch_policy="priority"))
+        result = model.run(
+            [trace(3000), trace(3000, slot=1, seed=1)], max_instructions=2000
+        )
+        assert result.threads[0].slot_reserve == 0
+        assert result.threads[1].slot_reserve == 2
+
+    def test_loop_all_needs_budget(self):
+        model = SMTCoreModel()
+        with pytest.raises(ValueError):
+            model.run([trace(1000)], loop_all=True)
+
+    def test_empty_traces_rejected(self):
+        with pytest.raises(ValueError):
+            SMTCoreModel().run([])
+
+    def test_co_run_slows_critical_thread(self):
+        alone = SMTCoreModel(name="alone").run(
+            [trace(40_000)], warmup_instructions=15_000
+        )
+        co = SMTCoreModel(name="co").run(
+            [trace(40_000), filler_trace(np.random.default_rng(5), 8000, slot=9)],
+            warmup_instructions=15_000,
+        )
+        assert co.thread_ipc(0) < alone.thread_ipc(0)
+
+
+class TestInOrderSMT:
+    def test_thread_scaling_saturates(self):
+        ipcs = {}
+        for n in (1, 8):
+            model = InOrderSMTCoreModel()
+            traces = [trace(10_000, slot=i, seed=i) for i in range(n)]
+            result = model.run(
+                traces, max_instructions=30_000 * n, warmup_instructions=15_000 * n
+            )
+            ipcs[n] = result.ipc
+        assert ipcs[8] > 2 * ipcs[1]
+        assert ipcs[8] <= 4.0
+
+    def test_all_threads_loop(self):
+        model = InOrderSMTCoreModel()
+        result = model.run([trace(2000)], max_instructions=5000)
+        assert result.threads[0].instructions == 5000
+
+
+class TestLenderCore:
+    def test_requires_contexts(self):
+        with pytest.raises(ValueError):
+            LenderCoreModel().run()
+
+    def test_hsmt_runs_all_contexts(self):
+        model = LenderCoreModel()
+        for i in range(12):
+            model.add_virtual_context(
+                filler_trace(np.random.default_rng(i), 4000, slot=i + 1, time_scale=0.25)
+            )
+        result = model.run(max_instructions=40_000, warmup_instructions=10_000)
+        assert result.engine.instructions == 40_000
+        ran = sum(1 for t in model.contexts if t.instructions > 0)
+        assert ran >= 10
+
+    def test_throughput_positive_under_stalls(self):
+        model = LenderCoreModel()
+        for i in range(16):
+            model.add_virtual_context(
+                filler_trace(np.random.default_rng(i), 4000, slot=i + 1, time_scale=0.25)
+            )
+        result = model.run(max_instructions=60_000, warmup_instructions=30_000)
+        assert result.ipc > 1.0
+
+    def test_quantum_configured_from_paper(self):
+        model = LenderCoreModel(LenderCoreConfig())
+        assert model.scheduler.quantum_cycles == 340_000  # 100 us at 3.4 GHz

@@ -1,0 +1,256 @@
+"""Event-driven timing engine semantics."""
+
+import numpy as np
+import pytest
+
+from repro.common.params import LenderCoreConfig, OoOCoreConfig
+from repro.uarch.cores import build_cache_stack
+from repro.uarch.engine import ThreadState, TimingEngine
+from repro.uarch.isa import NO_REG, Op, TraceBuilder
+from repro.workloads.tracegen import TraceProfile, generate_trace
+
+
+def make_ports(name="t"):
+    return build_cache_stack(OoOCoreConfig(), name=name).ports()
+
+
+def alu_trace(n, dep_on_prev=False):
+    b = TraceBuilder()
+    for i in range(n):
+        src = (i - 1) % 8 if (dep_on_prev and i > 0) else NO_REG
+        b.add(Op.IALU, dst=i % 8, src1=src, pc=0x400 + (i % 64) * 4)
+    return b.build()
+
+
+def engine(width=4):
+    return TimingEngine(width=width, frequency_hz=3.4e9)
+
+
+class TestThroughputBounds:
+    def test_independent_alu_reaches_width(self):
+        eng = engine()
+        t = ThreadState(alu_trace(8000), make_ports(), kind="ooo")
+        eng.add_thread(t)
+        eng.run(max_instructions=4000)  # warm
+        start_i, start_c = eng.instructions, eng.now
+        eng.run()
+        ipc = (eng.instructions - start_i) / (eng.now - start_c)
+        assert ipc > 3.5
+
+    def test_serial_chain_limited_to_one(self):
+        eng = engine()
+        t = ThreadState(alu_trace(4000, dep_on_prev=True), make_ports(), kind="ooo")
+        eng.add_thread(t)
+        result = eng.run()
+        assert result.ipc <= 1.05
+
+    def test_ipc_never_exceeds_width(self):
+        eng = engine(width=2)
+        t = ThreadState(alu_trace(4000), make_ports(), kind="ooo")
+        eng.add_thread(t)
+        result = eng.run()
+        assert result.ipc <= 2.0 + 1e-9
+
+    def test_inorder_never_faster_than_ooo(self):
+        profile = TraceProfile(
+            name="x", working_set_bytes=32 << 10, hot_set_bytes=8 << 10
+        )
+        trace = generate_trace(profile, 20_000, np.random.default_rng(0))
+        results = {}
+        for kind in ("ooo", "inorder"):
+            eng = engine()
+            t = ThreadState(trace, make_ports(kind), kind=kind, rob_cap=64)
+            eng.add_thread(t)
+            eng.run(max_instructions=10_000)
+            s_i, s_c = eng.instructions, eng.now
+            eng.run()
+            results[kind] = (eng.instructions - s_i) / (eng.now - s_c)
+        assert results["ooo"] >= results["inorder"]
+
+
+class TestDependencies:
+    def test_load_use_latency_visible(self):
+        # A chain of dependent loads is slower than independent loads.
+        def loads(dependent):
+            b = TraceBuilder()
+            for i in range(2000):
+                src = 1 if dependent and i else NO_REG
+                b.add(Op.LOAD, dst=1, src1=src, addr=(i % 64) * 64, pc=0x400)
+            return b.build()
+
+        ipcs = {}
+        for dep in (False, True):
+            eng = engine()
+            t = ThreadState(loads(dep), make_ports(), kind="ooo")
+            eng.add_thread(t)
+            ipcs[dep] = eng.run().ipc
+        assert ipcs[True] < ipcs[False] / 1.5
+
+
+class TestRemote:
+    def remote_trace(self, stall_ns=1000.0, n_compute=100):
+        b = TraceBuilder()
+        for i in range(n_compute):
+            b.add(Op.IALU, dst=i % 8, pc=0x400 + i * 4)
+        b.add(Op.REMOTE, stall_ns=stall_ns, pc=0x800)
+        for i in range(n_compute):
+            b.add(Op.IALU, dst=i % 8, pc=0xC00 + i * 4)
+        return b.build()
+
+    def test_block_policy_stalls_thread(self):
+        eng = engine()
+        t = ThreadState(self.remote_trace(), make_ports(), remote_policy="block")
+        eng.add_thread(t)
+        result = eng.run()
+        stall_cycles = eng.stall_cycles_for_ns(1000.0)
+        assert result.cycles >= stall_cycles
+        assert t.remote_ops == 1
+        assert t.remote_stall_cycles == stall_cycles
+
+    def test_stop_after_remote(self):
+        eng = engine()
+        t = ThreadState(self.remote_trace(), make_ports(), remote_policy="block")
+        eng.add_thread(t)
+        eng.run(stop_after_remote=True)
+        assert t.remote_ops == 1
+        assert not t.done
+        assert t.last_remote_complete > t.last_remote_issue
+        eng.run()
+        assert t.done
+
+    def test_scheduler_policy_requires_scheduler(self):
+        eng = engine()
+        t = ThreadState(self.remote_trace(), make_ports(), remote_policy="scheduler")
+        eng.add_thread(t)
+        with pytest.raises(RuntimeError):
+            eng.run()
+
+    def test_stall_cycles_conversion(self):
+        eng = TimingEngine(width=4, frequency_hz=3.25e9)
+        assert eng.stall_cycles_for_ns(1000.0) == 3250
+
+
+class TestBranches:
+    def branch_trace(self, n, predictable):
+        rng = np.random.default_rng(0)
+        b = TraceBuilder()
+        for i in range(n):
+            for j in range(7):
+                b.add(Op.IALU, dst=j % 8, pc=0x400 + j * 4)
+            taken = bool(rng.random() < 0.5) if not predictable else True
+            b.add(Op.BRANCH, taken=taken, pc=0x420, target=0x400)
+        return b.build()
+
+    def test_mispredicts_cost_cycles(self):
+        ipcs = {}
+        for predictable in (True, False):
+            eng = engine()
+            t = ThreadState(self.branch_trace(400, predictable), make_ports(str(predictable)))
+            eng.add_thread(t)
+            eng.run(max_instructions=1600)
+            s_i, s_c = eng.instructions, eng.now
+            eng.run()
+            ipcs[predictable] = (eng.instructions - s_i) / (eng.now - s_c)
+        assert ipcs[True] > ipcs[False] * 1.3
+
+    def test_mispredict_counter(self):
+        eng = engine()
+        t = ThreadState(self.branch_trace(300, False), make_ports())
+        eng.add_thread(t)
+        eng.run()
+        assert t.branches == 300
+        assert 0 < t.mispredicts < 300
+
+
+class TestWindows:
+    def test_until_cycle_caps_fetch(self):
+        eng = engine()
+        t = ThreadState(alu_trace(100_000), make_ports(), kind="ooo", loop=True)
+        eng.add_thread(t)
+        eng.run(until_cycle=500)
+        assert eng.instructions <= 4 * 500
+
+    def test_fast_forward_voids_interval(self):
+        eng = engine()
+        t = ThreadState(alu_trace(100_000), make_ports(), kind="ooo", loop=True)
+        eng.add_thread(t)
+        eng.run(until_cycle=200)
+        eng.fast_forward(10_000)
+        before = eng.instructions
+        eng.run(until_cycle=10_500)
+        assert eng.instructions - before <= 4 * 500
+
+    def test_fast_forward_monotone(self):
+        eng = engine()
+        t = ThreadState(alu_trace(1000), make_ports(), kind="ooo")
+        eng.add_thread(t)
+        eng.fast_forward(100)
+        assert eng.now == 100
+        eng.fast_forward(50)  # no going back
+        assert eng.now == 100
+
+    def test_windowed_total_conserves_work(self):
+        # Splitting a run into windows never executes MORE than the
+        # window budget allows.
+        eng = engine()
+        t = ThreadState(alu_trace(50_000), make_ports(), kind="ooo", loop=True)
+        eng.add_thread(t)
+        total = 0
+        clock = 0
+        for _ in range(10):
+            clock += 300
+            eng.fast_forward(clock)
+            before = eng.instructions
+            eng.run(until_cycle=clock + 200)
+            total += eng.instructions - before
+            clock += 200
+        assert total <= 10 * 200 * 4
+
+
+class TestMultiThread:
+    def test_two_threads_share_bandwidth(self):
+        eng = engine(width=4)
+        stack = build_cache_stack(OoOCoreConfig(), name="shared")
+        for i in range(2):
+            trace = alu_trace(20_000)
+            eng.add_thread(
+                ThreadState(trace, stack.ports(), kind="ooo", name=f"t{i}", loop=True)
+            )
+        result = eng.run(max_instructions=30_000)
+        assert result.ipc <= 4.0 + 1e-9
+        assert result.ipc > 3.0
+
+    def test_slot_reserve_caps_corunner(self):
+        eng = engine(width=4)
+        stack = build_cache_stack(OoOCoreConfig(), name="s")
+        corunner = ThreadState(alu_trace(50_000), stack.ports(), kind="ooo", loop=True)
+        corunner.slot_reserve = 2
+        eng.add_thread(corunner)
+        result = eng.run(max_instructions=10_000)
+        assert result.ipc <= 2.0 + 1e-9
+
+    def test_thread_instruction_accounting(self):
+        eng = engine()
+        stack = build_cache_stack(OoOCoreConfig(), name="s")
+        a = ThreadState(alu_trace(500), stack.ports(), name="a")
+        b = ThreadState(alu_trace(700), stack.ports(), name="b")
+        eng.add_thread(a)
+        eng.add_thread(b)
+        eng.run()
+        assert a.instructions == 500
+        assert b.instructions == 700
+        assert eng.instructions == 1200
+
+
+class TestValidation:
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            ThreadState(alu_trace(10), make_ports(), kind="vliw")
+
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            ThreadState(alu_trace(10), make_ports(), remote_policy="retry")
+
+    def test_empty_trace(self):
+        with pytest.raises(ValueError):
+            ThreadState(alu_trace(10).slice(0, 0), make_ports())

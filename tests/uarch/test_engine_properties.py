@@ -1,0 +1,105 @@
+"""Property-based invariants of the timing engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import OoOCoreConfig
+from repro.uarch.cores import build_cache_stack
+from repro.uarch.engine import ThreadState, TimingEngine
+from repro.workloads.tracegen import TraceProfile, generate_trace
+
+profile_strategy = st.builds(
+    TraceProfile,
+    name=st.just("prop"),
+    load_fraction=st.floats(min_value=0.0, max_value=0.4),
+    store_fraction=st.floats(min_value=0.0, max_value=0.2),
+    imul_fraction=st.floats(min_value=0.0, max_value=0.1),
+    fp_fraction=st.floats(min_value=0.0, max_value=0.2),
+    working_set_bytes=st.sampled_from([8 << 10, 64 << 10, 512 << 10]),
+    hot_set_bytes=st.just(4 << 10),
+    sequential_fraction=st.floats(min_value=0.0, max_value=1.0),
+    pointer_chase_fraction=st.floats(min_value=0.0, max_value=0.3),
+    code_bytes=st.sampled_from([2 << 10, 16 << 10]),
+    branch_predictability=st.floats(min_value=0.5, max_value=1.0),
+    dep_chain=st.floats(min_value=0.0, max_value=0.8),
+)
+
+
+def run_engine(profile, kind, seed, n=3000):
+    trace = generate_trace(profile, n, np.random.default_rng(seed))
+    engine = TimingEngine(width=4, frequency_hz=3.4e9)
+    stack = build_cache_stack(OoOCoreConfig(), name="prop")
+    thread = ThreadState(trace, stack.ports(), kind=kind, rob_cap=64)
+    engine.add_thread(thread)
+    result = engine.run()
+    return result, thread
+
+
+@settings(max_examples=15, deadline=None)
+@given(profile=profile_strategy, seed=st.integers(min_value=0, max_value=100))
+def test_ipc_within_physical_bounds(profile, seed):
+    result, thread = run_engine(profile, "ooo", seed)
+    assert 0 < result.ipc <= 4.0 + 1e-9
+    assert thread.done
+    assert result.instructions == 3000
+
+
+@settings(max_examples=10, deadline=None)
+@given(profile=profile_strategy, seed=st.integers(min_value=0, max_value=100))
+def test_inorder_never_beats_ooo(profile, seed):
+    ooo, _ = run_engine(profile, "ooo", seed)
+    ino, _ = run_engine(profile, "inorder", seed)
+    assert ino.ipc <= ooo.ipc * 1.02 + 1e-9  # small tolerance for ties
+
+
+@settings(max_examples=10, deadline=None)
+@given(profile=profile_strategy, seed=st.integers(min_value=0, max_value=100))
+def test_deterministic_replay(profile, seed):
+    a, _ = run_engine(profile, "ooo", seed)
+    b, _ = run_engine(profile, "ooo", seed)
+    assert a.cycles == b.cycles
+    assert a.instructions == b.instructions
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    profile=profile_strategy,
+    seed=st.integers(min_value=0, max_value=100),
+    width=st.sampled_from([1, 2, 4, 8]),
+)
+def test_wider_engines_not_slower(profile, seed, width):
+    trace = generate_trace(profile, 2000, np.random.default_rng(seed))
+
+    def cycles(w):
+        engine = TimingEngine(width=w, frequency_hz=3.4e9)
+        stack = build_cache_stack(OoOCoreConfig(), name=f"w{w}")
+        engine.add_thread(ThreadState(trace, stack.ports(), kind="ooo", rob_cap=64))
+        return engine.run().cycles
+
+    assert cycles(width) >= cycles(8) * 0.98  # 8-wide is an upper bound
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=50))
+def test_stall_cycles_accounted(seed):
+    from repro.workloads.tracegen import RemoteSpec
+
+    profile = TraceProfile(
+        name="stall", working_set_bytes=8 << 10, hot_set_bytes=4 << 10
+    )
+    spec = RemoteSpec(mean_interval_instructions=300, mean_stall_us=1.0)
+    trace = generate_trace(profile, 2000, np.random.default_rng(seed), remote=spec)
+    engine = TimingEngine(width=4, frequency_hz=3.4e9)
+    stack = build_cache_stack(OoOCoreConfig(), name="stall")
+    thread = ThreadState(trace, stack.ports(), kind="ooo", remote_policy="block")
+    engine.add_thread(thread)
+    result = engine.run()
+    # Blocked stalls put a floor under the run length.
+    assert result.cycles >= thread.remote_stall_cycles
+    expected = sum(
+        engine.stall_cycles_for_ns(float(ns))
+        for ns in trace.stall_ns[trace.stall_ns > 0]
+    )
+    assert thread.remote_stall_cycles == expected

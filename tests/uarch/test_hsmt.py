@@ -1,0 +1,232 @@
+"""HSMT virtual-context scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.common.params import LenderCoreConfig
+from repro.uarch.cores import build_cache_stack
+from repro.uarch.engine import ThreadState, TimingEngine
+from repro.uarch.hsmt import HSMTScheduler
+from repro.uarch.isa import NO_REG, Op, TraceBuilder
+from repro.workloads.filler import filler_trace
+
+
+def make_engine():
+    eng = TimingEngine(width=4, frequency_hz=3.25e9)
+    stack = build_cache_stack(LenderCoreConfig(), name="hsmt")
+    return eng, stack
+
+
+def context_trace(compute=200, stall_ns=2000.0, repeats=5):
+    b = TraceBuilder()
+    for _ in range(repeats):
+        for i in range(compute):
+            b.add(Op.IALU, dst=i % 8, pc=0x400 + (i % 32) * 4)
+        b.add(Op.REMOTE, stall_ns=stall_ns, pc=0x500)
+    return b.build()
+
+
+class TestScheduling:
+    def test_contexts_beyond_physical_queue(self):
+        eng, stack = make_engine()
+        sched = HSMTScheduler(eng, physical_contexts=2, swap_cycles=10)
+        for i in range(5):
+            sched.add_context(
+                ThreadState(
+                    context_trace(),
+                    stack.ports(),
+                    kind="inorder",
+                    remote_policy="scheduler",
+                    loop=True,
+                    name=f"vc{i}",
+                )
+            )
+        assert sched.active_count == 2
+        assert sched.queue_length == 3
+
+    def test_swap_on_remote(self):
+        eng, stack = make_engine()
+        sched = HSMTScheduler(eng, physical_contexts=1, swap_cycles=10)
+        for i in range(2):
+            sched.add_context(
+                ThreadState(
+                    context_trace(),
+                    stack.ports(),
+                    kind="inorder",
+                    remote_policy="scheduler",
+                    loop=True,
+                    name=f"vc{i}",
+                )
+            )
+        eng.run(max_instructions=1000)
+        # The remote of vc0 must have pulled vc1 in.
+        assert sched.swaps > 2
+        assert eng.threads[1].instructions > 0
+
+    def test_all_contexts_progress(self):
+        eng, stack = make_engine()
+        sched = HSMTScheduler(eng, physical_contexts=4, swap_cycles=10)
+        threads = []
+        for i in range(8):
+            threads.append(
+                sched.add_context(
+                    ThreadState(
+                        context_trace(),
+                        stack.ports(),
+                        kind="inorder",
+                        remote_policy="scheduler",
+                        loop=True,
+                        name=f"vc{i}",
+                    )
+                )
+            )
+        eng.run(max_instructions=12_000)
+        for t in threads:
+            assert t.instructions > 0, t.name
+
+    def test_engine_idles_to_next_wake(self):
+        # One context with a long remote: the engine must jump to its wake.
+        eng, stack = make_engine()
+        sched = HSMTScheduler(eng, physical_contexts=1, swap_cycles=10)
+        sched.add_context(
+            ThreadState(
+                context_trace(compute=50, stall_ns=50_000.0, repeats=2),
+                stack.ports(),
+                kind="inorder",
+                remote_policy="scheduler",
+                name="vc0",
+            )
+        )
+        result = eng.run()
+        assert eng.threads[0].done
+        assert result.cycles > eng.stall_cycles_for_ns(50_000.0)
+
+    def test_quantum_preemption(self):
+        eng, stack = make_engine()
+        sched = HSMTScheduler(
+            eng, physical_contexts=1, swap_cycles=5, quantum_cycles=200
+        )
+        # Two stall-free contexts: only the quantum rotates them.
+        b = TraceBuilder()
+        for i in range(100):
+            b.add(Op.IALU, dst=i % 8, pc=0x400 + (i % 16) * 4)
+        for i in range(2):
+            sched.add_context(
+                ThreadState(
+                    b.build(),
+                    stack.ports(),
+                    kind="inorder",
+                    remote_policy="scheduler",
+                    loop=True,
+                    name=f"vc{i}",
+                )
+            )
+        eng.run(max_instructions=3000)
+        assert sched.preemptions > 0
+        assert eng.threads[1].instructions > 0
+
+    def test_rejects_wrong_policy(self):
+        eng, stack = make_engine()
+        sched = HSMTScheduler(eng)
+        with pytest.raises(ValueError):
+            sched.add_context(
+                ThreadState(context_trace(), stack.ports(), remote_policy="block")
+            )
+
+    def test_validation(self):
+        eng, _ = make_engine()
+        with pytest.raises(ValueError):
+            HSMTScheduler(eng, physical_contexts=0)
+        with pytest.raises(ValueError):
+            HSMTScheduler(eng, swap_cycles=-1)
+
+
+class TestBorrowing:
+    def test_steal_from_queue_head(self):
+        eng, stack = make_engine()
+        sched = HSMTScheduler(eng, physical_contexts=1, swap_cycles=10)
+        threads = [
+            sched.add_context(
+                ThreadState(
+                    context_trace(),
+                    stack.ports(),
+                    kind="inorder",
+                    remote_policy="scheduler",
+                    loop=True,
+                    name=f"vc{i}",
+                )
+            )
+            for i in range(3)
+        ]
+        stolen = sched.steal_context()
+        assert stolen is threads[1]  # head of the run queue
+        assert sched.queue_length == 1
+
+    def test_steal_empty_returns_none(self):
+        eng, stack = make_engine()
+        sched = HSMTScheduler(eng, physical_contexts=4)
+        sched.add_context(
+            ThreadState(
+                context_trace(),
+                stack.ports(),
+                kind="inorder",
+                remote_policy="scheduler",
+                name="vc0",
+            )
+        )
+        assert sched.steal_context() is None  # the only context is active
+
+    def test_return_context_to_tail(self):
+        eng, stack = make_engine()
+        sched = HSMTScheduler(eng, physical_contexts=1, swap_cycles=10)
+        threads = [
+            sched.add_context(
+                ThreadState(
+                    context_trace(),
+                    stack.ports(),
+                    kind="inorder",
+                    remote_policy="scheduler",
+                    loop=True,
+                    name=f"vc{i}",
+                )
+            )
+            for i in range(3)
+        ]
+        stolen = sched.steal_context()
+        sched.return_context(stolen)
+        assert sched.queue_length == 2
+
+
+class TestThroughputEffect:
+    def test_hsmt_beats_blocking_under_stalls(self):
+        # The defining result: with enough virtual contexts, swapping on
+        # microsecond stalls outperforms letting 8 threads block.
+        def run(use_hsmt):
+            eng, stack = make_engine()
+            sched = (
+                HSMTScheduler(eng, physical_contexts=8, swap_cycles=40)
+                if use_hsmt
+                else None
+            )
+            for i in range(16 if use_hsmt else 8):
+                trace = filler_trace(
+                    np.random.default_rng(i), 8000, slot=i + 1
+                )
+                t = ThreadState(
+                    trace,
+                    stack.ports(),
+                    kind="inorder",
+                    rob_cap=32,
+                    loop=True,
+                    remote_policy="scheduler" if use_hsmt else "block",
+                )
+                if use_hsmt:
+                    sched.add_context(t)
+                else:
+                    eng.add_thread(t)
+            eng.run(max_instructions=50_000)
+            start_i, start_c = eng.instructions, eng.now
+            eng.run(max_instructions=60_000)
+            return (eng.instructions - start_i) / (eng.now - start_c)
+
+        assert run(True) > run(False)

@@ -1,0 +1,75 @@
+"""Trace container and builder."""
+
+import numpy as np
+import pytest
+
+from repro.uarch.isa import EXEC_LATENCY, NO_REG, Op, Trace, TraceBuilder
+
+
+class TestBuilder:
+    def test_build_roundtrip(self):
+        b = TraceBuilder("t")
+        b.add(Op.IALU, dst=1, src1=2)
+        b.add(Op.LOAD, dst=3, addr=0x1000, pc=0x400)
+        b.add(Op.BRANCH, src1=3, pc=0x404, taken=True, target=0x500)
+        trace = b.build()
+        assert len(trace) == 3
+        assert trace.op[1] == Op.LOAD
+        assert trace.addr[1] == 0x1000
+        assert trace.taken[2]
+        assert trace.target[2] == 0x500
+
+    def test_remote_requires_stall(self):
+        b = TraceBuilder()
+        with pytest.raises(ValueError):
+            b.add(Op.REMOTE)
+        b.add(Op.REMOTE, stall_ns=1000.0)
+        assert b.build().num_remote == 1
+
+    def test_len(self):
+        b = TraceBuilder()
+        b.add(Op.IALU)
+        assert len(b) == 1
+
+
+class TestTrace:
+    def make(self, n=10):
+        b = TraceBuilder()
+        for i in range(n):
+            b.add(Op.IALU, dst=i % 8, pc=i * 4)
+        return b.build()
+
+    def test_mismatched_lengths_rejected(self):
+        t = self.make(4)
+        with pytest.raises(ValueError):
+            Trace(
+                op=t.op,
+                dst=t.dst[:2],
+                src1=t.src1,
+                src2=t.src2,
+                addr=t.addr,
+                pc=t.pc,
+                taken=t.taken,
+                target=t.target,
+                stall_ns=t.stall_ns,
+            )
+
+    def test_slice_is_view(self):
+        t = self.make(10)
+        s = t.slice(2, 5)
+        assert len(s) == 3
+        assert s.pc[0] == 8
+        assert np.shares_memory(s.op, t.op)
+
+    def test_total_stall(self):
+        b = TraceBuilder()
+        b.add(Op.REMOTE, stall_ns=100.0)
+        b.add(Op.REMOTE, stall_ns=200.0)
+        assert b.build().total_stall_ns == pytest.approx(300.0)
+
+    def test_exec_latency_table_complete(self):
+        for op in Op:
+            assert op in EXEC_LATENCY
+
+    def test_no_reg_sentinel(self):
+        assert NO_REG == -1

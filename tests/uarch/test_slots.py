@@ -1,0 +1,140 @@
+"""Per-cycle slot allocation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch.slots import SlotAllocator
+
+
+class TestBasic:
+    def test_width_slots_per_cycle(self):
+        a = SlotAllocator(4)
+        cycles = [a.alloc(10) for _ in range(4)]
+        assert cycles == [10, 10, 10, 10]
+        assert a.alloc(10) == 11
+
+    def test_earliest_respected(self):
+        a = SlotAllocator(2)
+        assert a.alloc(5) == 5
+        assert a.alloc(3) == 3
+
+    def test_spill_chain(self):
+        a = SlotAllocator(1)
+        assert [a.alloc(0) for _ in range(3)] == [0, 1, 2]
+
+    def test_peek_does_not_reserve(self):
+        a = SlotAllocator(1)
+        assert a.peek(0) == 0
+        assert a.peek(0) == 0
+        assert a.alloc(0) == 0
+        assert a.peek(0) == 1
+
+    def test_used_at(self):
+        a = SlotAllocator(4)
+        a.alloc(7)
+        a.alloc(7)
+        assert a.used_at(7) == 2
+        assert a.used_at(8) == 0
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            SlotAllocator(0)
+
+
+class TestMaxUsed:
+    def test_low_priority_leaves_reserve(self):
+        a = SlotAllocator(4)
+        # Low-priority claimant may only fill 2 of 4 slots per cycle.
+        cycles = [a.alloc(0, max_used=2) for _ in range(4)]
+        assert cycles == [0, 0, 1, 1]
+
+    def test_high_priority_uses_reserved_slots(self):
+        a = SlotAllocator(4)
+        for _ in range(2):
+            a.alloc(0, max_used=2)
+        assert a.alloc(0) == 0  # cycle 0 still has room for priority
+        assert a.alloc(0) == 0
+        assert a.alloc(0) == 1
+
+    def test_cap_clamped_to_width(self):
+        a = SlotAllocator(2)
+        assert a.alloc(0, max_used=100) == 0
+
+    def test_zero_cap_rejected(self):
+        a = SlotAllocator(2)
+        with pytest.raises(ValueError):
+            a.alloc(0, max_used=0)
+
+
+class TestFree:
+    def test_free_releases_slot(self):
+        a = SlotAllocator(1)
+        c = a.alloc(5)
+        a.free(c)
+        assert a.alloc(5) == 5
+
+    def test_free_unreserved_rejected(self):
+        a = SlotAllocator(1)
+        with pytest.raises(ValueError):
+            a.free(3)
+
+    def test_allocated_counter(self):
+        a = SlotAllocator(2)
+        a.alloc(0)
+        a.alloc(0)
+        a.free(0)
+        assert a.allocated == 1
+
+
+class TestRetire:
+    def test_floor_prevents_past_allocation(self):
+        a = SlotAllocator(2)
+        a.retire_before(100)
+        assert a.alloc(0) == 100
+
+    def test_floor_monotone(self):
+        a = SlotAllocator(2)
+        a.retire_before(100)
+        a.retire_before(50)  # ignored
+        assert a.alloc(0) == 100
+
+    def test_reset(self):
+        a = SlotAllocator(2)
+        a.alloc(5)
+        a.retire_before(10)
+        a.reset()
+        assert a.alloc(0) == 0
+        assert a.allocated == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    width=st.integers(min_value=1, max_value=8),
+    requests=st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=300),
+)
+def test_capacity_never_exceeded(width, requests):
+    a = SlotAllocator(width)
+    granted: dict[int, int] = {}
+    for earliest in requests:
+        cycle = a.alloc(earliest)
+        assert cycle >= earliest
+        granted[cycle] = granted.get(cycle, 0) + 1
+    assert all(count <= width for count in granted.values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    requests=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=100)
+)
+def test_first_fit_minimality(requests):
+    # The granted cycle is the first with a free slot at request time.
+    a = SlotAllocator(2)
+    usage: dict[int, int] = {}
+    for earliest in requests:
+        cycle = a.alloc(earliest)
+        expected = earliest
+        while usage.get(expected, 0) >= 2:
+            expected += 1
+        assert cycle == expected
+        usage[cycle] = usage.get(cycle, 0) + 1

@@ -1,0 +1,63 @@
+"""Kernel-to-model calibration."""
+
+import pytest
+
+from repro.workloads.calibrate import (
+    KernelWork,
+    cuckoo_work,
+    flann_knob_scaling,
+    lsh_work,
+    ring_work,
+    stemming_work,
+)
+from repro.workloads.lsh import LSHConfig
+
+
+class TestKernelWork:
+    def test_microseconds_conversion(self):
+        w = KernelWork(name="x", heavy_ops=100.0, light_ops=500.0)
+        assert w.microseconds(heavy_ops_per_us=50, light_ops_per_us=500) == pytest.approx(3.0)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            KernelWork("x", 1.0, 1.0).microseconds(heavy_ops_per_us=0)
+
+
+class TestLSH:
+    def test_coarser_buckets_mean_more_candidates(self):
+        coarse = lsh_work(LSHConfig(num_tables=8, hash_bits=5, dimensions=32))
+        fine = lsh_work(LSHConfig(num_tables=8, hash_bits=14, dimensions=32))
+        assert coarse.heavy_ops > fine.heavy_ops
+
+    def test_flann_knob_story(self):
+        # The paper's FLANN-HA does ~10x the lookup work of FLANN-LL.
+        est = flann_knob_scaling()
+        assert est["flann-ha-us"] > 3 * est["flann-ll-us"]
+
+
+class TestOthers:
+    def test_cuckoo_bounded_probes(self):
+        w = cuckoo_work()
+        assert w.heavy_ops == 2.0
+        assert w.light_ops <= 2.0 + 1e-9
+
+    def test_ring_work_logarithmic(self):
+        # 100x more ring points costs only ~2x the bisection steps.
+        small = ring_work(num_servers=10, replicas=10)
+        large = ring_work(num_servers=100, replicas=100)
+        assert large.light_ops < 3 * small.light_ops
+        assert large.light_ops > small.light_ops
+
+    def test_stemming_scales_with_words(self):
+        few = stemming_work(["cats"])
+        many = stemming_work(["cats"] * 20)
+        assert many.light_ops > 10 * few.light_ops
+
+    def test_all_kernels_give_positive_time(self):
+        for work in (
+            lsh_work(LSHConfig(dimensions=16)),
+            cuckoo_work(),
+            ring_work(),
+            stemming_work(),
+        ):
+            assert work.microseconds() > 0

@@ -1,0 +1,93 @@
+"""Consistent-hash ring (McRouter substrate)."""
+
+import pytest
+
+from repro.workloads.consistent_hash import ConsistentHashRing
+
+
+def leaf_names(n=100):
+    return [f"leaf-{i:03d}" for i in range(n)]
+
+
+class TestRouting:
+    def test_deterministic(self):
+        ring = ConsistentHashRing(leaf_names(10))
+        assert ring.route("user:123") == ring.route("user:123")
+
+    def test_routes_to_member(self):
+        ring = ConsistentHashRing(leaf_names(10))
+        assert ring.route("key") in ring.servers
+
+    def test_hundred_leaves_like_paper(self):
+        # McRouter "routes KV operations to 100 leaf servers".
+        ring = ConsistentHashRing(leaf_names(100))
+        assert len(ring) == 100
+        targets = {ring.route(f"key-{i}") for i in range(1000)}
+        assert len(targets) > 50  # spread across many leaves
+
+    def test_empty_ring(self):
+        with pytest.raises(RuntimeError):
+            ConsistentHashRing().route("key")
+
+
+class TestBalance:
+    def test_load_roughly_uniform(self):
+        ring = ConsistentHashRing(leaf_names(10), replicas=200)
+        keys = [f"key-{i}" for i in range(20_000)]
+        counts = ring.load_distribution(keys)
+        expected = len(keys) / 10
+        for server, count in counts.items():
+            assert count == pytest.approx(expected, rel=0.4), server
+
+
+class TestMembershipChanges:
+    def test_add_duplicate_rejected(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add_server("a")
+
+    def test_remove_unknown_rejected(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(KeyError):
+            ring.remove_server("b")
+
+    def test_removal_only_moves_victims_keys(self):
+        # The defining property of consistent hashing.
+        ring = ConsistentHashRing(leaf_names(20))
+        keys = [f"key-{i}" for i in range(5000)]
+        before = {k: ring.route(k) for k in keys}
+        victim = "leaf-007"
+        ring.remove_server(victim)
+        for k in keys:
+            after = ring.route(k)
+            if before[k] != victim:
+                assert after == before[k]
+            else:
+                assert after != victim
+
+    def test_addition_only_steals_keys(self):
+        ring = ConsistentHashRing(leaf_names(20))
+        keys = [f"key-{i}" for i in range(5000)]
+        before = {k: ring.route(k) for k in keys}
+        ring.add_server("leaf-new")
+        moved = 0
+        for k in keys:
+            after = ring.route(k)
+            if after != before[k]:
+                assert after == "leaf-new"
+                moved += 1
+        # Expected share ~ 1/21 of keys.
+        assert 0 < moved < len(keys) * 0.2
+
+    def test_remove_then_add_restores(self):
+        ring = ConsistentHashRing(leaf_names(5))
+        before = {f"k{i}": ring.route(f"k{i}") for i in range(100)}
+        ring.remove_server("leaf-002")
+        ring.add_server("leaf-002")
+        after = {f"k{i}": ring.route(f"k{i}") for i in range(100)}
+        assert before == after
+
+
+def test_replicas_validation():
+    with pytest.raises(ValueError):
+        ConsistentHashRing(replicas=0)

@@ -1,0 +1,89 @@
+"""Filler-thread workload traces."""
+
+import numpy as np
+import pytest
+
+from repro.uarch.isa import Op
+from repro.workloads.filler import (
+    FILLER_INSTRUCTIONS_PER_US,
+    FILLER_THREADS_PER_DYAD,
+    filler_context_traces,
+    filler_remote_spec,
+    filler_trace,
+)
+
+
+def test_default_pool_size_is_32():
+    # Section IV: "32 virtual contexts per dyad are sufficient".
+    assert FILLER_THREADS_PER_DYAD == 32
+
+
+def test_remote_spec_interval():
+    spec = filler_remote_spec(compute_us=1.0, stall_us=1.0)
+    assert spec.mean_interval_instructions == pytest.approx(FILLER_INSTRUCTIONS_PER_US)
+    assert spec.mean_stall_us == 1.0
+
+
+def test_trace_has_remotes():
+    trace = filler_trace(np.random.default_rng(0), 10_000)
+    assert trace.num_remote > 0
+
+
+def test_stall_free_variant():
+    trace = filler_trace(np.random.default_rng(0), 10_000, stall_us=None)
+    assert trace.num_remote == 0
+
+
+def test_kinds():
+    pr = filler_trace(np.random.default_rng(0), 2000, kind="pagerank")
+    ss = filler_trace(np.random.default_rng(0), 2000, kind="sssp")
+    assert pr.name == "pagerank"
+    assert ss.name == "sssp"
+    with pytest.raises(ValueError):
+        filler_trace(np.random.default_rng(0), 2000, kind="sort")
+
+
+def test_context_pool_alternates_kinds():
+    traces = filler_context_traces(np.random.default_rng(0), num_contexts=4, num_instructions=1000)
+    assert [t.name for t in traces] == ["pagerank", "sssp", "pagerank", "sssp"]
+
+
+def test_contexts_have_disjoint_data():
+    traces = filler_context_traces(np.random.default_rng(0), num_contexts=3, num_instructions=2000)
+    sets = [set(t.addr[t.addr > 0]) for t in traces]
+    assert sets[0].isdisjoint(sets[1])
+    assert sets[1].isdisjoint(sets[2])
+
+
+def test_first_slot_avoids_master_slot_zero():
+    from repro.workloads.filler import PAGERANK_PROFILE
+
+    traces = filler_context_traces(np.random.default_rng(0), num_contexts=1, num_instructions=500)
+    # The first context must not sit at the unrelocated (master) base.
+    assert traces[0].addr[traces[0].addr > 0].min() > PAGERANK_PROFILE.data_base
+
+
+def test_time_scale_shrinks_stalls():
+    full = filler_trace(np.random.default_rng(1), 400_000, time_scale=1.0)
+    quarter = filler_trace(np.random.default_rng(1), 400_000, time_scale=0.25)
+    fs = full.stall_ns[full.op == Op.REMOTE].mean()
+    qs = quarter.stall_ns[quarter.op == Op.REMOTE].mean()
+    assert fs == pytest.approx(1000.0, rel=0.2)  # exp(1 us) RDMA reads
+    assert qs == pytest.approx(fs * 0.25, rel=0.2)
+
+
+def test_stall_probability_near_paper_regime():
+    # At filler per-thread throughput, compute ~= stall (p ~ 0.4-0.55).
+    trace = filler_trace(np.random.default_rng(2), 60_000)
+    per_thread_ipc = 0.45  # measured on the 8-way InO datapath
+    compute_cycles = len(trace) / per_thread_ipc
+    stall_cycles = trace.total_stall_ns * 3.25  # at 3.25 GHz
+    p = stall_cycles / (stall_cycles + compute_cycles)
+    assert 0.3 < p < 0.6
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        filler_context_traces(np.random.default_rng(0), num_contexts=0)
+    with pytest.raises(ValueError):
+        filler_trace(np.random.default_rng(0), 100, time_scale=0.0)

@@ -1,0 +1,86 @@
+"""Synthetic power-law graph generation and partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.graph import (
+    degree_distribution,
+    generate_power_law_graph,
+)
+
+
+def test_basic_shape():
+    g = generate_power_law_graph(200, edges_per_vertex=4, num_partitions=4, seed=0)
+    assert g.num_vertices == 200
+    assert g.num_edges > 0
+    assert g.num_partitions == 4
+
+
+def test_no_self_loops():
+    g = generate_power_law_graph(100, edges_per_vertex=4, seed=1)
+    for v, nbrs in enumerate(g.adjacency):
+        assert v not in nbrs
+
+
+def test_edges_per_vertex_for_late_vertices():
+    g = generate_power_law_graph(100, edges_per_vertex=5, seed=2)
+    for v in range(6, 100):
+        assert g.out_degree(v) == 5
+
+
+def test_heavy_tailed_degrees():
+    # Preferential attachment: max in-degree far above the median.
+    g = generate_power_law_graph(2000, edges_per_vertex=4, seed=3)
+    in_degree = np.zeros(g.num_vertices, dtype=int)
+    for nbrs in g.adjacency:
+        for u in nbrs:
+            in_degree[u] += 1
+    assert in_degree.max() > 10 * np.median(in_degree[in_degree > 0])
+
+
+def test_partition_round_robin():
+    g = generate_power_law_graph(100, num_partitions=4, seed=0)
+    assert g.partition_of[0] == 0
+    assert g.partition_of[5] == 1 if False else g.partition_of[1] == 1
+    for p in range(4):
+        assert len(g.owned_vertices(p)) == 25
+
+
+def test_remote_fraction_near_paper_claim():
+    # Hash partitioning across P workers makes ~(P-1)/P of edges remote;
+    # with 2 partitions that is ~1/2 ("almost half of vertices are
+    # accessed remotely").
+    g = generate_power_law_graph(1000, edges_per_vertex=6, num_partitions=2, seed=4)
+    assert g.remote_edge_fraction() == pytest.approx(0.5, abs=0.07)
+
+
+def test_remote_fraction_grows_with_partitions():
+    g2 = generate_power_law_graph(500, num_partitions=2, seed=5)
+    g8 = generate_power_law_graph(500, num_partitions=8, seed=5)
+    assert g8.remote_edge_fraction() > g2.remote_edge_fraction()
+
+
+def test_single_partition_no_remote():
+    g = generate_power_law_graph(200, num_partitions=1, seed=6)
+    assert g.remote_edge_fraction() == 0.0
+
+
+def test_degree_distribution_helper():
+    g = generate_power_law_graph(50, edges_per_vertex=3, seed=7)
+    degrees = degree_distribution(g)
+    assert degrees.shape == (50,)
+    assert (degrees[4:] >= 3).all()
+
+
+def test_deterministic():
+    a = generate_power_law_graph(100, seed=8)
+    b = generate_power_law_graph(100, seed=8)
+    for x, y in zip(a.adjacency, b.adjacency):
+        np.testing.assert_array_equal(x, y)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        generate_power_law_graph(4, edges_per_vertex=8)
+    with pytest.raises(ValueError):
+        generate_power_law_graph(100, num_partitions=0)

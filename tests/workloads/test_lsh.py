@@ -1,0 +1,92 @@
+"""LSH index (FLANN substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.lsh import LSHConfig, LSHIndex
+
+
+def build_index(n=300, dims=32, seed=0, **cfg):
+    config = LSHConfig(dimensions=dims, hash_bits=cfg.pop("hash_bits", 8),
+                       num_tables=cfg.pop("num_tables", 8), probes=cfg.pop("probes", 2))
+    index = LSHIndex(config, seed=seed)
+    rng = np.random.default_rng(seed)
+    points = rng.standard_normal((n, dims))
+    for p in points:
+        index.add(p)
+    return index, points
+
+
+class TestConstruction:
+    def test_add_returns_sequential_ids(self):
+        index, _ = build_index(n=10)
+        assert len(index) == 10
+
+    def test_dimension_checked(self):
+        index, _ = build_index(n=1, dims=32)
+        with pytest.raises(ValueError):
+            index.add(np.zeros(16))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LSHConfig(num_tables=0)
+        with pytest.raises(ValueError):
+            LSHConfig(probes=0)
+        with pytest.raises(ValueError):
+            LSHConfig(hash_bits=40)
+
+
+class TestQueries:
+    def test_exact_duplicate_found(self):
+        index, points = build_index()
+        for i in (0, 17, 150):
+            assert i in index.query(points[i], k=3)
+
+    def test_near_duplicate_found(self):
+        index, points = build_index()
+        noisy = points[5] + 0.01 * np.random.default_rng(1).standard_normal(32)
+        assert 5 in index.query(noisy, k=5)
+
+    def test_candidates_subset_of_points(self):
+        index, points = build_index(n=50)
+        ids = index.candidates(points[0])
+        assert all(0 <= i < 50 for i in ids)
+
+    def test_k_validation(self):
+        index, points = build_index(n=10)
+        with pytest.raises(ValueError):
+            index.query(points[0], k=0)
+
+    def test_deterministic(self):
+        a, pts = build_index(seed=3)
+        b, _ = build_index(seed=3)
+        assert a.query(pts[0], 5) == b.query(pts[0], 5)
+
+    def test_empty_index_recall_raises(self):
+        index = LSHIndex(LSHConfig(dimensions=8))
+        with pytest.raises(RuntimeError):
+            index.recall_against_exact(np.zeros((1, 8)))
+
+
+class TestQuality:
+    def test_recall_reasonable(self):
+        # LSH with multiple tables should beat random guessing by far.
+        index, points = build_index(n=300, seed=2)
+        rng = np.random.default_rng(4)
+        queries = points[:40] + 0.05 * rng.standard_normal((40, 32))
+        recall = index.recall_against_exact(queries, k=1)
+        assert recall > 0.7
+
+    def test_tuning_knobs_change_candidate_counts(self):
+        # FLANN-HA vs FLANN-LL differ in lookup work: fewer hash bits ->
+        # bigger buckets -> more candidates to scan (more compute).
+        coarse, points = build_index(hash_bits=4, probes=1, seed=5)
+        fine, _ = build_index(hash_bits=12, probes=1, seed=5)
+        q = points[0]
+        assert len(coarse.candidates(q)) >= len(fine.candidates(q))
+
+    def test_more_probes_more_candidates(self):
+        one, points = build_index(hash_bits=10, probes=1, seed=6)
+        many, _ = build_index(hash_bits=10, probes=4, seed=6)
+        q = points[3]
+        assert len(many.candidates(q)) >= len(one.candidates(q))

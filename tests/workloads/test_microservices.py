@@ -1,0 +1,162 @@
+"""Microservice workload models (Section V parameters)."""
+
+import numpy as np
+import pytest
+
+from repro.common.distributions import Deterministic
+from repro.uarch.isa import Op
+from repro.workloads.microservices import (
+    Microservice,
+    Phase,
+    WORDSTEM_PROFILE,
+    flann_ha,
+    flann_ll,
+    flann_xy,
+    mcrouter,
+    rsc,
+    standard_microservices,
+    wordstem,
+)
+
+
+class TestPaperParameters:
+    def test_flann_ha_timing(self):
+        ms = flann_ha()
+        assert ms.mean_compute_us() == pytest.approx(10.0)
+        assert ms.mean_stall_us() == pytest.approx(1.0)
+        assert ms.stall_fraction() == pytest.approx(1 / 11)
+
+    def test_flann_ll_timing(self):
+        ms = flann_ll()
+        assert ms.mean_service_us() == pytest.approx(2.0)
+        assert ms.stall_fraction() == pytest.approx(0.5)
+
+    def test_rsc_timing(self):
+        # 3 us lookup + 8 us Optane + 4 us memcpy = 15 us.
+        ms = rsc()
+        assert ms.mean_service_us() == pytest.approx(15.0)
+        assert ms.mean_stall_us() == pytest.approx(8.0)
+
+    def test_mcrouter_timing(self):
+        # 3 us routing + 3-5 us leaf wait.
+        ms = mcrouter()
+        assert ms.mean_compute_us() == pytest.approx(3.0)
+        assert ms.mean_stall_us() == pytest.approx(4.0)
+
+    def test_wordstem_no_stalls(self):
+        ms = wordstem()
+        assert not ms.has_stalls()
+        assert ms.mean_service_us() == pytest.approx(4.0)
+
+    def test_standard_set(self):
+        names = [m.name for m in standard_microservices()]
+        assert names == ["FLANN-HA", "FLANN-LL", "RSC", "McRouter", "WordStem"]
+
+
+class TestNetworkOps:
+    def test_flann_is_network(self):
+        assert flann_ha().network_ops_per_request() == 1
+
+    def test_rsc_optane_is_local(self):
+        # The Optane access is a local storage stall, not a NIC op.
+        assert rsc().network_ops_per_request() == 0
+
+    def test_mcrouter_leaf_is_network(self):
+        assert mcrouter().network_ops_per_request() == 1
+
+    def test_wordstem_none(self):
+        assert wordstem().network_ops_per_request() == 0
+
+
+class TestServiceDistribution:
+    def test_mean_in_seconds(self):
+        ms = mcrouter()
+        assert ms.service_distribution().mean() == pytest.approx(7e-6)
+
+    def test_sampling_positive(self):
+        dist = rsc().service_distribution()
+        samples = dist.sample_many(np.random.default_rng(0), 1000)
+        assert (samples > 0).all()
+        assert samples.mean() == pytest.approx(15e-6, rel=0.15)
+
+
+class TestFlannXY:
+    def test_ratio_9_1(self):
+        ms = flann_xy(9.0, 1.0)
+        assert ms.stall_fraction() == pytest.approx(0.1)
+        assert ms.name == "FLANN-9-1"
+
+    def test_baseline_variant(self):
+        ms = flann_xy(10.0, None)
+        assert not ms.has_stalls()
+        assert ms.name == "FLANN-baseline"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flann_xy(0.0, 1.0)
+
+
+class TestSaturatedTrace:
+    def test_remote_count_matches_stall_phases(self):
+        ms = mcrouter()  # one stall phase per request
+        trace = ms.saturated_trace(np.random.default_rng(0), num_requests=10)
+        assert trace.num_remote == 10
+
+    def test_rsc_one_stall_per_request(self):
+        trace = rsc().saturated_trace(np.random.default_rng(0), num_requests=7)
+        assert trace.num_remote == 7
+
+    def test_wordstem_no_remotes(self):
+        trace = wordstem().saturated_trace(np.random.default_rng(0), num_requests=5)
+        assert trace.num_remote == 0
+
+    def test_compute_length_scales_with_instructions_per_us(self):
+        ms = flann_xy(2.0, None)
+        small = ms.saturated_trace(
+            np.random.default_rng(0), num_requests=5, instructions_per_us=1000
+        )
+        large = ms.saturated_trace(
+            np.random.default_rng(0), num_requests=5, instructions_per_us=4000
+        )
+        assert len(large) == pytest.approx(4 * len(small), rel=0.01)
+
+    def test_time_scale_shrinks_both_sides(self):
+        ms = mcrouter()
+        full = ms.saturated_trace(np.random.default_rng(1), num_requests=20)
+        quarter = ms.saturated_trace(
+            np.random.default_rng(1), num_requests=20, time_scale=0.25
+        )
+        assert len(quarter) < len(full) * 0.4
+        full_stall = full.stall_ns[full.op == Op.REMOTE].mean()
+        quarter_stall = quarter.stall_ns[quarter.op == Op.REMOTE].mean()
+        assert quarter_stall == pytest.approx(full_stall * 0.25, rel=0.25)
+
+    def test_slot_relocates(self):
+        ms = wordstem()
+        a = ms.saturated_trace(np.random.default_rng(0), num_requests=3, slot=1)
+        b = ms.saturated_trace(np.random.default_rng(0), num_requests=3, slot=2)
+        mem_a = set(a.addr[a.addr > 0])
+        mem_b = set(b.addr[b.addr > 0])
+        assert mem_a.isdisjoint(mem_b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mcrouter().saturated_trace(np.random.default_rng(0), num_requests=0)
+        with pytest.raises(ValueError):
+            mcrouter().saturated_trace(
+                np.random.default_rng(0), num_requests=1, time_scale=0.0
+            )
+
+
+class TestPhase:
+    def test_means(self):
+        p = Phase(Deterministic(2.0), Deterministic(3.0))
+        assert p.mean_compute_us() == 2.0
+        assert p.mean_stall_us() == 3.0
+
+    def test_no_stall(self):
+        assert Phase(Deterministic(2.0)).mean_stall_us() == 0.0
+
+    def test_microservice_needs_phases(self):
+        with pytest.raises(ValueError):
+            Microservice(name="x", profile=WORDSTEM_PROFILE, phases=())

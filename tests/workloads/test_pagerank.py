@@ -1,0 +1,71 @@
+"""BSP PageRank (filler workload kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.graph import generate_power_law_graph
+from repro.workloads.pagerank import pagerank
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_power_law_graph(300, edges_per_vertex=5, num_partitions=4, seed=0)
+
+
+def test_ranks_sum_to_one(graph):
+    ranks, _ = pagerank(graph)
+    assert ranks.sum() == pytest.approx(1.0)
+
+
+def test_ranks_positive(graph):
+    ranks, _ = pagerank(graph)
+    assert (ranks > 0).all()
+
+
+def test_high_in_degree_ranks_higher(graph):
+    ranks, _ = pagerank(graph)
+    in_degree = np.zeros(graph.num_vertices)
+    for nbrs in graph.adjacency:
+        for u in nbrs:
+            in_degree[u] += 1
+    top_rank = np.argsort(-ranks)[:10]
+    assert in_degree[top_rank].mean() > in_degree.mean()
+
+
+def test_matches_networkx():
+    networkx = pytest.importorskip("networkx")
+    g = generate_power_law_graph(120, edges_per_vertex=4, num_partitions=2, seed=1)
+    ranks, _ = pagerank(g, tolerance=1e-12, max_supersteps=200)
+    nxg = networkx.DiGraph()
+    nxg.add_nodes_from(range(g.num_vertices))
+    for v, nbrs in enumerate(g.adjacency):
+        for u in nbrs:
+            nxg.add_edge(v, int(u))
+    reference = networkx.pagerank(nxg, alpha=0.85, tol=1e-12, max_iter=200)
+    for v in range(g.num_vertices):
+        assert ranks[v] == pytest.approx(reference[v], abs=1e-6)
+
+
+def test_converges_before_max(graph):
+    _, stats = pagerank(graph, tolerance=1e-6, max_supersteps=100)
+    assert len(stats.local_accesses) < 100
+
+
+def test_remote_fraction_tracks_partitioning():
+    g2 = generate_power_law_graph(200, num_partitions=2, seed=2)
+    _, stats = pagerank(g2, max_supersteps=3, tolerance=0)
+    assert stats.remote_fraction == pytest.approx(0.5, abs=0.1)
+
+
+def test_single_partition_all_local():
+    g = generate_power_law_graph(100, num_partitions=1, seed=3)
+    _, stats = pagerank(g, max_supersteps=3, tolerance=0)
+    assert stats.total_remote == 0
+    assert stats.total_local > 0
+
+
+def test_damping_validation(graph):
+    with pytest.raises(ValueError):
+        pagerank(graph, damping=1.0)
+    with pytest.raises(ValueError):
+        pagerank(graph, damping=0.0)

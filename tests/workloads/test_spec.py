@@ -1,0 +1,53 @@
+"""SPEC-like workload mixes (Fig 2a substrate)."""
+
+import pytest
+
+from repro.uarch.isa import Op
+from repro.workloads.spec import (
+    SPEC_COMPUTE,
+    SPEC_FP,
+    SPEC_MEMORY,
+    SPEC_PROFILES,
+    spec_mix_traces,
+)
+
+
+def test_four_archetypes():
+    assert len(SPEC_PROFILES) == 4
+    assert len({p.name for p in SPEC_PROFILES}) == 4
+
+
+def test_archetype_characters():
+    assert SPEC_MEMORY.working_set_bytes > SPEC_COMPUTE.working_set_bytes
+    assert SPEC_FP.fp_fraction > SPEC_COMPUTE.fp_fraction
+
+
+def test_mix_cycles_archetypes():
+    traces = spec_mix_traces(6, num_instructions=500)
+    names = [t.name for t in traces]
+    assert names[0] == names[4] == "spec-compute"
+    assert names[1] == names[5] == "spec-memory"
+
+
+def test_threads_relocated():
+    traces = spec_mix_traces(4, num_instructions=2000)
+    a = set(traces[0].addr[traces[0].addr > 0])
+    b = set(traces[1].addr[traces[1].addr > 0])
+    assert a.isdisjoint(b)
+
+
+def test_fp_trace_contains_fp_ops():
+    traces = spec_mix_traces(3, num_instructions=4000)
+    fp_trace = traces[2]  # spec-fp
+    assert (fp_trace.op == Op.FP).mean() > 0.15
+
+
+def test_deterministic():
+    a = spec_mix_traces(2, num_instructions=1000, seed=5)
+    b = spec_mix_traces(2, num_instructions=1000, seed=5)
+    assert (a[0].addr == b[0].addr).all()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        spec_mix_traces(0)

@@ -1,0 +1,85 @@
+"""BSP single-source shortest paths."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.graph import PartitionedGraph, generate_power_law_graph
+from repro.workloads.sssp import sssp
+
+
+def tiny_graph():
+    # 0 -> 1 -> 2, 0 -> 2 (longer direct edge when weighted), 3 isolated.
+    adjacency = [
+        np.array([1, 2], dtype=np.int64),
+        np.array([2], dtype=np.int64),
+        np.array([], dtype=np.int64),
+        np.array([], dtype=np.int64),
+    ]
+    return PartitionedGraph(
+        adjacency=adjacency,
+        partition_of=np.array([0, 1, 0, 1], dtype=np.int64),
+        num_partitions=2,
+    )
+
+
+def test_unweighted_is_bfs_distance():
+    dist, _ = sssp(tiny_graph(), 0)
+    assert dist[0] == 0
+    assert dist[1] == 1
+    assert dist[2] == 1
+    assert np.isinf(dist[3])
+
+
+def test_weighted_prefers_cheaper_path():
+    weights = {(0, 1): 1.0, (1, 2): 1.0, (0, 2): 5.0}
+    dist, _ = sssp(tiny_graph(), 0, weights=weights)
+    assert dist[2] == 2.0  # via vertex 1, not the direct weight-5 edge
+
+
+def test_negative_weight_rejected():
+    with pytest.raises(ValueError):
+        sssp(tiny_graph(), 0, weights={(0, 1): -1.0})
+
+
+def test_source_validated():
+    with pytest.raises(ValueError):
+        sssp(tiny_graph(), 99)
+
+
+def test_matches_networkx_on_random_graph():
+    networkx = pytest.importorskip("networkx")
+    g = generate_power_law_graph(150, edges_per_vertex=4, num_partitions=3, seed=0)
+    dist, _ = sssp(g, 0)
+    nxg = networkx.DiGraph()
+    nxg.add_nodes_from(range(g.num_vertices))
+    for v, nbrs in enumerate(g.adjacency):
+        for u in nbrs:
+            nxg.add_edge(v, int(u))
+    reference = networkx.single_source_shortest_path_length(nxg, 0)
+    for v in range(g.num_vertices):
+        if v in reference:
+            assert dist[v] == reference[v]
+        else:
+            assert np.isinf(dist[v])
+
+
+def test_remote_accesses_counted():
+    g = generate_power_law_graph(200, num_partitions=2, seed=1)
+    _, stats = sssp(g, 0)
+    assert stats.total_remote > 0
+    assert 0.3 < stats.remote_fraction < 0.7
+
+
+def test_supersteps_bounded_by_frontier_depth():
+    dist, stats = sssp(tiny_graph(), 0)
+    assert len(stats.local_accesses) <= 3
+
+
+def test_distances_satisfy_triangle_inequality_on_edges():
+    g = generate_power_law_graph(100, edges_per_vertex=3, num_partitions=2, seed=2)
+    dist, _ = sssp(g, 0)
+    for v, nbrs in enumerate(g.adjacency):
+        if np.isinf(dist[v]):
+            continue
+        for u in nbrs:
+            assert dist[u] <= dist[v] + 1

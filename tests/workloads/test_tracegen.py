@@ -1,0 +1,163 @@
+"""Synthetic trace generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch.isa import NO_REG, Op
+from repro.workloads.tracegen import (
+    BLOCK_SIZE,
+    RemoteSpec,
+    TraceProfile,
+    generate_trace,
+)
+
+
+def profile(**kw):
+    defaults = dict(
+        name="test",
+        working_set_bytes=64 << 10,
+        hot_set_bytes=8 << 10,
+        code_bytes=8 << 10,
+    )
+    defaults.update(kw)
+    return TraceProfile(**defaults)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestInstructionMix:
+    def test_load_fraction_respected(self):
+        trace = generate_trace(profile(load_fraction=0.3), 40_000, rng())
+        loads = (trace.op == Op.LOAD).mean()
+        assert loads == pytest.approx(0.3 * (1 - 1 / BLOCK_SIZE), abs=0.02)
+
+    def test_branch_density_one_per_block(self):
+        trace = generate_trace(profile(), 40_000, rng())
+        branches = (trace.op == Op.BRANCH).mean()
+        assert branches == pytest.approx(1 / BLOCK_SIZE, abs=0.02)
+
+    def test_mix_validation(self):
+        with pytest.raises(ValueError):
+            profile(load_fraction=0.8, store_fraction=0.3)
+
+    def test_fraction_bounds_validated(self):
+        with pytest.raises(ValueError):
+            profile(hot_fraction=1.5)
+        with pytest.raises(ValueError):
+            profile(hot_set_bytes=128 << 10)  # hot > working set
+
+
+class TestAddresses:
+    def test_data_addresses_within_working_set(self):
+        p = profile()
+        trace = generate_trace(p, 20_000, rng())
+        mem = trace.addr[(trace.op == Op.LOAD) | (trace.op == Op.STORE)]
+        assert (mem >= p.data_base).all()
+        assert (mem < p.data_base + p.working_set_bytes + 64).all()
+
+    def test_pcs_within_code(self):
+        p = profile()
+        trace = generate_trace(p, 20_000, rng())
+        assert (trace.pc >= p.code_base).all()
+        assert (trace.pc < p.code_base + p.code_bytes).all()
+
+    def test_relocation_disjoint(self):
+        p = profile()
+        a = generate_trace(p.relocated(1), 5000, rng())
+        b = generate_trace(p.relocated(2), 5000, rng())
+        assert set(a.addr[a.addr > 0]).isdisjoint(set(b.addr[b.addr > 0]))
+
+    def test_relocation_breaks_set_alignment(self):
+        # Slots must not land on the same cache sets (the skew).
+        p = profile()
+        base_a = p.relocated(1).data_base
+        base_b = p.relocated(2).data_base
+        assert ((base_a >> 6) % 512) != ((base_b >> 6) % 512)
+
+
+class TestControlFlow:
+    def test_cfg_stable_across_traces(self):
+        # Two executions of the same code see the same branch targets.
+        p = profile()
+        a = generate_trace(p, 20_000, rng(1))
+        b = generate_trace(p, 20_000, rng(2))
+        targets_a = {}
+        for pc, taken, tgt in zip(a.pc, a.taken, a.target):
+            if taken:
+                targets_a[int(pc)] = int(tgt)
+        for pc, taken, tgt in zip(b.pc, b.taken, b.target):
+            if taken and int(pc) in targets_a:
+                assert targets_a[int(pc)] == int(tgt)
+
+    def test_branch_bias_mostly_consistent(self):
+        p = profile(branch_predictability=1.0)
+        trace = generate_trace(p, 40_000, rng())
+        outcomes: dict[int, set] = {}
+        is_branch = trace.op == Op.BRANCH
+        for pc, taken in zip(trace.pc[is_branch], trace.taken[is_branch]):
+            outcomes.setdefault(int(pc), set()).add(bool(taken))
+        consistent = sum(1 for s in outcomes.values() if len(s) == 1)
+        assert consistent / len(outcomes) > 0.95
+
+
+class TestRemoteInjection:
+    def test_remote_ops_present(self):
+        spec = RemoteSpec(mean_interval_instructions=500, mean_stall_us=1.0)
+        trace = generate_trace(profile(), 20_000, rng(), remote=spec)
+        assert trace.num_remote > 10
+
+    def test_remote_spacing_close_to_mean(self):
+        spec = RemoteSpec(mean_interval_instructions=400, mean_stall_us=1.0)
+        trace = generate_trace(profile(), 60_000, rng(), remote=spec)
+        positions = np.nonzero(trace.op == Op.REMOTE)[0]
+        gaps = np.diff(positions)
+        assert gaps.mean() == pytest.approx(400, rel=0.2)
+
+    def test_stall_durations_positive_exponential(self):
+        spec = RemoteSpec(mean_interval_instructions=300, mean_stall_us=2.0)
+        trace = generate_trace(profile(), 60_000, rng(), remote=spec)
+        stalls = trace.stall_ns[trace.op == Op.REMOTE]
+        assert (stalls > 0).all()
+        assert stalls.mean() == pytest.approx(2000.0, rel=0.2)
+
+    def test_no_remote_without_spec(self):
+        trace = generate_trace(profile(), 5000, rng())
+        assert trace.num_remote == 0
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            RemoteSpec(mean_interval_instructions=0.5, mean_stall_us=1.0)
+        with pytest.raises(ValueError):
+            RemoteSpec(mean_interval_instructions=100, mean_stall_us=0.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_trace(profile(), 5000, rng(9))
+        b = generate_trace(profile(), 5000, rng(9))
+        np.testing.assert_array_equal(a.op, b.op)
+        np.testing.assert_array_equal(a.addr, b.addr)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            generate_trace(profile(), 0, rng())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=10, max_value=3000),
+    load=st.floats(min_value=0.0, max_value=0.5),
+    seq=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_generated_traces_well_formed(n, load, seq):
+    p = profile(load_fraction=load, sequential_fraction=seq)
+    trace = generate_trace(p, n, rng(0))
+    assert len(trace) == n
+    loads = trace.op == Op.LOAD
+    assert (trace.dst[loads] != NO_REG).all()  # loads produce values
+    branches = trace.op == Op.BRANCH
+    assert (trace.target[branches & trace.taken] > 0).all()
