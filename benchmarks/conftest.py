@@ -4,33 +4,58 @@ The full evaluation grid (Figures 5a-5f and 6) is simulated once per
 session at BENCH fidelity and shared by every figure bench; each bench
 then extracts, validates and reports its figure. Reports are also written
 to ``benchmarks/output/`` for inclusion in EXPERIMENTS.md.
+
+The grid runs through the parallel runner (``REPRO_BENCH_WORKERS``
+processes, default one per workload) on top of the persistent result
+cache, which lives under ``benchmarks/output/cache`` unless
+``REPRO_CACHE_DIR`` points elsewhere — so a re-run after an interrupted
+or repeated session only simulates what is missing.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 import pickle
 
 import pytest
 
+from repro.harness import cache
 from repro.harness.fidelity import BENCH
 from repro.harness.figures import EvaluationGrid, evaluation_grid
+from repro.workloads.microservices import standard_microservices
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 _GRID_CACHE = OUTPUT_DIR / f"grid-{BENCH.name}-{BENCH.seed}.pkl"
 
 
+def _bench_workers() -> int:
+    raw = os.environ.get("REPRO_BENCH_WORKERS")
+    if raw:
+        return max(1, int(raw))
+    return min(len(standard_microservices()), os.cpu_count() or 1)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_cache() -> None:
+    """Keep the persistent cache next to the benchmark outputs."""
+    if not os.environ.get("REPRO_CACHE_DIR"):
+        cache.configure(root=OUTPUT_DIR / "cache")
+
+
 @pytest.fixture(scope="session")
-def grid() -> EvaluationGrid:
+def grid(bench_cache) -> EvaluationGrid:
     """The full design x workload x load evaluation matrix.
 
     Cached on disk (the simulations behind it take many minutes); delete
-    ``benchmarks/output/grid-*.pkl`` to force a re-simulation.
+    ``benchmarks/output/grid-*.pkl`` to force a re-simulation (the
+    persistent result cache under ``benchmarks/output/cache`` then makes
+    that re-simulation cheap).
     """
     if _GRID_CACHE.exists():
         with _GRID_CACHE.open("rb") as fh:
             return pickle.load(fh)
-    result = evaluation_grid(fidelity=BENCH)
+    result = evaluation_grid(fidelity=BENCH, workers=_bench_workers())
     OUTPUT_DIR.mkdir(exist_ok=True)
     with _GRID_CACHE.open("wb") as fh:
         pickle.dump(result, fh)

@@ -1,4 +1,8 @@
-"""Entry point: ``python -m repro <target>``."""
+"""Entry point: ``python -m repro <target>``.
+
+See :mod:`repro.cli` for targets and the ``--workers`` / ``--stats`` /
+``--cache-dir`` / ``--no-cache`` flags of the parallel, cached runner.
+"""
 
 import sys
 

@@ -5,18 +5,27 @@ Examples::
     python -m repro table2
     python -m repro fig1b
     python -m repro fig5a --fidelity fast --workload mcrouter
+    python -m repro fig5d --workers 4 --stats
     python -m repro cell duplexity mcrouter 0.5
+
+Grid figures accept ``--workers N`` to fan the sweep out over a process
+pool and ``--stats`` to print per-cell timing and cache-hit accounting.
+Simulation results persist in a disk cache (``REPRO_CACHE_DIR``,
+default ``~/.cache/repro-duplexity``); ``--cache-dir`` overrides the
+location and ``--no-cache`` disables the disk layer for one invocation.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
-from repro.harness import figures
+from repro.harness import cache, figures
 from repro.harness.experiment import run_cell
 from repro.harness.fidelity import BENCH, FAST, FULL, Fidelity
-from repro.harness.reporting import format_table
+from repro.harness.parallel import CellTiming, GridRunStats
+from repro.harness.reporting import format_grid_stats, format_table
 from repro.workloads.microservices import standard_microservices
 
 FIDELITIES: dict[str, Fidelity] = {"fast": FAST, "bench": BENCH, "full": FULL}
@@ -109,8 +118,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("args", nargs="*", help="for `cell`: DESIGN WORKLOAD LOAD")
     parser.add_argument("--fidelity", choices=sorted(FIDELITIES), default="fast")
     parser.add_argument("--workload", help="restrict grid figures to one workload")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width for grid sweeps (1 = serial)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-cell wall times and cache hit/miss counters",
+    )
+    parser.add_argument(
+        "--cache-dir", help="persistent result-cache directory (overrides env)"
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent disk cache for this invocation",
+    )
     options = parser.parse_args(argv)
     fidelity = FIDELITIES[options.fidelity]
+
+    if options.no_cache:
+        cache.configure(enabled=False)
+    elif options.cache_dir:
+        cache.configure(root=options.cache_dir)
+
+    run_stats = GridRunStats(workers=max(1, options.workers))
 
     target = options.target.lower()
     if target == "table1":
@@ -133,7 +168,10 @@ def main(argv: list[str] | None = None) -> int:
         _print_fig2b()
     elif target in GRID_FIGURES:
         grid = figures.evaluation_grid(
-            fidelity=fidelity, workloads=_workloads(options.workload)
+            fidelity=fidelity,
+            workloads=_workloads(options.workload),
+            workers=options.workers,
+            stats=run_stats,
         )
         print(GRID_FIGURES[target](grid))
     elif target == "cell":
@@ -141,7 +179,19 @@ def main(argv: list[str] | None = None) -> int:
             raise SystemExit("usage: repro cell DESIGN WORKLOAD LOAD")
         design, workload_name, load = options.args
         (workload,) = _workloads(workload_name)
+        before = cache.stats_snapshot()
+        cell_start = time.perf_counter()
         cell = run_cell(design, workload, float(load), fidelity)
+        run_stats.wall_s = time.perf_counter() - cell_start
+        run_stats.timings.append(
+            CellTiming(
+                design_name=design,
+                workload_name=workload.name,
+                load=float(load),
+                wall_s=run_stats.wall_s,
+            )
+        )
+        run_stats.disk.merge(cache.stats_snapshot().since(before))
         for field in (
             "utilization",
             "master_slowdown",
@@ -156,6 +206,9 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{field:36s} {getattr(cell, field):.4f}")
     else:
         raise SystemExit(f"unknown target {options.target!r}")
+    if options.stats:
+        print()
+        print(format_grid_stats(run_stats))
     return 0
 
 

@@ -14,19 +14,24 @@ co-located designs at high load.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.core.designs import DESIGN_NAMES, Design, get_design
+from repro.core.designs import Design, get_design
+from repro.harness import cache as disk_cache
 from repro.harness import metrics
 from repro.harness.fidelity import FAST, Fidelity
 from repro.harness.measure import measure
-from repro.workloads.microservices import (
-    STANDARD_LOADS,
-    Microservice,
-    standard_microservices,
-)
+from repro.workloads.microservices import STANDARD_LOADS, Microservice
 
-#: Tail-latency cache: (design, workload, rate, fidelity, seed) -> seconds.
-_TAIL_CACHE: dict[tuple[str, str, float, str, int], float] = {}
+if TYPE_CHECKING:
+    from repro.harness.parallel import GridRunStats
+
+#: In-memory (L1) tail-latency cache: (design, workload, exact rate,
+#: fidelity knobs) -> seconds.  The rate is keyed *unrounded*: distinct
+#: iso-throughput rates for high-rate workloads differ by far less than
+#: any fixed decimal rounding and must not alias.  Backed by the
+#: persistent disk layer (L2) of :mod:`repro.harness.cache`.
+_TAIL_CACHE: dict[tuple[str, str, float, tuple], float] = {}
 
 
 @dataclass(frozen=True)
@@ -127,16 +132,48 @@ def run_grid(
     workloads: list[Microservice] | None = None,
     loads: tuple[float, ...] = STANDARD_LOADS,
     fidelity: Fidelity = FAST,
+    workers: int = 1,
+    stats: "GridRunStats | None" = None,
 ) -> list[CellResult]:
-    """Sweep the full evaluation matrix (Figures 5a-5f and 6)."""
-    designs = list(designs or DESIGN_NAMES)
-    workloads = list(workloads or standard_microservices())
-    results = []
-    for workload in workloads:
-        for design_name in designs:
-            for load in loads:
-                results.append(run_cell(design_name, workload, load, fidelity))
-    return results
+    """Sweep the full evaluation matrix (Figures 5a-5f and 6).
+
+    ``workers > 1`` fans the sweep out over a process pool, chunked by
+    workload (see :mod:`repro.harness.parallel`); results are returned in
+    the same deterministic (workload, design, load) order as the serial
+    path and are value-identical to it.  Pass a
+    :class:`~repro.harness.parallel.GridRunStats` as ``stats`` to collect
+    per-cell wall times and cache hit/miss counters.
+    """
+    from repro.harness.parallel import run_grid_cells
+
+    return run_grid_cells(
+        designs=designs,
+        workloads=workloads,
+        loads=loads,
+        fidelity=fidelity,
+        workers=workers,
+        stats=stats,
+    )
+
+
+def _tail_cache_key(
+    design: Design,
+    workload: Microservice,
+    arrival_rate: float,
+    fidelity: Fidelity,
+) -> tuple[str, str, float, tuple]:
+    """L1 key for one tail-latency evaluation.
+
+    Regression note: this used to key on ``round(arrival_rate, 4)``,
+    which collided distinct iso-throughput rates (they can differ by
+    <1e-4 req/s at megahertz request rates) — the rate is keyed exactly.
+    """
+    return (
+        design.name,
+        workload.name,
+        float(arrival_rate),
+        fidelity.cache_token(),
+    )
 
 
 def _tail(
@@ -146,16 +183,29 @@ def _tail(
     arrival_rate: float,
     fidelity: Fidelity,
 ) -> float:
-    key = (
-        design.name,
-        workload.name,
-        round(arrival_rate, 4),
-        fidelity.name,
-        fidelity.seed,
-    )
+    key = _tail_cache_key(design, workload, arrival_rate, fidelity)
     cached = _TAIL_CACHE.get(key)
     if cached is not None:
         return cached
+
+    l2 = disk_cache.get_cache()
+    dkey = None
+    if l2 is not None:
+        # The service model folds in everything measurement-derived
+        # (slowdown, morph penalties), so the disk entry stays valid only
+        # while the exact service parameters do.
+        dkey = l2.key(
+            "tail",
+            design=design.name,
+            service=service,
+            rate=float(arrival_rate),
+            fidelity=fidelity,
+        )
+        stored = l2.get(dkey, expect=float)
+        if stored is not None:
+            _TAIL_CACHE[key] = stored
+            return stored
+
     tail = metrics.tail_latency_s(
         service,
         arrival_rate,
@@ -164,6 +214,8 @@ def _tail(
         seed=fidelity.seed,
     )
     _TAIL_CACHE[key] = tail
+    if l2 is not None and dkey is not None:
+        l2.put(dkey, tail)
     return tail
 
 

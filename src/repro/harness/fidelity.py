@@ -8,6 +8,7 @@ queueing-simulation lengths.  Tests use ``FAST``; the benchmark suite uses
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 
@@ -33,6 +34,16 @@ class Fidelity:
     queue_warmup: int
     #: Root seed for all random streams.
     seed: int = 0
+
+    def cache_token(self) -> tuple:
+        """Every knob, as a hashable tuple, for cache keying.
+
+        Caches must key on the full parameter set rather than
+        ``(name, seed)``: test fidelities built with
+        ``dataclasses.replace`` can share a name while differing in the
+        knobs that determine simulation output.
+        """
+        return dataclasses.astuple(self)
 
 
 FAST = Fidelity(

@@ -340,10 +340,24 @@ def evaluation_grid(
     designs: list[str] | None = None,
     workloads: list[Microservice] | None = None,
     loads: tuple[float, ...] = STANDARD_LOADS,
+    workers: int = 1,
+    stats=None,
 ) -> EvaluationGrid:
-    """Run the full evaluation matrix once; every Fig 5/6 view reads it."""
+    """Run the full evaluation matrix once; every Fig 5/6 view reads it.
+
+    ``workers``/``stats`` are forwarded to
+    :func:`repro.harness.experiment.run_grid` (process-pool fan-out and
+    run observability).
+    """
     return EvaluationGrid(
-        cells=run_grid(designs=designs, workloads=workloads, loads=loads, fidelity=fidelity)
+        cells=run_grid(
+            designs=designs,
+            workloads=workloads,
+            loads=loads,
+            fidelity=fidelity,
+            workers=workers,
+            stats=stats,
+        )
     )
 
 

@@ -16,13 +16,16 @@ import numpy as np
 
 from repro.core.designs import Design, get_design
 from repro.core.server import Dyad
+from repro.harness import cache as disk_cache
 from repro.harness.fidelity import FAST, Fidelity
 from repro.uarch.cores import SMTCoreModel
 from repro.workloads.filler import filler_trace
 from repro.workloads.microservices import Microservice
 
-#: Measurement cache: (design, workload, fidelity name, seed) -> result.
-_CACHE: dict[tuple[str, str, str, int], "CoreMeasurement"] = {}
+#: In-memory (L1) measurement cache: (design, workload, fidelity knobs)
+#: -> result.  Backed by the persistent disk layer (L2) of
+#: :mod:`repro.harness.cache`, so results survive across processes.
+_CACHE: dict[tuple[str, str, tuple], "CoreMeasurement"] = {}
 
 
 @dataclass(frozen=True)
@@ -61,15 +64,32 @@ def measure(
     """Measure (with caching) the core-level behaviour of one design."""
     if isinstance(design, str):
         design = get_design(design)
-    key = (design.name, workload.name, fidelity.name, fidelity.seed)
+    key = (design.name, workload.name, fidelity.cache_token())
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
+
+    l2 = disk_cache.get_cache()
+    dkey = None
+    if l2 is not None:
+        # Content-addressed on the *full* design/workload/fidelity
+        # parameter sets, so renamed-but-different configurations can
+        # never alias and parameter tweaks invalidate naturally.
+        dkey = l2.key(
+            "measure", design=design, workload=workload, fidelity=fidelity
+        )
+        stored = l2.get(dkey, expect=CoreMeasurement)
+        if stored is not None:
+            _CACHE[key] = stored
+            return stored
+
     if design.is_smt:
         result = _measure_smt(design, workload, fidelity)
     else:
         result = _measure_dyad(design, workload, fidelity)
     _CACHE[key] = result
+    if l2 is not None and dkey is not None:
+        l2.put(dkey, result)
     return result
 
 

@@ -1,0 +1,234 @@
+"""Parallel grid execution: fan (design x workload x load) cells out
+over a process pool.
+
+The sweep is chunked **by workload**: one chunk evaluates every
+(design, load) cell of a single workload inside one worker process, so
+the per-(design, workload) ``measure()`` results — the expensive core
+simulations — are computed exactly once per worker and reused by every
+load level of that chunk.  Chunk results are gathered in submission
+order, so the returned list is deterministically ordered exactly like
+the serial sweep (workload-major, then design, then load) and
+value-identical to it: every cell is a pure function of
+(design, workload, load, fidelity).
+
+Robustness: ``workers <= 1`` runs serially in-process; a pool that
+cannot be created or that dies mid-flight (``BrokenProcessPool``,
+pickling failures, fork refusals) degrades gracefully to the serial
+path instead of failing the sweep.  Workers inherit the parent's disk
+cache configuration, so everything they simulate lands in the shared
+persistent cache (:mod:`repro.harness.cache`) and warms later runs.
+
+:class:`GridRunStats` collects per-cell wall times and cache hit/miss
+counters for the ``--stats`` CLI summary
+(:func:`repro.harness.reporting.format_grid_stats`).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.core.designs import DESIGN_NAMES
+from repro.harness import cache as disk_cache
+from repro.harness.cache import CacheStats
+from repro.harness.fidelity import FAST, Fidelity
+from repro.workloads.microservices import (
+    STANDARD_LOADS,
+    Microservice,
+    standard_microservices,
+)
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Wall time of one grid cell evaluation."""
+
+    design_name: str
+    workload_name: str
+    load: float
+    wall_s: float
+
+
+@dataclass
+class GridRunStats:
+    """Observability for one grid run: timings and cache accounting."""
+
+    workers: int = 1
+    #: Wall time of the whole sweep, as seen by the caller.
+    wall_s: float = 0.0
+    #: Per-cell wall times (in result order).  In parallel runs these sum
+    #: to more than ``wall_s`` — that surplus is the parallel speedup.
+    timings: list[CellTiming] = field(default_factory=list)
+    #: Disk-cache counters accumulated by this run (all processes).
+    disk: CacheStats = field(default_factory=CacheStats)
+    #: Workload chunks that fell back to serial after a pool failure.
+    serial_fallbacks: int = 0
+
+    @property
+    def cells(self) -> int:
+        return len(self.timings)
+
+    @property
+    def cell_wall_s(self) -> float:
+        return sum(t.wall_s for t in self.timings)
+
+    def slowest(self, n: int = 3) -> list[CellTiming]:
+        return sorted(self.timings, key=lambda t: -t.wall_s)[:n]
+
+
+def run_grid_cells(
+    designs: list[str] | None = None,
+    workloads: list[Microservice] | None = None,
+    loads: tuple[float, ...] = STANDARD_LOADS,
+    fidelity: Fidelity = FAST,
+    workers: int = 1,
+    stats: GridRunStats | None = None,
+) -> list["CellResult"]:
+    """Evaluate the matrix, serially or over ``workers`` processes.
+
+    This is the engine behind
+    :func:`repro.harness.experiment.run_grid`; call that instead unless
+    you need the module directly.
+    """
+    design_names = [_design_name(d) for d in (designs or DESIGN_NAMES)]
+    workload_list = list(workloads or standard_microservices())
+    load_tuple = tuple(loads)
+    start = time.perf_counter()
+
+    if workers > 1 and len(workload_list) > 1:
+        outcome = _run_pooled(
+            design_names, workload_list, load_tuple, fidelity, workers, stats
+        )
+    else:
+        outcome = None
+    if outcome is None:
+        outcome = _run_serial(
+            design_names, workload_list, load_tuple, fidelity, stats
+        )
+
+    results: list[CellResult] = []
+    timings: list[CellTiming] = []
+    for chunk_results, chunk_timings in outcome:
+        results.extend(chunk_results)
+        timings.extend(chunk_timings)
+    if stats is not None:
+        stats.workers = max(1, workers)
+        stats.wall_s = time.perf_counter() - start
+        stats.timings.extend(timings)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Chunk evaluation (shared by the serial path and the pool workers)
+# ----------------------------------------------------------------------
+
+
+def _design_name(design) -> str:
+    return design if isinstance(design, str) else design.name
+
+
+def _evaluate_chunk(
+    design_names: list[str],
+    workload: Microservice,
+    loads: tuple[float, ...],
+    fidelity: Fidelity,
+) -> tuple[list["CellResult"], list[CellTiming]]:
+    """All (design, load) cells of one workload, with per-cell timing."""
+    from repro.harness.experiment import run_cell
+
+    results = []
+    timings = []
+    for design_name in design_names:
+        for load in loads:
+            cell_start = time.perf_counter()
+            results.append(run_cell(design_name, workload, load, fidelity))
+            timings.append(
+                CellTiming(
+                    design_name=design_name,
+                    workload_name=workload.name,
+                    load=load,
+                    wall_s=time.perf_counter() - cell_start,
+                )
+            )
+    return results, timings
+
+
+def _worker_chunk(
+    design_names: list[str],
+    workload: Microservice,
+    loads: tuple[float, ...],
+    fidelity: Fidelity,
+    cache_config: dict,
+):
+    """Pool-worker entry point: evaluate one chunk under the parent's
+    cache configuration and report the worker-side cache counters."""
+    disk_cache.configure(**cache_config)
+    before = disk_cache.stats_snapshot()
+    results, timings = _evaluate_chunk(design_names, workload, loads, fidelity)
+    delta = disk_cache.stats_snapshot().since(before)
+    return results, timings, delta
+
+
+def _run_serial(
+    design_names: list[str],
+    workloads: list[Microservice],
+    loads: tuple[float, ...],
+    fidelity: Fidelity,
+    stats: GridRunStats | None = None,
+):
+    before = disk_cache.stats_snapshot()
+    chunks = [
+        _evaluate_chunk(design_names, workload, loads, fidelity)
+        for workload in workloads
+    ]
+    if stats is not None:
+        stats.disk.merge(disk_cache.stats_snapshot().since(before))
+    return chunks
+
+
+def _run_pooled(
+    design_names: list[str],
+    workloads: list[Microservice],
+    loads: tuple[float, ...],
+    fidelity: Fidelity,
+    workers: int,
+    stats: GridRunStats | None,
+):
+    """Fan chunks out over a pool; ``None`` means "fall back to serial"."""
+    cache_config = disk_cache.current_config()
+    max_workers = min(workers, len(workloads))
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(
+                    _worker_chunk,
+                    design_names,
+                    workload,
+                    loads,
+                    fidelity,
+                    cache_config,
+                )
+                for workload in workloads
+            ]
+            # Gathered in submission order: deterministic result order.
+            chunks = []
+            for future in futures:
+                results, timings, delta = future.result()
+                chunks.append((results, timings))
+                if stats is not None:
+                    stats.disk.merge(delta)
+    except (BrokenProcessPool, pickle.PicklingError, OSError):
+        if stats is not None:
+            stats.serial_fallbacks += 1
+        return None
+    return chunks
+
+
+__all__ = [
+    "CellTiming",
+    "GridRunStats",
+    "run_grid_cells",
+]

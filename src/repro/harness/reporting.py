@@ -1,8 +1,11 @@
-"""Plain-text table rendering for experiment results."""
+"""Plain-text table rendering for experiment results and run stats."""
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:
+    from repro.harness.parallel import GridRunStats
 
 
 def format_table(
@@ -27,6 +30,35 @@ def format_table(
     for row in str_rows:
         lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def format_grid_stats(stats: "GridRunStats") -> str:
+    """The ``--stats`` summary: wall times, speedup, cache accounting."""
+    rows: list[list[object]] = [
+        ["workers", stats.workers],
+        ["cells", stats.cells],
+        ["wall time (s)", stats.wall_s],
+        ["cell time, summed (s)", stats.cell_wall_s],
+    ]
+    if stats.wall_s > 0 and stats.cells:
+        rows.append(["parallel/cache speedup", stats.cell_wall_s / stats.wall_s])
+    rows += [
+        ["disk cache hits", stats.disk.hits],
+        ["disk cache misses", stats.disk.misses],
+        ["disk cache writes", stats.disk.writes],
+        ["disk cache evictions", stats.disk.evictions],
+        ["disk cache hit rate", stats.disk.hit_rate],
+        ["serial fallbacks", stats.serial_fallbacks],
+    ]
+    for timing in stats.slowest(3):
+        rows.append(
+            [
+                f"slowest: {timing.design_name}/{timing.workload_name}"
+                f"@{timing.load:g}",
+                timing.wall_s,
+            ]
+        )
+    return format_table(["stat", "value"], rows, "Grid run stats")
 
 
 def _fmt(cell: object) -> str:

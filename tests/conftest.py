@@ -1,0 +1,28 @@
+"""Shared test configuration: isolate the persistent result cache.
+
+Unit tests must not read the developer's (or a previous revision's)
+real disk cache — a stale entry written by different simulator code
+could mask a regression.  Unless ``REPRO_CACHE_DIR`` is pinned in the
+environment (the CI workflow does this to reuse its cache across runs,
+keyed on the source tree), the disk cache is routed to a session-scoped
+temporary directory: warm/cold and cross-process cache behaviour stays
+fully exercised, but nothing leaks between sessions.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import cache
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_disk_cache(tmp_path_factory):
+    if os.environ.get("REPRO_CACHE_DIR"):
+        yield
+        return
+    cache.configure(root=tmp_path_factory.mktemp("repro-cache"))
+    yield
+    cache.reset()

@@ -1,0 +1,81 @@
+"""Golden snapshot of a reduced evaluation grid.
+
+``grid_small.json`` pins the exact numbers of a 2-design x 2-workload x
+2-load sweep at a deterministic reduced fidelity, so refactors of the
+harness/simulators cannot silently shift the Figure-5/6 trends.  The
+comparator in ``tests/harness/test_golden.py`` is tolerance-aware
+(tiny cross-platform floating-point wiggle is fine; real shifts fail).
+
+Regenerate after an *intentional* modelling change with::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+and review the JSON diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.harness.experiment import run_grid
+from repro.harness.fidelity import FAST
+
+GOLDEN_PATH = Path(__file__).parent / "grid_small.json"
+
+#: Reduced but representative: the baseline against the headline design,
+#: one stall-heavy and one stall-free workload, a low and a high load.
+GOLDEN_DESIGNS = ("baseline", "duplexity")
+GOLDEN_WORKLOAD_NAMES = ("McRouter", "WordStem")
+GOLDEN_LOADS = (0.3, 0.7)
+
+GOLDEN_FIDELITY = dataclasses.replace(
+    FAST,
+    name="golden",
+    num_requests=4,
+    warmup_requests=1,
+    filler_trace_instructions=4000,
+    prewarm_filler_cycles=15_000,
+    lender_instructions=12_000,
+    queue_requests=4000,
+    queue_warmup=400,
+)
+
+
+def golden_workloads():
+    from repro.workloads.microservices import mcrouter, wordstem
+
+    return [mcrouter(), wordstem()]
+
+
+def compute_cells():
+    """The golden sweep, always through the serial path."""
+    return run_grid(
+        designs=list(GOLDEN_DESIGNS),
+        workloads=golden_workloads(),
+        loads=GOLDEN_LOADS,
+        fidelity=GOLDEN_FIDELITY,
+        workers=1,
+    )
+
+
+def build_payload() -> dict:
+    return {
+        "schema": 1,
+        "fidelity": dataclasses.asdict(GOLDEN_FIDELITY),
+        "designs": list(GOLDEN_DESIGNS),
+        "workloads": list(GOLDEN_WORKLOAD_NAMES),
+        "loads": list(GOLDEN_LOADS),
+        "cells": [dataclasses.asdict(cell) for cell in compute_cells()],
+    }
+
+
+def write_golden(payload: dict | None = None) -> Path:
+    payload = payload if payload is not None else build_payload()
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return GOLDEN_PATH
+
+
+def load_golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())

@@ -1,0 +1,34 @@
+"""Regenerate the golden grid snapshot.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+Only regenerate after an intentional modelling change, and review the
+resulting JSON diff — a shifted golden is a shifted figure.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+for entry in (str(_REPO_ROOT), str(_REPO_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+
+def main() -> int:
+    from repro.harness import cache
+
+    cache.configure(enabled=False)  # goldens always come from fresh sims
+    from tests.golden import write_golden
+
+    path = write_golden()
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,10 @@ import math
 
 import pytest
 
+from repro.core.designs import get_design
+from repro.harness import cache as cache_mod
+from repro.harness import experiment as experiment_mod
+from repro.harness import metrics as metrics_mod
 from repro.harness.experiment import run_cell, run_grid
 from repro.workloads.microservices import mcrouter, wordstem
 from tests.harness.test_measure import TINY
@@ -100,6 +104,39 @@ class TestGrid:
         assert len(results) == 4
         keys = {(r.design_name, r.load) for r in results}
         assert ("duplexity", 0.3) in keys and ("baseline", 0.7) in keys
+
+    def test_tail_cache_distinguishes_sub_round_rates(self, monkeypatch):
+        # Regression: the tail cache used to key on round(rate, 4), which
+        # collided distinct iso-throughput rates at megahertz request
+        # rates (they can differ by far less than 1e-4 req/s).
+        calls = []
+
+        def fake_tail(service, rate, **kwargs):
+            calls.append(rate)
+            return rate * 1e-9
+
+        monkeypatch.setattr(metrics_mod, "tail_latency_s", fake_tail)
+        previous = cache_mod.current_config()
+        cache_mod.configure(enabled=False)
+        try:
+            experiment_mod.clear_tail_cache()
+            workload = mcrouter()
+            design = get_design("baseline")
+            service = metrics_mod.DesignServiceModel(
+                workload=workload, slowdown=1.0
+            )
+            rate_a = 1_000_000.00001
+            rate_b = 1_000_000.00002
+            assert round(rate_a, 4) == round(rate_b, 4)  # the old key aliased
+            tail_a = experiment_mod._tail(design, service, workload, rate_a, TINY)
+            tail_b = experiment_mod._tail(design, service, workload, rate_b, TINY)
+            assert len(calls) == 2 and tail_a != tail_b
+            # An exact repeat is still served from the cache.
+            experiment_mod._tail(design, service, workload, rate_a, TINY)
+            assert len(calls) == 2
+        finally:
+            cache_mod.configure(**previous)
+            experiment_mod.clear_tail_cache()
 
     def test_wordstem_idle_filling_still_helps(self):
         # Even with no stalls, Duplexity fills idle periods (Fig 5a's

@@ -1,0 +1,94 @@
+"""Golden regression: the reduced grid must reproduce its snapshot.
+
+A failure means a code change shifted the reproduced Figure-5/6 numbers.
+If the shift is intentional, regenerate with
+``PYTHONPATH=src python tests/golden/regen.py`` and review the diff.
+"""
+
+import math
+
+import pytest
+
+from repro.harness.experiment import clear_tail_cache
+from repro.harness.measure import clear_cache
+from tests.golden import GOLDEN_PATH, build_payload, load_golden
+
+#: Values are deterministic on one platform; the tolerance only absorbs
+#: cross-platform/numpy floating-point wiggle, not modelling changes.
+REL_TOL = 1e-6
+ABS_TOL = 1e-9
+
+_REGEN_HINT = (
+    "golden grid mismatch — if this change is intentional, regenerate via "
+    "`PYTHONPATH=src python tests/golden/regen.py` and review the diff"
+)
+
+
+def compare_cells(actual: list[dict], golden: list[dict]) -> list[str]:
+    """Tolerance-aware comparison; returns human-readable mismatches."""
+    problems = []
+    if len(actual) != len(golden):
+        return [f"cell count {len(actual)} != golden {len(golden)}"]
+    for i, (a, g) in enumerate(zip(actual, golden)):
+        if set(a) != set(g):
+            problems.append(f"cell {i}: field set changed: {set(a) ^ set(g)}")
+            continue
+        for field, want in g.items():
+            got = a[field]
+            if isinstance(want, float):
+                if not math.isclose(
+                    got, want, rel_tol=REL_TOL, abs_tol=ABS_TOL
+                ):
+                    problems.append(
+                        f"cell {i} ({g['design_name']}/{g['workload_name']}"
+                        f"@{g['load']}) field {field}: {got!r} != {want!r}"
+                    )
+            elif got != want:
+                problems.append(f"cell {i} field {field}: {got!r} != {want!r}")
+    return problems
+
+
+@pytest.fixture(scope="module")
+def payload():
+    # Golden numbers must come from this revision's simulators, not from
+    # a warm cache written by another revision.
+    clear_cache()
+    clear_tail_cache()
+    return build_payload()
+
+
+def test_golden_file_exists():
+    assert GOLDEN_PATH.exists(), (
+        "missing golden snapshot; generate it with "
+        "`PYTHONPATH=src python tests/golden/regen.py`"
+    )
+
+
+def test_golden_config_unchanged(payload):
+    golden = load_golden()
+    for key in ("schema", "fidelity", "designs", "workloads", "loads"):
+        assert payload[key] == golden[key], f"golden {key} drifted"
+
+
+def test_golden_cells_match(payload):
+    problems = compare_cells(payload["cells"], load_golden()["cells"])
+    assert not problems, _REGEN_HINT + "\n" + "\n".join(problems[:20])
+
+
+def test_comparator_catches_shifts():
+    golden = load_golden()
+    mutated = [dict(c) for c in golden["cells"]]
+    mutated[0]["tail_99_us"] *= 1.001  # well outside tolerance
+    assert compare_cells(mutated, golden["cells"])
+
+
+def test_comparator_tolerates_fp_wiggle():
+    golden = load_golden()
+    wiggled = [
+        {
+            k: (v * (1 + 1e-9) if isinstance(v, float) else v)
+            for k, v in c.items()
+        }
+        for c in golden["cells"]
+    ]
+    assert not compare_cells(wiggled, golden["cells"])

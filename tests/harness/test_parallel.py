@@ -1,0 +1,162 @@
+"""Parallel grid runner: serial equivalence, cache warmth, fallback."""
+
+import time
+
+import pytest
+
+from repro.harness import cache
+from repro.harness import parallel as parallel_mod
+from repro.harness.experiment import clear_tail_cache, run_grid
+from repro.harness.fidelity import FAST
+from repro.harness.measure import clear_cache
+from repro.harness.parallel import GridRunStats
+from repro.workloads.microservices import mcrouter, wordstem
+from tests.harness.test_measure import TINY
+
+SMALL = dict(
+    designs=["baseline", "duplexity"],
+    loads=(0.3, 0.7),
+    fidelity=TINY,
+)
+
+
+def small_workloads():
+    return [mcrouter(), wordstem()]
+
+
+@pytest.fixture
+def fresh_caches(tmp_path):
+    """Empty L1s and a private, empty disk L2; restores the session cache."""
+    previous = cache.current_config()
+    clear_cache()
+    clear_tail_cache()
+    cache.configure(root=tmp_path / "cache")
+    yield
+    clear_cache()
+    clear_tail_cache()
+    cache.configure(**previous)
+
+
+def _reset_l1():
+    clear_cache()
+    clear_tail_cache()
+
+
+class TestEquivalence:
+    def test_parallel_matches_serial_bit_identical(self, fresh_caches):
+        serial = run_grid(workloads=small_workloads(), **SMALL, workers=1)
+        _reset_l1()
+        cache.configure(enabled=False)  # force real parallel recomputation
+        pooled = run_grid(workloads=small_workloads(), **SMALL, workers=2)
+        assert pooled == serial  # same order, same exact values
+
+    def test_result_order_is_workload_design_load(self, fresh_caches):
+        results = run_grid(workloads=small_workloads(), **SMALL, workers=2)
+        expected = [
+            (w.name, d, load)
+            for w in small_workloads()
+            for d in SMALL["designs"]
+            for load in SMALL["loads"]
+        ]
+        assert [
+            (r.workload_name, r.design_name, r.load) for r in results
+        ] == expected
+
+    def test_warm_disk_cache_reproduces_cold_run(self, fresh_caches):
+        stats_cold = GridRunStats()
+        cold = run_grid(
+            workloads=small_workloads(), **SMALL, workers=1, stats=stats_cold
+        )
+        assert stats_cold.disk.hits == 0 and stats_cold.disk.writes > 0
+        _reset_l1()  # drop the in-memory L1s; keep the disk L2
+        stats_warm = GridRunStats()
+        warm = run_grid(
+            workloads=small_workloads(), **SMALL, workers=1, stats=stats_warm
+        )
+        assert warm == cold
+        assert stats_warm.disk.hits > 0 and stats_warm.disk.misses == 0
+
+    def test_parallel_workers_warm_the_shared_cache(self, fresh_caches):
+        pooled = run_grid(workloads=small_workloads(), **SMALL, workers=2)
+        _reset_l1()
+        stats = GridRunStats()
+        warm = run_grid(
+            workloads=small_workloads(), **SMALL, workers=1, stats=stats
+        )
+        assert warm == pooled
+        assert stats.disk.misses == 0  # everything the workers wrote is reused
+
+
+class TestFallback:
+    def test_pool_failure_falls_back_to_serial(self, fresh_caches, monkeypatch):
+        class DoomedPool:
+            def __init__(self, *args, **kwargs):
+                raise parallel_mod.BrokenProcessPool("pool died")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", DoomedPool)
+        stats = GridRunStats()
+        results = run_grid(
+            workloads=small_workloads(), **SMALL, workers=4, stats=stats
+        )
+        assert stats.serial_fallbacks == 1
+        assert len(results) == 8
+
+    def test_workers_one_never_touches_the_pool(self, fresh_caches, monkeypatch):
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("serial path must not create a pool")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", boom)
+        results = run_grid(workloads=small_workloads(), **SMALL, workers=1)
+        assert len(results) == 8
+
+    def test_worker_exception_propagates(self, fresh_caches):
+        with pytest.raises(ValueError):
+            run_grid(
+                designs=["baseline", "duplexity"],
+                workloads=small_workloads(),
+                loads=(0.3, 1.5),  # invalid load: a real error, not a fallback
+                fidelity=TINY,
+                workers=2,
+            )
+
+
+class TestStats:
+    def test_timings_cover_every_cell(self, fresh_caches):
+        stats = GridRunStats()
+        results = run_grid(
+            workloads=small_workloads(), **SMALL, workers=2, stats=stats
+        )
+        assert stats.cells == len(results) == 8
+        assert stats.wall_s > 0
+        assert all(t.wall_s >= 0 for t in stats.timings)
+        assert len(stats.slowest(3)) == 3
+        assert stats.slowest(1)[0].wall_s == max(t.wall_s for t in stats.timings)
+
+
+@pytest.mark.slow
+class TestFastMatrixAcceptance:
+    """The ISSUE acceptance benchmark on the full standard FAST matrix."""
+
+    def test_parallel_equals_serial_and_warm_cache_is_3x(self, tmp_path):
+        previous = cache.current_config()
+        try:
+            _reset_l1()
+            cache.configure(root=tmp_path / "serial-cache")
+            t0 = time.perf_counter()
+            serial = run_grid(fidelity=FAST, workers=1)
+            cold_serial_s = time.perf_counter() - t0
+
+            _reset_l1()
+            cache.configure(root=tmp_path / "parallel-cache")
+            pooled = run_grid(fidelity=FAST, workers=4)
+            assert pooled == serial
+
+            _reset_l1()  # keep the parallel run's disk cache: warm L2
+            t0 = time.perf_counter()
+            warm = run_grid(fidelity=FAST, workers=1)
+            warm_s = time.perf_counter() - t0
+            assert warm == serial
+            assert warm_s < cold_serial_s / 3
+        finally:
+            _reset_l1()
+            cache.configure(**previous)

@@ -1,0 +1,153 @@
+"""Property-based (seeded fuzz) tests for percentile statistics.
+
+Hypothesis is an optional dev dependency and may be absent in minimal
+environments, so these properties are exercised with seeded numpy
+fuzzing: deterministic, reproducible draws over a wide case space.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.harness.metrics import tail_latency_s
+from repro.queueing.stats import (
+    batch_means_mean,
+    batch_means_percentile,
+    percentile,
+)
+
+FUZZ_SEEDS = list(range(25))
+
+
+def _random_samples(rng: np.random.Generator) -> np.ndarray:
+    n = int(rng.integers(1, 400))
+    kind = rng.integers(0, 3)
+    if kind == 0:
+        return rng.exponential(scale=float(rng.uniform(0.1, 10.0)), size=n)
+    if kind == 1:
+        return rng.lognormal(mean=0.0, sigma=1.5, size=n)
+    return rng.uniform(0.0, float(rng.uniform(0.5, 100.0)), size=n)
+
+
+class TestPercentileProperties:
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_monotone_in_p_and_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        samples = _random_samples(rng)
+        qs = np.sort(rng.uniform(0.0, 1.0, size=8))
+        values = [percentile(samples, float(q)) for q in qs]
+        assert all(a <= b + 1e-15 for a, b in zip(values, values[1:]))
+        for v in values:
+            assert samples.min() <= v <= samples.max()
+            assert v >= 0.0  # all generators draw non-negative samples
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS[:10])
+    def test_all_equal_samples_hit_the_value(self, seed):
+        rng = np.random.default_rng(seed)
+        value = float(rng.uniform(0.0, 50.0))
+        samples = np.full(int(rng.integers(1, 100)), value)
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert percentile(samples, q) == value
+
+    def test_zero_samples_raise(self):
+        with pytest.raises(ValueError):
+            percentile(np.array([]), 0.99)
+
+    def test_quantile_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile(np.array([1.0]), 1.5)
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS[:10])
+    def test_order_statistic_is_an_observed_value(self, seed):
+        rng = np.random.default_rng(seed)
+        samples = _random_samples(rng)
+        q = float(rng.uniform(0.0, 1.0))
+        assert percentile(samples, q) in samples
+
+
+class TestBatchMeansProperties:
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS[:10])
+    def test_estimate_bounded_and_ci_non_negative(self, seed):
+        rng = np.random.default_rng(seed)
+        samples = rng.exponential(size=int(rng.integers(40, 500)))
+        est = batch_means_percentile(samples, 0.9, batches=10)
+        assert samples.min() <= est.value <= samples.max()
+        assert est.half_width >= 0.0
+        mean_est = batch_means_mean(samples, batches=10)
+        assert samples.min() <= mean_est.value <= samples.max()
+
+    def test_all_equal_samples_converge_immediately(self):
+        samples = np.full(100, 3.5)
+        est = batch_means_percentile(samples, 0.99, batches=10)
+        assert est.value == 3.5
+        assert est.half_width == 0.0
+        assert est.converged()
+
+
+class _ConstantService:
+    """A degenerate service model: every request takes ``value`` seconds."""
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def service_time(self, rng, idle_before: float) -> float:
+        return self.value
+
+    def mean_service_time(self) -> float:
+        return self.value
+
+
+class TestTailLatencyProperties:
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS[:8])
+    def test_non_negative_and_finite(self, seed):
+        rng = np.random.default_rng(seed)
+        service = _ConstantService(float(rng.uniform(1e-6, 1e-3)))
+        rate = float(rng.uniform(0.1, 0.9)) / service.mean_service_time()
+        tail = tail_latency_s(
+            service, rate, num_requests=600, warmup=60, seed=seed
+        )
+        assert math.isfinite(tail)
+        assert tail >= service.value  # sojourn includes the service itself
+
+    @pytest.mark.parametrize("warmup", [0, 1, 299])
+    def test_warmup_trimming_edge_cases(self, warmup):
+        # With deterministic service at near-zero load (no request ever
+        # queues) the tail is warmup-invariant: trimming 0, 1, or
+        # all-but-one samples must neither crash nor shift the reported
+        # percentile.
+        service = _ConstantService(1e-4)
+        tail = tail_latency_s(
+            service, 1.0, num_requests=300, warmup=warmup, seed=3
+        )
+        assert tail == pytest.approx(1e-4)
+
+    def test_warmup_must_leave_samples(self):
+        service = _ConstantService(1e-4)
+        with pytest.raises(ValueError):
+            tail_latency_s(service, 1.0, num_requests=100, warmup=100, seed=0)
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS[:6])
+    def test_monotone_in_quantile(self, seed):
+        rng = np.random.default_rng(seed)
+        service = _ConstantService(float(rng.uniform(1e-6, 1e-4)))
+        rate = 0.7 / service.mean_service_time()
+        tails = [
+            tail_latency_s(
+                service,
+                rate,
+                num_requests=800,
+                warmup=80,
+                quantile=q,
+                seed=seed,
+            )
+            for q in (0.5, 0.9, 0.99)
+        ]
+        assert tails[0] <= tails[1] <= tails[2]
+
+    def test_unstable_rate_is_clamped_not_fatal(self):
+        service = _ConstantService(1e-3)
+        tail = tail_latency_s(
+            service, 5000.0, num_requests=400, warmup=40, seed=0
+        )
+        assert math.isfinite(tail) and tail > 0
