@@ -1,7 +1,9 @@
 """Entry point: ``python -m repro <target>``.
 
-See :mod:`repro.cli` for targets and the ``--workers`` / ``--stats`` /
-``--cache-dir`` / ``--no-cache`` flags of the parallel, cached runner.
+See :mod:`repro.cli` for targets — including ``validate``, the
+invariant sweep of :mod:`repro.validate` — and the ``--workers`` /
+``--stats`` / ``--cache-dir`` / ``--no-cache`` flags of the parallel,
+cached runner.
 """
 
 import sys

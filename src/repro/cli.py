@@ -7,6 +7,14 @@ Examples::
     python -m repro fig5a --fidelity fast --workload mcrouter
     python -m repro fig5d --workers 4 --stats
     python -m repro cell duplexity mcrouter 0.5
+    python -m repro validate --fidelity fast
+
+``validate`` re-simulates the evaluation matrix with both cache layers
+disabled and checks every intermediate result against the invariant
+catalogue of :mod:`repro.validate` (Little's law, work conservation,
+IPC/utilization bounds, baseline-ratio and tail-monotonicity grid
+laws), printing a structured violation report; the exit status is
+non-zero when any invariant fails.
 
 Grid figures accept ``--workers N`` to fan the sweep out over a process
 pool and ``--stats`` to print per-cell timing and cache-hit accounting.
@@ -21,11 +29,16 @@ import argparse
 import sys
 import time
 
+from repro import validate as validation
 from repro.harness import cache, figures
 from repro.harness.experiment import run_cell
 from repro.harness.fidelity import BENCH, FAST, FULL, Fidelity
 from repro.harness.parallel import CellTiming, GridRunStats
-from repro.harness.reporting import format_grid_stats, format_table
+from repro.harness.reporting import (
+    format_grid_stats,
+    format_table,
+    format_violations,
+)
 from repro.workloads.microservices import standard_microservices
 
 FIDELITIES: dict[str, Fidelity] = {"fast": FAST, "bench": BENCH, "full": FULL}
@@ -113,7 +126,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "target",
-        help="table1|table2|fig1a|fig1b|fig1c|fig2a|fig2b|fig5a..fig5f|fig6|cell",
+        help=(
+            "table1|table2|fig1a|fig1b|fig1c|fig2a|fig2b|fig5a..fig5f|"
+            "fig6|cell|validate"
+        ),
     )
     parser.add_argument("args", nargs="*", help="for `cell`: DESIGN WORKLOAD LOAD")
     parser.add_argument("--fidelity", choices=sorted(FIDELITIES), default="fast")
@@ -146,6 +162,7 @@ def main(argv: list[str] | None = None) -> int:
         cache.configure(root=options.cache_dir)
 
     run_stats = GridRunStats(workers=max(1, options.workers))
+    exit_code = 0
 
     target = options.target.lower()
     if target == "table1":
@@ -166,6 +183,8 @@ def main(argv: list[str] | None = None) -> int:
         _print_fig2a(fidelity)
     elif target == "fig2b":
         _print_fig2b()
+    elif target == "validate":
+        exit_code = _run_validate(options, fidelity, run_stats)
     elif target in GRID_FIGURES:
         grid = figures.evaluation_grid(
             fidelity=fidelity,
@@ -209,7 +228,40 @@ def main(argv: list[str] | None = None) -> int:
     if options.stats:
         print()
         print(format_grid_stats(run_stats))
-    return 0
+    return exit_code
+
+
+def _run_validate(options, fidelity: Fidelity, run_stats: GridRunStats) -> int:
+    """Sweep the matrix from fresh simulations and report violations.
+
+    Cached values bypass the compute-time validation hooks in
+    ``measure()`` and ``_tail()``, so both cache layers are disabled and
+    the in-memory caches cleared: every number in the report was
+    re-derived and re-checked by this invocation.  The sweep runs
+    serially — the violation collector is process-local, so a worker
+    pool would silently drop worker-side findings.
+    """
+    from repro.harness.experiment import clear_tail_cache, run_grid
+    from repro.harness.measure import clear_cache as clear_measure_cache
+
+    if options.workers > 1:
+        print("validate: ignoring --workers (the sweep validates serially)")
+    cache.configure(enabled=False)
+    clear_measure_cache()
+    clear_tail_cache()
+    with validation.collecting() as found:
+        cells = run_grid(
+            fidelity=fidelity,
+            workloads=_workloads(options.workload),
+            workers=1,
+            stats=run_stats,
+        )
+    print(
+        f"validated {len(cells)} cells"
+        f" ({run_stats.cells} simulated, fidelity {fidelity.name!r})"
+    )
+    print(format_violations(found))
+    return 1 if found else 0
 
 
 if __name__ == "__main__":

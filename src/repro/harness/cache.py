@@ -53,7 +53,9 @@ import numpy as np
 #: Bump whenever a simulator/model change alters cached values without a
 #: corresponding parameter change.  Old entries become unreachable (their
 #: keys no longer match) and age out through eviction.
-SCHEMA_VERSION = 1
+#: v2: M/G/1 warmup trimming made consistent (busy/duration/idle windows)
+#: and FanOutMax mean estimation re-budgeted — queue-derived values moved.
+SCHEMA_VERSION = 2
 
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 

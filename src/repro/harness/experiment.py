@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro import validate
 from repro.core.designs import Design, get_design
 from repro.harness import cache as disk_cache
 from repro.harness import metrics
@@ -212,6 +213,13 @@ def _tail(
         num_requests=fidelity.queue_requests,
         warmup=fidelity.queue_warmup,
         seed=fidelity.seed,
+    )
+    # The queueing run itself was validated inside tail_latency_s; this
+    # guards the extracted scalar before it reaches either cache layer.
+    validate.report(
+        validate.check_tail_value(
+            tail, subject=f"tail:{design.name}/{workload.name}"
+        )
     )
     _TAIL_CACHE[key] = tail
     if l2 is not None and dkey is not None:

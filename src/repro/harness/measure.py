@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import validate
 from repro.core.designs import Design, get_design
 from repro.core.server import Dyad
 from repro.harness import cache as disk_cache
@@ -87,6 +88,12 @@ def measure(
         result = _measure_smt(design, workload, fidelity)
     else:
         result = _measure_dyad(design, workload, fidelity)
+    # Invariant check *before* the result reaches either cache layer: in
+    # strict mode a violating measurement raises here and is never
+    # memoized or persisted.
+    validate.dispatch(
+        result, subject=f"measure:{design.name}/{workload.name}"
+    )
     _CACHE[key] = result
     if l2 is not None and dkey is not None:
         l2.put(dkey, result)

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import validate
 from repro.common.units import seconds_from_us
 from repro.core.designs import Design, get_design
 from repro.harness.measure import CoreMeasurement
@@ -310,6 +311,9 @@ def tail_latency_s(
         arrival_rate = SATURATION_RHO / mean
     sim = MG1Simulator(arrival_rate, service, seed=seed)
     result = sim.run(num_requests, warmup=warmup)
+    # Conservation check (Little's law, utilization vs rho) on the raw
+    # queueing run, before its percentile is extracted and cached.
+    validate.dispatch(result, subject=f"queue:rate={arrival_rate:g}")
     return result.tail_latency(quantile)
 
 

@@ -31,6 +31,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
+from repro import validate
 from repro.core.designs import DESIGN_NAMES
 from repro.harness import cache as disk_cache
 from repro.harness.cache import CacheStats
@@ -114,6 +115,11 @@ def run_grid_cells(
     for chunk_results, chunk_timings in outcome:
         results.extend(chunk_results)
         timings.extend(chunk_timings)
+    # Per-cell range invariants plus the cross-cell grid laws (baseline
+    # ratios exactly 1.0, tails monotone in load) over the whole sweep —
+    # this also covers cells served from the caches, which the
+    # measure()/_tail() hooks only validate at compute time.
+    validate.dispatch(results, subject="grid")
     if stats is not None:
         stats.workers = max(1, workers)
         stats.wall_s = time.perf_counter() - start

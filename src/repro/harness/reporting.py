@@ -6,6 +6,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 if TYPE_CHECKING:
     from repro.harness.parallel import GridRunStats
+    from repro.validate import Violation
 
 
 def format_table(
@@ -59,6 +60,28 @@ def format_grid_stats(stats: "GridRunStats") -> str:
             ]
         )
     return format_table(["stat", "value"], rows, "Grid run stats")
+
+
+def format_violations(violations: Sequence["Violation"]) -> str:
+    """The ``python -m repro validate`` report: one row per violation."""
+    if not violations:
+        return "0 invariant violations"
+    rows = [
+        [
+            v.invariant,
+            v.subject,
+            "-" if v.observed is None else v.observed,
+            "-" if v.expected is None else v.expected,
+            v.message,
+        ]
+        for v in violations
+    ]
+    title = f"{len(violations)} invariant violation(s)"
+    return format_table(
+        ["invariant", "subject", "observed", "expected", "detail"],
+        rows,
+        title,
+    )
 
 
 def _fmt(cell: object) -> str:

@@ -86,13 +86,24 @@ class RestartPenaltyService:
 
 @dataclass(frozen=True)
 class QueueResult:
-    """Outcome of one M/G/1 simulation run.  Times in seconds."""
+    """Outcome of one M/G/1 simulation run.  Times in seconds.
+
+    All fields describe the same *measurement window*: the post-warmup
+    span from the first retained arrival to the last departure.  Waiting
+    and service times, idle periods, busy time and duration are trimmed
+    consistently, so ``utilization`` and the idle-period CDF agree with
+    the sojourn statistics about which requests are being measured.
+    """
 
     wait_times: np.ndarray
     service_times: np.ndarray
     idle_periods: np.ndarray
     busy_time: float
     duration: float
+    #: Offered Poisson arrival rate (requests/s); 0.0 when unknown (e.g.
+    #: a hand-built result).  Lets :mod:`repro.validate` test Little's
+    #: law and utilization-vs-rho conservation against the offered load.
+    arrival_rate: float = 0.0
 
     @property
     def sojourn_times(self) -> np.ndarray:
@@ -148,7 +159,18 @@ class MG1Simulator:
 
     def run(self, num_requests: int, warmup: int = 0) -> QueueResult:
         """Simulate ``num_requests`` arrivals; drop the first ``warmup``
-        from the reported statistics (they still shape queue state)."""
+        from the reported statistics (they still shape queue state).
+
+        Every reported field covers the same measurement window,
+        ``[arrival of request warmup, last departure]``: warmup requests
+        shape the queue state carried into the window (their residual
+        backlog is served — and counted as busy time — inside it), but
+        their waiting/service times, the idle periods that preceded
+        them, and the wall time they occupied are all excluded.
+        Previously only ``wait_times``/``service_times`` were trimmed,
+        so ``utilization`` and the Fig 1(b) idle-period CDF mixed warmup
+        transients into otherwise warmup-free statistics.
+        """
         if num_requests <= 0:
             raise ValueError("need a positive number of requests")
         if not 0 <= warmup < num_requests:
@@ -160,9 +182,12 @@ class MG1Simulator:
         services = np.empty(num_requests)
         idles: list[float] = []
 
+        arrival = 0.0  # arrival epoch of request n (first gap included)
+        window_start = 0.0
         backlog = 0.0  # W_n + S_n carried into the next arrival
         for n in range(num_requests):
             gap = inter_arrivals[n]
+            arrival += gap
             residual = backlog - gap
             if residual >= 0:
                 wait = residual
@@ -170,8 +195,14 @@ class MG1Simulator:
             else:
                 wait = 0.0
                 idle_before = -residual
-                if n > 0:  # idle before the very first arrival is artificial
+                # An idle period is retained only if it ends at a
+                # retained arrival strictly inside the window (the idle
+                # preceding request ``warmup`` lies before the window;
+                # the one before the very first arrival is artificial).
+                if n > warmup:
                     idles.append(idle_before)
+            if n == warmup:
+                window_start = arrival
             service = self.service.service_time(rng, idle_before)
             if service < 0:
                 raise ValueError("service model produced a negative time")
@@ -179,12 +210,17 @@ class MG1Simulator:
             services[n] = service
             backlog = wait + service
 
-        duration = float(inter_arrivals.sum() + backlog)
-        busy = float(services.sum())
+        # Window: first retained arrival -> last departure.  The server
+        # spends the first waits[warmup] seconds of it clearing the
+        # residual warmup backlog, then serves every retained request.
+        last_departure = arrival + backlog
+        duration = float(last_departure - window_start)
+        busy = float(waits[warmup] + services[warmup:].sum())
         return QueueResult(
             wait_times=waits[warmup:],
             service_times=services[warmup:],
             idle_periods=np.asarray(idles, dtype=float),
             busy_time=busy,
             duration=duration,
+            arrival_rate=self.arrival_rate,
         )

@@ -16,6 +16,40 @@ import numpy as np
 #: Two-sided z value for a 95% confidence interval.
 Z_95 = 1.959963984540054
 
+#: Two-sided 97.5% Student-t critical values for df = 1..29.  Batch-means
+#: CIs are built from few batch statistics, where the normal quantile
+#: understates the interval; from df >= 30 the difference is < 2.5%.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
+    13: 2.160, 14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101,
+    19: 2.093, 20: 2.086, 21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064,
+    25: 2.060, 26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045,
+}
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95% critical value of Student's t with ``df`` degrees of
+    freedom (falls back to the normal quantile at df >= 30)."""
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    return _T_95[df] if df < 30 else Z_95
+
+
+def min_batch_size(q: float) -> int:
+    """Smallest chunk size for which the ``q``-quantile order statistic
+    is not forced to the chunk extreme.
+
+    A chunk of fewer than ``1/(1-q)`` samples makes the inverted-CDF
+    ``q``-quantile the chunk *maximum*, turning a batch-means percentile
+    into a biased mean-of-maxima with an artificially tight CI.
+    """
+    if not 0 <= q <= 1:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if q >= 1.0:
+        return 1
+    return max(1, math.ceil(1.0 / (1.0 - q)))
+
 
 def percentile(samples: np.ndarray, q: float) -> float:
     """The ``q``-quantile (0..1) using the inverted-CDF definition.
@@ -56,18 +90,25 @@ def batch_means_percentile(
     """Percentile estimate with a batch-means 95% CI.
 
     Splits ``samples`` (in arrival order, so batches approximate
-    independent segments) into ``batches`` chunks, computes the percentile
-    per chunk, and derives a t-free normal CI over the batch statistics.
+    independent segments) into at most ``batches`` chunks, computes the
+    percentile per chunk, and derives a Student-t CI over the batch
+    statistics.
+
+    Tail quantiles need large chunks: below ``1/(1-q)`` samples per
+    chunk the per-chunk percentile degenerates to the chunk maximum,
+    biasing the estimate and shrinking the CI.  The batch count is
+    reduced (never below 2) until each chunk holds at least
+    :func:`min_batch_size` samples; the returned
+    :attr:`Estimate.batches` reports the count actually used.
     """
     if batches < 2:
         raise ValueError("need at least 2 batches for a CI")
     if samples.size < batches:
         raise ValueError(f"need >= {batches} samples, got {samples.size}")
-    chunks = np.array_split(samples, batches)
+    effective = min(batches, max(2, samples.size // min_batch_size(q)))
+    chunks = np.array_split(samples, effective)
     stats = np.array([percentile(chunk, q) for chunk in chunks])
-    mean = float(stats.mean())
-    stderr = float(stats.std(ddof=1) / math.sqrt(batches))
-    return Estimate(value=mean, half_width=Z_95 * stderr, batches=batches)
+    return _estimate_from_batch_stats(stats)
 
 
 def batch_means_mean(samples: np.ndarray, batches: int = 20) -> Estimate:
@@ -78,9 +119,18 @@ def batch_means_mean(samples: np.ndarray, batches: int = 20) -> Estimate:
         raise ValueError(f"need >= {batches} samples, got {samples.size}")
     chunks = np.array_split(samples, batches)
     stats = np.array([float(chunk.mean()) for chunk in chunks])
+    return _estimate_from_batch_stats(stats)
+
+
+def _estimate_from_batch_stats(stats: np.ndarray) -> Estimate:
+    batches = int(stats.size)
     mean = float(stats.mean())
     stderr = float(stats.std(ddof=1) / math.sqrt(batches))
-    return Estimate(value=mean, half_width=Z_95 * stderr, batches=batches)
+    return Estimate(
+        value=mean,
+        half_width=t_critical_95(batches - 1) * stderr,
+        batches=batches,
+    )
 
 
 def simulate_until_converged(
@@ -96,16 +146,29 @@ def simulate_until_converged(
     ``run_segment(i)`` produces a sample array for segment ``i``;
     ``extract`` maps it to the samples of interest.  Returns the final
     estimate and all pooled samples.
+
+    Pooling uses a single amortized-doubling buffer: each segment is
+    appended in place rather than re-concatenating every prior segment
+    per convergence check (which made the loop quadratic in the number
+    of pooled samples).
     """
-    pooled: list[np.ndarray] = []
+    buf = np.empty(0, dtype=float)
+    total = 0
     estimate: Estimate | None = None
     for i in range(max_segments):
-        pooled.append(np.asarray(extract(run_segment(i)), dtype=float))
+        segment = np.asarray(extract(run_segment(i)), dtype=float)
+        need = total + segment.size
+        if need > buf.size:
+            grown = np.empty(max(need, 2 * buf.size), dtype=float)
+            grown[:total] = buf[:total]
+            buf = grown
+        buf[total:need] = segment
+        total = need
         if i + 1 < min_segments:
             continue
-        samples = np.concatenate(pooled)
+        samples = buf[:total]
         estimate = batch_means_percentile(samples, q, batches=min(20, i + 1))
         if estimate.converged(target_relative_error):
-            return estimate, samples
+            return estimate, samples.copy()
     assert estimate is not None
-    return estimate, np.concatenate(pooled)
+    return estimate, buf[:total].copy()

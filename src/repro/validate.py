@@ -1,0 +1,630 @@
+"""Runtime invariant- and conservation-law checking for result types.
+
+The reproduction's headline numbers (Fig 5d/5e tails, Fig 5a
+utilization) flow through several simulation layers and are frozen into
+a persistent result cache and golden snapshots — a silent statistics bug
+gets served forever.  This module is the safety net: every result type
+can be self-checked against the physical laws it must satisfy, the same
+way BigHouse-style queueing results are only trustworthy if they conserve
+work and obey Little's law.
+
+Invariant catalogue
+-------------------
+
+:class:`~repro.queueing.mg1.QueueResult`
+    * busy time <= measurement-window duration; utilization in [0, 1]
+    * waiting/service times non-negative, idle periods positive, all finite
+    * Little's law: time-average jobs in system ``L = lambda * W`` within
+      the batch-means CI of the mean sojourn time (plus an
+      ``O(1/sqrt(n))`` allowance for the realized-vs-offered rate)
+    * utilization ~= effective rho (``lambda * E[S]``) within the same
+      statistical tolerance
+
+:class:`~repro.harness.measure.CoreMeasurement`
+    * IPCs bounded by issue width (master <= ``width``; filler/lender by
+      the 8-way HSMT datapath), saturated IPC <= compute IPC
+    * utilization and stall fractions in [0, 1]; frequency positive;
+      overhead cycles non-negative; everything finite
+
+:class:`~repro.harness.experiment.CellResult` (single cell and grids)
+    * load in (0, 1); utilization in [0, 1]; slowdown and service
+      inflation >= 1; tails and ratio metrics positive and finite
+    * grids: every baseline cell's ``*_vs_baseline`` ratio == 1.0, and
+      ``tail_99_us`` monotone non-decreasing in load per
+      (design, workload)
+
+Modes
+-----
+
+``REPRO_VALIDATE`` selects what :func:`dispatch` does with violations
+(:func:`set_mode` overrides the environment programmatically):
+
+``off``
+    (default) results are not checked;
+``warn``
+    violations are reported as :class:`ValidationWarning` warnings;
+``strict``
+    violations raise :class:`ValidationError` — in the harness this
+    happens *before* the offending value is published to the L2 disk
+    cache, so a bad number can never be served from cache later.
+
+:func:`collecting` gathers violations into a report instead (used by
+``python -m repro validate``, which sweeps the evaluation matrix and
+prints every violation rather than stopping at the first).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+#: Widest in-order HSMT datapath in the design space (lender-core and
+#: morphed master-core fill mode) — upper bound for filler/lender IPCs.
+MAX_BATCH_IPC = 8.0
+
+#: Stochastic (CI-based) checks need enough post-warmup samples to be
+#: meaningful; shorter runs only get the hard structural checks.
+MIN_STOCHASTIC_SAMPLES = 500
+
+#: Sampling-noise allowance, in units of 1/sqrt(n), for conservation
+#: checks that compare a realized rate against the offered rate.
+RATE_SLACK_SIGMAS = 6.0
+
+
+class Mode(str, Enum):
+    """What :func:`dispatch` does with violations."""
+
+    OFF = "off"
+    WARN = "warn"
+    STRICT = "strict"
+
+
+class ValidationWarning(UserWarning):
+    """Emitted in ``warn`` mode for each invariant violation."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant, with the numbers that failed it."""
+
+    invariant: str
+    subject: str
+    message: str
+    observed: float | None = None
+    expected: float | None = None
+
+    def __str__(self) -> str:
+        detail = ""
+        if self.observed is not None or self.expected is not None:
+            detail = (
+                f" (observed {_fmt(self.observed)},"
+                f" expected {_fmt(self.expected)})"
+            )
+        return f"[{self.invariant}] {self.subject}: {self.message}{detail}"
+
+
+def _fmt(value: float | None) -> str:
+    return "-" if value is None else f"{value:.6g}"
+
+
+class ValidationError(AssertionError):
+    """Raised in ``strict`` mode; carries the structured violations."""
+
+    def __init__(self, violations: Sequence[Violation]):
+        self.violations = list(violations)
+        lines = "\n".join(f"  {v}" for v in self.violations)
+        super().__init__(
+            f"{len(self.violations)} invariant violation(s):\n{lines}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Mode selection
+# ----------------------------------------------------------------------
+
+_mode_override: Mode | None = None
+
+
+def get_mode() -> Mode:
+    """The active validation mode (override, else ``REPRO_VALIDATE``)."""
+    if _mode_override is not None:
+        return _mode_override
+    raw = os.environ.get("REPRO_VALIDATE", "").strip().lower()
+    if not raw:
+        return Mode.OFF
+    try:
+        return Mode(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_VALIDATE must be one of"
+            f" {[m.value for m in Mode]}, got {raw!r}"
+        ) from None
+
+
+def set_mode(mode: Mode | str | None) -> None:
+    """Override the environment-selected mode (``None`` restores it)."""
+    global _mode_override
+    _mode_override = None if mode is None else Mode(mode)
+
+
+# ----------------------------------------------------------------------
+# Dispatch: mode-aware reporting around check()
+# ----------------------------------------------------------------------
+
+_collector: list[Violation] | None = None
+
+
+@contextmanager
+def collecting() -> Iterator[list[Violation]]:
+    """Collect violations from every nested :func:`dispatch` call.
+
+    While active, results are always checked (even in ``off`` mode) and
+    violations accumulate in the yielded list instead of warning or
+    raising — the report mode of ``python -m repro validate``.
+    """
+    global _collector
+    previous = _collector
+    found: list[Violation] = []
+    _collector = found
+    try:
+        yield found
+    finally:
+        _collector = previous
+
+
+def dispatch(result: Any, subject: str = "") -> list[Violation]:
+    """Check ``result`` and report violations per the active mode.
+
+    Returns the violations (empty when the mode is ``off`` and no
+    collector is active — the result is then not checked at all).
+    """
+    if _collector is None and get_mode() is Mode.OFF:
+        return []
+    return report(check(result, subject=subject))
+
+
+def report(violations: Sequence[Violation]) -> list[Violation]:
+    """Route already-computed violations per the active mode."""
+    violations = list(violations)
+    if _collector is not None:
+        _collector.extend(violations)
+        return violations
+    mode = get_mode()
+    if not violations or mode is Mode.OFF:
+        return violations
+    if mode is Mode.STRICT:
+        raise ValidationError(violations)
+    for violation in violations:
+        warnings.warn(str(violation), ValidationWarning, stacklevel=3)
+    return violations
+
+
+# ----------------------------------------------------------------------
+# check(): type dispatch
+# ----------------------------------------------------------------------
+
+
+def check(result: Any, subject: str = "") -> list[Violation]:
+    """All invariant violations of ``result`` (empty = clean).
+
+    Accepts a :class:`~repro.queueing.mg1.QueueResult`, a
+    :class:`~repro.harness.measure.CoreMeasurement`, a
+    :class:`~repro.harness.experiment.CellResult`, or a list/tuple of
+    cells (checked per cell *and* against the cross-cell grid
+    invariants).
+    """
+    from repro.harness.experiment import CellResult
+    from repro.harness.measure import CoreMeasurement
+    from repro.queueing.mg1 import QueueResult
+
+    if isinstance(result, QueueResult):
+        return check_queue_result(result, subject=subject or "QueueResult")
+    if isinstance(result, CoreMeasurement):
+        return check_core_measurement(
+            result,
+            subject=subject
+            or f"measure:{result.design_name}/{result.workload_name}",
+        )
+    if isinstance(result, CellResult):
+        return check_cell(result, subject=subject or _cell_subject(result))
+    if isinstance(result, (list, tuple)):
+        if not all(isinstance(cell, CellResult) for cell in result):
+            raise TypeError(
+                "check() accepts a sequence only if every element is a"
+                " CellResult"
+            )
+        return check_grid(result, subject=subject or "grid")
+    raise TypeError(f"no invariants registered for {type(result).__name__}")
+
+
+def _cell_subject(cell) -> str:
+    return f"cell:{cell.design_name}/{cell.workload_name}@{cell.load:g}"
+
+
+# ----------------------------------------------------------------------
+# QueueResult
+# ----------------------------------------------------------------------
+
+
+def check_queue_result(result, subject: str = "QueueResult") -> list[Violation]:
+    """Structural and conservation invariants of one M/G/1 run."""
+    out: list[Violation] = []
+
+    def bad(invariant, message, observed=None, expected=None):
+        out.append(Violation(invariant, subject, message, observed, expected))
+
+    finite_fields = {
+        "busy_time": result.busy_time,
+        "duration": result.duration,
+        "arrival_rate": result.arrival_rate,
+    }
+    for name, value in finite_fields.items():
+        if not math.isfinite(value):
+            bad("finite", f"{name} is not finite", observed=value)
+    for name, array in (
+        ("wait_times", result.wait_times),
+        ("service_times", result.service_times),
+        ("idle_periods", result.idle_periods),
+    ):
+        if array.size and not np.isfinite(array).all():
+            bad("finite", f"{name} contains non-finite entries")
+
+    if out:  # arithmetic below is meaningless on non-finite inputs
+        return out
+
+    if result.duration <= 0:
+        bad("window", "duration must be positive", observed=result.duration)
+    if result.busy_time < 0:
+        bad("window", "busy time is negative", observed=result.busy_time)
+    elif result.busy_time > result.duration * (1 + 1e-9) + 1e-12:
+        bad(
+            "busy-le-duration",
+            "server busy longer than the measurement window",
+            observed=result.busy_time,
+            expected=result.duration,
+        )
+    if result.wait_times.size and result.wait_times.min() < 0:
+        bad(
+            "non-negative",
+            "negative waiting time",
+            observed=float(result.wait_times.min()),
+            expected=0.0,
+        )
+    if result.service_times.size and result.service_times.min() < 0:
+        bad(
+            "non-negative",
+            "negative service time",
+            observed=float(result.service_times.min()),
+            expected=0.0,
+        )
+    if result.idle_periods.size and result.idle_periods.min() <= 0:
+        bad(
+            "positive-idle",
+            "idle period must be strictly positive",
+            observed=float(result.idle_periods.min()),
+        )
+    utilization = result.utilization
+    if not 0.0 <= utilization <= 1.0 + 1e-9:
+        bad(
+            "utilization-range",
+            "utilization outside [0, 1]",
+            observed=utilization,
+        )
+
+    out.extend(_check_queue_conservation(result, subject))
+    return out
+
+
+def _check_queue_conservation(result, subject: str) -> list[Violation]:
+    """Little's law and utilization ~= effective rho, CI-toleranced.
+
+    Both compare a realized quantity against the *offered* arrival rate,
+    so the tolerance combines the batch-means CI of the relevant mean
+    with an ``O(1/sqrt(n))`` allowance for the Poisson fluctuation of
+    the realized rate within the window.
+    """
+    from repro.queueing.stats import batch_means_mean
+
+    out: list[Violation] = []
+    n = result.num_requests
+    rate = result.arrival_rate
+    if rate <= 0 or n < MIN_STOCHASTIC_SAMPLES or result.duration <= 0:
+        return out
+    rate_noise = RATE_SLACK_SIGMAS / math.sqrt(n)
+    batches = min(20, max(2, n // 50))
+
+    # Little's law: L (time-average jobs in system, by the area identity
+    # sum of sojourns / window length) = lambda * W.
+    sojourn = result.sojourn_times
+    w_est = batch_means_mean(sojourn, batches=batches)
+    l_observed = float(sojourn.sum()) / result.duration
+    l_predicted = rate * w_est.value
+    tolerance = rate * w_est.half_width + l_predicted * rate_noise + 1e-12
+    if abs(l_observed - l_predicted) > tolerance:
+        out.append(
+            Violation(
+                "littles-law",
+                subject,
+                "time-average occupancy deviates from lambda * W beyond"
+                " the batch-means CI",
+                observed=l_observed,
+                expected=l_predicted,
+            )
+        )
+
+    # Work conservation: utilization ~= effective rho = lambda * E[S]
+    # (capped at 1 for an offered overload).
+    s_est = batch_means_mean(result.service_times, batches=batches)
+    rho = rate * s_est.value
+    expected_util = min(rho, 1.0)
+    tolerance = (
+        rate * s_est.half_width + expected_util * rate_noise + 0.005
+    )
+    if abs(result.utilization - expected_util) > tolerance:
+        out.append(
+            Violation(
+                "utilization-rho",
+                subject,
+                "utilization deviates from the effective rho implied by"
+                " the offered rate and measured service times",
+                observed=result.utilization,
+                expected=expected_util,
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# CoreMeasurement
+# ----------------------------------------------------------------------
+
+
+def check_core_measurement(m, subject: str = "") -> list[Violation]:
+    """Bound and ordering invariants of one core measurement."""
+    subject = subject or f"measure:{m.design_name}/{m.workload_name}"
+    out: list[Violation] = []
+
+    def bad(invariant, message, observed=None, expected=None):
+        out.append(Violation(invariant, subject, message, observed, expected))
+
+    values = {
+        "frequency_hz": m.frequency_hz,
+        "master_compute_ipc": m.master_compute_ipc,
+        "utilization_at_saturation": m.utilization_at_saturation,
+        "master_ipc_saturated": m.master_ipc_saturated,
+        "idle_fill_ipc": m.idle_fill_ipc,
+        "lender_ipc": m.lender_ipc,
+        "master_stall_fraction": m.master_stall_fraction,
+    }
+    for name, value in values.items():
+        if not math.isfinite(value):
+            bad("finite", f"{name} is not finite", observed=value)
+    if out:
+        return out
+
+    if m.frequency_hz <= 0:
+        bad("positive", "frequency must be positive", observed=m.frequency_hz)
+    if m.switch_overhead_cycles < 0:
+        bad(
+            "non-negative",
+            "switch overhead cycles are negative",
+            observed=float(m.switch_overhead_cycles),
+        )
+    for name, value in (
+        ("utilization_at_saturation", m.utilization_at_saturation),
+        ("master_stall_fraction", m.master_stall_fraction),
+    ):
+        if not 0.0 <= value <= 1.0 + 1e-9:
+            bad(
+                "fraction-range",
+                f"{name} outside [0, 1]",
+                observed=value,
+            )
+    width = float(m.width)
+    if not 0.0 < m.master_compute_ipc <= width * (1 + 1e-9):
+        bad(
+            "ipc-width",
+            "master compute IPC outside (0, issue width]",
+            observed=m.master_compute_ipc,
+            expected=width,
+        )
+    if m.master_ipc_saturated < 0 or m.master_ipc_saturated > width * (
+        1 + 1e-9
+    ):
+        bad(
+            "ipc-width",
+            "saturated master IPC outside [0, issue width]",
+            observed=m.master_ipc_saturated,
+            expected=width,
+        )
+    if m.master_ipc_saturated > m.master_compute_ipc * (1 + 1e-9):
+        bad(
+            "ipc-ordering",
+            "saturated IPC (stall cycles included) exceeds compute IPC",
+            observed=m.master_ipc_saturated,
+            expected=m.master_compute_ipc,
+        )
+    for name, value in (
+        ("idle_fill_ipc", m.idle_fill_ipc),
+        ("lender_ipc", m.lender_ipc),
+    ):
+        if value < 0 or value > MAX_BATCH_IPC * (1 + 1e-9):
+            bad(
+                "ipc-width",
+                f"{name} outside [0, {MAX_BATCH_IPC:g}] (HSMT datapath)",
+                observed=value,
+                expected=MAX_BATCH_IPC,
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# CellResult (single cell + grids)
+# ----------------------------------------------------------------------
+
+
+def check_cell(cell, subject: str = "") -> list[Violation]:
+    """Range/positivity invariants of one evaluation cell."""
+    subject = subject or _cell_subject(cell)
+    out: list[Violation] = []
+
+    def bad(invariant, message, observed=None, expected=None):
+        out.append(Violation(invariant, subject, message, observed, expected))
+
+    positive_finite = {
+        "tail_99_us": cell.tail_99_us,
+        "iso_tail_99_us": cell.iso_tail_99_us,
+        "tail_99_vs_baseline": cell.tail_99_vs_baseline,
+        "iso_tail_99_vs_baseline": cell.iso_tail_99_vs_baseline,
+        "performance_density_vs_baseline": cell.performance_density_vs_baseline,
+        "energy_vs_baseline": cell.energy_vs_baseline,
+        "batch_stp_vs_baseline": cell.batch_stp_vs_baseline,
+    }
+    for name, value in positive_finite.items():
+        if not math.isfinite(value) or value <= 0:
+            bad(
+                "positive-finite",
+                f"{name} must be positive and finite",
+                observed=value,
+            )
+    if not 0.0 < cell.load < 1.0:
+        bad("load-range", "load outside (0, 1)", observed=cell.load)
+    if not 0.0 <= cell.utilization <= 1.0 + 1e-9:
+        bad(
+            "utilization-range",
+            "utilization outside [0, 1]",
+            observed=cell.utilization,
+        )
+    if cell.master_slowdown < 1.0 - 1e-9:
+        bad(
+            "slowdown-ge-1",
+            "master slowdown below 1 (baseline-normalized)",
+            observed=cell.master_slowdown,
+            expected=1.0,
+        )
+    if cell.service_inflation < 1.0 - 1e-9:
+        bad(
+            "inflation-ge-1",
+            "service inflation below 1 (nominal-normalized)",
+            observed=cell.service_inflation,
+            expected=1.0,
+        )
+    if not math.isfinite(cell.nic_iops_utilization) or (
+        cell.nic_iops_utilization < 0
+    ):
+        bad(
+            "non-negative",
+            "NIC IOPS utilization must be non-negative and finite",
+            observed=cell.nic_iops_utilization,
+        )
+    return out
+
+
+#: Ratio fields that must equal exactly 1.0 on every baseline cell.
+BASELINE_RATIO_FIELDS = (
+    "tail_99_vs_baseline",
+    "iso_tail_99_vs_baseline",
+    "performance_density_vs_baseline",
+    "energy_vs_baseline",
+    "batch_stp_vs_baseline",
+)
+
+
+def check_grid(cells: Sequence[Any], subject: str = "grid") -> list[Violation]:
+    """Per-cell invariants plus cross-cell grid invariants.
+
+    * every baseline cell's baseline-normalized ratios equal 1.0 (the
+      baseline is its own reference);
+    * ``tail_99_us`` is monotone non-decreasing in load within each
+      (design, workload) series — queueing delay cannot shrink as the
+      offered load grows.
+    """
+    out: list[Violation] = []
+    for cell in cells:
+        out.extend(check_cell(cell))
+
+    for cell in cells:
+        if cell.design_name != "baseline":
+            continue
+        for field in BASELINE_RATIO_FIELDS:
+            value = getattr(cell, field)
+            if not math.isclose(value, 1.0, rel_tol=1e-9, abs_tol=1e-9):
+                out.append(
+                    Violation(
+                        "baseline-ratio",
+                        _cell_subject(cell),
+                        f"baseline cell has {field} != 1.0",
+                        observed=value,
+                        expected=1.0,
+                    )
+                )
+
+    series: dict[tuple[str, str], list[Any]] = {}
+    for cell in cells:
+        series.setdefault((cell.design_name, cell.workload_name), []).append(
+            cell
+        )
+    for (design, workload), group in series.items():
+        group = sorted(group, key=lambda c: c.load)
+        for lo, hi in zip(group, group[1:]):
+            if hi.tail_99_us < lo.tail_99_us * (1 - 1e-9):
+                out.append(
+                    Violation(
+                        "tail-monotone",
+                        f"grid:{design}/{workload}",
+                        f"p99 tail decreases from load {lo.load:g} to"
+                        f" {hi.load:g}",
+                        observed=hi.tail_99_us,
+                        expected=lo.tail_99_us,
+                    )
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Scalar helpers for harness wiring
+# ----------------------------------------------------------------------
+
+
+def check_tail_value(tail_s: float, subject: str) -> list[Violation]:
+    """A reported tail latency must be a positive, finite number of
+    seconds — checked before it is published to the result caches."""
+    if math.isfinite(tail_s) and tail_s > 0:
+        return []
+    return [
+        Violation(
+            "positive-finite",
+            subject,
+            "tail latency must be positive and finite",
+            observed=tail_s,
+        )
+    ]
+
+
+__all__ = [
+    "BASELINE_RATIO_FIELDS",
+    "MAX_BATCH_IPC",
+    "MIN_STOCHASTIC_SAMPLES",
+    "Mode",
+    "ValidationError",
+    "ValidationWarning",
+    "Violation",
+    "check",
+    "check_cell",
+    "check_core_measurement",
+    "check_grid",
+    "check_queue_result",
+    "check_tail_value",
+    "collecting",
+    "dispatch",
+    "get_mode",
+    "report",
+    "set_mode",
+]

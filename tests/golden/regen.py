@@ -20,9 +20,15 @@ for entry in (str(_REPO_ROOT), str(_REPO_ROOT / "src")):
 
 
 def main() -> int:
+    from repro import validate
     from repro.harness import cache
 
     cache.configure(enabled=False)  # goldens always come from fresh sims
+    # Goldens must never be regenerated from invariant-violating runs:
+    # force strict validation (overriding REPRO_VALIDATE) so any
+    # conservation-law or range violation aborts before the file is
+    # written.
+    validate.set_mode(validate.Mode.STRICT)
     from tests.golden import write_golden
 
     path = write_golden()

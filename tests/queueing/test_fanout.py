@@ -82,6 +82,52 @@ class TestFanOutMax:
             FanOutMax(Exponential(1.0), fanout=0)
 
 
+class _CountingExponential(Exponential):
+    """Exponential leaf that records how sample_many is used."""
+
+    def __init__(self, mean: float):
+        super().__init__(mean)
+        self.calls = 0
+        self.draws_requested = 0
+
+    def sample_many(self, rng, n):
+        self.calls += 1
+        self.draws_requested += n
+        return super().sample_many(rng, n)
+
+
+class TestFanOutMeanCaching:
+    """Regression: mean() was re-estimated by Monte Carlo on every call
+    (it sits under mean_service_time() in hot load->rate conversions)
+    and its fixed draw cap left ~327 max-samples at fan-out >= 100."""
+
+    def test_mean_computed_once_per_instance(self):
+        leaf = _CountingExponential(1.0)
+        d = FanOutMax(leaf, fanout=8)
+        first = d.mean()
+        calls_after_first = leaf.calls
+        for _ in range(50):
+            assert d.mean() == first
+        assert leaf.calls == calls_after_first == 1
+
+    def test_draw_budget_scales_with_fanout(self):
+        leaf = _CountingExponential(1.0)
+        FanOutMax(leaf, fanout=100).mean()
+        # Pre-fix the cap was 4096 * 8 = 32768 total draws (~327
+        # max-samples at fan-out 100); the budget must now provide
+        # thousands of max-samples regardless of fan-out.
+        assert leaf.draws_requested >= 1000 * 100
+
+    def test_mean_deterministic_across_instances(self):
+        a = FanOutMax(Exponential(1.0), fanout=32).mean()
+        b = FanOutMax(Exponential(1.0), fanout=32).mean()
+        assert a == b
+
+    def test_high_fanout_mean_close_to_closed_form(self):
+        est = FanOutMax(Exponential(1.0), fanout=100).mean()
+        assert est == pytest.approx(expected_max_exponential(1.0, 100), rel=0.02)
+
+
 class TestTailAmplification:
     def test_p99_at_fanout_100(self):
         # The tail-at-scale headline: ~63% of fan-out-100 requests see at

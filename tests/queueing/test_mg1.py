@@ -130,6 +130,95 @@ class TestRestartPenaltyService:
             RestartPenaltyService(Deterministic(1.0), penalty=-0.1)
 
 
+class _TransientSpikeService:
+    """Deterministic service with a huge spike on the first request —
+    a warmup transient that must not leak into steady-state statistics."""
+
+    def __init__(self, mean: float, spike: float):
+        self.mean = mean
+        self.spike = spike
+        self.calls = 0
+
+    def service_time(self, rng, idle_before: float) -> float:
+        self.calls += 1
+        return self.spike if self.calls == 1 else self.mean
+
+    def mean_service_time(self) -> float:
+        return self.mean
+
+
+class TestWarmupWindowConsistency:
+    """Regression: idle_periods/busy_time/duration are trimmed to the
+    same post-warmup window as wait_times/service_times (previously only
+    the latter were trimmed, so utilization and the idle-period CDF
+    included warmup transients the sojourn stats excluded)."""
+
+    def test_duration_is_post_warmup_window(self):
+        seed, n, warmup = 11, 20_000, 2_000
+        sim = MG1Simulator.at_load(0.5, Deterministic(1.0), seed=seed)
+        result = sim.run(n, warmup=warmup)
+        # Reconstruct the arrival epochs from the identical RNG stream:
+        # inter-arrivals are the simulator's first (vectorized) draw.
+        rng = np.random.default_rng(seed)
+        inter = rng.exponential(1.0 / sim.arrival_rate, size=n)
+        arrivals = np.cumsum(inter)
+        last_departure = (
+            arrivals[-1] + result.wait_times[-1] + result.service_times[-1]
+        )
+        expected = last_departure - arrivals[warmup]
+        assert result.duration == pytest.approx(expected, rel=1e-12)
+
+    def test_busy_time_counts_only_window_work(self):
+        sim = MG1Simulator.at_load(0.5, Deterministic(1.0), seed=7)
+        result = sim.run(10_000, warmup=1_000)
+        # In-window work = residual warmup backlog (the first retained
+        # wait) + every retained service.
+        expected = result.wait_times[0] + result.service_times.sum()
+        assert result.busy_time == pytest.approx(expected, rel=1e-12)
+
+    def test_utilization_excludes_warmup_transient(self):
+        # A 5000x service spike on request 0 must not contaminate the
+        # post-warmup utilization: pre-fix, busy_time kept the spike and
+        # duration kept the whole warmup span, biasing utilization to
+        # ~0.5 here (the warmup is long enough that the spike backlog
+        # drains before the measurement window opens).
+        load, n, warmup = 0.4, 20_000, 5_000
+        service = _TransientSpikeService(mean=1.0, spike=5_000.0)
+        sim = MG1Simulator(load, service, seed=3)
+        result = sim.run(n, warmup=warmup)
+        assert result.utilization == pytest.approx(load, rel=0.05)
+
+    def test_idle_periods_trimmed_with_waits(self):
+        sim = MG1Simulator.at_load(0.3, Exponential(1.0), seed=13)
+        n, warmup = 50_000, 5_000
+        result = sim.run(n, warmup=warmup)
+        # Every retained idle period ends at a retained arrival strictly
+        # inside the window: exactly one per zero-wait retained request
+        # after the first.
+        expected = int((result.wait_times[1:] == 0).sum())
+        assert result.idle_periods.size == expected
+
+    def test_arrival_rate_recorded(self):
+        sim = MG1Simulator.at_load(0.5, Exponential(2.0), seed=0)
+        assert sim.run(1000).arrival_rate == pytest.approx(sim.arrival_rate)
+
+    def test_warmup_zero_excludes_artificial_initial_gap(self):
+        # With warmup=0 the window starts at the *first arrival*, so the
+        # artificial pre-simulation gap contributes neither idle time
+        # nor duration.
+        sim = MG1Simulator.at_load(0.5, Deterministic(1.0), seed=5)
+        result = sim.run(5_000)
+        rng = np.random.default_rng(5)
+        inter = rng.exponential(1.0 / sim.arrival_rate, size=5_000)
+        arrivals = np.cumsum(inter)
+        last_departure = (
+            arrivals[-1] + result.wait_times[-1] + result.service_times[-1]
+        )
+        assert result.duration == pytest.approx(
+            last_departure - arrivals[0], rel=1e-12
+        )
+
+
 @settings(max_examples=15, deadline=None)
 @given(
     load=st.floats(min_value=0.1, max_value=0.8),

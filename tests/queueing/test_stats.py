@@ -4,11 +4,14 @@ import numpy as np
 import pytest
 
 from repro.queueing.stats import (
+    Z_95,
     Estimate,
     batch_means_mean,
     batch_means_percentile,
+    min_batch_size,
     percentile,
     simulate_until_converged,
+    t_critical_95,
 )
 
 
@@ -68,6 +71,86 @@ class TestBatchMeans:
             batch_means_percentile(np.arange(5.0), 0.99, batches=20)
         with pytest.raises(ValueError):
             batch_means_mean(np.arange(30.0), batches=1)
+
+
+class TestMinBatchSize:
+    def test_values(self):
+        assert min_batch_size(0.99) == 100
+        assert min_batch_size(0.999) == 1000
+        assert min_batch_size(0.5) == 2
+        assert min_batch_size(0.0) == 1
+        assert min_batch_size(1.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            min_batch_size(1.5)
+
+
+class TestStudentT:
+    def test_small_df_wider_than_z(self):
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(3) == pytest.approx(3.182)
+        assert t_critical_95(19) == pytest.approx(2.093)
+        for df in range(1, 29):
+            assert t_critical_95(df) > t_critical_95(df + 1)
+
+    def test_falls_back_to_z_at_30(self):
+        assert t_critical_95(30) == Z_95
+        assert t_critical_95(1000) == Z_95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            t_critical_95(0)
+
+    def test_ci_uses_t_quantile(self):
+        # 3 equal-size chunks with known means -> verify the half-width
+        # is t(2) * stderr, not z * stderr.
+        samples = np.concatenate(
+            [np.full(10, 1.0), np.full(10, 2.0), np.full(10, 3.0)]
+        )
+        est = batch_means_mean(samples, batches=3)
+        stderr = np.array([1.0, 2.0, 3.0]).std(ddof=1) / np.sqrt(3)
+        assert est.value == pytest.approx(2.0)
+        assert est.half_width == pytest.approx(t_critical_95(2) * stderr)
+        assert est.half_width > Z_95 * stderr
+
+
+class TestDegenerateTailBatches:
+    """Regression: chunks below 1/(1-q) samples turned the per-chunk
+    percentile into the chunk max — a biased mean-of-maxima with an
+    artificially tight CI."""
+
+    def test_batch_count_reduced_to_honour_min_chunk(self):
+        samples = np.random.default_rng(0).exponential(1.0, 4000)
+        est = batch_means_percentile(samples, 0.999, batches=20)
+        # 4000 samples / min chunk 1000 -> only 4 usable batches.
+        assert est.batches == 4
+
+    def test_less_biased_than_mean_of_maxima(self):
+        true_p999 = -np.log(0.001)
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(1.0, 4000)
+        est = batch_means_percentile(samples, 0.999, batches=20)
+        # The pre-fix estimator: 20 chunks of 200, per-chunk percentile
+        # degenerates to the chunk max, z-based CI.
+        chunks = np.array_split(samples, 20)
+        maxima = np.array([percentile(c, 0.999) for c in chunks])
+        old_value = maxima.mean()
+        old_half = Z_95 * maxima.std(ddof=1) / np.sqrt(20)
+        assert abs(est.value - true_p999) < abs(old_value - true_p999)
+        # The old CI was confidently wrong: it excluded the true value.
+        assert abs(old_value - true_p999) > old_half
+        assert abs(est.value - true_p999) < est.half_width
+
+    def test_batches_param_respected_when_chunks_large_enough(self):
+        samples = np.random.default_rng(1).exponential(1.0, 4000)
+        est = batch_means_percentile(samples, 0.9, batches=20)
+        assert est.batches == 20
+
+    def test_never_below_two_batches(self):
+        samples = np.random.default_rng(2).exponential(1.0, 150)
+        est = batch_means_percentile(samples, 0.99, batches=10)
+        assert est.batches == 2
 
 
 class TestConvergenceLoop:

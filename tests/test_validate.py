@@ -1,0 +1,401 @@
+"""The invariant-checking layer: catalogue, modes, wiring.
+
+Valid results (straight out of the simulators) must check clean across
+seeds; deliberately corrupted copies must be flagged; the mode machinery
+must be off/warn/strict as configured; and the CLI sweep must run the
+whole pipeline under a collector.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import validate
+from repro.common.distributions import Exponential
+from repro.harness.experiment import CellResult
+from repro.harness.measure import CoreMeasurement
+from repro.queueing.mg1 import MG1Simulator, QueueResult
+from repro.validate import (
+    Mode,
+    ValidationError,
+    ValidationWarning,
+    Violation,
+    check,
+    check_tail_value,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_mode():
+    yield
+    validate.set_mode(None)
+
+
+def queue_result(seed=0, load=0.5, n=5_000, warmup=500) -> QueueResult:
+    sim = MG1Simulator.at_load(load, Exponential(1.0), seed=seed)
+    return sim.run(n, warmup=warmup)
+
+
+def core_measurement(**overrides) -> CoreMeasurement:
+    base = dict(
+        design_name="baseline",
+        workload_name="McRouter",
+        frequency_hz=2.5e9,
+        master_compute_ipc=2.0,
+        utilization_at_saturation=0.6,
+        master_ipc_saturated=1.4,
+        idle_fill_ipc=3.0,
+        lender_ipc=4.5,
+        master_stall_fraction=0.3,
+        switch_overhead_cycles=120,
+    )
+    base.update(overrides)
+    return CoreMeasurement(**base)
+
+
+def cell(
+    design="duplexity", workload="McRouter", load=0.3, tail=50.0, **overrides
+) -> CellResult:
+    base = dict(
+        design_name=design,
+        workload_name=workload,
+        load=load,
+        utilization=0.55,
+        master_slowdown=1.1,
+        service_inflation=1.05,
+        tail_99_us=tail,
+        tail_99_vs_baseline=1.0 if design == "baseline" else 0.9,
+        iso_tail_99_us=tail * 1.1,
+        iso_tail_99_vs_baseline=1.0 if design == "baseline" else 0.95,
+        performance_density_vs_baseline=1.0 if design == "baseline" else 1.2,
+        energy_vs_baseline=1.0 if design == "baseline" else 0.8,
+        batch_stp_vs_baseline=1.0 if design == "baseline" else 1.5,
+        nic_iops_utilization=0.2,
+    )
+    base.update(overrides)
+    return CellResult(**base)
+
+
+def grid(design="duplexity"):
+    """A monotone two-load series plus its baseline counterparts."""
+    return [
+        cell("baseline", load=0.3, tail=40.0),
+        cell("baseline", load=0.7, tail=90.0),
+        cell(design, load=0.3, tail=50.0),
+        cell(design, load=0.7, tail=120.0),
+    ]
+
+
+class TestModeSelection:
+    def test_default_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VALIDATE", raising=False)
+        assert validate.get_mode() is Mode.OFF
+
+    @pytest.mark.parametrize("raw", ["off", "warn", "strict", " STRICT "])
+    def test_env_parsed(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_VALIDATE", raw)
+        assert validate.get_mode() is Mode(raw.strip().lower())
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VALIDATE", "stricf")
+        with pytest.raises(ValueError, match="REPRO_VALIDATE"):
+            validate.get_mode()
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VALIDATE", "off")
+        validate.set_mode("strict")
+        assert validate.get_mode() is Mode.STRICT
+        validate.set_mode(None)
+        assert validate.get_mode() is Mode.OFF
+
+
+class TestQueueResultInvariants:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_real_runs_check_clean(self, seed):
+        rng = np.random.default_rng(seed)
+        load = float(rng.uniform(0.1, 0.85))
+        result = queue_result(seed=seed, load=load)
+        assert check(result) == []
+
+    def test_busy_beyond_duration_flagged(self):
+        corrupt = dataclasses.replace(
+            queue_result(), busy_time=queue_result().duration * 1.5
+        )
+        invariants = {v.invariant for v in check(corrupt)}
+        assert "busy-le-duration" in invariants
+
+    def test_negative_wait_flagged(self):
+        result = queue_result()
+        waits = result.wait_times.copy()
+        waits[10] = -1e-6
+        corrupt = dataclasses.replace(result, wait_times=waits)
+        assert "non-negative" in {v.invariant for v in check(corrupt)}
+
+    def test_nonpositive_idle_flagged(self):
+        result = queue_result()
+        idles = result.idle_periods.copy()
+        idles[0] = 0.0
+        corrupt = dataclasses.replace(result, idle_periods=idles)
+        assert "positive-idle" in {v.invariant for v in check(corrupt)}
+
+    def test_nan_flagged(self):
+        corrupt = dataclasses.replace(queue_result(), duration=float("nan"))
+        assert "finite" in {v.invariant for v in check(corrupt)}
+
+    def test_wrong_arrival_rate_breaks_conservation(self):
+        # Claiming double the offered rate must trip Little's law and/or
+        # the utilization-vs-rho conservation check.
+        result = queue_result(load=0.5, n=20_000, warmup=2_000)
+        corrupt = dataclasses.replace(
+            result, arrival_rate=result.arrival_rate * 2.0
+        )
+        invariants = {v.invariant for v in check(corrupt)}
+        assert invariants & {"littles-law", "utilization-rho"}
+
+    def test_untrimmed_window_breaks_conservation(self):
+        # The pre-fix bug shape: duration stretched by a warmup span the
+        # sojourn statistics exclude.
+        result = queue_result(load=0.7, n=20_000, warmup=2_000)
+        corrupt = dataclasses.replace(
+            result, duration=result.duration * 1.25
+        )
+        invariants = {v.invariant for v in check(corrupt)}
+        assert invariants & {"littles-law", "utilization-rho"}
+
+    def test_short_runs_skip_stochastic_checks(self):
+        result = queue_result(n=200, warmup=0)
+        corrupt = dataclasses.replace(
+            result, arrival_rate=result.arrival_rate * 5
+        )
+        assert check(corrupt) == []
+
+
+class TestCoreMeasurementInvariants:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_valid_instances_check_clean(self, seed):
+        rng = np.random.default_rng(seed)
+        m = core_measurement(
+            master_compute_ipc=float(rng.uniform(0.2, 4.0)),
+            utilization_at_saturation=float(rng.uniform(0.0, 1.0)),
+            master_stall_fraction=float(rng.uniform(0.0, 1.0)),
+            idle_fill_ipc=float(rng.uniform(0.0, 8.0)),
+            lender_ipc=float(rng.uniform(0.0, 8.0)),
+        )
+        m = dataclasses.replace(
+            m, master_ipc_saturated=m.master_compute_ipc * float(rng.uniform(0, 1))
+        )
+        assert check(m) == []
+
+    @pytest.mark.parametrize(
+        "field, value, invariant",
+        [
+            ("master_stall_fraction", 1.5, "fraction-range"),
+            ("utilization_at_saturation", -0.01, "fraction-range"),
+            ("master_compute_ipc", 4.7, "ipc-width"),
+            ("idle_fill_ipc", 9.0, "ipc-width"),
+            ("lender_ipc", -0.5, "ipc-width"),
+            ("frequency_hz", 0.0, "positive"),
+            ("switch_overhead_cycles", -1, "non-negative"),
+            ("master_compute_ipc", float("inf"), "finite"),
+        ],
+    )
+    def test_corrupted_field_flagged(self, field, value, invariant):
+        corrupt = core_measurement(**{field: value})
+        assert invariant in {v.invariant for v in check(corrupt)}
+
+    def test_saturated_above_compute_ipc_flagged(self):
+        corrupt = core_measurement(
+            master_compute_ipc=1.0, master_ipc_saturated=1.2
+        )
+        assert "ipc-ordering" in {v.invariant for v in check(corrupt)}
+
+
+class TestCellAndGridInvariants:
+    def test_valid_grid_checks_clean(self):
+        assert check(grid()) == []
+
+    def test_negative_tail_flagged(self):
+        assert "positive-finite" in {
+            v.invariant for v in check(cell(tail=-1.0))
+        }
+
+    def test_utilization_above_one_flagged(self):
+        assert "utilization-range" in {
+            v.invariant for v in check(cell(utilization=1.2))
+        }
+
+    def test_slowdown_below_one_flagged(self):
+        assert "slowdown-ge-1" in {
+            v.invariant for v in check(cell(master_slowdown=0.8))
+        }
+
+    def test_baseline_ratio_must_be_one(self):
+        cells = grid()
+        cells[0] = dataclasses.replace(cells[0], energy_vs_baseline=1.01)
+        violations = check(cells)
+        assert "baseline-ratio" in {v.invariant for v in violations}
+
+    def test_non_monotone_tail_flagged(self):
+        cells = grid()
+        cells[3] = dataclasses.replace(cells[3], tail_99_us=10.0)
+        assert "tail-monotone" in {v.invariant for v in check(cells)}
+
+    def test_mixed_sequence_rejected(self):
+        with pytest.raises(TypeError):
+            check([cell(), core_measurement()])
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            check(object())
+
+
+class TestDispatchModes:
+    def test_off_mode_skips_checking(self):
+        validate.set_mode("off")
+        corrupt = core_measurement(master_stall_fraction=2.0)
+        assert validate.dispatch(corrupt) == []
+
+    def test_warn_mode_warns_and_returns(self):
+        validate.set_mode("warn")
+        corrupt = core_measurement(master_stall_fraction=2.0)
+        with pytest.warns(ValidationWarning, match="fraction-range"):
+            violations = validate.dispatch(corrupt)
+        assert violations
+
+    def test_strict_mode_raises_with_structure(self):
+        validate.set_mode("strict")
+        corrupt = core_measurement(master_stall_fraction=2.0)
+        with pytest.raises(ValidationError) as excinfo:
+            validate.dispatch(corrupt)
+        assert any(
+            v.invariant == "fraction-range" for v in excinfo.value.violations
+        )
+
+    def test_strict_mode_passes_clean_results(self):
+        validate.set_mode("strict")
+        assert validate.dispatch(core_measurement()) == []
+
+    def test_collecting_suppresses_strict_raise(self):
+        validate.set_mode("strict")
+        corrupt = core_measurement(master_stall_fraction=2.0)
+        with validate.collecting() as found:
+            validate.dispatch(corrupt)
+            validate.dispatch(core_measurement())
+        assert len(found) == 1
+        assert found[0].invariant == "fraction-range"
+
+    def test_collecting_checks_even_when_off(self):
+        validate.set_mode("off")
+        corrupt = core_measurement(master_stall_fraction=2.0)
+        with validate.collecting() as found:
+            validate.dispatch(corrupt)
+        assert found
+
+
+class TestTailValueCheck:
+    def test_valid(self):
+        assert check_tail_value(1e-4, "tail:x") == []
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid(self, bad):
+        violations = check_tail_value(bad, "tail:x")
+        assert violations and violations[0].invariant == "positive-finite"
+
+
+class TestStrictWiring:
+    """Strict mode stops bad values before they reach the caches."""
+
+    def test_tail_pipeline_validates_queue_run(self, monkeypatch):
+        from repro.harness import metrics
+        from repro.queueing.mg1 import DistributionService
+
+        # Corrupt the simulator output (double the recorded offered
+        # rate): Little's law must trip inside tail_latency_s itself.
+        real_run = MG1Simulator.run
+
+        def corrupted_run(self, num_requests, warmup=0):
+            result = real_run(self, num_requests, warmup=warmup)
+            return dataclasses.replace(
+                result, arrival_rate=result.arrival_rate * 2.0
+            )
+
+        monkeypatch.setattr(MG1Simulator, "run", corrupted_run)
+        validate.set_mode("strict")
+        with pytest.raises(ValidationError):
+            metrics.tail_latency_s(
+                DistributionService(Exponential(1e-4)),
+                3000.0,
+                num_requests=4000,
+                warmup=400,
+            )
+
+    def test_violation_str_mentions_numbers(self):
+        v = Violation("busy-le-duration", "q", "busy > window", 2.0, 1.0)
+        text = str(v)
+        assert "busy-le-duration" in text and "2" in text and "1" in text
+
+
+class TestFormatViolations:
+    def test_empty(self):
+        from repro.harness.reporting import format_violations
+
+        assert "0 invariant violations" in format_violations([])
+
+    def test_table(self):
+        from repro.harness.reporting import format_violations
+
+        out = format_violations(
+            [Violation("littles-law", "queue:x", "deviates", 1.0, 2.0)]
+        )
+        assert "littles-law" in out and "queue:x" in out
+
+
+class TestRegenHook:
+    def test_regen_forces_strict_mode(self, monkeypatch):
+        """Goldens can never be regenerated from invariant-violating
+        runs: regen.main() forces strict mode before writing."""
+        import tests.golden as golden_pkg
+        import tests.golden.regen as regen
+        from repro.harness import cache
+
+        config = cache.current_config()
+        seen: dict = {}
+
+        def fake_write_golden():
+            seen["mode"] = validate.get_mode()
+            # A violating grid must abort the regeneration.
+            bad = [cell(master_slowdown=0.5)]
+            validate.dispatch(bad, subject="grid")
+            raise AssertionError("strict dispatch should have raised")
+
+        monkeypatch.setattr(golden_pkg, "write_golden", fake_write_golden)
+        try:
+            with pytest.raises(ValidationError):
+                regen.main()
+        finally:
+            validate.set_mode(None)
+            cache.configure(**config)
+        assert seen["mode"] is Mode.STRICT
+
+
+class TestValidateCLI:
+    def test_cli_sweep_reports_clean(self, monkeypatch, capsys):
+        """End-to-end ``python -m repro validate`` on a tiny fidelity."""
+        from repro import cli
+        from repro.harness import cache
+        from tests.golden import GOLDEN_FIDELITY
+
+        config = cache.current_config()
+        monkeypatch.setitem(
+            cli.FIDELITIES, "fast", dataclasses.replace(GOLDEN_FIDELITY)
+        )
+        try:
+            code = cli.main(["validate", "--workload", "mcrouter"])
+        finally:
+            cache.configure(**config)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 invariant violations" in out
