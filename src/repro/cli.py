@@ -8,6 +8,8 @@ Examples::
     python -m repro fig5d --workers 4 --stats
     python -m repro cell duplexity mcrouter 0.5
     python -m repro validate --fidelity fast
+    python -m repro fig5d --workers 4 --trace /tmp/run.jsonl
+    python -m repro report /tmp/run.jsonl
 
 ``validate`` re-simulates the evaluation matrix with both cache layers
 disabled and checks every intermediate result against the invariant
@@ -21,24 +23,34 @@ pool and ``--stats`` to print per-cell timing and cache-hit accounting.
 Simulation results persist in a disk cache (``REPRO_CACHE_DIR``,
 default ``~/.cache/repro-duplexity``); ``--cache-dir`` overrides the
 location and ``--no-cache`` disables the disk layer for one invocation.
+
+``--trace PATH`` (or ``REPRO_TRACE=PATH``) streams a JSONL span/counter
+trace of the run (see :mod:`repro.obs`) and writes a sidecar
+``*.manifest.json`` recording fidelity knobs, seeds, versions, and
+environment overrides; ``python -m repro report PATH`` renders the
+trace's metrics as a Prometheus-style text dump.  ``REPRO_OBS=1``
+captures in memory without a file.  Observation never changes
+simulation results.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-import time
 
+from repro import obs
 from repro import validate as validation
 from repro.harness import cache, figures
-from repro.harness.experiment import run_cell
 from repro.harness.fidelity import BENCH, FAST, FULL, Fidelity
-from repro.harness.parallel import CellTiming, GridRunStats
+from repro.harness.parallel import GridRunStats, run_single_cell
 from repro.harness.reporting import (
     format_grid_stats,
     format_table,
     format_violations,
 )
+from repro.obs import export as obs_export
+from repro.obs.manifest import build_manifest, manifest_path_for, write_manifest
 from repro.workloads.microservices import standard_microservices
 
 FIDELITIES: dict[str, Fidelity] = {"fast": FAST, "bench": BENCH, "full": FULL}
@@ -128,10 +140,14 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         help=(
             "table1|table2|fig1a|fig1b|fig1c|fig2a|fig2b|fig5a..fig5f|"
-            "fig6|cell|validate"
+            "fig6|cell|validate|report"
         ),
     )
-    parser.add_argument("args", nargs="*", help="for `cell`: DESIGN WORKLOAD LOAD")
+    parser.add_argument(
+        "args",
+        nargs="*",
+        help="for `cell`: DESIGN WORKLOAD LOAD; for `report`: TRACE_PATH",
+    )
     parser.add_argument("--fidelity", choices=sorted(FIDELITIES), default="fast")
     parser.add_argument("--workload", help="restrict grid figures to one workload")
     parser.add_argument(
@@ -153,18 +169,61 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable the persistent disk cache for this invocation",
     )
+    parser.add_argument(
+        "--trace",
+        help=(
+            "stream a JSONL span/counter trace to this path (plus a"
+            " *.manifest.json sidecar); overrides REPRO_TRACE"
+        ),
+    )
     options = parser.parse_args(argv)
     fidelity = FIDELITIES[options.fidelity]
+    target = options.target.lower()
+
+    if target == "report":
+        return _run_report(options)
 
     if options.no_cache:
         cache.configure(enabled=False)
     elif options.cache_dir:
         cache.configure(root=options.cache_dir)
 
+    enabled_obs = _enable_obs(options, target, fidelity, argv)
+    try:
+        return _run_target(options, target, fidelity)
+    finally:
+        if enabled_obs:
+            obs.disable()
+
+
+def _enable_obs(
+    options, target: str, fidelity: Fidelity, argv: list[str] | None
+) -> bool:
+    """Turn observation on for this invocation if requested.
+
+    ``--trace`` wins over ``REPRO_TRACE``; ``REPRO_OBS`` enables
+    in-memory capture without a file.  Returns whether this call enabled
+    observation (and so owns the matching ``disable()``).
+    """
+    trace_dest = options.trace or os.environ.get("REPRO_TRACE") or None
+    if trace_dest:
+        obs.reset()
+        manifest = build_manifest(
+            target=target,
+            fidelity=fidelity,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            extra={"workers": max(1, options.workers)},
+        )
+        write_manifest(manifest_path_for(trace_dest), manifest)
+        obs.enable(trace_path=trace_dest, manifest=manifest)
+        return True
+    return obs.enable_from_env()
+
+
+def _run_target(options, target: str, fidelity: Fidelity) -> int:
     run_stats = GridRunStats(workers=max(1, options.workers))
     exit_code = 0
 
-    target = options.target.lower()
     if target == "table1":
         print(format_table(["component", "configuration"], figures.table1(), "Table I"))
     elif target == "table2":
@@ -198,19 +257,12 @@ def main(argv: list[str] | None = None) -> int:
             raise SystemExit("usage: repro cell DESIGN WORKLOAD LOAD")
         design, workload_name, load = options.args
         (workload,) = _workloads(workload_name)
-        before = cache.stats_snapshot()
-        cell_start = time.perf_counter()
-        cell = run_cell(design, workload, float(load), fidelity)
-        run_stats.wall_s = time.perf_counter() - cell_start
-        run_stats.timings.append(
-            CellTiming(
-                design_name=design,
-                workload_name=workload.name,
-                load=float(load),
-                wall_s=run_stats.wall_s,
-            )
+        # One-cell sweep through the grid machinery: identical stats
+        # bookkeeping and span tree as a full grid run (previously a
+        # hand-rolled copy of that logic lived here).
+        cell = run_single_cell(
+            design, workload, float(load), fidelity, stats=run_stats
         )
-        run_stats.disk.merge(cache.stats_snapshot().since(before))
         for field in (
             "utilization",
             "master_slowdown",
@@ -229,6 +281,17 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(format_grid_stats(run_stats))
     return exit_code
+
+
+def _run_report(options) -> int:
+    """Render a trace file's metrics as a Prometheus-style text dump."""
+    path = options.args[0] if options.args else os.environ.get("REPRO_TRACE")
+    if not path:
+        raise SystemExit("usage: repro report TRACE_PATH (or set REPRO_TRACE)")
+    if not os.path.exists(path):
+        raise SystemExit(f"no trace file at {path!r}")
+    print(obs_export.render_report(path))
+    return 0
 
 
 def _run_validate(options, fidelity: Fidelity, run_stats: GridRunStats) -> int:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.designs import Design
 from repro.core.master import MasterCoreComplex
 
@@ -180,6 +181,10 @@ class DyadSimulator:
             if filler_engine is not None
             else 0
         )
+        if obs.is_enabled():
+            obs.add("dyad.runs")
+            obs.add("dyad.stall_windows", stall_windows)
+            obs.add("dyad.morphed_windows", morphed_windows)
         return DyadResult(
             design_name=self.design.name,
             total_cycles=total_cycles,

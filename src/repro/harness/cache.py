@@ -44,11 +44,13 @@ import hashlib
 import os
 import pickle
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
 import numpy as np
+
+from repro import obs
 
 #: Bump whenever a simulator/model change alters cached values without a
 #: corresponding parameter change.  Old entries become unreachable (their
@@ -109,13 +111,20 @@ def canonical_token(obj: Any) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one disk-cache instance (or a merge)."""
+    """Hit/miss accounting for one disk-cache instance (or a merge).
+
+    Besides the aggregate counters, hits and misses are broken down by
+    entry *kind* (``measure`` vs ``tail``), so the ``--stats`` table can
+    show which cache population is actually warming.
+    """
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
     evictions: int = 0
     errors: int = 0
+    kind_hits: dict = field(default_factory=dict)
+    kind_misses: dict = field(default_factory=dict)
 
     @property
     def lookups(self) -> int:
@@ -125,8 +134,29 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def kinds(self) -> list[str]:
+        """All entry kinds seen, sorted."""
+        return sorted(set(self.kind_hits) | set(self.kind_misses))
+
+    def kind_hit_rate(self, kind: str) -> float:
+        hits = self.kind_hits.get(kind, 0)
+        lookups = hits + self.kind_misses.get(kind, 0)
+        return hits / lookups if lookups else 0.0
+
+    def record_lookup(self, kind: str | None, hit: bool) -> None:
+        if kind is None:
+            return
+        target = self.kind_hits if hit else self.kind_misses
+        target[kind] = target.get(kind, 0) + 1
+
     def snapshot(self) -> "CacheStats":
-        return dataclasses.replace(self)
+        # dataclasses.replace would share the kind dicts with the live
+        # instance — copy them so a snapshot is actually frozen.
+        return dataclasses.replace(
+            self,
+            kind_hits=dict(self.kind_hits),
+            kind_misses=dict(self.kind_misses),
+        )
 
     def merge(self, other: "CacheStats") -> None:
         self.hits += other.hits
@@ -134,6 +164,10 @@ class CacheStats:
         self.writes += other.writes
         self.evictions += other.evictions
         self.errors += other.errors
+        for kind, n in other.kind_hits.items():
+            self.kind_hits[kind] = self.kind_hits.get(kind, 0) + n
+        for kind, n in other.kind_misses.items():
+            self.kind_misses[kind] = self.kind_misses.get(kind, 0) + n
 
     def since(self, before: "CacheStats") -> "CacheStats":
         """The counter deltas accumulated after ``before`` was taken."""
@@ -143,7 +177,18 @@ class CacheStats:
             writes=self.writes - before.writes,
             evictions=self.evictions - before.evictions,
             errors=self.errors - before.errors,
+            kind_hits=_dict_delta(self.kind_hits, before.kind_hits),
+            kind_misses=_dict_delta(self.kind_misses, before.kind_misses),
         )
+
+
+def _dict_delta(after: dict, before: dict) -> dict:
+    out = {}
+    for kind, n in after.items():
+        d = n - before.get(kind, 0)
+        if d:
+            out[kind] = d
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -179,34 +224,52 @@ class DiskCache:
 
     # -- lookup / store -------------------------------------------------
 
-    def get(self, key: str, expect: type | tuple[type, ...] | None = None):
+    def get(
+        self,
+        key: str,
+        expect: type | tuple[type, ...] | None = None,
+        kind: str | None = None,
+    ):
         """The cached value, or ``None`` on miss/corruption.
 
         ``expect`` guards the unpickled type: a wrong-typed entry (e.g. a
         hash collision across kinds or a partially migrated cache) is
-        treated as corruption, not returned.
+        treated as corruption, not returned.  ``kind`` (the same label
+        passed to :meth:`key`) attributes the lookup to a per-kind
+        hit/miss series in :attr:`stats`.
         """
         path = self.path_for(key)
         try:
             with path.open("rb") as fh:
                 value = pickle.load(fh)
         except FileNotFoundError:
-            self.stats.misses += 1
+            self._miss(kind)
             return None
         except Exception:
             # Truncated/garbage entry: drop it and treat as a miss.
             self.stats.errors += 1
-            self.stats.misses += 1
+            obs.add("cache.disk.errors")
+            self._miss(kind)
             _unlink_quietly(path)
             return None
         if expect is not None and not isinstance(value, expect):
             self.stats.errors += 1
-            self.stats.misses += 1
+            obs.add("cache.disk.errors")
+            self._miss(kind)
             _unlink_quietly(path)
             return None
         self.stats.hits += 1
+        self.stats.record_lookup(kind, hit=True)
+        obs.add("cache.disk.lookups")
+        obs.add("cache.disk.hits")
         _touch_quietly(path)  # keep LRU order honest
         return value
+
+    def _miss(self, kind: str | None) -> None:
+        self.stats.misses += 1
+        self.stats.record_lookup(kind, hit=False)
+        obs.add("cache.disk.lookups")
+        obs.add("cache.disk.misses")
 
     def put(self, key: str, value: Any) -> None:
         """Atomically publish ``value`` under ``key``."""
@@ -227,8 +290,10 @@ class DiskCache:
         except OSError:
             # A full or read-only disk must never fail an experiment.
             self.stats.errors += 1
+            obs.add("cache.disk.errors")
             return
         self.stats.writes += 1
+        obs.add("cache.disk.writes")
         self._evict_if_needed()
 
     # -- maintenance ----------------------------------------------------
@@ -269,6 +334,7 @@ class DiskCache:
         for _, size, path in sorted(entries):  # oldest mtime first
             _unlink_quietly(path)
             self.stats.evictions += 1
+            obs.add("cache.disk.evictions")
             total -= size
             if total <= self.max_bytes:
                 break

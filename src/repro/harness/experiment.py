@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro import validate
+from repro import obs, validate
 from repro.core.designs import Design, get_design
 from repro.harness import cache as disk_cache
 from repro.harness import metrics
@@ -185,46 +185,59 @@ def _tail(
     fidelity: Fidelity,
 ) -> float:
     key = _tail_cache_key(design, workload, arrival_rate, fidelity)
-    cached = _TAIL_CACHE.get(key)
-    if cached is not None:
-        return cached
+    with obs.span(
+        "tail",
+        design=design.name,
+        workload=workload.name,
+        rate=float(arrival_rate),
+    ) as sp:
+        cached = _TAIL_CACHE.get(key)
+        if cached is not None:
+            sp.set("source", "l1")
+            obs.add("tail.l1_hits")
+            return cached
 
-    l2 = disk_cache.get_cache()
-    dkey = None
-    if l2 is not None:
-        # The service model folds in everything measurement-derived
-        # (slowdown, morph penalties), so the disk entry stays valid only
-        # while the exact service parameters do.
-        dkey = l2.key(
-            "tail",
-            design=design.name,
-            service=service,
-            rate=float(arrival_rate),
-            fidelity=fidelity,
-        )
-        stored = l2.get(dkey, expect=float)
-        if stored is not None:
-            _TAIL_CACHE[key] = stored
-            return stored
+        l2 = disk_cache.get_cache()
+        dkey = None
+        if l2 is not None:
+            # The service model folds in everything measurement-derived
+            # (slowdown, morph penalties), so the disk entry stays valid
+            # only while the exact service parameters do.
+            dkey = l2.key(
+                "tail",
+                design=design.name,
+                service=service,
+                rate=float(arrival_rate),
+                fidelity=fidelity,
+            )
+            stored = l2.get(dkey, expect=float, kind="tail")
+            if stored is not None:
+                sp.set("source", "l2")
+                obs.add("tail.l2_hits")
+                _TAIL_CACHE[key] = stored
+                return stored
 
-    tail = metrics.tail_latency_s(
-        service,
-        arrival_rate,
-        num_requests=fidelity.queue_requests,
-        warmup=fidelity.queue_warmup,
-        seed=fidelity.seed,
-    )
-    # The queueing run itself was validated inside tail_latency_s; this
-    # guards the extracted scalar before it reaches either cache layer.
-    validate.report(
-        validate.check_tail_value(
-            tail, subject=f"tail:{design.name}/{workload.name}"
+        sp.set("source", "simulate")
+        obs.add("tail.computes")
+        tail = metrics.tail_latency_s(
+            service,
+            arrival_rate,
+            num_requests=fidelity.queue_requests,
+            warmup=fidelity.queue_warmup,
+            seed=fidelity.seed,
         )
-    )
-    _TAIL_CACHE[key] = tail
-    if l2 is not None and dkey is not None:
-        l2.put(dkey, tail)
-    return tail
+        # The queueing run itself was validated inside tail_latency_s;
+        # this guards the extracted scalar before it reaches either cache
+        # layer.
+        validate.report(
+            validate.check_tail_value(
+                tail, subject=f"tail:{design.name}/{workload.name}"
+            )
+        )
+        _TAIL_CACHE[key] = tail
+        if l2 is not None and dkey is not None:
+            l2.put(dkey, tail)
+        return tail
 
 
 def clear_tail_cache() -> None:

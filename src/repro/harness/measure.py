@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro import validate
+from repro import obs, validate
 from repro.core.designs import Design, get_design
 from repro.core.server import Dyad
 from repro.harness import cache as disk_cache
@@ -66,38 +66,47 @@ def measure(
     if isinstance(design, str):
         design = get_design(design)
     key = (design.name, workload.name, fidelity.cache_token())
-    cached = _CACHE.get(key)
-    if cached is not None:
-        return cached
+    with obs.span(
+        "measure", design=design.name, workload=workload.name
+    ) as sp:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            sp.set("source", "l1")
+            obs.add("measure.l1_hits")
+            return cached
 
-    l2 = disk_cache.get_cache()
-    dkey = None
-    if l2 is not None:
-        # Content-addressed on the *full* design/workload/fidelity
-        # parameter sets, so renamed-but-different configurations can
-        # never alias and parameter tweaks invalidate naturally.
-        dkey = l2.key(
-            "measure", design=design, workload=workload, fidelity=fidelity
+        l2 = disk_cache.get_cache()
+        dkey = None
+        if l2 is not None:
+            # Content-addressed on the *full* design/workload/fidelity
+            # parameter sets, so renamed-but-different configurations can
+            # never alias and parameter tweaks invalidate naturally.
+            dkey = l2.key(
+                "measure", design=design, workload=workload, fidelity=fidelity
+            )
+            stored = l2.get(dkey, expect=CoreMeasurement, kind="measure")
+            if stored is not None:
+                sp.set("source", "l2")
+                obs.add("measure.l2_hits")
+                _CACHE[key] = stored
+                return stored
+
+        sp.set("source", "simulate")
+        obs.add("measure.computes")
+        if design.is_smt:
+            result = _measure_smt(design, workload, fidelity)
+        else:
+            result = _measure_dyad(design, workload, fidelity)
+        # Invariant check *before* the result reaches either cache layer:
+        # in strict mode a violating measurement raises here and is never
+        # memoized or persisted.
+        validate.dispatch(
+            result, subject=f"measure:{design.name}/{workload.name}"
         )
-        stored = l2.get(dkey, expect=CoreMeasurement)
-        if stored is not None:
-            _CACHE[key] = stored
-            return stored
-
-    if design.is_smt:
-        result = _measure_smt(design, workload, fidelity)
-    else:
-        result = _measure_dyad(design, workload, fidelity)
-    # Invariant check *before* the result reaches either cache layer: in
-    # strict mode a violating measurement raises here and is never
-    # memoized or persisted.
-    validate.dispatch(
-        result, subject=f"measure:{design.name}/{workload.name}"
-    )
-    _CACHE[key] = result
-    if l2 is not None and dkey is not None:
-        l2.put(dkey, result)
-    return result
+        _CACHE[key] = result
+        if l2 is not None and dkey is not None:
+            l2.put(dkey, result)
+        return result
 
 
 def clear_cache() -> None:
@@ -117,15 +126,20 @@ def _measure_dyad(
         filler_trace_instructions=fidelity.filler_trace_instructions,
         time_scale=fidelity.time_scale,
     )
-    sim = dyad.simulate(
-        num_requests=fidelity.num_requests,
-        warmup_requests=fidelity.warmup_requests,
-        run_lender=True,
-        lender_instructions=fidelity.lender_instructions,
-        prewarm_filler_cycles=fidelity.prewarm_filler_cycles,
-    )
-    r = sim.dyad
-    idle_ipc = dyad.idle_fill_ipc(cycles=30_000) if design.morphs else 0.0
+    cycles0 = obs.value("engine.cycles")
+    instr0 = obs.value("engine.instructions")
+    with obs.span("engine", kind="dyad", design=design.name) as sp:
+        sim = dyad.simulate(
+            num_requests=fidelity.num_requests,
+            warmup_requests=fidelity.warmup_requests,
+            run_lender=True,
+            lender_instructions=fidelity.lender_instructions,
+            prewarm_filler_cycles=fidelity.prewarm_filler_cycles,
+        )
+        r = sim.dyad
+        idle_ipc = dyad.idle_fill_ipc(cycles=30_000) if design.morphs else 0.0
+        sp.set("cycles", obs.value("engine.cycles") - cycles0)
+        sp.set("instructions", obs.value("engine.instructions") - instr0)
     lender_ipc = sim.lender.ipc if sim.lender is not None else 0.0
     return CoreMeasurement(
         design_name=design.name,
@@ -189,7 +203,14 @@ def _measure_smt_once(
         fidelity.num_requests + fidelity.warmup_requests
     )
     warmup = int(len(master_trace) * warmup_fraction)
-    result = model.run([master_trace, batch], warmup_instructions=warmup)
+    cycles0 = obs.value("engine.cycles")
+    instr0 = obs.value("engine.instructions")
+    with obs.span(
+        "engine", kind="smt", design=design.name, replica=replica
+    ) as sp:
+        result = model.run([master_trace, batch], warmup_instructions=warmup)
+        sp.set("cycles", obs.value("engine.cycles") - cycles0)
+        sp.set("instructions", obs.value("engine.instructions") - instr0)
 
     cycles = result.engine.cycles
     master_instr = result.thread_instructions[0]

@@ -31,7 +31,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
-from repro import validate
+from repro import obs, validate
 from repro.core.designs import DESIGN_NAMES
 from repro.harness import cache as disk_cache
 from repro.harness.cache import CacheStats
@@ -99,32 +99,71 @@ def run_grid_cells(
     load_tuple = tuple(loads)
     start = time.perf_counter()
 
-    if workers > 1 and len(workload_list) > 1:
-        outcome = _run_pooled(
-            design_names, workload_list, load_tuple, fidelity, workers, stats
-        )
-    else:
-        outcome = None
-    if outcome is None:
-        outcome = _run_serial(
-            design_names, workload_list, load_tuple, fidelity, stats
-        )
+    with obs.span(
+        "grid",
+        workers=max(1, workers),
+        designs=len(design_names),
+        workloads=len(workload_list),
+        loads=len(load_tuple),
+        fidelity=fidelity.name,
+    ) as grid_span:
+        if workers > 1 and len(workload_list) > 1:
+            outcome = _run_pooled(
+                design_names, workload_list, load_tuple, fidelity, workers, stats
+            )
+        else:
+            outcome = None
+        if outcome is None:
+            outcome = _run_serial(
+                design_names, workload_list, load_tuple, fidelity, stats
+            )
 
-    results: list[CellResult] = []
-    timings: list[CellTiming] = []
-    for chunk_results, chunk_timings in outcome:
-        results.extend(chunk_results)
-        timings.extend(chunk_timings)
-    # Per-cell range invariants plus the cross-cell grid laws (baseline
-    # ratios exactly 1.0, tails monotone in load) over the whole sweep —
-    # this also covers cells served from the caches, which the
-    # measure()/_tail() hooks only validate at compute time.
-    validate.dispatch(results, subject="grid")
+        results: list[CellResult] = []
+        timings: list[CellTiming] = []
+        for chunk_results, chunk_timings in outcome:
+            results.extend(chunk_results)
+            timings.extend(chunk_timings)
+        # Per-cell range invariants plus the cross-cell grid laws
+        # (baseline ratios exactly 1.0, tails monotone in load) over the
+        # whole sweep — this also covers cells served from the caches,
+        # which the measure()/_tail() hooks only validate at compute
+        # time.
+        validate.dispatch(results, subject="grid")
+        grid_span.set("cells", len(results))
+        obs.add("grid.runs")
+        obs.add("grid.cells", len(results))
     if stats is not None:
         stats.workers = max(1, workers)
         stats.wall_s = time.perf_counter() - start
         stats.timings.extend(timings)
     return results
+
+
+def run_single_cell(
+    design,
+    workload: Microservice,
+    load: float,
+    fidelity: Fidelity = FAST,
+    stats: GridRunStats | None = None,
+) -> "CellResult":
+    """Evaluate one cell through the full grid machinery.
+
+    This is the single-figure/CLI path: a one-cell sweep through
+    :func:`run_grid_cells`, so it emits exactly the same
+    :class:`GridRunStats` bookkeeping (wall time, per-cell timing,
+    disk-cache deltas) and the same span tree
+    (``grid -> chunk -> cell``) as a grid run — previously the CLI
+    hand-rolled a divergent copy of this logic.
+    """
+    results = run_grid_cells(
+        designs=[_design_name(design)],
+        workloads=[workload],
+        loads=(float(load),),
+        fidelity=fidelity,
+        workers=1,
+        stats=stats,
+    )
+    return results[0]
 
 
 # ----------------------------------------------------------------------
@@ -147,18 +186,33 @@ def _evaluate_chunk(
 
     results = []
     timings = []
-    for design_name in design_names:
-        for load in loads:
-            cell_start = time.perf_counter()
-            results.append(run_cell(design_name, workload, load, fidelity))
-            timings.append(
-                CellTiming(
-                    design_name=design_name,
-                    workload_name=workload.name,
+    with obs.span(
+        "chunk",
+        workload=workload.name,
+        designs=len(design_names),
+        loads=len(loads),
+    ):
+        for design_name in design_names:
+            for load in loads:
+                with obs.span(
+                    "cell",
+                    design=design_name,
+                    workload=workload.name,
                     load=load,
-                    wall_s=time.perf_counter() - cell_start,
+                ):
+                    cell_start = time.perf_counter()
+                    results.append(
+                        run_cell(design_name, workload, load, fidelity)
+                    )
+                    wall_s = time.perf_counter() - cell_start
+                timings.append(
+                    CellTiming(
+                        design_name=design_name,
+                        workload_name=workload.name,
+                        load=load,
+                        wall_s=wall_s,
+                    )
                 )
-            )
     return results, timings
 
 
@@ -168,14 +222,23 @@ def _worker_chunk(
     loads: tuple[float, ...],
     fidelity: Fidelity,
     cache_config: dict,
+    obs_config: dict,
 ):
     """Pool-worker entry point: evaluate one chunk under the parent's
-    cache configuration and report the worker-side cache counters."""
+    cache/observability configuration and report the worker-side cache
+    and observation deltas.
+
+    Pool workers are reused across chunks, so both reports are *deltas*
+    from a pre-chunk snapshot (the ``CacheStats.since()`` discipline) —
+    absolute totals would double-count earlier chunks on merge.
+    """
     disk_cache.configure(**cache_config)
+    obs.configure_worker(obs_config)
     before = disk_cache.stats_snapshot()
+    obs_mark = obs.mark()
     results, timings = _evaluate_chunk(design_names, workload, loads, fidelity)
     delta = disk_cache.stats_snapshot().since(before)
-    return results, timings, delta
+    return results, timings, delta, obs.delta_since(obs_mark)
 
 
 def _run_serial(
@@ -205,6 +268,7 @@ def _run_pooled(
 ):
     """Fan chunks out over a pool; ``None`` means "fall back to serial"."""
     cache_config = disk_cache.current_config()
+    obs_config = obs.config_for_worker()
     max_workers = min(workers, len(workloads))
     try:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
@@ -216,19 +280,22 @@ def _run_pooled(
                     loads,
                     fidelity,
                     cache_config,
+                    obs_config,
                 )
                 for workload in workloads
             ]
             # Gathered in submission order: deterministic result order.
             chunks = []
             for future in futures:
-                results, timings, delta = future.result()
+                results, timings, delta, obs_delta = future.result()
                 chunks.append((results, timings))
                 if stats is not None:
                     stats.disk.merge(delta)
+                obs.merge_delta(obs_delta)
     except (BrokenProcessPool, pickle.PicklingError, OSError):
         if stats is not None:
             stats.serial_fallbacks += 1
+        obs.add("grid.serial_fallbacks")
         return None
     return chunks
 
@@ -237,4 +304,5 @@ __all__ = [
     "CellTiming",
     "GridRunStats",
     "run_grid_cells",
+    "run_single_cell",
 ]

@@ -48,9 +48,20 @@ def format_grid_stats(stats: "GridRunStats") -> str:
         ["disk cache misses", stats.disk.misses],
         ["disk cache writes", stats.disk.writes],
         ["disk cache evictions", stats.disk.evictions],
+        ["disk cache errors", stats.disk.errors],
         ["disk cache hit rate", stats.disk.hit_rate],
-        ["serial fallbacks", stats.serial_fallbacks],
     ]
+    for kind in stats.disk.kinds():
+        hits = stats.disk.kind_hits.get(kind, 0)
+        misses = stats.disk.kind_misses.get(kind, 0)
+        rows.append(
+            [
+                f"disk cache [{kind}] hit rate",
+                f"{stats.disk.kind_hit_rate(kind):.3f}"
+                f" ({hits}/{hits + misses})",
+            ]
+        )
+    rows.append(["serial fallbacks", stats.serial_fallbacks])
     for timing in stats.slowest(3):
         rows.append(
             [

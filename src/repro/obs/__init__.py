@@ -1,0 +1,551 @@
+"""End-to-end tracing and metrics for the reproduction pipeline.
+
+Every headline number flows through three stages (core simulation ->
+M/G/1 tail queueing -> figure grids); this package makes that pipeline
+observable without perturbing it:
+
+* **Spans** — hierarchical wall-time intervals (``grid`` -> ``chunk``
+  -> ``cell`` -> ``measure``/``tail`` -> ``engine``/``mg1``) with
+  arbitrary attributes, recorded via the :func:`span` context manager.
+* **Counters / gauges** — process-wide monotonic counters
+  (instructions retired, cycles simulated, requests completed, morph
+  events, cache hits/misses/errors, validation violations, serial
+  fallbacks, ...) via :func:`add` / :func:`gauge`.
+* **Events** — point-in-time records (e.g. every invariant violation
+  reported by :mod:`repro.validate`) via :func:`event`.
+* **Worker deltas** — pool workers capture their spans/counters with
+  :func:`mark` / :func:`delta_since` and ship an :class:`ObsDelta` back
+  to the parent, which grafts it into its own trace with
+  :func:`merge_delta` — the same snapshot/delta discipline the disk
+  cache's ``CacheStats.since()`` uses, so pooled runs aggregate
+  deterministically (chunks are merged in submission order).
+* **Exporters** — a JSONL trace stream (``REPRO_TRACE=path`` or
+  ``--trace``; one JSON object per line: manifest, spans, events, and a
+  final counters record) and a Prometheus-style text rendering
+  (``python -m repro report``) in :mod:`repro.obs.export`, plus the
+  per-run manifest of :mod:`repro.obs.manifest`.
+
+The layer is **off by default and near-free when off**: every public
+entry point first checks a module-level flag and returns immediately
+(spans hand back a shared no-op singleton).  Enabling observability
+never changes simulation results — no RNG is touched, only wall clocks
+are read — which the golden-equivalence tests pin down.
+
+Enable programmatically with :func:`enable` (optionally streaming to a
+trace file), from the environment with :func:`enable_from_env`
+(``REPRO_OBS=1`` captures in memory; ``REPRO_TRACE=path`` also
+streams), and tear down with :func:`disable`.  The module is
+process-local and single-threaded by design, matching the harness
+(parallelism happens across processes, never threads).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = [
+    "ObsDelta",
+    "ObsMark",
+    "SpanRecord",
+    "EventRecord",
+    "add",
+    "config_for_worker",
+    "configure_worker",
+    "counters",
+    "current_span_id",
+    "delta_since",
+    "disable",
+    "enable",
+    "enable_from_env",
+    "event",
+    "events",
+    "gauge",
+    "gauges",
+    "is_enabled",
+    "mark",
+    "merge_delta",
+    "reset",
+    "span",
+    "spans",
+    "value",
+]
+
+#: Version of the JSONL trace / manifest record layout.
+TRACE_SCHEMA = 1
+
+
+# ----------------------------------------------------------------------
+# Records
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span: a named wall-time interval in the run tree."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    #: Wall-clock start (unix epoch seconds) — for humans and tooling.
+    ts: float
+    #: Monotonic duration in seconds.
+    dur_s: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_json_obj(self) -> dict[str, Any]:
+        return {
+            "type": "span",
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "ts": self.ts,
+            "dur_s": self.dur_s,
+            "attrs": self.attrs,
+        }
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One point-in-time event (e.g. a validation violation)."""
+
+    name: str
+    ts: float
+    span_id: int | None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_json_obj(self) -> dict[str, Any]:
+        return {
+            "type": "event",
+            "name": self.name,
+            "ts": self.ts,
+            "span": self.span_id,
+            "attrs": self.attrs,
+        }
+
+
+@dataclass(frozen=True)
+class ObsMark:
+    """A point in this process's observation streams (see :func:`mark`)."""
+
+    counters: dict[str, float]
+    gauges: dict[str, float]
+    num_spans: int
+    num_events: int
+
+
+@dataclass(frozen=True)
+class ObsDelta:
+    """Everything observed after an :class:`ObsMark` — picklable, so pool
+    workers can return it alongside their chunk results."""
+
+    counters: dict[str, float]
+    gauges: dict[str, float]
+    spans: tuple[SpanRecord, ...]
+    events: tuple[EventRecord, ...]
+
+    @property
+    def empty(self) -> bool:
+        return not (self.counters or self.gauges or self.spans or self.events)
+
+
+# ----------------------------------------------------------------------
+# Process-wide state (single-threaded by design, like the harness)
+# ----------------------------------------------------------------------
+
+_enabled: bool = False
+_counters: dict[str, float] = {}
+_gauges: dict[str, float] = {}
+_spans: list[SpanRecord] = []
+_events: list[EventRecord] = []
+_stack: list[int] = []
+_next_id: int = 1
+_writer: "_TraceWriter | None" = None
+
+
+def is_enabled() -> bool:
+    """Whether observation is active (the no-op fast path checks this)."""
+    return _enabled
+
+
+def enable(
+    trace_path: str | os.PathLike[str] | None = None,
+    manifest: dict[str, Any] | None = None,
+) -> None:
+    """Turn observation on (idempotent).
+
+    With ``trace_path``, records additionally stream to a JSONL file as
+    they complete; ``manifest`` (see :mod:`repro.obs.manifest`) is then
+    written as the file's first record.
+    """
+    global _enabled, _writer
+    _enabled = True
+    if trace_path is not None and _writer is None:
+        _writer = _TraceWriter(trace_path)
+        if manifest is not None:
+            _writer.write({"type": "manifest", **manifest})
+
+
+def disable() -> None:
+    """Turn observation off and finalize any trace stream.
+
+    The trace receives a closing ``{"type": "counters"}`` record with
+    the final counter/gauge totals, so ``python -m repro report`` can
+    render metrics from the file alone.  Buffers are kept for
+    programmatic inspection; :func:`reset` clears them.
+    """
+    global _enabled, _writer
+    if _writer is not None:
+        _writer.write(
+            {"type": "counters", "counters": dict(_counters), "gauges": dict(_gauges)}
+        )
+        _writer.close()
+        _writer = None
+    _enabled = False
+
+
+def reset() -> None:
+    """Clear all recorded state (counters, spans, events, id allocator)."""
+    global _next_id
+    disable()
+    _counters.clear()
+    _gauges.clear()
+    _spans.clear()
+    _events.clear()
+    _stack.clear()
+    _next_id = 1
+
+
+def enable_from_env() -> bool:
+    """Enable per ``REPRO_TRACE`` (stream to that path) or ``REPRO_OBS``
+    (in-memory capture only).  Returns whether observation is now on."""
+    trace = os.environ.get("REPRO_TRACE")
+    if trace:
+        enable(trace_path=trace)
+        return True
+    if os.environ.get("REPRO_OBS", "").strip().lower() in ("1", "true", "on", "yes"):
+        enable()
+        return True
+    return _enabled
+
+
+def trace_path() -> Path | None:
+    """The active trace stream's path, if one is attached."""
+    return _writer.path if _writer is not None else None
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out while observation is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """A live span: records itself to the buffer (and trace) on exit."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "ts", "_t0")
+
+    def __init__(self, name: str, attrs: dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        global _next_id
+        self.span_id = _next_id
+        _next_id += 1
+        self.parent_id = _stack[-1] if _stack else None
+        _stack.append(self.span_id)
+        self.ts = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def set(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        dur = time.perf_counter() - self._t0
+        if _stack and _stack[-1] == self.span_id:
+            _stack.pop()
+        elif self.span_id in _stack:  # defensive: mis-nested exit
+            _stack.remove(self.span_id)
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        _record_span(
+            SpanRecord(
+                name=self.name,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                ts=self.ts,
+                dur_s=dur,
+                attrs=self.attrs,
+            )
+        )
+        return False
+
+
+def span(name: str, **attrs: Any):
+    """Open a span; use as ``with obs.span("cell", load=0.5) as sp:``.
+
+    Returns a shared no-op when observation is off, so instrumentation
+    sites pay one call and a flag check.  ``sp.set(key, value)`` attaches
+    attributes discovered mid-span (e.g. cache-hit source).
+    """
+    if not _enabled:
+        return _NOOP_SPAN
+    return _Span(name, attrs)
+
+
+def current_span_id() -> int | None:
+    """Id of the innermost open span (None outside any span)."""
+    return _stack[-1] if _stack else None
+
+
+def _record_span(rec: SpanRecord) -> None:
+    _spans.append(rec)
+    if _writer is not None:
+        _writer.write(rec.to_json_obj())
+
+
+# ----------------------------------------------------------------------
+# Counters, gauges, events
+# ----------------------------------------------------------------------
+
+
+def add(name: str, value: float = 1.0) -> None:
+    """Increment a monotonic counter (no-op while observation is off)."""
+    if not _enabled:
+        return
+    _counters[name] = _counters.get(name, 0.0) + value
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a point-in-time gauge to its latest value."""
+    if not _enabled:
+        return
+    _gauges[name] = value
+
+
+def value(name: str) -> float:
+    """Current value of a counter (0.0 when absent or while off)."""
+    return _counters.get(name, 0.0)
+
+
+def counters() -> dict[str, float]:
+    return dict(_counters)
+
+
+def gauges() -> dict[str, float]:
+    return dict(_gauges)
+
+
+def spans() -> list[SpanRecord]:
+    return list(_spans)
+
+
+def events() -> list[EventRecord]:
+    return list(_events)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record a point-in-time event under the current span."""
+    if not _enabled:
+        return
+    rec = EventRecord(
+        name=name, ts=time.time(), span_id=current_span_id(), attrs=attrs
+    )
+    _events.append(rec)
+    if _writer is not None:
+        _writer.write(rec.to_json_obj())
+
+
+# ----------------------------------------------------------------------
+# Worker deltas (cross-process aggregation)
+# ----------------------------------------------------------------------
+
+
+def mark() -> ObsMark:
+    """Snapshot the observation streams (cheap; copies the counter maps)."""
+    return ObsMark(
+        counters=dict(_counters),
+        gauges=dict(_gauges),
+        num_spans=len(_spans),
+        num_events=len(_events),
+    )
+
+
+def delta_since(before: ObsMark) -> ObsDelta:
+    """Everything recorded after ``before`` — ship this from pool workers
+    (workers are reused across chunks, so absolute totals would
+    double-count; deltas compose exactly)."""
+    counter_delta = {}
+    for name, total in _counters.items():
+        d = total - before.counters.get(name, 0.0)
+        if d:
+            counter_delta[name] = d
+    gauge_delta = {
+        name: v
+        for name, v in _gauges.items()
+        if before.gauges.get(name) != v
+    }
+    return ObsDelta(
+        counters=counter_delta,
+        gauges=gauge_delta,
+        spans=tuple(_spans[before.num_spans :]),
+        events=tuple(_events[before.num_events :]),
+    )
+
+
+def merge_delta(delta: ObsDelta) -> None:
+    """Graft a worker's :class:`ObsDelta` into this process's streams.
+
+    Span ids are remapped through this process's allocator (worker-local
+    ids would collide across workers); spans whose parent closed inside
+    the worker keep their structure, and worker-root spans are adopted by
+    the currently open span (the grid span, during a pooled sweep).
+    Counters sum; gauges take the worker's latest value.  Merging in
+    submission order keeps the combined stream deterministic.
+    """
+    global _next_id
+    if not _enabled:
+        return
+    for name, v in delta.counters.items():
+        _counters[name] = _counters.get(name, 0.0) + v
+    _gauges.update(delta.gauges)
+    if not delta.spans and not delta.events:
+        return
+    adopt_parent = current_span_id()
+    id_map: dict[int, int] = {}
+    for rec in delta.spans:
+        id_map[rec.span_id] = _next_id
+        _next_id += 1
+    for rec in delta.spans:
+        _record_span(
+            SpanRecord(
+                name=rec.name,
+                span_id=id_map[rec.span_id],
+                parent_id=(
+                    id_map[rec.parent_id]
+                    if rec.parent_id in id_map
+                    else adopt_parent
+                ),
+                ts=rec.ts,
+                dur_s=rec.dur_s,
+                attrs=rec.attrs,
+            )
+        )
+    for ev in delta.events:
+        rec = EventRecord(
+            name=ev.name,
+            ts=ev.ts,
+            span_id=(
+                id_map[ev.span_id] if ev.span_id in id_map else adopt_parent
+            ),
+            attrs=ev.attrs,
+        )
+        _events.append(rec)
+        if _writer is not None:
+            _writer.write(rec.to_json_obj())
+
+
+def config_for_worker() -> dict[str, Any]:
+    """The parent's observation config, in :func:`configure_worker` form.
+
+    Workers never stream to the parent's trace file (interleaved appends
+    from many processes would corrupt it); they capture in memory and
+    return an :class:`ObsDelta`, which the parent writes out on merge.
+    """
+    return {"enabled": _enabled}
+
+
+def configure_worker(config: dict[str, Any]) -> None:
+    """Apply a parent's :func:`config_for_worker` inside a pool worker.
+
+    A *forked* worker inherits the parent's module state, including an
+    open trace writer sharing the parent's file offset — writing through
+    it would interleave with (and clobber) the parent's records.  The
+    inherited writer object is abandoned without flush or close; the
+    worker captures in memory only and ships an :class:`ObsDelta` back.
+    """
+    global _writer
+    _writer = None
+    if config.get("enabled"):
+        enable()
+
+
+# ----------------------------------------------------------------------
+# Trace stream
+# ----------------------------------------------------------------------
+
+
+def _json_default(obj: Any) -> Any:
+    """Last-resort JSON coercion for attribute values (numpy scalars...)."""
+    for typ in (int, float):
+        try:
+            return typ(obj)
+        except (TypeError, ValueError):
+            continue
+    return repr(obj)
+
+
+class _TraceWriter:
+    """Line-per-record JSON writer for the ``REPRO_TRACE`` stream."""
+
+    def __init__(self, path: str | os.PathLike[str]):
+        self.path = Path(path)
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", encoding="utf-8")
+
+    def write(self, obj: dict[str, Any]) -> None:
+        self._fh.write(
+            json.dumps(obj, sort_keys=True, default=_json_default) + "\n"
+        )
+        # Per-record flush keeps the stream tail-able and — critically —
+        # leaves nothing in the stdio buffer for a forked pool worker to
+        # inherit and re-flush at exit (duplicated records).
+        self._fh.flush()
+
+    def close(self) -> None:
+        try:
+            self._fh.flush()
+        finally:
+            self._fh.close()
+
+
+# ----------------------------------------------------------------------
+# Introspection helpers (used by tests and the exporters)
+# ----------------------------------------------------------------------
+
+
+def span_tree_edges(records: Iterator[SpanRecord] | None = None):
+    """Multiset of (span name, parent span name) edges — the shape of the
+    span tree, invariant under id remapping and ordering.  Roots pair
+    with ``None``."""
+    recs = list(records) if records is not None else list(_spans)
+    names = {r.span_id: r.name for r in recs}
+    edges: dict[tuple[str, str | None], int] = {}
+    for r in recs:
+        edge = (r.name, names.get(r.parent_id))
+        edges[edge] = edges.get(edge, 0) + 1
+    return edges

@@ -1,0 +1,191 @@
+"""Trace reading and metric export.
+
+Two machine-facing outputs hang off the observation layer:
+
+* the **JSONL trace** written live by :mod:`repro.obs` (one JSON object
+  per line: a manifest record, then span/event records as they
+  complete, then a final counters record) — :func:`read_trace` parses
+  it back, tolerating truncated tails from interrupted runs;
+* a **Prometheus-style text dump** — :func:`render_prometheus` turns a
+  :class:`TraceSummary` into ``# TYPE``-annotated metric lines
+  (counters as ``repro_<name>_total``, gauges as ``repro_<name>``, span
+  aggregates as ``repro_span_count``/``repro_span_seconds_total`` and
+  event totals as ``repro_event_count``, labelled by name), which is
+  what ``python -m repro report`` prints.
+
+A summary can come from a trace file (:func:`summarize_trace`) or from
+the live in-process state (:func:`summarize_live`), so the CLI can
+report on the run it just finished even without a trace file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro import obs
+
+_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+@dataclass
+class SpanAggregate:
+    """Count and total duration of one span name across a run."""
+
+    count: int = 0
+    total_s: float = 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything the metrics report needs, from a trace or live state."""
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    span_aggregates: dict[str, SpanAggregate] = field(default_factory=dict)
+    event_counts: dict[str, int] = field(default_factory=dict)
+    manifest: dict[str, Any] | None = None
+    num_records: int = 0
+
+
+def read_trace(path: str | os.PathLike[str]) -> list[dict[str, Any]]:
+    """Parse a JSONL trace.  Malformed lines (a torn final line from an
+    interrupted run) are skipped rather than fatal."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(obj, dict):
+                records.append(obj)
+    return records
+
+
+def summarize_records(records: list[dict[str, Any]]) -> TraceSummary:
+    """Fold trace records into a :class:`TraceSummary`.
+
+    The final ``counters`` record wins for counter/gauge totals (there
+    is one per completed run); span and event records are aggregated by
+    name.
+    """
+    summary = TraceSummary(num_records=len(records))
+    for obj in records:
+        kind = obj.get("type")
+        if kind == "span":
+            agg = summary.span_aggregates.setdefault(
+                str(obj.get("name")), SpanAggregate()
+            )
+            agg.count += 1
+            agg.total_s += float(obj.get("dur_s", 0.0))
+        elif kind == "event":
+            name = str(obj.get("name"))
+            summary.event_counts[name] = summary.event_counts.get(name, 0) + 1
+        elif kind == "counters":
+            counters = obj.get("counters")
+            if isinstance(counters, dict):
+                summary.counters = {str(k): float(v) for k, v in counters.items()}
+            gauges = obj.get("gauges")
+            if isinstance(gauges, dict):
+                summary.gauges = {str(k): float(v) for k, v in gauges.items()}
+        elif kind == "manifest":
+            summary.manifest = {k: v for k, v in obj.items() if k != "type"}
+    return summary
+
+
+def summarize_trace(path: str | os.PathLike[str]) -> TraceSummary:
+    return summarize_records(read_trace(path))
+
+
+def summarize_live() -> TraceSummary:
+    """Summary of the current process's in-memory observation state."""
+    summary = TraceSummary(counters=obs.counters(), gauges=obs.gauges())
+    for rec in obs.spans():
+        agg = summary.span_aggregates.setdefault(rec.name, SpanAggregate())
+        agg.count += 1
+        agg.total_s += rec.dur_s
+    for ev in obs.events():
+        summary.event_counts[ev.name] = summary.event_counts.get(ev.name, 0) + 1
+    return summary
+
+
+def _metric_name(name: str) -> str:
+    return _METRIC_CHARS.sub("_", name)
+
+
+def _fmt_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(summary: TraceSummary) -> str:
+    """Prometheus text-exposition rendering of a :class:`TraceSummary`."""
+    lines: list[str] = []
+    for name in sorted(summary.counters):
+        metric = f"repro_{_metric_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt_value(summary.counters[name])}")
+    for name in sorted(summary.gauges):
+        metric = f"repro_{_metric_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt_value(summary.gauges[name])}")
+    if summary.span_aggregates:
+        lines.append("# TYPE repro_span_count counter")
+        lines.append("# TYPE repro_span_seconds_total counter")
+        for name in sorted(summary.span_aggregates):
+            agg = summary.span_aggregates[name]
+            lines.append(f'repro_span_count{{name="{name}"}} {agg.count}')
+            lines.append(
+                f'repro_span_seconds_total{{name="{name}"}} {agg.total_s:.6f}'
+            )
+    if summary.event_counts:
+        lines.append("# TYPE repro_event_count counter")
+        for name in sorted(summary.event_counts):
+            lines.append(
+                f'repro_event_count{{name="{name}"}} {summary.event_counts[name]}'
+            )
+    if not lines:
+        return "# no metrics recorded"
+    return "\n".join(lines)
+
+
+def render_report(path: str | os.PathLike[str]) -> str:
+    """The ``python -m repro report`` body for one trace file: a short
+    manifest header plus the Prometheus metrics dump."""
+    summary = summarize_trace(path)
+    header = [f"# trace: {path} ({summary.num_records} records)"]
+    if summary.manifest:
+        pkg = summary.manifest.get("package") or {}
+        fidelity = summary.manifest.get("fidelity")
+        fidelity_name = (
+            fidelity.get("name") if isinstance(fidelity, dict) else fidelity
+        )
+        header.append(
+            "# manifest: "
+            f"target={summary.manifest.get('target')}"
+            f" fidelity={fidelity_name}"
+            f" version={pkg.get('version')}"
+            f" schema={summary.manifest.get('cache_schema_version')}"
+        )
+    return "\n".join(header) + "\n" + render_prometheus(summary)
+
+
+__all__ = [
+    "SpanAggregate",
+    "TraceSummary",
+    "read_trace",
+    "render_prometheus",
+    "render_report",
+    "summarize_live",
+    "summarize_records",
+    "summarize_trace",
+]

@@ -1,0 +1,122 @@
+"""Per-run manifests: what exactly produced a set of results.
+
+A manifest freezes everything needed to interpret (or re-run) one
+invocation: the fidelity knobs and root seed, the result-cache schema
+version, the package version, host information, and every ``REPRO_*``
+environment override in effect.  The CLI writes one next to each trace
+(``--trace out.jsonl`` -> ``out.manifest.json``) and embeds the same
+record as the trace's first line, so a trace file is self-describing
+even if the sidecar is lost.
+
+Writes are atomic (temp file + ``os.replace`` in the destination
+directory), matching the discipline of :mod:`repro.harness.cache` —
+readers, including concurrent jobs, never observe a partial manifest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+#: Version of the manifest record layout.
+MANIFEST_SCHEMA = 1
+
+
+def build_manifest(
+    target: str | None = None,
+    fidelity: Any = None,
+    argv: list[str] | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the manifest dict for one run.
+
+    ``fidelity`` may be a :class:`~repro.harness.fidelity.Fidelity` (its
+    knobs are expanded field-by-field) or any JSON-serializable value.
+    """
+    import repro
+    from repro.harness import cache as disk_cache
+
+    if dataclasses.is_dataclass(fidelity) and not isinstance(fidelity, type):
+        fidelity_obj: Any = dataclasses.asdict(fidelity)
+        seed = getattr(fidelity, "seed", None)
+    else:
+        fidelity_obj = fidelity
+        seed = None
+    manifest: dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "created_unix": time.time(),
+        "package": {"name": "repro", "version": repro.__version__},
+        "cache_schema_version": disk_cache.SCHEMA_VERSION,
+        "target": target,
+        "argv": list(argv) if argv is not None else None,
+        "fidelity": fidelity_obj,
+        "seed": seed,
+        "host": {
+            "hostname": platform.node(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "env_overrides": {
+            k: v for k, v in sorted(os.environ.items()) if k.startswith("REPRO_")
+        },
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def manifest_path_for(trace_path: str | os.PathLike[str]) -> Path:
+    """The sidecar manifest path for a trace file.
+
+    ``out.jsonl`` -> ``out.manifest.json``; paths without a recognised
+    trace suffix get ``.manifest.json`` appended.
+    """
+    path = Path(trace_path)
+    if path.suffix in (".jsonl", ".json", ".trace"):
+        return path.with_suffix(".manifest.json")
+    return path.with_name(path.name + ".manifest.json")
+
+
+def write_manifest(
+    path: str | os.PathLike[str], manifest: dict[str, Any]
+) -> Path:
+    """Atomically publish ``manifest`` as JSON at ``path``."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(manifest, indent=1, sort_keys=True, default=repr) + "\n"
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent or None, prefix=".tmp-manifest-", suffix=".json"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_manifest(path: str | os.PathLike[str]) -> dict[str, Any]:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "load_manifest",
+    "manifest_path_for",
+    "write_manifest",
+]

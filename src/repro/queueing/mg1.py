@@ -26,6 +26,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro import obs
 from repro.common.distributions import Distribution
 
 
@@ -175,6 +176,15 @@ class MG1Simulator:
             raise ValueError("need a positive number of requests")
         if not 0 <= warmup < num_requests:
             raise ValueError("warmup must be in [0, num_requests)")
+        with obs.span(
+            "mg1",
+            rate=float(self.arrival_rate),
+            requests=int(num_requests),
+            warmup=int(warmup),
+        ):
+            return self._run(num_requests, warmup)
+
+    def _run(self, num_requests: int, warmup: int) -> QueueResult:
         rng = np.random.default_rng(self.seed)
         inter_arrivals = rng.exponential(1.0 / self.arrival_rate, size=num_requests)
 
@@ -216,6 +226,8 @@ class MG1Simulator:
         last_departure = arrival + backlog
         duration = float(last_departure - window_start)
         busy = float(waits[warmup] + services[warmup:].sum())
+        obs.add("mg1.runs")
+        obs.add("mg1.requests_completed", num_requests - warmup)
         return QueueResult(
             wait_times=waits[warmup:],
             service_times=services[warmup:],

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
+
 #: Two-sided z value for a 95% confidence interval.
 Z_95 = 1.959963984540054
 
@@ -169,6 +171,10 @@ def simulate_until_converged(
         samples = buf[:total]
         estimate = batch_means_percentile(samples, q, batches=min(20, i + 1))
         if estimate.converged(target_relative_error):
+            obs.add("queueing.segments", i + 1)
+            obs.add("queueing.converged_runs")
             return estimate, samples.copy()
     assert estimate is not None
+    obs.add("queueing.segments", max_segments)
+    obs.add("queueing.exhausted_runs")
     return estimate, buf[:total].copy()

@@ -31,6 +31,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Protocol
 
+from repro import obs
 from repro.branch.btb import BranchTargetBuffer
 from repro.caches.hierarchy import MemoryHierarchy
 from repro.caches.tlb import TLB
@@ -240,6 +241,10 @@ class TimingEngine:
         self.now = 0
         self.instructions = 0
         self._prune_countdown = 4096
+        #: Optional progress callback ``heartbeat(engine)``, invoked from
+        #: the amortized bookkeeping block (every ~4096 instructions) so
+        #: long runs can report liveness without a per-instruction cost.
+        self.heartbeat = None
         # During run(until_cycle=...), no instruction may FETCH at or past
         # this cycle: filler work in flight at a window's end is squashed
         # by the master-thread's restart, so it must not be counted.
@@ -369,12 +374,20 @@ class TimingEngine:
             if stop_after_remote and status == _REMOTE_BLOCKED:
                 break
         self._fetch_limit = None
-        return EngineResult(
+        result = EngineResult(
             instructions=self.instructions - start_instructions,
             cycles=self.now - start_cycle,
             width=self.width,
             start_cycle=start_cycle,
         )
+        # run() fires once per co-simulation window (thousands of times
+        # per measurement), so it gets cheap counter totals only; span
+        # emission happens at the measure() level.
+        if obs.is_enabled():
+            obs.add("engine.runs")
+            obs.add("engine.instructions", result.instructions)
+            obs.add("engine.cycles", result.cycles)
+        return result
 
     # -- per-instruction model ---------------------------------------------
 
@@ -546,5 +559,7 @@ class TimingEngine:
             self.fetch_slots.retire_before(horizon)
             self.issue_slots.retire_before(horizon)
             self.commit_slots.retire_before(horizon)
+            if self.heartbeat is not None:
+                self.heartbeat(self)
 
         return status

@@ -65,6 +65,8 @@ from typing import Any, Iterator, Sequence
 
 import numpy as np
 
+from repro import obs
+
 #: Widest in-order HSMT datapath in the design space (lender-core and
 #: morphed master-core fill mode) — upper bound for filler/lender IPCs.
 MAX_BATCH_IPC = 8.0
@@ -193,6 +195,17 @@ def dispatch(result: Any, subject: str = "") -> list[Violation]:
 def report(violations: Sequence[Violation]) -> list[Violation]:
     """Route already-computed violations per the active mode."""
     violations = list(violations)
+    # Trace before mode handling so a strict-mode raise still leaves the
+    # violations on record in the trace/counters.
+    if violations and obs.is_enabled():
+        obs.add("validate.violations", len(violations))
+        for violation in violations:
+            obs.event(
+                "violation",
+                invariant=violation.invariant,
+                subject=violation.subject,
+                message=violation.message,
+            )
     if _collector is not None:
         _collector.extend(violations)
         return violations

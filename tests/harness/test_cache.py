@@ -207,3 +207,46 @@ class TestProcessDefault:
             assert current_config() == {"enabled": False}
         finally:
             configure(**previous)
+
+
+class TestKindStats:
+    def test_record_lookup_by_kind(self):
+        s = CacheStats()
+        s.record_lookup("measure", hit=True)
+        s.record_lookup("measure", hit=False)
+        s.record_lookup("tail", hit=True)
+        s.record_lookup(None, hit=True)  # untagged lookups stay aggregate-only
+        assert s.kinds() == ["measure", "tail"]
+        assert s.kind_hit_rate("measure") == pytest.approx(0.5)
+        assert s.kind_hit_rate("tail") == 1.0
+        assert s.kind_hit_rate("absent") == 0.0
+
+    def test_since_and_merge_carry_kinds(self):
+        a = CacheStats()
+        a.record_lookup("measure", hit=True)
+        before = a.snapshot()
+        a.record_lookup("measure", hit=False)
+        a.record_lookup("tail", hit=True)
+        delta = a.since(before)
+        assert delta.kind_hits == {"tail": 1}
+        assert delta.kind_misses == {"measure": 1}
+        b = CacheStats(kind_hits={"tail": 2})
+        b.merge(delta)
+        assert b.kind_hits == {"tail": 3}
+        assert b.kind_misses == {"measure": 1}
+
+    def test_snapshot_is_isolated(self):
+        a = CacheStats()
+        a.record_lookup("measure", hit=True)
+        snap = a.snapshot()
+        a.record_lookup("measure", hit=True)
+        assert snap.kind_hits == {"measure": 1}
+        assert a.kind_hits == {"measure": 2}
+
+    def test_disk_get_tags_kinds(self, store):
+        store.put(store.key("measure", x=1), 1.0)
+        store.get(store.key("measure", x=1), kind="measure")
+        store.get(store.key("measure", x=2), kind="measure")  # miss
+        store.get(store.key("tail", x=1), kind="tail")  # miss
+        assert store.stats.kind_hits == {"measure": 1}
+        assert store.stats.kind_misses == {"measure": 1, "tail": 1}

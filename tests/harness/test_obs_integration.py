@@ -1,0 +1,268 @@
+"""Observability across the harness: span trees, worker deltas, CLI.
+
+Three properties are pinned here:
+
+* the span tree of a real sweep covers every pipeline level
+  (``grid -> chunk -> cell -> measure/tail -> engine/mg1``) and its
+  counters reconcile (cache hits + misses == lookups, simulated cycles
+  positive);
+* a pooled run reports the same span-tree shape and counter totals as
+  the serial run — if a worker's :class:`~repro.obs.ObsDelta` were
+  dropped, the pooled totals would collapse and this fails;
+* observation never changes simulation results, and is near-free when
+  off.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.harness import cache
+from repro.harness.experiment import clear_tail_cache, run_grid
+from repro.harness.measure import clear_cache
+from repro.queueing.mg1 import MG1Simulator
+from repro.common.distributions import Exponential
+from repro import validate
+from tests.harness.test_measure import TINY
+
+SMALL = dict(
+    designs=["baseline", "duplexity"],
+    loads=(0.3, 0.7),
+    fidelity=TINY,
+)
+
+#: Every level of the pipeline that must appear in a cold sweep's trace.
+PIPELINE_LEVELS = {"grid", "chunk", "cell", "measure", "tail", "engine", "mg1"}
+
+
+def small_workloads():
+    from repro.workloads.microservices import mcrouter, wordstem
+
+    return [mcrouter(), wordstem()]
+
+
+@pytest.fixture
+def fresh_caches(tmp_path):
+    previous = cache.current_config()
+    clear_cache()
+    clear_tail_cache()
+    cache.configure(root=tmp_path / "cache")
+    yield
+    clear_cache()
+    clear_tail_cache()
+    cache.configure(**previous)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _reset_l1():
+    clear_cache()
+    clear_tail_cache()
+
+
+class TestSpanTree:
+    def test_serial_sweep_covers_every_level(self, fresh_caches):
+        obs.enable()
+        results = run_grid(workloads=small_workloads(), **SMALL, workers=1)
+        edges = obs.span_tree_edges()
+        names = {name for name, _ in edges}
+        assert PIPELINE_LEVELS <= names
+        # Structural parentage, not just presence.
+        assert edges[("grid", None)] == 1
+        assert edges[("chunk", "grid")] == len(small_workloads())
+        assert edges[("cell", "chunk")] == len(results)
+        assert ("measure", "cell") in edges
+        assert ("tail", "cell") in edges
+        assert ("engine", "measure") in edges
+        assert ("mg1", "tail") in edges
+
+    def test_counters_reconcile(self, fresh_caches):
+        obs.enable()
+        results = run_grid(workloads=small_workloads(), **SMALL, workers=1)
+        counters = obs.counters()
+        assert counters["engine.cycles"] > 0
+        assert counters["engine.instructions"] > 0
+        assert counters["grid.cells"] == len(results)
+        assert counters["cache.disk.lookups"] == (
+            counters.get("cache.disk.hits", 0)
+            + counters["cache.disk.misses"]
+        )
+        # Every computed tail ran at least one queue segment.
+        assert counters["mg1.runs"] >= counters["tail.computes"] > 0
+        assert counters["mg1.requests_completed"] > 0
+        assert counters["dyad.stall_windows"] >= counters.get(
+            "dyad.morphed_windows", 0
+        )
+
+    def test_pooled_matches_serial_shape_and_totals(self, fresh_caches):
+        """Satellite regression: a pooled run must aggregate its workers'
+        spans and counters — dropping a worker delta collapses both."""
+        cache.configure(enabled=False)  # force real computation both runs
+        obs.enable()
+        serial = run_grid(workloads=small_workloads(), **SMALL, workers=1)
+        serial_edges = obs.span_tree_edges()
+        serial_counters = obs.counters()
+
+        obs.reset()
+        _reset_l1()
+        obs.enable()
+        pooled = run_grid(workloads=small_workloads(), **SMALL, workers=2)
+        pooled_edges = obs.span_tree_edges()
+        pooled_counters = obs.counters()
+
+        assert pooled == serial
+        assert obs.value("grid.serial_fallbacks") == 0
+        assert pooled_edges == serial_edges
+        assert pooled_counters == serial_counters
+        # The collapse this guards against: worker-side simulation totals
+        # visible in the parent.
+        assert pooled_counters["engine.cycles"] > 0
+        assert pooled_counters["measure.computes"] > 0
+
+
+class TestNonInterference:
+    def test_results_identical_with_tracing_on(self, fresh_caches, tmp_path):
+        baseline = run_grid(workloads=small_workloads(), **SMALL, workers=1)
+        _reset_l1()
+        cache.configure(enabled=False)  # recompute rather than replay
+        obs.enable(trace_path=tmp_path / "t.jsonl", manifest={"schema": 1})
+        traced = run_grid(workloads=small_workloads(), **SMALL, workers=1)
+        obs.disable()
+        assert traced == baseline  # exact float equality, field by field
+
+    def test_golden_payload_byte_identical_with_tracing(self, fresh_caches):
+        from tests.golden import build_payload
+
+        plain = json.dumps(build_payload(), sort_keys=True)
+        _reset_l1()
+        cache.configure(enabled=False)
+        obs.enable()
+        traced = json.dumps(build_payload(), sort_keys=True)
+        assert traced == plain
+
+
+class TestOverheadWhenOff:
+    def test_noop_calls_are_cheap(self):
+        assert not obs.is_enabled()
+        n = 100_000
+        start = time.perf_counter()
+        for _ in range(n):
+            obs.add("engine.cycles", 3)
+        add_s = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(n):
+            with obs.span("cell", load=0.5):
+                pass
+        span_s = time.perf_counter() - start
+        # Generous bounds (~20x typical) so CI timing noise cannot trip
+        # this; a regression that makes the off-path allocate or format
+        # strings overshoots them by orders of magnitude.
+        assert add_s / n < 5e-6
+        assert span_s / n < 10e-6
+
+
+class TestPipelineCounters:
+    def test_mg1_counters_and_span(self):
+        obs.enable()
+        sim = MG1Simulator.at_load(0.5, Exponential(1e-6), seed=3)
+        result = sim.run(num_requests=500, warmup=100)
+        assert obs.value("mg1.runs") == 1
+        assert obs.value("mg1.requests_completed") == result.num_requests
+        (span,) = obs.spans()
+        assert span.name == "mg1"
+        assert span.attrs["requests"] == 500
+
+    def test_validation_violations_become_events(self):
+        obs.enable()
+        violation = validate.Violation("littles-law", "test", "deviates")
+        with validate.collecting():
+            validate.report([violation])
+        assert obs.value("validate.violations") == 1
+        (ev,) = obs.events()
+        assert ev.name == "violation"
+        assert ev.attrs["invariant"] == "littles-law"
+
+    def test_strict_mode_still_records_before_raising(self):
+        obs.enable()
+        validate.set_mode("strict")
+        try:
+            with pytest.raises(validate.ValidationError):
+                validate.report(
+                    [validate.Violation("positive-finite", "t", "bad")]
+                )
+        finally:
+            validate.set_mode(None)
+        assert obs.value("validate.violations") == 1
+
+
+class TestCli:
+    @pytest.fixture
+    def tiny_cli(self):
+        import repro.cli as cli
+
+        original = cli.FIDELITIES["fast"]
+        cli.FIDELITIES["fast"] = TINY
+        yield
+        cli.FIDELITIES["fast"] = original
+
+    def test_trace_flag_writes_trace_and_manifest(
+        self, tiny_cli, fresh_caches, tmp_path, capsys
+    ):
+        trace = tmp_path / "run.jsonl"
+        assert (
+            main(
+                ["cell", "baseline", "wordstem", "0.5", "--trace", str(trace)]
+            )
+            == 0
+        )
+        assert not obs.is_enabled()  # torn down by the CLI
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert records[0]["type"] == "manifest"
+        assert records[0]["target"] == "cell"
+        assert records[-1]["type"] == "counters"
+        names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"grid", "chunk", "cell", "measure", "tail"} <= names
+        sidecar = tmp_path / "run.manifest.json"
+        manifest = json.loads(sidecar.read_text())
+        assert manifest["target"] == "cell"
+        assert manifest["fidelity"]["name"] == TINY.name
+
+    def test_trace_env_variable(
+        self, tiny_cli, fresh_caches, tmp_path, capsys, monkeypatch
+    ):
+        trace = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(trace))
+        assert main(["cell", "baseline", "wordstem", "0.5"]) == 0
+        assert trace.exists()
+        assert (tmp_path / "env.manifest.json").exists()
+
+    def test_report_renders_metrics(
+        self, tiny_cli, fresh_caches, tmp_path, capsys
+    ):
+        trace = tmp_path / "run.jsonl"
+        main(["cell", "baseline", "wordstem", "0.5", "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_grid_cells_total 1" in out
+        assert 'repro_span_count{name="cell"} 1' in out
+        assert "fidelity=tiny" in out
+
+    def test_report_requires_a_path(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        with pytest.raises(SystemExit):
+            main(["report"])
+
+    def test_report_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["report", str(tmp_path / "absent.jsonl")])

@@ -35,3 +35,23 @@ def test_alignment():
 def test_row_width_validated():
     with pytest.raises(ValueError):
         format_table(["a", "b"], [[1]])
+
+
+def test_grid_stats_surface_errors_and_kind_rates():
+    from repro.harness.cache import CacheStats
+    from repro.harness.parallel import GridRunStats
+    from repro.harness.reporting import format_grid_stats
+
+    stats = GridRunStats(workers=2)
+    stats.disk = CacheStats(
+        hits=3,
+        misses=1,
+        errors=2,
+        kind_hits={"measure": 2, "tail": 1},
+        kind_misses={"tail": 1},
+    )
+    out = format_grid_stats(stats)
+    assert "disk cache errors" in out
+    assert "disk cache [measure] hit rate" in out
+    assert "1.000 (2/2)" in out  # measure: 2 hits, 0 misses
+    assert "0.500 (1/2)" in out  # tail: 1 hit, 1 miss

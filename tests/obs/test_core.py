@@ -1,0 +1,234 @@
+"""Core observation semantics: spans, counters, deltas, trace stream."""
+
+import json
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestDisabledByDefault:
+    def test_off_by_default(self):
+        assert not obs.is_enabled()
+
+    def test_span_returns_shared_noop(self):
+        a = obs.span("grid")
+        b = obs.span("cell", load=0.5)
+        assert a is b  # one shared singleton: zero allocation per call
+        with a as sp:
+            sp.set("key", 1)  # no-op, no error
+
+    def test_counters_events_are_noops(self):
+        obs.add("engine.cycles", 100)
+        obs.gauge("g", 1.0)
+        obs.event("violation", invariant="x")
+        assert obs.counters() == {}
+        assert obs.gauges() == {}
+        assert obs.events() == []
+        assert obs.value("engine.cycles") == 0.0
+
+
+class TestSpans:
+    def test_nesting_records_parent_ids(self):
+        obs.enable()
+        with obs.span("grid"):
+            with obs.span("chunk"):
+                with obs.span("cell"):
+                    pass
+        spans = obs.spans()
+        by_name = {s.name: s for s in spans}
+        assert by_name["cell"].parent_id == by_name["chunk"].span_id
+        assert by_name["chunk"].parent_id == by_name["grid"].span_id
+        assert by_name["grid"].parent_id is None
+        # Inner spans close (and record) before outer ones.
+        assert [s.name for s in spans] == ["cell", "chunk", "grid"]
+
+    def test_attrs_and_mid_span_set(self):
+        obs.enable()
+        with obs.span("measure", design="duplexity") as sp:
+            sp.set("source", "l1")
+        (span,) = obs.spans()
+        assert span.attrs == {"design": "duplexity", "source": "l1"}
+        assert span.dur_s >= 0.0
+
+    def test_exception_recorded_and_propagated(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("cell"):
+                raise ValueError("boom")
+        (span,) = obs.spans()
+        assert span.attrs["error"] == "ValueError"
+
+    def test_current_span_id(self):
+        obs.enable()
+        assert obs.current_span_id() is None
+        with obs.span("grid"):
+            assert obs.current_span_id() is not None
+
+    def test_span_tree_edges(self):
+        obs.enable()
+        with obs.span("grid"):
+            for _ in range(2):
+                with obs.span("cell"):
+                    pass
+        assert obs.span_tree_edges() == {("cell", "grid"): 2, ("grid", None): 1}
+
+
+class TestCountersGaugesEvents:
+    def test_counters_accumulate(self):
+        obs.enable()
+        obs.add("engine.cycles", 10)
+        obs.add("engine.cycles", 5)
+        obs.add("engine.runs")
+        assert obs.value("engine.cycles") == 15
+        assert obs.counters() == {"engine.cycles": 15.0, "engine.runs": 1.0}
+
+    def test_gauges_take_latest(self):
+        obs.enable()
+        obs.gauge("queue.depth", 3.0)
+        obs.gauge("queue.depth", 1.0)
+        assert obs.gauges() == {"queue.depth": 1.0}
+
+    def test_events_attach_to_current_span(self):
+        obs.enable()
+        with obs.span("tail") as _:
+            obs.event("violation", invariant="littles-law")
+        (ev,) = obs.events()
+        (span,) = obs.spans()
+        assert ev.span_id == span.span_id
+        assert ev.attrs["invariant"] == "littles-law"
+
+    def test_reset_clears_everything(self):
+        obs.enable()
+        obs.add("c")
+        with obs.span("s"):
+            obs.event("e")
+        obs.reset()
+        assert not obs.is_enabled()
+        assert obs.counters() == {}
+        assert obs.spans() == []
+        assert obs.events() == []
+
+
+class TestWorkerDeltas:
+    def test_delta_since_is_incremental(self):
+        obs.enable()
+        obs.add("engine.cycles", 7)
+        with obs.span("before"):
+            pass
+        mark = obs.mark()
+        obs.add("engine.cycles", 3)
+        obs.add("new.counter")
+        with obs.span("after"):
+            pass
+        delta = obs.delta_since(mark)
+        assert delta.counters == {"engine.cycles": 3.0, "new.counter": 1.0}
+        assert [s.name for s in delta.spans] == ["after"]
+
+    def test_empty_delta(self):
+        obs.enable()
+        mark = obs.mark()
+        assert obs.delta_since(mark).empty
+
+    def test_merge_remaps_colliding_ids(self):
+        obs.enable()
+        # Parent-side spans claim the low ids.
+        with obs.span("grid"):
+            # A "worker" delta whose local ids collide with the parent's.
+            worker = obs.ObsDelta(
+                counters={"engine.cycles": 11.0},
+                gauges={},
+                spans=(
+                    obs.SpanRecord(
+                        name="chunk", span_id=1, parent_id=99, ts=0.0, dur_s=0.1
+                    ),
+                    obs.SpanRecord(
+                        name="cell", span_id=2, parent_id=1, ts=0.0, dur_s=0.1
+                    ),
+                ),
+                events=(
+                    obs.EventRecord(name="violation", ts=0.0, span_id=2),
+                ),
+            )
+            obs.merge_delta(worker)
+        assert obs.value("engine.cycles") == 11.0
+        spans = {s.name: s for s in obs.spans()}
+        # Worker-local structure survives the remap...
+        assert spans["cell"].parent_id == spans["chunk"].span_id
+        # ...ids are re-allocated (no collision with the open grid span)...
+        assert spans["chunk"].span_id != 1
+        # ...and the worker's root (unknown parent 99) is adopted by the
+        # span that was open at merge time.
+        assert spans["chunk"].parent_id == spans["grid"].span_id
+        (ev,) = obs.events()
+        assert ev.span_id == spans["cell"].span_id
+
+    def test_merge_is_noop_when_disabled(self):
+        delta = obs.ObsDelta(
+            counters={"x": 1.0}, gauges={}, spans=(), events=()
+        )
+        obs.merge_delta(delta)
+        assert obs.counters() == {}
+
+    def test_worker_config_round_trip(self):
+        obs.enable()
+        config = obs.config_for_worker()
+        obs.reset()
+        obs.configure_worker(config)
+        assert obs.is_enabled()
+        obs.reset()
+        obs.configure_worker({"enabled": False})
+        assert not obs.is_enabled()
+
+
+class TestTraceStream:
+    def test_trace_file_layout(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        obs.enable(trace_path=path, manifest={"schema": 1, "target": "t"})
+        with obs.span("grid", workers=1):
+            obs.add("grid.cells", 4)
+            obs.event("note")
+        obs.disable()
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert records[0]["type"] == "manifest"
+        assert records[0]["target"] == "t"
+        types = [r["type"] for r in records]
+        assert types.count("span") == 1
+        assert types.count("event") == 1
+        assert records[-1]["type"] == "counters"
+        assert records[-1]["counters"] == {"grid.cells": 4.0}
+        span_rec = next(r for r in records if r["type"] == "span")
+        assert span_rec["name"] == "grid"
+        assert span_rec["attrs"] == {"workers": 1}
+
+    def test_records_are_flushed_live(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        obs.enable(trace_path=path, manifest={"schema": 1})
+        with obs.span("cell"):
+            pass
+        # Readable before disable(): each record is flushed as written.
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        obs.disable()
+
+    def test_enable_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path / "env.jsonl"))
+        assert obs.enable_from_env()
+        assert obs.trace_path() == tmp_path / "env.jsonl"
+        obs.reset()
+        monkeypatch.delenv("REPRO_TRACE")
+        monkeypatch.setenv("REPRO_OBS", "1")
+        assert obs.enable_from_env()
+        assert obs.trace_path() is None
+        obs.reset()
+        monkeypatch.setenv("REPRO_OBS", "0")
+        assert not obs.enable_from_env()

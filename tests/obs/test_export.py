@@ -1,0 +1,86 @@
+"""Trace reading and Prometheus-style rendering."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import export
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _write_trace(path, records):
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+
+
+SAMPLE = [
+    {"type": "manifest", "schema": 1, "target": "fig5d",
+     "package": {"name": "repro", "version": "1.0.0"},
+     "fidelity": {"name": "fast"}, "cache_schema_version": 2},
+    {"type": "span", "name": "cell", "id": 1, "parent": None,
+     "ts": 0.0, "dur_s": 0.5, "attrs": {}},
+    {"type": "span", "name": "cell", "id": 2, "parent": None,
+     "ts": 0.0, "dur_s": 0.25, "attrs": {}},
+    {"type": "event", "name": "violation", "ts": 0.0, "span": 1,
+     "attrs": {}},
+    {"type": "counters", "counters": {"engine.cycles": 12.0},
+     "gauges": {"queue.depth": 2.5}},
+]
+
+
+def test_read_trace_skips_malformed_lines(tmp_path):
+    path = tmp_path / "t.jsonl"
+    body = "".join(json.dumps(r) + "\n" for r in SAMPLE)
+    path.write_text(body + '{"type": "span", "trunca')  # torn final line
+    assert len(export.read_trace(path)) == len(SAMPLE)
+
+
+def test_summarize_records():
+    summary = export.summarize_records(SAMPLE)
+    assert summary.counters == {"engine.cycles": 12.0}
+    assert summary.gauges == {"queue.depth": 2.5}
+    assert summary.span_aggregates["cell"].count == 2
+    assert summary.span_aggregates["cell"].total_s == pytest.approx(0.75)
+    assert summary.event_counts == {"violation": 1}
+    assert summary.manifest["target"] == "fig5d"
+    assert summary.num_records == len(SAMPLE)
+
+
+def test_render_prometheus():
+    text = export.render_prometheus(export.summarize_records(SAMPLE))
+    assert "# TYPE repro_engine_cycles_total counter" in text
+    assert "repro_engine_cycles_total 12" in text
+    assert "repro_queue_depth 2.5" in text
+    assert 'repro_span_count{name="cell"} 2' in text
+    assert 'repro_span_seconds_total{name="cell"} 0.750000' in text
+    assert 'repro_event_count{name="violation"} 1' in text
+
+
+def test_render_prometheus_empty():
+    assert "no metrics" in export.render_prometheus(export.TraceSummary())
+
+
+def test_render_report(tmp_path):
+    path = tmp_path / "t.jsonl"
+    _write_trace(path, SAMPLE)
+    report = export.render_report(path)
+    assert f"# trace: {path} ({len(SAMPLE)} records)" in report
+    assert "target=fig5d fidelity=fast version=1.0.0 schema=2" in report
+    assert "repro_engine_cycles_total 12" in report
+
+
+def test_summarize_live_matches_in_memory_state():
+    obs.enable()
+    with obs.span("cell"):
+        obs.add("engine.cycles", 4)
+        obs.event("violation")
+    summary = export.summarize_live()
+    assert summary.counters == {"engine.cycles": 4.0}
+    assert summary.span_aggregates["cell"].count == 1
+    assert summary.event_counts == {"violation": 1}

@@ -1,0 +1,60 @@
+"""Run manifests: content, sidecar paths, atomic round trip."""
+
+from pathlib import Path
+
+import repro
+from repro.harness.cache import SCHEMA_VERSION
+from repro.harness.fidelity import FAST
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    load_manifest,
+    manifest_path_for,
+    write_manifest,
+)
+
+
+def test_build_manifest_contents(monkeypatch):
+    monkeypatch.setenv("REPRO_VALIDATE", "warn")
+    m = build_manifest(
+        target="fig5d",
+        fidelity=FAST,
+        argv=["fig5d", "--workers", "4"],
+        extra={"workers": 4},
+    )
+    assert m["schema"] == MANIFEST_SCHEMA
+    assert m["target"] == "fig5d"
+    assert m["argv"] == ["fig5d", "--workers", "4"]
+    assert m["package"] == {"name": "repro", "version": repro.__version__}
+    assert m["cache_schema_version"] == SCHEMA_VERSION
+    # Fidelity dataclasses expand field-by-field; the root seed is lifted
+    # out so tooling need not know the knob layout.
+    assert m["fidelity"]["name"] == FAST.name
+    assert m["fidelity"]["queue_requests"] == FAST.queue_requests
+    assert m["seed"] == FAST.seed
+    assert m["env_overrides"]["REPRO_VALIDATE"] == "warn"
+    assert m["workers"] == 4
+    assert m["host"]["cpus"] >= 1
+
+
+def test_non_dataclass_fidelity_passes_through():
+    m = build_manifest(fidelity="fast")
+    assert m["fidelity"] == "fast"
+    assert m["seed"] is None
+
+
+def test_manifest_path_for():
+    assert manifest_path_for("out.jsonl") == Path("out.manifest.json")
+    assert manifest_path_for("a/b/run.trace") == Path("a/b/run.manifest.json")
+    assert manifest_path_for("plain") == Path("plain.manifest.json")
+
+
+def test_write_and_load_round_trip(tmp_path):
+    path = tmp_path / "deep" / "run.manifest.json"
+    manifest = build_manifest(target="cell")
+    write_manifest(path, manifest)
+    loaded = load_manifest(path)
+    assert loaded["target"] == "cell"
+    assert loaded["schema"] == MANIFEST_SCHEMA
+    # Atomic write discipline: no temp litter next to the result.
+    assert [p.name for p in path.parent.iterdir()] == [path.name]

@@ -254,3 +254,50 @@ class TestValidation:
     def test_empty_trace(self):
         with pytest.raises(ValueError):
             ThreadState(alu_trace(10).slice(0, 0), make_ports())
+
+
+class TestObservability:
+    def test_heartbeat_fires_on_long_runs(self):
+        eng = engine()
+        beats = []
+        eng.heartbeat = lambda e: beats.append(e.instructions)
+        eng.add_thread(ThreadState(alu_trace(10_000), make_ports(), kind="ooo"))
+        eng.run()
+        # One callback per ~4096 retired instructions, from the existing
+        # amortized bookkeeping block.
+        assert len(beats) == 10_000 // 4096
+        assert beats == sorted(beats)
+
+    def test_short_runs_skip_heartbeat(self):
+        eng = engine()
+        beats = []
+        eng.heartbeat = lambda e: beats.append(e.now)
+        eng.add_thread(ThreadState(alu_trace(100), make_ports(), kind="ooo"))
+        eng.run()
+        assert beats == []
+
+    def test_run_totals_reach_obs_counters(self):
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            eng = engine()
+            eng.add_thread(
+                ThreadState(alu_trace(2000), make_ports(), kind="ooo")
+            )
+            result = eng.run()
+            assert obs.value("engine.runs") == 1
+            assert obs.value("engine.instructions") == result.instructions
+            assert obs.value("engine.cycles") == result.cycles
+        finally:
+            obs.reset()
+
+    def test_counters_untouched_when_disabled(self):
+        from repro import obs
+
+        obs.reset()
+        eng = engine()
+        eng.add_thread(ThreadState(alu_trace(2000), make_ports(), kind="ooo"))
+        eng.run()
+        assert obs.counters() == {}
