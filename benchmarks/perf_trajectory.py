@@ -1,0 +1,114 @@
+"""Performance-trajectory benchmark: time a pinned FAST subset cold and warm.
+
+Runs a fixed (design x workload x load) subset of the evaluation matrix
+twice — once against a fresh result cache (cold: every cell simulates)
+and once against the warmed cache with the in-memory layers cleared
+(warm: every cell should come from disk) — and writes the wall times,
+cache hit rate and simulated-cycle volume to
+``benchmarks/output/BENCH_profile.json``.  CI uploads the file as an
+artifact, so the simulator's performance trajectory is tracked across
+commits without failing builds on noisy thresholds.
+
+Usage::
+
+    python benchmarks/perf_trajectory.py [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro import obs  # noqa: E402
+from repro.harness import cache  # noqa: E402
+from repro.harness.experiment import clear_tail_cache  # noqa: E402
+from repro.harness.fidelity import FAST  # noqa: E402
+from repro.harness.measure import clear_cache as clear_measure_cache  # noqa: E402
+from repro.harness.parallel import GridRunStats, run_grid_cells  # noqa: E402
+from repro.workloads.microservices import standard_microservices  # noqa: E402
+
+#: The pinned subset: two design families (single-threaded baseline and
+#: the full morphing dyad) on the two paper workloads bracketing the
+#: instruction-mix space, at a low and a high load point.
+DESIGNS = ["baseline", "duplexity"]
+WORKLOAD_NAMES = ("McRouter", "WordStem")
+LOADS = (0.3, 0.7)
+
+DEFAULT_OUT = pathlib.Path(__file__).parent / "output" / "BENCH_profile.json"
+
+
+def _workloads():
+    by_name = {w.name: w for w in standard_microservices()}
+    return [by_name[name] for name in WORKLOAD_NAMES]
+
+
+def _sweep() -> tuple[GridRunStats, float]:
+    stats = GridRunStats()
+    start = time.perf_counter()
+    run_grid_cells(
+        designs=DESIGNS,
+        workloads=_workloads(),
+        loads=LOADS,
+        fidelity=FAST,
+        workers=1,
+        stats=stats,
+    )
+    return stats, time.perf_counter() - start
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(DEFAULT_OUT),
+        help=f"output JSON path (default {DEFAULT_OUT})",
+    )
+    options = parser.parse_args(argv)
+
+    # In-memory observation only: engine.cycles gives the simulated-cycle
+    # volume behind the cold wall time.
+    obs.reset()
+    obs.enable()
+    with tempfile.TemporaryDirectory(prefix="repro-perf-") as tmp:
+        # Fresh disk cache: the cold pass simulates every cell.
+        cache.configure(root=tmp, enabled=True)
+        clear_measure_cache()
+        clear_tail_cache()
+        cold_stats, cold_wall = _sweep()
+        cycles = obs.value("engine.cycles")
+
+        # Warm pass: keep the disk layer, drop the in-memory layers so
+        # every cell exercises the disk-cache read path.
+        clear_measure_cache()
+        clear_tail_cache()
+        warm_stats, warm_wall = _sweep()
+    obs.reset()
+
+    payload = {
+        "designs": DESIGNS,
+        "workloads": list(WORKLOAD_NAMES),
+        "loads": list(LOADS),
+        "fidelity": FAST.name,
+        "cells": cold_stats.cells,
+        "wall_s": round(cold_wall, 3),
+        "wall_s_warm": round(warm_wall, 3),
+        "cache_hit_rate": round(warm_stats.disk.hit_rate, 4),
+        "cycles_simulated": int(cycles),
+    }
+    out = pathlib.Path(options.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -131,6 +131,12 @@ class MemoryHierarchy:
     def average_latency(self) -> float:
         return self.total_latency / self.accesses if self.accesses else 0.0
 
+    @property
+    def l1_misses(self) -> int:
+        """Misses at this port's nearest level (MPKI numerator for the
+        profiler's interval timelines)."""
+        return self.levels[0].cache.misses
+
     def reset_stats(self) -> None:
         self.accesses = 0
         self.total_latency = 0

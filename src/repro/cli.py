@@ -10,6 +10,7 @@ Examples::
     python -m repro validate --fidelity fast
     python -m repro fig5d --workers 4 --trace /tmp/run.jsonl
     python -m repro report /tmp/run.jsonl
+    python -m repro profile duplexity mcrouter 0.5 --folded /tmp/cell.folded
 
 ``validate`` re-simulates the evaluation matrix with both cache layers
 disabled and checks every intermediate result against the invariant
@@ -31,6 +32,16 @@ environment overrides; ``python -m repro report PATH`` renders the
 trace's metrics as a Prometheus-style text dump.  ``REPRO_OBS=1``
 captures in memory without a file.  Observation never changes
 simulation results.
+
+``profile`` re-simulates one cell with the microarchitectural profiler
+(:mod:`repro.prof`) on and prints the top-down slot-attribution tree
+(exact integer conservation: slots sum to width x cycles per core), the
+dyad phase rollup, interval timelines, and request latency waterfalls;
+``--folded PATH`` additionally writes flamegraph.pl-compatible folded
+stacks.  ``REPRO_PROF=1`` turns the profiler on for any other target
+(totals then appear under ``--stats`` and, with ``--trace``, as
+``type=profile`` records in the JSONL stream).  Profiling never changes
+simulation results either.
 """
 
 from __future__ import annotations
@@ -39,7 +50,7 @@ import argparse
 import os
 import sys
 
-from repro import obs
+from repro import obs, prof
 from repro import validate as validation
 from repro.harness import cache, figures
 from repro.harness.fidelity import BENCH, FAST, FULL, Fidelity
@@ -140,13 +151,16 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         help=(
             "table1|table2|fig1a|fig1b|fig1c|fig2a|fig2b|fig5a..fig5f|"
-            "fig6|cell|validate|report"
+            "fig6|cell|validate|report|profile"
         ),
     )
     parser.add_argument(
         "args",
         nargs="*",
-        help="for `cell`: DESIGN WORKLOAD LOAD; for `report`: TRACE_PATH",
+        help=(
+            "for `cell`/`profile`: DESIGN WORKLOAD LOAD;"
+            " for `report`: TRACE_PATH"
+        ),
     )
     parser.add_argument("--fidelity", choices=sorted(FIDELITIES), default="fast")
     parser.add_argument("--workload", help="restrict grid figures to one workload")
@@ -176,6 +190,13 @@ def main(argv: list[str] | None = None) -> int:
             " *.manifest.json sidecar); overrides REPRO_TRACE"
         ),
     )
+    parser.add_argument(
+        "--folded",
+        help=(
+            "for `profile`: also write flamegraph.pl-compatible folded"
+            " stacks to this path"
+        ),
+    )
     options = parser.parse_args(argv)
     fidelity = FIDELITIES[options.fidelity]
     target = options.target.lower()
@@ -189,9 +210,16 @@ def main(argv: list[str] | None = None) -> int:
         cache.configure(root=options.cache_dir)
 
     enabled_obs = _enable_obs(options, target, fidelity, argv)
+    enabled_prof = target == "profile" or prof.enable_from_env()
     try:
         return _run_target(options, target, fidelity)
     finally:
+        if enabled_prof and prof.is_enabled():
+            # REPRO_PROF alongside --trace: stream the profile records
+            # into the trace before the closing counters record.
+            if obs.trace_path() is not None:
+                prof.export_to_obs(prof.snapshot())
+            prof.disable()
         if enabled_obs:
             obs.disable()
 
@@ -244,6 +272,8 @@ def _run_target(options, target: str, fidelity: Fidelity) -> int:
         _print_fig2b()
     elif target == "validate":
         exit_code = _run_validate(options, fidelity, run_stats)
+    elif target == "profile":
+        exit_code = _run_profile(options, fidelity, run_stats)
     elif target in GRID_FIGURES:
         grid = figures.evaluation_grid(
             fidelity=fidelity,
@@ -292,6 +322,45 @@ def _run_report(options) -> int:
         raise SystemExit(f"no trace file at {path!r}")
     print(obs_export.render_report(path))
     return 0
+
+
+def _run_profile(options, fidelity: Fidelity, run_stats: GridRunStats) -> int:
+    """Profile one cell: re-simulate it with :mod:`repro.prof` on and
+    render the top-down tree, dyad phases, intervals and waterfalls.
+
+    Cached cells never re-simulate — a warm cache would leave the
+    profiler with nothing to attribute — so both cache layers are
+    disabled and the in-memory caches cleared for this invocation.
+    Exit status is non-zero if nothing was captured or any core's slot
+    attribution fails the exact conservation identity.
+    """
+    from repro.harness.experiment import clear_tail_cache
+    from repro.harness.measure import clear_cache as clear_measure_cache
+    from repro.prof import render as prof_render
+
+    if len(options.args) != 3:
+        raise SystemExit("usage: repro profile DESIGN WORKLOAD LOAD")
+    design, workload_name, load = options.args
+    (workload,) = _workloads(workload_name)
+    cache.configure(enabled=False)
+    clear_measure_cache()
+    clear_tail_cache()
+    prof.reset()
+    prof.enable()
+    run_single_cell(design, workload, float(load), fidelity, stats=run_stats)
+    snap = prof.snapshot()
+    if snap.empty:
+        print("profile: no profile data captured", file=sys.stderr)
+        prof.disable()
+        return 1
+    print(prof_render.render_profile(snap))
+    if options.folded:
+        with open(options.folded, "w", encoding="utf-8") as fh:
+            fh.write(prof_render.render_folded(snap) + "\n")
+    if obs.trace_path() is not None:
+        prof.export_to_obs(snap)
+    prof.disable()
+    return 0 if snap.conserved() else 1
 
 
 def _run_validate(options, fidelity: Fidelity, run_stats: GridRunStats) -> int:

@@ -21,13 +21,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro import obs
+from repro import obs, prof
 from repro.core.designs import Design
 from repro.core.master import MasterCoreComplex
+from repro.prof.taxonomy import DyadPhase
 
 #: Stall windows shorter than this many cycles are not worth morphing for
 #: (the hardware recognizes microsecond-scale stalls specifically).
 MIN_MORPH_WINDOW = 64
+
+#: Morph/stall transition timeline entries kept per dyad run (the
+#: profiler additionally caps the process-wide timeline).
+_MAX_TRANSITIONS = 96
 
 
 @dataclass
@@ -128,7 +133,10 @@ class DyadSimulator:
         restart_overhead = 0
         stall_windows = 0
         morphed_windows = 0
+        morphed_stall_cycles = 0
         window_instr: list[int] = []
+        prof_on = prof.is_enabled()
+        transitions: list[tuple[int, str]] = []
 
         while not master.done:
             if max_master_instructions is not None:
@@ -150,6 +158,8 @@ class DyadSimulator:
                 stall_cycles += window
                 # Guard against re-processing the same remote next time.
                 master.last_remote_complete = start_cycle
+                if prof_on and len(transitions) < _MAX_TRANSITIONS:
+                    transitions.append((t_issue, "stall"))
 
                 if (
                     self.design.morphs
@@ -157,6 +167,7 @@ class DyadSimulator:
                     and window > self.design.morph_cycles + MIN_MORPH_WINDOW
                 ):
                     morphed_windows += 1
+                    morphed_stall_cycles += window
                     w_start = t_issue + self.design.morph_cycles
                     morph_overhead += self.design.morph_cycles
                     before = filler_engine.instructions
@@ -168,6 +179,9 @@ class DyadSimulator:
                         master.next_fetch, t_complete + self.design.restart_cycles
                     )
                     restart_overhead += self.design.restart_cycles
+                    if prof_on and len(transitions) < _MAX_TRANSITIONS:
+                        transitions.append((w_start, "morph"))
+                        transitions.append((t_complete, "restart"))
             if master.done:
                 break
             if not saw_remote and budget is not None and (
@@ -185,6 +199,32 @@ class DyadSimulator:
             obs.add("dyad.runs")
             obs.add("dyad.stall_windows", stall_windows)
             obs.add("dyad.morphed_windows", morphed_windows)
+        if prof_on:
+            master_instr = master.instructions - start_master_instr
+            # Phase rollup: master compute, morph overhead, filler
+            # windows, blocked (unmorphed) stall remainder, restart.
+            compute = max(
+                0, total_cycles - stall_cycles - restart_overhead
+            )
+            prof.record_dyad(
+                self.design.name,
+                phase_cycles={
+                    int(DyadPhase.MASTER_COMPUTE): compute,
+                    int(DyadPhase.MORPH): morph_overhead,
+                    int(DyadPhase.FILLER_WINDOW): max(
+                        0, morphed_stall_cycles - morph_overhead
+                    ),
+                    int(DyadPhase.STALL_BLOCKED): max(
+                        0, stall_cycles - morphed_stall_cycles
+                    ),
+                    int(DyadPhase.RESTART): restart_overhead,
+                },
+                phase_instructions={
+                    int(DyadPhase.MASTER_COMPUTE): master_instr,
+                    int(DyadPhase.FILLER_WINDOW): filler_instr,
+                },
+                transitions=transitions,
+            )
         return DyadResult(
             design_name=self.design.name,
             total_cycles=total_cycles,

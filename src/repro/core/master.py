@@ -21,6 +21,7 @@ The dyad-level co-simulation that alternates the two engines lives in
 
 from __future__ import annotations
 
+from repro import prof
 from repro.branch.btb import BranchTargetBuffer
 from repro.branch.predictors import make_predictor
 from repro.caches.cache import SetAssociativeCache
@@ -188,6 +189,12 @@ class MasterCoreComplex:
                 physical_contexts=design.filler_contexts,
                 swap_cycles=lender_defaults.context_swap_cycles,
                 quantum_cycles=quantum,
+            )
+        if prof.is_enabled():
+            prof.register_core(self.master_engine, "ooo")
+            prof.register_core(
+                self.filler_engine,
+                "hsmt-filler" if design.hsmt else "ino-filler",
             )
 
     # ------------------------------------------------------------------

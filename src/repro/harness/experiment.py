@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro import obs, validate
+from repro import obs, prof, validate
 from repro.core.designs import Design, get_design
 from repro.harness import cache as disk_cache
 from repro.harness import metrics
@@ -219,13 +219,14 @@ def _tail(
 
         sp.set("source", "simulate")
         obs.add("tail.computes")
-        tail = metrics.tail_latency_s(
-            service,
-            arrival_rate,
-            num_requests=fidelity.queue_requests,
-            warmup=fidelity.queue_warmup,
-            seed=fidelity.seed,
-        )
+        with prof.context(design=design.name, workload=workload.name):
+            tail = metrics.tail_latency_s(
+                service,
+                arrival_rate,
+                num_requests=fidelity.queue_requests,
+                warmup=fidelity.queue_warmup,
+                seed=fidelity.seed,
+            )
         # The queueing run itself was validated inside tail_latency_s;
         # this guards the extracted scalar before it reaches either cache
         # layer.

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro import obs, validate
+from repro import obs, prof, validate
 from repro.core.designs import Design, get_design
 from repro.core.server import Dyad
 from repro.harness import cache as disk_cache
@@ -93,10 +93,14 @@ def measure(
 
         sp.set("source", "simulate")
         obs.add("measure.computes")
-        if design.is_smt:
-            result = _measure_smt(design, workload, fidelity)
-        else:
-            result = _measure_dyad(design, workload, fidelity)
+        # Profile records captured during the simulation carry the cell's
+        # labels; the workload label namespaces core names so two
+        # workloads sharing a core name never merge.
+        with prof.context(design=design.name, workload=workload.name):
+            if design.is_smt:
+                result = _measure_smt(design, workload, fidelity)
+            else:
+                result = _measure_dyad(design, workload, fidelity)
         # Invariant check *before* the result reaches either cache layer:
         # in strict mode a violating measurement raises here and is never
         # memoized or persisted.

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro import validate
+from repro import prof, validate
 from repro.common.units import seconds_from_us
 from repro.core.designs import Design, get_design
 from repro.harness.measure import CoreMeasurement
@@ -314,7 +314,9 @@ def tail_latency_s(
     # Conservation check (Little's law, utilization vs rho) on the raw
     # queueing run, before its percentile is extracted and cached.
     validate.dispatch(result, subject=f"queue:rate={arrival_rate:g}")
-    return result.tail_latency(quantile)
+    tail = result.tail_latency(quantile)
+    prof.attach_tail(arrival_rate, quantile, tail)
+    return tail
 
 
 def tail_latency_converged_s(

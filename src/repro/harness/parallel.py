@@ -31,7 +31,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
-from repro import obs, validate
+from repro import obs, prof, validate
 from repro.core.designs import DESIGN_NAMES
 from repro.harness import cache as disk_cache
 from repro.harness.cache import CacheStats
@@ -223,22 +223,32 @@ def _worker_chunk(
     fidelity: Fidelity,
     cache_config: dict,
     obs_config: dict,
+    prof_config: dict,
 ):
     """Pool-worker entry point: evaluate one chunk under the parent's
-    cache/observability configuration and report the worker-side cache
-    and observation deltas.
+    cache/observability/profiling configuration and report the
+    worker-side cache, observation and profile deltas.
 
-    Pool workers are reused across chunks, so both reports are *deltas*
-    from a pre-chunk snapshot (the ``CacheStats.since()`` discipline) —
-    absolute totals would double-count earlier chunks on merge.
+    Pool workers are reused across chunks, so all three reports are
+    *deltas* from a pre-chunk snapshot (the ``CacheStats.since()``
+    discipline) — absolute totals would double-count earlier chunks on
+    merge.
     """
     disk_cache.configure(**cache_config)
     obs.configure_worker(obs_config)
+    prof.configure_worker(prof_config)
     before = disk_cache.stats_snapshot()
     obs_mark = obs.mark()
+    prof_mark = prof.mark()
     results, timings = _evaluate_chunk(design_names, workload, loads, fidelity)
     delta = disk_cache.stats_snapshot().since(before)
-    return results, timings, delta, obs.delta_since(obs_mark)
+    return (
+        results,
+        timings,
+        delta,
+        obs.delta_since(obs_mark),
+        prof.delta_since(prof_mark),
+    )
 
 
 def _run_serial(
@@ -269,6 +279,7 @@ def _run_pooled(
     """Fan chunks out over a pool; ``None`` means "fall back to serial"."""
     cache_config = disk_cache.current_config()
     obs_config = obs.config_for_worker()
+    prof_config = prof.config_for_worker()
     max_workers = min(workers, len(workloads))
     try:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
@@ -281,17 +292,21 @@ def _run_pooled(
                     fidelity,
                     cache_config,
                     obs_config,
+                    prof_config,
                 )
                 for workload in workloads
             ]
             # Gathered in submission order: deterministic result order.
             chunks = []
             for future in futures:
-                results, timings, delta, obs_delta = future.result()
+                results, timings, delta, obs_delta, prof_delta = (
+                    future.result()
+                )
                 chunks.append((results, timings))
                 if stats is not None:
                     stats.disk.merge(delta)
                 obs.merge_delta(obs_delta)
+                prof.merge_delta(prof_delta)
     except (BrokenProcessPool, pickle.PicklingError, OSError):
         if stats is not None:
             stats.serial_fallbacks += 1

@@ -62,6 +62,13 @@ def format_grid_stats(stats: "GridRunStats") -> str:
             ]
         )
     rows.append(["serial fallbacks", stats.serial_fallbacks])
+    # Imported lazily: reporting must stay importable from the profiler's
+    # render layer without a cycle.
+    from repro import prof
+
+    if prof.is_enabled():
+        for name, value in sorted(prof.live_totals().items()):
+            rows.append([f"prof.{name}", value])
     for timing in stats.slowest(3):
         rows.append(
             [

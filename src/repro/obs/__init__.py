@@ -60,6 +60,7 @@ __all__ = [
     "current_span_id",
     "delta_since",
     "disable",
+    "emit_record",
     "enable",
     "enable_from_env",
     "event",
@@ -365,6 +366,19 @@ def spans() -> list[SpanRecord]:
 
 def events() -> list[EventRecord]:
     return list(_events)
+
+
+def emit_record(obj: dict[str, Any]) -> None:
+    """Write one raw record to the trace stream, if one is attached.
+
+    This is the escape hatch for sibling layers (the profiler) that
+    export structured records into the same JSONL stream as spans and
+    events; ``obj`` must carry its own ``"type"`` discriminator.  A
+    silent no-op without an attached writer — in-memory capture holds
+    only spans/events/counters.
+    """
+    if _writer is not None:
+        _writer.write(obj)
 
 
 def event(name: str, **attrs: Any) -> None:

@@ -48,6 +48,9 @@ class TraceSummary:
     gauges: dict[str, float] = field(default_factory=dict)
     span_aggregates: dict[str, SpanAggregate] = field(default_factory=dict)
     event_counts: dict[str, int] = field(default_factory=dict)
+    #: ``{"type": "profile"}`` records in the trace, keyed by their
+    #: ``kind`` (core/dyad/interval/waterfall/tail).
+    profile_records: dict[str, int] = field(default_factory=dict)
     manifest: dict[str, Any] | None = None
     num_records: int = 0
 
@@ -96,6 +99,9 @@ def summarize_records(records: list[dict[str, Any]]) -> TraceSummary:
             gauges = obj.get("gauges")
             if isinstance(gauges, dict):
                 summary.gauges = {str(k): float(v) for k, v in gauges.items()}
+        elif kind == "profile":
+            pk = str(obj.get("kind", "unknown"))
+            summary.profile_records[pk] = summary.profile_records.get(pk, 0) + 1
         elif kind == "manifest":
             summary.manifest = {k: v for k, v in obj.items() if k != "type"}
     return summary
@@ -152,6 +158,13 @@ def render_prometheus(summary: TraceSummary) -> str:
         for name in sorted(summary.event_counts):
             lines.append(
                 f'repro_event_count{{name="{name}"}} {summary.event_counts[name]}'
+            )
+    if summary.profile_records:
+        lines.append("# TYPE repro_profile_record_count counter")
+        for name in sorted(summary.profile_records):
+            lines.append(
+                f'repro_profile_record_count{{kind="{name}"}}'
+                f" {summary.profile_records[name]}"
             )
     if not lines:
         return "# no metrics recorded"

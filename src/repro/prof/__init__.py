@@ -1,0 +1,1017 @@
+"""Microarchitectural profiler: top-down slot attribution, interval
+timelines, and request latency waterfalls.
+
+Rides the :mod:`repro.obs` fast path discipline: **off by default and
+near-free when off** (one flag/attribute check per site, shared no-op
+state), and **never changes simulation results** — no simulation RNG is
+touched, so golden grids stay byte-identical whether profiling is on or
+off.
+
+Three capture planes:
+
+* **Slot attribution** — :class:`TimingEngine <repro.uarch.engine.TimingEngine>`
+  charges stall cycles to :class:`~repro.prof.taxonomy.SlotCause` buckets
+  per thread as it models each instruction; :func:`account_run` folds the
+  per-thread charges into process-wide totals and accumulates the issue
+  slot pool (``width x cycles``) per core.  At :func:`snapshot` time the
+  pool is attributed exactly: retiring slots equal retired instructions,
+  and the remaining stall slots are distributed over the recorded cycle
+  charges by largest remainder, so ``sum(causes) == width x cycles``
+  holds as an integer identity (residual with no charges is explicit
+  ``IDLE``, never a silent "other").
+* **Interval timelines** — :class:`IntervalSampler` hooks the engine's
+  amortized bookkeeping block and emits fixed-cycle-window samples of
+  IPC, L1D MPKI, branch MPKI, ROB occupancy and active thread count;
+  :func:`record_dyad` adds the dyad's morph/stall transition timeline.
+* **Request waterfalls** — :func:`record_mg1_run` decomposes each M/G/1
+  segment into queue-wait / service / restart-penalty, with
+  deterministically sampled per-request exemplars attached to the
+  sojourn tail percentiles (the sampling RNG is private and seeded from
+  the simulator's seed — the simulation stream is never consumed).
+
+Pool workers ship a :class:`ProfDelta` (via :func:`mark` /
+:func:`delta_since`) back to the parent, which grafts it with
+:func:`merge_delta` — the same snapshot/delta discipline as
+:mod:`repro.obs`, so pooled sweeps reproduce serial profile totals.
+
+Enable with :func:`enable`, ``REPRO_PROF=1`` (:func:`enable_from_env`),
+or ``python -m repro profile ...`` which renders the top-down tree,
+folded stacks, and interval tables (see :mod:`repro.prof.render`).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from repro import obs
+from repro.prof.taxonomy import (
+    CATEGORIES,
+    CATEGORY,
+    NUM_CAUSES,
+    DyadPhase,
+    SlotCause,
+)
+from repro.uarch.isa import NUM_ARCH_REGS
+
+__all__ = [
+    "CoreProfile",
+    "DyadPhase",
+    "DyadProfile",
+    "IntervalSample",
+    "IntervalSampler",
+    "ProfDelta",
+    "ProfMark",
+    "ProfileSnapshot",
+    "RequestExemplar",
+    "SlotCause",
+    "TailAttachment",
+    "ThreadProf",
+    "ThreadSlots",
+    "WaterfallRecord",
+    "account_run",
+    "attach_tail",
+    "charge_core",
+    "config_for_worker",
+    "configure_worker",
+    "context",
+    "delta_since",
+    "disable",
+    "enable",
+    "enable_from_env",
+    "ensure_threads",
+    "export_to_obs",
+    "is_enabled",
+    "live_totals",
+    "mark",
+    "merge_delta",
+    "record_dyad",
+    "record_mg1_run",
+    "register_core",
+    "reset",
+    "snapshot",
+]
+
+_C_DEP = int(SlotCause.BACKEND_CORE_DEP)
+
+#: Caps on the unbounded streams.  Lists stop growing at the cap (with a
+#: dropped-count) rather than decimating, so :func:`delta_since` can
+#: slice them append-only.
+INTERVAL_CAP = 2048
+WATERFALL_CAP = 512
+TRANSITION_CAP = 512
+TAIL_CAP = 256
+
+#: Exemplars per waterfall: this many uniform samples plus the top-3
+#: sojourn times (tail exemplars).
+EXEMPLAR_SAMPLES = 8
+EXEMPLAR_TAIL = 3
+
+
+# ----------------------------------------------------------------------
+# Process-wide state (single-threaded by design, like repro.obs)
+# ----------------------------------------------------------------------
+
+_enabled: bool = False
+#: core -> {"mode": str, "width": int}
+_core_meta: dict[str, dict[str, Any]] = {}
+#: core -> accumulated issue-slot pool (width x cycles over all runs)
+_slots_total: dict[str, int] = {}
+#: (core, thread) -> retired instruction count
+_retired: dict[tuple[str, str], int] = {}
+#: (core, thread, cause int) -> stall cycle charges
+_charges: dict[tuple[str, str, int], int] = {}
+#: (design, phase int) -> cycles / instructions
+_dyad_cycles: dict[tuple[str, int], int] = {}
+_dyad_instr: dict[tuple[str, int], int] = {}
+_intervals: list["IntervalSample"] = []
+_waterfalls: list["WaterfallRecord"] = []
+_transitions: list[tuple[str, int, str]] = []
+_tails: list["TailAttachment"] = []
+_dropped: dict[str, int] = {}
+#: Ambient labels (design/workload) applied by :func:`context`.
+_context: dict[str, str] = {}
+
+
+def is_enabled() -> bool:
+    """Whether profiling is active (hot paths check this once per run)."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn profiling on (idempotent)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn profiling off.  Captured data is kept for inspection
+    (:func:`snapshot`); :func:`reset` clears it."""
+    global _enabled
+    _enabled = False
+
+
+def reset() -> None:
+    """Clear all profiler state and turn profiling off."""
+    disable()
+    _core_meta.clear()
+    _slots_total.clear()
+    _retired.clear()
+    _charges.clear()
+    _dyad_cycles.clear()
+    _dyad_instr.clear()
+    _intervals.clear()
+    _waterfalls.clear()
+    _transitions.clear()
+    _tails.clear()
+    _dropped.clear()
+    _context.clear()
+
+
+def enable_from_env() -> bool:
+    """Enable per ``REPRO_PROF=1``.  Returns whether profiling is on."""
+    if os.environ.get("REPRO_PROF", "").strip().lower() in (
+        "1",
+        "true",
+        "on",
+        "yes",
+    ):
+        enable()
+        return True
+    return _enabled
+
+
+@contextmanager
+def context(**labels: str):
+    """Apply ambient labels (``workload=...``, ``design=...``) to every
+    profile record captured inside the block.  The workload label
+    namespaces core names, so two workloads measured on a core named
+    ``baseline`` stay distinct (``mcrouter/baseline`` vs
+    ``wordstem/baseline``) and additive merges remain exact."""
+    if not _enabled:
+        yield
+        return
+    saved = {k: _context.get(k) for k in labels}
+    _context.update({k: str(v) for k, v in labels.items()})
+    try:
+        yield
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                _context.pop(k, None)
+            else:
+                _context[k] = v
+
+
+def _core_key(name: str) -> str:
+    workload = _context.get("workload")
+    return f"{workload}/{name}" if workload else name
+
+
+def _drop(key: str, count: int = 1) -> None:
+    _dropped[key] = _dropped.get(key, 0) + count
+
+
+# ----------------------------------------------------------------------
+# Slot attribution (engine-facing)
+# ----------------------------------------------------------------------
+
+
+class ThreadProf:
+    """Per-thread scratch accumulator the engine charges into.
+
+    ``charges[cause]`` counts stall *cycles* per cause since the last
+    :func:`account_run` fold; ``reg_src[reg]`` remembers the cause class
+    of each architectural register's most recent producer, so a
+    dependency wait can be attributed to the producer's latency source
+    (D-cache miss, D-TLB walk, remote access, or plain execution).
+    """
+
+    __slots__ = ("charges", "reg_src", "retired")
+
+    def __init__(self) -> None:
+        self.charges = [0] * NUM_CAUSES
+        self.reg_src = bytearray([_C_DEP] * NUM_ARCH_REGS)
+        self.retired = 0
+
+
+class IntervalSampler:
+    """Fixed-cycle-window timeline sampler hooked off the engine's
+    amortized bookkeeping block (so it costs nothing per instruction)."""
+
+    __slots__ = (
+        "core",
+        "window",
+        "last_cycle",
+        "last_instr",
+        "last_misses",
+        "last_branches",
+        "last_mispredicts",
+    )
+
+    #: Default sampling window in cycles (~2.4 us at 3.4 GHz).
+    DEFAULT_WINDOW = 8192
+
+    def __init__(self, core: str, window_cycles: int = DEFAULT_WINDOW):
+        self.core = core
+        self.window = window_cycles
+        self.last_cycle: int | None = None
+        self.last_instr = 0
+        self.last_misses = 0
+        self.last_branches = 0
+        self.last_mispredicts = 0
+
+    def _misses(self, engine) -> int:
+        total = 0
+        seen = set()
+        for thread in engine.threads:
+            dhier = thread.ports.dhier
+            if id(dhier) not in seen:
+                seen.add(id(dhier))
+                total += dhier.l1_misses
+        return total
+
+    def _rebase(self, engine) -> None:
+        self.last_cycle = engine.now
+        self.last_instr = engine.instructions
+        self.last_misses = self._misses(engine)
+        self.last_branches = sum(t.branches for t in engine.threads)
+        self.last_mispredicts = sum(t.mispredicts for t in engine.threads)
+
+    def sample(self, engine) -> None:
+        if self.last_cycle is None:
+            self._rebase(engine)
+            return
+        d_cycles = engine.now - self.last_cycle
+        if d_cycles < self.window:
+            return
+        d_instr = engine.instructions - self.last_instr
+        misses = self._misses(engine)
+        branches = sum(t.branches for t in engine.threads)
+        mispredicts = sum(t.mispredicts for t in engine.threads)
+        live = [t for t in engine.threads if t.active and not t.done]
+        sample = IntervalSample(
+            core=self.core,
+            cycle=engine.now,
+            window_cycles=d_cycles,
+            instructions=d_instr,
+            ipc=d_instr / d_cycles if d_cycles > 0 else 0.0,
+            l1d_mpki=(
+                1000.0 * (misses - self.last_misses) / d_instr
+                if d_instr > 0
+                else 0.0
+            ),
+            branch_mpki=(
+                1000.0 * (mispredicts - self.last_mispredicts) / d_instr
+                if d_instr > 0
+                else 0.0
+            ),
+            rob_occupancy=(
+                sum(len(t.rob) for t in live) / len(live) if live else 0.0
+            ),
+            active_threads=len(live),
+        )
+        if len(_intervals) < INTERVAL_CAP:
+            _intervals.append(sample)
+            if obs.is_enabled():
+                obs.add("prof.intervals")
+        else:
+            _drop("intervals")
+        self.last_cycle = engine.now
+        self.last_instr = engine.instructions
+        self.last_misses = misses
+        self.last_branches = branches
+        self.last_mispredicts = mispredicts
+
+
+def ensure_threads(engine) -> None:
+    """Prepare ``engine`` for a profiled run: give every thread a
+    :class:`ThreadProf` scratch and attach an interval sampler.  Called
+    by the engine itself at ``run()`` start while profiling is on."""
+    for thread in engine.threads:
+        if thread.prof is None:
+            thread.prof = ThreadProf()
+    if engine._prof_sampler is None:
+        engine._prof_sampler = IntervalSampler(_core_key(engine.name))
+
+
+def account_run(engine, cycles: int) -> None:
+    """Fold an engine run's issue-slot pool and per-thread charges into
+    the process-wide totals (and zero the per-thread scratch)."""
+    if not _enabled:
+        return
+    core = _core_key(engine.name)
+    _core_meta.setdefault(core, {"mode": "unknown", "width": engine.width})
+    slots = engine.width * cycles
+    if slots:
+        _slots_total[core] = _slots_total.get(core, 0) + slots
+        if obs.is_enabled():
+            obs.add("prof.slots_attributed", slots)
+    for thread in engine.threads:
+        tp = thread.prof
+        if tp is None:
+            continue
+        if tp.retired:
+            key2 = (core, thread.name)
+            _retired[key2] = _retired.get(key2, 0) + tp.retired
+            tp.retired = 0
+        charges = tp.charges
+        for cause in range(NUM_CAUSES):
+            c = charges[cause]
+            if c:
+                key3 = (core, thread.name, cause)
+                _charges[key3] = _charges.get(key3, 0) + c
+                charges[cause] = 0
+
+
+def register_core(engine, mode: str) -> None:
+    """Record a core's datapath mode (``ooo``, ``smt-icount``, ``hsmt``,
+    ...) for the profile report.  Called by the core models."""
+    if not _enabled:
+        return
+    _core_meta[_core_key(engine.name)] = {"mode": mode, "width": engine.width}
+
+
+def charge_core(engine, cause: int, cycles: int) -> None:
+    """Charge stall cycles not owned by a single thread (e.g. HSMT
+    context-swap overhead) against the core's shared ``<core>`` row."""
+    if not _enabled or cycles <= 0:
+        return
+    key = (_core_key(engine.name), "<core>", int(cause))
+    _charges[key] = _charges.get(key, 0) + cycles
+
+
+# ----------------------------------------------------------------------
+# Dyad phase rollup + transition timeline
+# ----------------------------------------------------------------------
+
+
+def record_dyad(
+    design: str,
+    phase_cycles: dict[int, int],
+    phase_instructions: dict[int, int],
+    transitions: Sequence[tuple[int, str]] = (),
+) -> None:
+    """Accumulate a dyad simulation's per-phase cycle/instruction rollup
+    and its (cycle, kind) morph/stall transition timeline."""
+    if not _enabled:
+        return
+    for phase, cycles in phase_cycles.items():
+        if cycles:
+            key = (design, int(phase))
+            _dyad_cycles[key] = _dyad_cycles.get(key, 0) + cycles
+    for phase, instr in phase_instructions.items():
+        if instr:
+            key = (design, int(phase))
+            _dyad_instr[key] = _dyad_instr.get(key, 0) + instr
+    for cycle, kind in transitions:
+        if len(_transitions) < TRANSITION_CAP:
+            _transitions.append((design, int(cycle), kind))
+        else:
+            _drop("transitions")
+
+
+# ----------------------------------------------------------------------
+# Request waterfalls (queueing-facing)
+# ----------------------------------------------------------------------
+
+
+def record_mg1_run(
+    *,
+    rate: float,
+    waits,
+    services,
+    penalized,
+    penalty: float,
+    seed: int | None,
+) -> None:
+    """Decompose one M/G/1 segment into queue-wait / service /
+    restart-penalty, with deterministic per-request exemplars.
+
+    ``waits``/``services`` are the post-warmup per-request arrays;
+    ``penalized`` marks requests whose service included the design's
+    restart penalty (may be ``None`` when the service process has none).
+    The exemplar sampler uses a private :class:`random.Random` seeded
+    from the simulator's seed — the simulation's RNG stream is never
+    consumed, so results are identical with profiling on or off.
+    """
+    if not _enabled:
+        return
+    n = len(waits)
+    if n == 0:
+        return
+    import numpy as np
+
+    from repro.queueing.stats import percentile
+
+    wait_arr = np.asarray(waits, dtype=float)
+    service_arr = np.asarray(services, dtype=float)
+    sojourns = wait_arr + service_arr
+    penalized_count = (
+        int(np.count_nonzero(penalized)) if penalized is not None else 0
+    )
+    rnd = random.Random(0x5F0F ^ (seed if seed is not None else 0))
+    picks = set(rnd.sample(range(n), min(EXEMPLAR_SAMPLES, n)))
+    order = np.argsort(sojourns)[::-1]
+    picks.update(int(i) for i in order[:EXEMPLAR_TAIL])
+    exemplars = tuple(
+        RequestExemplar(
+            index=i,
+            wait_s=float(wait_arr[i]),
+            service_s=float(service_arr[i]),
+            penalty_s=(
+                penalty if penalized is not None and penalized[i] else 0.0
+            ),
+            sojourn_s=float(sojourns[i]),
+        )
+        for i in sorted(picks, key=lambda i: (-sojourns[i], i))
+    )
+    record = WaterfallRecord(
+        design=_context.get("design", ""),
+        workload=_context.get("workload", ""),
+        rate=rate,
+        requests=n,
+        mean_wait_s=float(wait_arr.mean()),
+        mean_service_s=float(service_arr.mean()),
+        penalized_requests=penalized_count,
+        penalty_s=float(penalty),
+        p50_sojourn_s=percentile(sojourns, 0.50),
+        p99_sojourn_s=percentile(sojourns, 0.99),
+        exemplars=exemplars,
+    )
+    if len(_waterfalls) < WATERFALL_CAP:
+        _waterfalls.append(record)
+        if obs.is_enabled():
+            obs.add("prof.waterfalls")
+            obs.add("prof.exemplars", len(exemplars))
+    else:
+        _drop("waterfalls")
+
+
+def attach_tail(rate: float, quantile: float, tail_s: float) -> None:
+    """Link a computed tail percentile to the ambient design/workload so
+    waterfall exemplars can be read against the headline number."""
+    if not _enabled:
+        return
+    if len(_tails) < TAIL_CAP:
+        _tails.append(
+            TailAttachment(
+                design=_context.get("design", ""),
+                workload=_context.get("workload", ""),
+                rate=rate,
+                quantile=quantile,
+                tail_s=tail_s,
+            )
+        )
+    else:
+        _drop("tails")
+
+
+# ----------------------------------------------------------------------
+# Records / snapshot
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntervalSample:
+    """One fixed-cycle-window timeline sample of a core."""
+
+    core: str
+    cycle: int
+    window_cycles: int
+    instructions: int
+    ipc: float
+    l1d_mpki: float
+    branch_mpki: float
+    rob_occupancy: float
+    active_threads: int
+
+
+@dataclass(frozen=True)
+class RequestExemplar:
+    """One sampled request's latency decomposition."""
+
+    index: int
+    wait_s: float
+    service_s: float
+    penalty_s: float
+    sojourn_s: float
+
+
+@dataclass(frozen=True)
+class WaterfallRecord:
+    """Queue-wait / service / restart-penalty decomposition of one M/G/1
+    segment, with sampled exemplars."""
+
+    design: str
+    workload: str
+    rate: float
+    requests: int
+    mean_wait_s: float
+    mean_service_s: float
+    penalized_requests: int
+    penalty_s: float
+    p50_sojourn_s: float
+    p99_sojourn_s: float
+    exemplars: tuple[RequestExemplar, ...] = ()
+
+
+@dataclass(frozen=True)
+class TailAttachment:
+    """A headline tail percentile in profile context."""
+
+    design: str
+    workload: str
+    rate: float
+    quantile: float
+    tail_s: float
+
+
+@dataclass(frozen=True)
+class ThreadSlots:
+    """Attributed issue slots of one thread (cause int -> slots)."""
+
+    thread: str
+    slots: dict[int, int]
+
+
+@dataclass(frozen=True)
+class CoreProfile:
+    """Exact top-down attribution of one core's issue-slot pool."""
+
+    core: str
+    mode: str
+    width: int
+    slots_total: int
+    slots: dict[int, int]
+    threads: tuple[ThreadSlots, ...] = ()
+
+    def conserved(self) -> bool:
+        return sum(self.slots.values()) == self.slots_total
+
+    def by_category(self) -> dict[str, int]:
+        out = {name: 0 for name in CATEGORIES}
+        for cause, slots in self.slots.items():
+            out[CATEGORY[SlotCause(cause)]] += slots
+        return out
+
+
+@dataclass(frozen=True)
+class DyadProfile:
+    """Per-phase rollup of one dyad design's master-core cycles."""
+
+    design: str
+    cycles: dict[int, int]
+    instructions: dict[int, int]
+    transitions: tuple[tuple[int, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class ProfileSnapshot:
+    """Everything the profiler captured, attributed and conservation-
+    checked; the unit :mod:`repro.prof.render` and the exporters work
+    from."""
+
+    cores: tuple[CoreProfile, ...] = ()
+    dyads: tuple[DyadProfile, ...] = ()
+    intervals: tuple[IntervalSample, ...] = ()
+    waterfalls: tuple[WaterfallRecord, ...] = ()
+    tails: tuple[TailAttachment, ...] = ()
+    dropped: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.cores or self.dyads or self.waterfalls)
+
+    def conserved(self) -> bool:
+        return all(core.conserved() for core in self.cores)
+
+    def folded_lines(self) -> list[str]:
+        """Folded-stack lines (``frame;frame value``), flamegraph.pl
+        compatible: cores fold as ``core;category;cause slots`` and dyad
+        phases as ``dyad:design;phase cycles``."""
+        lines = []
+        for core in self.cores:
+            for cause, slots in sorted(core.slots.items()):
+                if slots:
+                    name = SlotCause(cause).name
+                    cat = CATEGORY[SlotCause(cause)]
+                    lines.append(f"{core.core};{cat};{name} {slots}")
+        for dyad in self.dyads:
+            for phase, cycles in sorted(dyad.cycles.items()):
+                if cycles:
+                    lines.append(
+                        f"dyad:{dyad.design};{DyadPhase(phase).name} {cycles}"
+                    )
+        return lines
+
+
+def _distribute(total: int, weights: Sequence[int]) -> list[int]:
+    """Split ``total`` proportionally to ``weights`` with exact integer
+    conservation (largest-remainder rounding; deterministic ties)."""
+    pool = sum(weights)
+    alloc = [0] * len(weights)
+    if total <= 0 or pool <= 0:
+        return alloc
+    for j, w in enumerate(weights):
+        alloc[j] = total * w // pool
+    rem = total - sum(alloc)
+    if rem:
+        order = sorted(
+            range(len(weights)),
+            key=lambda j: (-(total * weights[j] % pool), j),
+        )
+        for j in order[:rem]:
+            alloc[j] += 1
+    return alloc
+
+
+def snapshot() -> ProfileSnapshot:
+    """Attribute the accumulated slot pools and freeze everything.
+
+    Retiring slots are exact (one issue slot per retired instruction);
+    the remaining ``width x cycles - retired`` stall slots are
+    distributed over the recorded per-(thread, cause) stall-cycle
+    charges by largest remainder, so per-core conservation is an integer
+    identity.  A pool with no recorded charges becomes explicit
+    :attr:`~repro.prof.taxonomy.SlotCause.IDLE`.
+    """
+    cores = []
+    for core in sorted(_slots_total):
+        meta = _core_meta.get(core, {})
+        total = _slots_total[core]
+        retired = {
+            t: n for (c, t), n in _retired.items() if c == core and n > 0
+        }
+        retiring = sum(retired.values())
+        stall = total - retiring
+        keys = sorted(
+            (t, cause)
+            for (c, t, cause), v in _charges.items()
+            if c == core and v > 0
+        )
+        weights = [_charges[(core, t, cause)] for t, cause in keys]
+        alloc = _distribute(stall, weights)
+        per_thread: dict[str, dict[int, int]] = {}
+        for t, n in retired.items():
+            per_thread.setdefault(t, {})[int(SlotCause.RETIRING)] = n
+        for (t, cause), slots in zip(keys, alloc):
+            if slots:
+                bucket = per_thread.setdefault(t, {})
+                bucket[cause] = bucket.get(cause, 0) + slots
+        leftover = stall - sum(alloc)
+        if leftover > 0:
+            bucket = per_thread.setdefault("<core>", {})
+            bucket[int(SlotCause.IDLE)] = (
+                bucket.get(int(SlotCause.IDLE), 0) + leftover
+            )
+        slots_by_cause: dict[int, int] = {}
+        for bucket in per_thread.values():
+            for cause, slots in bucket.items():
+                slots_by_cause[cause] = slots_by_cause.get(cause, 0) + slots
+        cores.append(
+            CoreProfile(
+                core=core,
+                mode=str(meta.get("mode", "unknown")),
+                width=int(meta.get("width", 0)),
+                slots_total=total,
+                slots=slots_by_cause,
+                threads=tuple(
+                    ThreadSlots(thread=t, slots=dict(b))
+                    for t, b in sorted(per_thread.items())
+                ),
+            )
+        )
+    designs = sorted({d for d, _ in _dyad_cycles} | {d for d, _ in _dyad_instr})
+    dyads = tuple(
+        DyadProfile(
+            design=d,
+            cycles={p: v for (dd, p), v in _dyad_cycles.items() if dd == d},
+            instructions={
+                p: v for (dd, p), v in _dyad_instr.items() if dd == d
+            },
+            transitions=tuple(
+                (cycle, kind)
+                for dd, cycle, kind in _transitions
+                if dd == d
+            ),
+        )
+        for d in designs
+    )
+    return ProfileSnapshot(
+        cores=tuple(cores),
+        dyads=dyads,
+        intervals=tuple(_intervals),
+        waterfalls=tuple(_waterfalls),
+        tails=tuple(_tails),
+        dropped=dict(_dropped),
+    )
+
+
+def live_totals() -> dict[str, int]:
+    """Cheap activity totals for ``--stats`` reporting."""
+    return {
+        "slots_attributed": sum(_slots_total.values()),
+        "cores": len(_slots_total),
+        "intervals": len(_intervals),
+        "waterfalls": len(_waterfalls),
+        "exemplars": sum(len(w.exemplars) for w in _waterfalls),
+        "dyad_transitions": len(_transitions),
+    }
+
+
+# ----------------------------------------------------------------------
+# Worker deltas (cross-process aggregation)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProfMark:
+    """A point in this process's profile streams (see :func:`mark`)."""
+
+    slots_total: dict[str, int]
+    retired: dict[tuple[str, str], int]
+    charges: dict[tuple[str, str, int], int]
+    dyad_cycles: dict[tuple[str, int], int]
+    dyad_instr: dict[tuple[str, int], int]
+    num_intervals: int
+    num_waterfalls: int
+    num_transitions: int
+    num_tails: int
+    dropped: dict[str, int]
+
+
+@dataclass(frozen=True)
+class ProfDelta:
+    """Everything profiled after a :class:`ProfMark` — picklable, so
+    pool workers return it with their chunk results (workers are reused
+    across chunks: absolutes would double-count, deltas compose)."""
+
+    core_meta: dict[str, dict[str, Any]]
+    slots_total: dict[str, int]
+    retired: dict[tuple[str, str], int]
+    charges: dict[tuple[str, str, int], int]
+    dyad_cycles: dict[tuple[str, int], int]
+    dyad_instr: dict[tuple[str, int], int]
+    intervals: tuple[IntervalSample, ...]
+    waterfalls: tuple[WaterfallRecord, ...]
+    transitions: tuple[tuple[str, int, str], ...]
+    tails: tuple[TailAttachment, ...]
+    dropped: dict[str, int]
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.slots_total
+            or self.retired
+            or self.charges
+            or self.dyad_cycles
+            or self.intervals
+            or self.waterfalls
+            or self.transitions
+            or self.tails
+        )
+
+
+def _dict_delta(current: dict, before: dict) -> dict:
+    out = {}
+    for key, total in current.items():
+        d = total - before.get(key, 0)
+        if d:
+            out[key] = d
+    return out
+
+
+def mark() -> ProfMark:
+    """Snapshot the profile streams (cheap; copies the numeric maps)."""
+    return ProfMark(
+        slots_total=dict(_slots_total),
+        retired=dict(_retired),
+        charges=dict(_charges),
+        dyad_cycles=dict(_dyad_cycles),
+        dyad_instr=dict(_dyad_instr),
+        num_intervals=len(_intervals),
+        num_waterfalls=len(_waterfalls),
+        num_transitions=len(_transitions),
+        num_tails=len(_tails),
+        dropped=dict(_dropped),
+    )
+
+
+def delta_since(before: ProfMark) -> ProfDelta:
+    """Everything profiled after ``before``, as additive deltas."""
+    return ProfDelta(
+        core_meta={k: dict(v) for k, v in _core_meta.items()},
+        slots_total=_dict_delta(_slots_total, before.slots_total),
+        retired=_dict_delta(_retired, before.retired),
+        charges=_dict_delta(_charges, before.charges),
+        dyad_cycles=_dict_delta(_dyad_cycles, before.dyad_cycles),
+        dyad_instr=_dict_delta(_dyad_instr, before.dyad_instr),
+        intervals=tuple(_intervals[before.num_intervals :]),
+        waterfalls=tuple(_waterfalls[before.num_waterfalls :]),
+        transitions=tuple(_transitions[before.num_transitions :]),
+        tails=tuple(_tails[before.num_tails :]),
+        dropped=_dict_delta(_dropped, before.dropped),
+    )
+
+
+def merge_delta(delta: ProfDelta) -> None:
+    """Graft a worker's :class:`ProfDelta` into this process's totals.
+
+    Numeric maps sum (core keys are workload-namespaced, so additive
+    merges are exact); streams append under the same caps as local
+    capture.  Merging in submission order keeps pooled runs
+    deterministic and equal to serial totals."""
+    if not _enabled:
+        return
+    for core, meta in delta.core_meta.items():
+        if _core_meta.get(core, {}).get("mode", "unknown") == "unknown":
+            _core_meta[core] = dict(meta)
+    for core, v in delta.slots_total.items():
+        _slots_total[core] = _slots_total.get(core, 0) + v
+    for key2, v in delta.retired.items():
+        _retired[key2] = _retired.get(key2, 0) + v
+    for key3, v in delta.charges.items():
+        _charges[key3] = _charges.get(key3, 0) + v
+    for keyd, v in delta.dyad_cycles.items():
+        _dyad_cycles[keyd] = _dyad_cycles.get(keyd, 0) + v
+    for keyd, v in delta.dyad_instr.items():
+        _dyad_instr[keyd] = _dyad_instr.get(keyd, 0) + v
+    for sample in delta.intervals:
+        if len(_intervals) < INTERVAL_CAP:
+            _intervals.append(sample)
+        else:
+            _drop("intervals")
+    for record in delta.waterfalls:
+        if len(_waterfalls) < WATERFALL_CAP:
+            _waterfalls.append(record)
+        else:
+            _drop("waterfalls")
+    for transition in delta.transitions:
+        if len(_transitions) < TRANSITION_CAP:
+            _transitions.append(transition)
+        else:
+            _drop("transitions")
+    for tail in delta.tails:
+        if len(_tails) < TAIL_CAP:
+            _tails.append(tail)
+        else:
+            _drop("tails")
+    for key, v in delta.dropped.items():
+        _dropped[key] = _dropped.get(key, 0) + v
+
+
+def config_for_worker() -> dict[str, Any]:
+    """The parent's profiling config for :func:`configure_worker`."""
+    return {"enabled": _enabled}
+
+
+def configure_worker(config: dict[str, Any]) -> None:
+    """Apply a parent's :func:`config_for_worker` inside a pool worker.
+
+    A forked worker inherits the parent's accumulated totals; they must
+    not leak into the worker's delta, so worker state starts from a
+    clean slate and ships back only what the worker itself profiled."""
+    reset()
+    if config.get("enabled"):
+        enable()
+
+
+# ----------------------------------------------------------------------
+# Export
+# ----------------------------------------------------------------------
+
+
+def export_to_obs(snap: ProfileSnapshot) -> None:
+    """Stream a snapshot into the obs JSONL trace as ``type=profile``
+    records (no-op unless a trace stream is attached)."""
+    for core in snap.cores:
+        obs.emit_record(
+            {
+                "type": "profile",
+                "kind": "core",
+                "core": core.core,
+                "mode": core.mode,
+                "width": core.width,
+                "slots_total": core.slots_total,
+                "conserved": core.conserved(),
+                "slots": {
+                    SlotCause(c).name: n for c, n in sorted(core.slots.items())
+                },
+                "categories": core.by_category(),
+            }
+        )
+    for dyad in snap.dyads:
+        obs.emit_record(
+            {
+                "type": "profile",
+                "kind": "dyad",
+                "design": dyad.design,
+                "cycles": {
+                    DyadPhase(p).name: v for p, v in sorted(dyad.cycles.items())
+                },
+                "instructions": {
+                    DyadPhase(p).name: v
+                    for p, v in sorted(dyad.instructions.items())
+                },
+                "transitions": list(dyad.transitions),
+            }
+        )
+    for sample in snap.intervals:
+        obs.emit_record(
+            {
+                "type": "profile",
+                "kind": "interval",
+                "core": sample.core,
+                "cycle": sample.cycle,
+                "window_cycles": sample.window_cycles,
+                "instructions": sample.instructions,
+                "ipc": sample.ipc,
+                "l1d_mpki": sample.l1d_mpki,
+                "branch_mpki": sample.branch_mpki,
+                "rob_occupancy": sample.rob_occupancy,
+                "active_threads": sample.active_threads,
+            }
+        )
+    for record in snap.waterfalls:
+        obs.emit_record(
+            {
+                "type": "profile",
+                "kind": "waterfall",
+                "design": record.design,
+                "workload": record.workload,
+                "rate": record.rate,
+                "requests": record.requests,
+                "mean_wait_s": record.mean_wait_s,
+                "mean_service_s": record.mean_service_s,
+                "penalized_requests": record.penalized_requests,
+                "penalty_s": record.penalty_s,
+                "p50_sojourn_s": record.p50_sojourn_s,
+                "p99_sojourn_s": record.p99_sojourn_s,
+                "exemplars": [
+                    {
+                        "index": e.index,
+                        "wait_s": e.wait_s,
+                        "service_s": e.service_s,
+                        "penalty_s": e.penalty_s,
+                        "sojourn_s": e.sojourn_s,
+                    }
+                    for e in record.exemplars
+                ],
+            }
+        )
+    for tail in snap.tails:
+        obs.emit_record(
+            {
+                "type": "profile",
+                "kind": "tail",
+                "design": tail.design,
+                "workload": tail.workload,
+                "rate": tail.rate,
+                "quantile": tail.quantile,
+                "tail_s": tail.tail_s,
+            }
+        )

@@ -1,0 +1,236 @@
+"""Plain-text rendering of a :class:`~repro.prof.ProfileSnapshot`.
+
+``python -m repro profile`` prints :func:`render_profile`: a per-core
+top-down attribution tree (category -> cause, with slot counts and
+percentages and an explicit conservation check line), the dyad phase
+rollup, interval timeline tables, and request latency waterfalls.
+:func:`render_folded` emits flamegraph.pl-compatible folded stacks.
+"""
+
+from __future__ import annotations
+
+from repro.prof import (
+    CATEGORIES,
+    CATEGORY,
+    DyadPhase,
+    ProfileSnapshot,
+    SlotCause,
+)
+from repro.harness.reporting import format_table
+
+#: Interval samples shown per core in the timeline table (the full
+#: stream still goes to the JSONL trace).
+MAX_INTERVAL_ROWS = 12
+
+#: Waterfall records rendered (newest-first beyond this are summarized).
+MAX_WATERFALLS = 8
+
+
+def _pct(part: int, whole: int) -> str:
+    return f"{100.0 * part / whole:5.1f}%" if whole else "    -"
+
+
+def render_top_down(snap: ProfileSnapshot) -> str:
+    """The per-core top-down tree: category totals, then each cause
+    indented beneath its category, all as exact slot counts."""
+    lines: list[str] = []
+    for core in snap.cores:
+        total = core.slots_total
+        lines.append(
+            f"core {core.core} [{core.mode}] "
+            f"width={core.width} slots={total}"
+        )
+        by_cat = core.by_category()
+        for cat in CATEGORIES:
+            cat_slots = by_cat.get(cat, 0)
+            if not cat_slots:
+                continue
+            lines.append(f"  {cat:<16} {_pct(cat_slots, total)}  {cat_slots}")
+            for cause in sorted(core.slots):
+                if CATEGORY[SlotCause(cause)] != cat:
+                    continue
+                slots = core.slots[cause]
+                if slots:
+                    lines.append(
+                        f"    {SlotCause(cause).name:<24}"
+                        f" {_pct(slots, total)}  {slots}"
+                    )
+        status = "exact" if core.conserved() else "VIOLATED"
+        lines.append(
+            f"  conservation: sum(causes) == width x cycles [{status}]"
+        )
+    return "\n".join(lines)
+
+
+def render_dyads(snap: ProfileSnapshot) -> str:
+    """Dyad phase rollup: cycles, instructions and IPC per phase."""
+    blocks: list[str] = []
+    for dyad in snap.dyads:
+        total = sum(dyad.cycles.values())
+        rows = []
+        for phase in sorted(dyad.cycles):
+            cycles = dyad.cycles[phase]
+            instr = dyad.instructions.get(phase, 0)
+            rows.append(
+                [
+                    DyadPhase(phase).name,
+                    cycles,
+                    _pct(cycles, total).strip(),
+                    instr,
+                    f"{instr / cycles:.3f}" if cycles else "-",
+                ]
+            )
+        block = format_table(
+            ["phase", "cycles", "share", "instructions", "ipc"],
+            rows,
+            title=f"dyad {dyad.design} ({total} cycles,"
+            f" {len(dyad.transitions)} transitions)",
+        )
+        blocks.append(block)
+    return "\n\n".join(blocks)
+
+
+def render_intervals(snap: ProfileSnapshot) -> str:
+    """Interval timeline tables, one per core."""
+    by_core: dict[str, list] = {}
+    for sample in snap.intervals:
+        by_core.setdefault(sample.core, []).append(sample)
+    blocks: list[str] = []
+    for core in sorted(by_core):
+        samples = by_core[core]
+        shown = samples[:MAX_INTERVAL_ROWS]
+        rows = [
+            [
+                s.cycle,
+                s.instructions,
+                f"{s.ipc:.3f}",
+                f"{s.l1d_mpki:.2f}",
+                f"{s.branch_mpki:.2f}",
+                f"{s.rob_occupancy:.1f}",
+                s.active_threads,
+            ]
+            for s in shown
+        ]
+        title = f"intervals {core} ({len(samples)} samples"
+        if len(samples) > len(shown):
+            title += f", first {len(shown)} shown"
+        title += ")"
+        blocks.append(
+            format_table(
+                [
+                    "cycle",
+                    "instr",
+                    "ipc",
+                    "l1d mpki",
+                    "br mpki",
+                    "rob occ",
+                    "threads",
+                ],
+                rows,
+                title=title,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_waterfalls(snap: ProfileSnapshot) -> str:
+    """Request latency waterfalls with their tail exemplars."""
+    blocks: list[str] = []
+    for record in snap.waterfalls[:MAX_WATERFALLS]:
+        header = (
+            f"waterfall {record.design}/{record.workload}"
+            f" rate={record.rate:.4g}/s requests={record.requests}"
+            f" wait={record.mean_wait_s * 1e6:.2f}us"
+            f" service={record.mean_service_s * 1e6:.2f}us"
+            f" p50={record.p50_sojourn_s * 1e6:.2f}us"
+            f" p99={record.p99_sojourn_s * 1e6:.2f}us"
+            f" penalized={record.penalized_requests}"
+        )
+        rows = [
+            [
+                e.index,
+                f"{e.wait_s * 1e6:.2f}",
+                f"{e.service_s * 1e6:.2f}",
+                f"{e.penalty_s * 1e6:.2f}",
+                f"{e.sojourn_s * 1e6:.2f}",
+            ]
+            for e in record.exemplars
+        ]
+        blocks.append(
+            header
+            + "\n"
+            + format_table(
+                ["request", "wait us", "service us", "penalty us", "sojourn us"],
+                rows,
+            )
+        )
+    hidden = len(snap.waterfalls) - min(len(snap.waterfalls), MAX_WATERFALLS)
+    if hidden:
+        blocks.append(f"... {hidden} more waterfall record(s) in the trace")
+    return "\n\n".join(blocks)
+
+
+def render_tails(snap: ProfileSnapshot) -> str:
+    rows = [
+        [
+            t.design,
+            t.workload,
+            f"{t.rate:.4g}",
+            f"p{int(round(t.quantile * 100))}",
+            f"{t.tail_s * 1e6:.2f}",
+        ]
+        for t in snap.tails
+    ]
+    return format_table(
+        ["design", "workload", "rate/s", "quantile", "tail us"],
+        rows,
+        title="tail percentiles",
+    )
+
+
+def render_folded(snap: ProfileSnapshot) -> str:
+    """flamegraph.pl-compatible folded stacks (one ``frames count`` per
+    line)."""
+    return "\n".join(snap.folded_lines())
+
+
+def render_profile(snap: ProfileSnapshot) -> str:
+    """The full ``python -m repro profile`` report."""
+    sections: list[str] = []
+    conserved = snap.conserved()
+    sections.append(
+        "profile: "
+        f"{len(snap.cores)} core(s), {len(snap.dyads)} dyad(s),"
+        f" {len(snap.intervals)} interval(s),"
+        f" {len(snap.waterfalls)} waterfall(s)"
+        f" — slot conservation {'exact' if conserved else 'VIOLATED'}"
+    )
+    if snap.cores:
+        sections.append(render_top_down(snap))
+    if snap.dyads:
+        sections.append(render_dyads(snap))
+    if snap.intervals:
+        sections.append(render_intervals(snap))
+    if snap.waterfalls:
+        sections.append(render_waterfalls(snap))
+    if snap.tails:
+        sections.append(render_tails(snap))
+    if snap.dropped:
+        sections.append(
+            "dropped (capped) records: "
+            + ", ".join(
+                f"{k}={v}" for k, v in sorted(snap.dropped.items())
+            )
+        )
+    return "\n\n".join(sections)
+
+
+__all__ = [
+    "render_dyads",
+    "render_folded",
+    "render_intervals",
+    "render_profile",
+    "render_tails",
+    "render_top_down",
+    "render_waterfalls",
+]

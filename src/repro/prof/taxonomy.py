@@ -1,0 +1,116 @@
+"""Shared stall/slot cause taxonomy for the microarchitectural profiler.
+
+One enum, used by the timing engine (:mod:`repro.uarch.engine`), the
+dyad co-simulator (:mod:`repro.core.dyad`) and the profiler itself, so
+cause names cannot drift between the layers.  Every cause maps to
+exactly one top-down *category* (Intel TMA style): retiring, frontend,
+bad speculation, backend-memory, backend-core, remote, or idle — a
+regression test pins that the mapping is total, so new engine-side
+causes cannot silently land in an "other" bucket.
+
+The taxonomy mirrors the stall analysis the paper's morph trigger is
+built on: microsecond-scale *remote* stalls (the killer microseconds)
+are a first-class category, distinct from the nanosecond-scale
+backend-memory stalls conventional top-down accounting stops at.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["SlotCause", "DyadPhase", "CATEGORY", "CATEGORIES", "NUM_CAUSES"]
+
+
+class SlotCause(IntEnum):
+    """Why an issue slot was (or was not) used for useful work."""
+
+    #: A slot retired a useful instruction.
+    RETIRING = 0
+    # -- frontend -------------------------------------------------------
+    #: Fetch stalled on an instruction-cache miss beyond the L1I hit.
+    FRONTEND_ICACHE = 1
+    #: Fetch stalled on an instruction-TLB miss (page walk).
+    FRONTEND_ITLB = 2
+    #: Taken-branch fetch bubble from a BTB miss.
+    FRONTEND_BTB = 3
+    #: Fetch-bandwidth contention (slot allocator pushed fetch later).
+    FRONTEND_BANDWIDTH = 4
+    # -- bad speculation ------------------------------------------------
+    #: Pipeline refill after a direction mispredict (squashed work).
+    BAD_SPECULATION = 5
+    # -- backend: memory ------------------------------------------------
+    #: Issue waited on a register produced by a data-cache miss.
+    BACKEND_MEMORY_DCACHE = 6
+    #: Issue waited on a register produced by a load whose D-TLB missed.
+    BACKEND_MEMORY_DTLB = 7
+    # -- backend: core --------------------------------------------------
+    #: Dispatch gated on a full reorder buffer.
+    BACKEND_CORE_ROB = 8
+    #: Dispatch gated on a full load queue.
+    BACKEND_CORE_LQ = 9
+    #: Dispatch gated on a full store queue.
+    BACKEND_CORE_SQ = 10
+    #: Issue waited on a non-memory producer (execution dependency).
+    BACKEND_CORE_DEP = 11
+    #: In-order issue continuity (program-order serialization).
+    BACKEND_CORE_SERIAL = 12
+    #: Issue-bandwidth contention (slot allocator pushed issue later).
+    BACKEND_CORE_ISSUE = 13
+    # -- scheduling / remote -------------------------------------------
+    #: HSMT context-swap overhead cycles.
+    CONTEXT_SWAP = 14
+    #: Microsecond-scale remote access blocking the thread (killer us).
+    REMOTE_STALL = 15
+    #: Residual slots no thread could claim (core idle / drained).
+    IDLE = 16
+
+
+#: SlotCause -> top-down category.  Total by construction; the taxonomy
+#: regression test asserts every member appears exactly once here.
+CATEGORY: dict[SlotCause, str] = {
+    SlotCause.RETIRING: "retiring",
+    SlotCause.FRONTEND_ICACHE: "frontend",
+    SlotCause.FRONTEND_ITLB: "frontend",
+    SlotCause.FRONTEND_BTB: "frontend",
+    SlotCause.FRONTEND_BANDWIDTH: "frontend",
+    SlotCause.BAD_SPECULATION: "bad_speculation",
+    SlotCause.BACKEND_MEMORY_DCACHE: "backend_memory",
+    SlotCause.BACKEND_MEMORY_DTLB: "backend_memory",
+    SlotCause.BACKEND_CORE_ROB: "backend_core",
+    SlotCause.BACKEND_CORE_LQ: "backend_core",
+    SlotCause.BACKEND_CORE_SQ: "backend_core",
+    SlotCause.BACKEND_CORE_DEP: "backend_core",
+    SlotCause.BACKEND_CORE_SERIAL: "backend_core",
+    SlotCause.BACKEND_CORE_ISSUE: "backend_core",
+    SlotCause.CONTEXT_SWAP: "remote",
+    SlotCause.REMOTE_STALL: "remote",
+    SlotCause.IDLE: "idle",
+}
+
+#: Category display order for the top-down tree.
+CATEGORIES = (
+    "retiring",
+    "frontend",
+    "bad_speculation",
+    "backend_memory",
+    "backend_core",
+    "remote",
+    "idle",
+)
+
+NUM_CAUSES = len(SlotCause)
+
+
+class DyadPhase(IntEnum):
+    """Phases a Duplexity dyad's master core cycles through."""
+
+    #: Master-thread computing (not remote-stalled).
+    MASTER_COMPUTE = 0
+    #: Morphing into / out of filler mode (paper's morph overhead).
+    MORPH = 1
+    #: Filler threads running inside a morphed stall window.
+    FILLER_WINDOW = 2
+    #: Remote stall too short to morph — core blocked.
+    STALL_BLOCKED = 3
+    #: Master-thread restart penalty after a morphed window.
+    RESTART = 4

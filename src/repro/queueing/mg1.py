@@ -26,7 +26,7 @@ from typing import Protocol
 
 import numpy as np
 
-from repro import obs
+from repro import obs, prof
 from repro.common.distributions import Distribution
 
 
@@ -191,6 +191,12 @@ class MG1Simulator:
         waits = np.empty(num_requests)
         services = np.empty(num_requests)
         idles: list[float] = []
+        # Which requests arrived at an idle server (and so paid any
+        # restart penalty the service model charges).  Tracked only for
+        # the profiler; the simulation itself never reads it.
+        penalized = (
+            np.zeros(num_requests, dtype=bool) if prof.is_enabled() else None
+        )
 
         arrival = 0.0  # arrival epoch of request n (first gap included)
         window_start = 0.0
@@ -211,6 +217,8 @@ class MG1Simulator:
                 # the one before the very first arrival is artificial).
                 if n > warmup:
                     idles.append(idle_before)
+                if penalized is not None:
+                    penalized[n] = True
             if n == warmup:
                 window_start = arrival
             service = self.service.service_time(rng, idle_before)
@@ -228,6 +236,16 @@ class MG1Simulator:
         busy = float(waits[warmup] + services[warmup:].sum())
         obs.add("mg1.runs")
         obs.add("mg1.requests_completed", num_requests - warmup)
+        if penalized is not None:
+            penalty = float(getattr(self.service, "penalty", 0.0) or 0.0)
+            prof.record_mg1_run(
+                rate=self.arrival_rate,
+                waits=waits[warmup:],
+                services=services[warmup:],
+                penalized=penalized[warmup:] if penalty > 0 else None,
+                penalty=penalty,
+                seed=self.seed,
+            )
         return QueueResult(
             wait_times=waits[warmup:],
             service_times=services[warmup:],

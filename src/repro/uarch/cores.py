@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import prof
 from repro.branch.btb import BranchTargetBuffer
 from repro.branch.predictors import make_predictor
 from repro.caches.cache import SetAssociativeCache
@@ -193,6 +194,7 @@ class BaselineCoreModel:
             name=f"{self.name}.t0",
         )
         self.engine.add_thread(thread)
+        prof.register_core(self.engine, "ooo")
         return measured_run(
             self.engine,
             [thread],
@@ -285,6 +287,7 @@ class SMTCoreModel:
             if i > 0 and (self.config.fetch_policy == "priority" or len(traces) == 2):
                 thread.slot_reserve = corunner_reserve
             threads.append(self.engine.add_thread(thread))
+        prof.register_core(self.engine, f"smt-{self.config.fetch_policy}")
         # Co-runners loop forever; bound the run by the critical thread or
         # an explicit instruction budget.
         if max_instructions is None:
@@ -366,6 +369,7 @@ class InOrderSMTCoreModel:
             )
             for i, trace in enumerate(traces)
         ]
+        prof.register_core(self.engine, "ino-smt")
         return measured_run(
             self.engine,
             threads,
@@ -419,6 +423,7 @@ class LenderCoreModel:
     ) -> CoreRunResult:
         if not self.contexts:
             raise ValueError("lender-core has no virtual contexts to run")
+        prof.register_core(self.engine, "hsmt")
         return measured_run(
             self.engine,
             list(self.contexts),

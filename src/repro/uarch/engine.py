@@ -31,10 +31,11 @@ import heapq
 from dataclasses import dataclass
 from typing import Protocol
 
-from repro import obs
+from repro import obs, prof
 from repro.branch.btb import BranchTargetBuffer
 from repro.caches.hierarchy import MemoryHierarchy
 from repro.caches.tlb import TLB
+from repro.prof.taxonomy import SlotCause
 from repro.uarch.isa import NO_REG, NUM_ARCH_REGS, Op, Trace
 from repro.uarch.slots import SlotAllocator
 
@@ -52,6 +53,24 @@ _OP_IMUL = int(Op.IMUL)
 _OP_FP = int(Op.FP)
 
 _EXEC_LATENCY = {_OP_IALU: 1, _OP_IMUL: 3, _OP_FP: 4, _OP_BRANCH: 1, _OP_STORE: 1}
+
+# Slot-cause charge buckets (module-level ints: the per-instruction hot
+# path indexes a plain list with them).  The taxonomy regression test
+# pins that every one of these maps into a profiler category.
+_C_ICACHE = int(SlotCause.FRONTEND_ICACHE)
+_C_ITLB = int(SlotCause.FRONTEND_ITLB)
+_C_BTB = int(SlotCause.FRONTEND_BTB)
+_C_FETCH_BW = int(SlotCause.FRONTEND_BANDWIDTH)
+_C_BADSPEC = int(SlotCause.BAD_SPECULATION)
+_C_DCACHE = int(SlotCause.BACKEND_MEMORY_DCACHE)
+_C_DTLB = int(SlotCause.BACKEND_MEMORY_DTLB)
+_C_ROB = int(SlotCause.BACKEND_CORE_ROB)
+_C_LQ = int(SlotCause.BACKEND_CORE_LQ)
+_C_SQ = int(SlotCause.BACKEND_CORE_SQ)
+_C_DEP = int(SlotCause.BACKEND_CORE_DEP)
+_C_SERIAL = int(SlotCause.BACKEND_CORE_SERIAL)
+_C_ISSUE_BW = int(SlotCause.BACKEND_CORE_ISSUE)
+_C_REMOTE = int(SlotCause.REMOTE_STALL)
 
 # _step outcomes.
 _OK = 0
@@ -113,6 +132,7 @@ class ThreadState:
         "last_remote_issue",
         "last_remote_complete",
         "slot_reserve",
+        "prof",
     )
 
     def __init__(
@@ -173,6 +193,9 @@ class ThreadState:
         # Pipeline slots per cycle this thread must leave free for
         # higher-priority threads (0 = may fill every slot).
         self.slot_reserve = 0
+        # Profiler scratch (a prof.ThreadProf while profiling is on,
+        # None otherwise — the hot path does one attribute/None check).
+        self.prof = None
 
     def ipc(self, cycles: int) -> float:
         return self.instructions / cycles if cycles > 0 else 0.0
@@ -249,6 +272,11 @@ class TimingEngine:
         # this cycle: filler work in flight at a window's end is squashed
         # by the master-thread's restart, so it must not be counted.
         self._fetch_limit: int | None = None
+        # Profiler attachments: an interval sampler while profiling is
+        # on, and a latch so a later unprofiled run can clear the
+        # threads' stale scratch accumulators.
+        self._prof_sampler = None
+        self._prof_active = False
 
     # -- construction ----------------------------------------------------
 
@@ -334,6 +362,16 @@ class TimingEngine:
         """
         start_cycle = self.now
         start_instructions = self.instructions
+        if prof.is_enabled():
+            prof.ensure_threads(self)
+            self._prof_active = True
+        elif self._prof_active:
+            # Profiling was turned off since the last run: drop the
+            # stale per-thread scratch so _step's fast path sees None.
+            for t in self.threads:
+                t.prof = None
+            self._prof_sampler = None
+            self._prof_active = False
         executed = 0
         heap = self._heap
         self._fetch_limit = until_cycle
@@ -380,6 +418,8 @@ class TimingEngine:
             width=self.width,
             start_cycle=start_cycle,
         )
+        if self._prof_active:
+            prof.account_run(self, result.cycles)
         # run() fires once per co-simulation window (thousands of times
         # per measurement), so it gets cheap counter totals only; span
         # emission happens at the measure() level.
@@ -398,6 +438,7 @@ class TimingEngine:
         i = thread.cursor
         op = int(trace.op[i])
         ports = thread.ports
+        tp = thread.prof  # ThreadProf while profiling, else None
 
         # ---- fetch ----
         earliest = thread.next_fetch
@@ -411,11 +452,18 @@ class TimingEngine:
                 if page != thread.last_page:
                     thread.last_page = page
                     if not ports.itlb.translate(pc):
-                        fetch_extra += ports.itlb.config.miss_latency_cycles
+                        itlb_extra = ports.itlb.config.miss_latency_cycles
+                        fetch_extra += itlb_extra
+                        if tp is not None:
+                            tp.charges[_C_ITLB] += itlb_extra
             # The hit latency is pipelined into the frontend depth; only
             # the *miss* latency beyond a hit stalls fetch.
             lat = ports.ihier.access(pc)
-            fetch_extra += max(0, lat - ports.ihier.levels[0].hit_latency)
+            icache_extra = lat - ports.ihier.levels[0].hit_latency
+            if icache_extra > 0:
+                fetch_extra += icache_extra
+                if tp is not None:
+                    tp.charges[_C_ICACHE] += icache_extra
         max_used = self.width - thread.slot_reserve if thread.slot_reserve else None
         fetch_cycle = self.fetch_slots.alloc(earliest, max_used)
         if self._fetch_limit is not None and fetch_cycle >= self._fetch_limit:
@@ -424,23 +472,37 @@ class TimingEngine:
             self.fetch_slots.free(fetch_cycle)
             thread.next_fetch = max(thread.next_fetch, fetch_cycle)
             return _DEFERRED
+        if tp is not None and fetch_cycle > earliest:
+            tp.charges[_C_FETCH_BW] += fetch_cycle - earliest
         avail = fetch_cycle + fetch_extra + self.frontend_depth
 
         # ---- storage structures (dispatch gating) ----
         rob = thread.rob
         if len(rob) >= thread.rob_cap:
-            avail = max(avail, rob[0] + 1)
+            head = rob[0] + 1
             del rob[0]
+            if head > avail:
+                if tp is not None:
+                    tp.charges[_C_ROB] += head - avail
+                avail = head
         if op == _OP_LOAD:
             lq = thread.lq
             if len(lq) >= thread.lq_cap:
-                avail = max(avail, lq[0] + 1)
+                head = lq[0] + 1
                 del lq[0]
+                if head > avail:
+                    if tp is not None:
+                        tp.charges[_C_LQ] += head - avail
+                    avail = head
         elif op == _OP_STORE:
             sq = thread.sq
             if len(sq) >= thread.sq_cap:
-                avail = max(avail, sq[0] + 1)
+                head = sq[0] + 1
                 del sq[0]
+                if head > avail:
+                    if tp is not None:
+                        tp.charges[_C_SQ] += head - avail
+                    avail = head
 
         # ---- issue (dependencies + bandwidth) ----
         reg_ready = thread.reg_ready
@@ -455,18 +517,40 @@ class TimingEngine:
             r = reg_ready[src2]
             if r > dep:
                 dep = r
+        if tp is not None and dep > avail:
+            # Attribute the dependency wait to the winning producer's
+            # latency source (D-cache miss, D-TLB walk, remote access,
+            # or plain execution latency).
+            if src1 != NO_REG and reg_ready[src1] == dep:
+                tp.charges[tp.reg_src[src1]] += dep - avail
+            else:
+                tp.charges[tp.reg_src[src2]] += dep - avail
         if thread.kind == "inorder" and thread.last_issue > dep:
+            if tp is not None:
+                tp.charges[_C_SERIAL] += thread.last_issue - dep
             dep = thread.last_issue
         issue = self.issue_slots.alloc(dep, max_used)
+        if tp is not None and issue > dep:
+            tp.charges[_C_ISSUE_BW] += issue - dep
         if thread.kind == "inorder":
             thread.last_issue = issue
 
         # ---- execute ----
         status = _OK
         if op == _OP_LOAD:
-            latency = ports.dhier.access(int(trace.addr[i]))
-            if ports.dtlb is not None and not ports.dtlb.translate(int(trace.addr[i])):
+            addr = int(trace.addr[i])
+            latency = ports.dhier.access(addr)
+            if ports.dtlb is not None and not ports.dtlb.translate(addr):
                 latency += ports.dtlb.config.miss_latency_cycles
+                mem_cause = _C_DTLB
+            elif tp is not None:
+                # A consumer waiting on this register stalls on memory
+                # only if the load actually missed in the L1D.
+                mem_cause = (
+                    _C_DCACHE
+                    if latency > ports.dhier.levels[0].hit_latency
+                    else _C_DEP
+                )
         elif op == _OP_STORE:
             ports.dhier.access(int(trace.addr[i]), is_write=True)
             if ports.dtlb is not None:
@@ -485,6 +569,15 @@ class TimingEngine:
         dst = trace.dst[i]
         if dst != NO_REG:
             reg_ready[dst] = complete
+            if tp is not None:
+                # Remember this register's producer class so a later
+                # dependency wait can name its true stall source.
+                if op == _OP_LOAD:
+                    tp.reg_src[dst] = mem_cause
+                elif op == _OP_REMOTE:
+                    tp.reg_src[dst] = _C_REMOTE
+                else:
+                    tp.reg_src[dst] = _C_DEP
 
         # ---- control flow ----
         next_fetch = fetch_cycle  # same-cycle fetch group by default
@@ -502,17 +595,23 @@ class TimingEngine:
                 if predicted != taken:
                     thread.mispredicts += 1
                     next_fetch = complete + 1
+                    if tp is not None:
+                        tp.charges[_C_BADSPEC] += next_fetch - fetch_cycle
                 elif taken and ports.btb is not None:
                     target = int(trace.target[i])
                     cached = ports.btb.lookup(pc)
                     ports.btb.update(pc, target)
                     if cached != target:
                         next_fetch = fetch_cycle + BTB_MISS_BUBBLE
+                        if tp is not None:
+                            tp.charges[_C_BTB] += BTB_MISS_BUBBLE
         elif op == _OP_REMOTE:
             if thread.remote_policy == "block":
                 # The thread cannot run ahead of a blocking remote access.
                 next_fetch = complete
                 status = _REMOTE_BLOCKED
+                if tp is not None:
+                    tp.charges[_C_REMOTE] += latency
         thread.next_fetch = max(next_fetch, fetch_cycle)
 
         # ---- commit (in order) ----
@@ -526,6 +625,8 @@ class TimingEngine:
 
         thread.instructions += 1
         self.instructions += 1
+        if tp is not None:
+            tp.retired += 1
         if thread.first_fetch is None:
             thread.first_fetch = fetch_cycle
         if commit > self.now:
@@ -559,6 +660,8 @@ class TimingEngine:
             self.fetch_slots.retire_before(horizon)
             self.issue_slots.retire_before(horizon)
             self.commit_slots.retire_before(horizon)
+            if self._prof_sampler is not None:
+                self._prof_sampler.sample(self)
             if self.heartbeat is not None:
                 self.heartbeat(self)
 

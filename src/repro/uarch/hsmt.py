@@ -18,6 +18,8 @@ from __future__ import annotations
 import heapq
 from collections import deque
 
+from repro import prof
+from repro.prof.taxonomy import SlotCause
 from repro.uarch.engine import ThreadState, TimingEngine
 
 
@@ -84,6 +86,12 @@ class HSMTScheduler:
     def _activate(self, thread: ThreadState, now: int) -> None:
         self.active_count += 1
         self.swaps += 1
+        if prof.is_enabled():
+            # Swap-in overhead belongs to the core (the incoming context
+            # did not choose to pay it), so charge the shared row.
+            prof.charge_core(
+                self.engine, SlotCause.CONTEXT_SWAP, self.swap_cycles
+            )
         self.engine.activate(thread, now + self.swap_cycles)
 
     def _fill(self, now: int) -> None:

@@ -1,0 +1,290 @@
+"""Profiler across the harness: non-interference, pooled deltas, CLI.
+
+The properties pinned here mirror the obs integration suite:
+
+* profiling never changes simulation results — the golden grid payload
+  is byte-identical with the profiler on or off;
+* a pooled sweep reproduces the serial run's profile exactly — if a
+  worker's :class:`~repro.prof.ProfDelta` were dropped, the pooled
+  snapshot would collapse and this fails;
+* the ``profile`` CLI target renders a conservation-checked top-down
+  report and writes folded stacks;
+* the off-path is near-free and a profiled engine sheds its scratch on
+  the first unprofiled run.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import obs, prof
+from repro.cli import main
+from repro.harness import cache
+from repro.harness.experiment import clear_tail_cache, run_grid
+from repro.harness.measure import clear_cache
+from repro.harness.parallel import GridRunStats, run_grid_cells
+from repro.harness.reporting import format_grid_stats
+from repro.prof.taxonomy import DyadPhase
+from tests.harness.test_measure import TINY
+
+SMALL = dict(
+    designs=["baseline", "duplexity"],
+    loads=(0.3, 0.7),
+    fidelity=TINY,
+)
+
+
+def small_workloads():
+    from repro.workloads.microservices import mcrouter, wordstem
+
+    return [mcrouter(), wordstem()]
+
+
+@pytest.fixture
+def fresh_caches(tmp_path):
+    previous = cache.current_config()
+    clear_cache()
+    clear_tail_cache()
+    cache.configure(root=tmp_path / "cache")
+    yield
+    clear_cache()
+    clear_tail_cache()
+    cache.configure(**previous)
+
+
+@pytest.fixture(autouse=True)
+def _clean_prof():
+    prof.reset()
+    obs.reset()
+    yield
+    prof.reset()
+    obs.reset()
+
+
+def _reset_l1():
+    clear_cache()
+    clear_tail_cache()
+
+
+class TestNonInterference:
+    def test_results_identical_with_profiling_on(self, fresh_caches):
+        baseline = run_grid(workloads=small_workloads(), **SMALL, workers=1)
+        _reset_l1()
+        cache.configure(enabled=False)  # recompute rather than replay
+        prof.enable()
+        profiled = run_grid(workloads=small_workloads(), **SMALL, workers=1)
+        prof.disable()
+        assert profiled == baseline  # exact float equality, field by field
+
+    def test_golden_payload_byte_identical_with_profiling(self, fresh_caches):
+        from tests.golden import build_payload
+
+        plain = json.dumps(build_payload(), sort_keys=True)
+        _reset_l1()
+        cache.configure(enabled=False)
+        prof.enable()
+        profiled = json.dumps(build_payload(), sort_keys=True)
+        assert profiled == plain
+
+
+class TestPooledDeltas:
+    def test_pooled_profile_matches_serial(self, fresh_caches):
+        cache.configure(enabled=False)  # force real computation both runs
+        prof.enable()
+        serial_results = run_grid(
+            workloads=small_workloads(), **SMALL, workers=1
+        )
+        serial = prof.snapshot()
+        assert not serial.empty
+
+        prof.reset()
+        _reset_l1()
+        prof.enable()
+        pooled_results = run_grid(
+            workloads=small_workloads(), **SMALL, workers=2
+        )
+        pooled = prof.snapshot()
+
+        assert pooled_results == serial_results
+        assert pooled == serial  # slots, dyads, intervals, waterfalls
+
+    def test_serial_profile_covers_the_grid(self, fresh_caches):
+        cache.configure(enabled=False)
+        prof.enable()
+        run_grid(workloads=small_workloads(), **SMALL, workers=1)
+        snap = prof.snapshot()
+        # Core keys are workload-namespaced; both workloads must appear.
+        prefixes = {c.core.split("/", 1)[0] for c in snap.cores}
+        assert {"McRouter", "WordStem"} <= prefixes
+        assert snap.conserved()
+        # The morphing dyad rolls up per-phase cycles.
+        (dyad,) = [d for d in snap.dyads if d.design == "duplexity"]
+        assert dyad.cycles.get(int(DyadPhase.MASTER_COMPUTE), 0) > 0
+        assert sum(dyad.cycles.values()) > 0
+        # Tail sweeps decompose into waterfalls with exemplars.
+        assert snap.waterfalls
+        assert all(w.exemplars for w in snap.waterfalls)
+
+    def test_stats_surface_prof_counters(self, fresh_caches):
+        cache.configure(enabled=False)
+        prof.enable()
+        stats = GridRunStats()
+        run_grid_cells(
+            designs=["baseline"],
+            workloads=small_workloads()[:1],
+            loads=(0.5,),
+            fidelity=TINY,
+            workers=1,
+            stats=stats,
+        )
+        text = format_grid_stats(stats)
+        assert "prof.slots_attributed" in text
+        assert "prof.cores" in text
+        prof.disable()
+        assert "prof." not in format_grid_stats(stats)
+
+
+class TestOverheadWhenOff:
+    def test_noop_calls_are_cheap(self):
+        assert not prof.is_enabled()
+        n = 100_000
+        start = time.perf_counter()
+        for _ in range(n):
+            prof.record_mg1_run(
+                rate=1.0,
+                waits=None,
+                services=None,
+                penalized=None,
+                penalty=0.0,
+                seed=0,
+            )
+        record_s = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(n):
+            with prof.context(design="d", workload="w"):
+                pass
+        context_s = time.perf_counter() - start
+        # Generous bounds (~20x typical) so CI timing noise cannot trip
+        # this; a regression that makes the off-path allocate or sample
+        # overshoots them by orders of magnitude.
+        assert record_s / n < 5e-6
+        assert context_s / n < 10e-6
+
+    def test_engine_sheds_scratch_after_profiled_run(self, fresh_caches):
+        from repro.uarch.cores import BaselineCoreModel
+        from tests.uarch.test_cores import trace
+
+        prof.enable()
+        model = BaselineCoreModel()
+        model.run(trace(2000), max_instructions=1000)
+        assert model.engine.threads[0].prof is not None
+        prof.disable()
+        model.engine.run(max_instructions=500)
+        # The engine's latch dropped the stale scratch: the per-step fast
+        # path is back to a single None check.
+        assert model.engine.threads[0].prof is None
+        assert model.engine._prof_sampler is None
+
+
+class TestCli:
+    @pytest.fixture
+    def tiny_cli(self):
+        import repro.cli as cli
+
+        original = cli.FIDELITIES["fast"]
+        cli.FIDELITIES["fast"] = TINY
+        yield
+        cli.FIDELITIES["fast"] = original
+
+    def test_profile_target_renders_and_writes_folded(
+        self, tiny_cli, fresh_caches, tmp_path, capsys
+    ):
+        folded = tmp_path / "cell.folded"
+        assert (
+            main(
+                [
+                    "profile",
+                    "baseline",
+                    "wordstem",
+                    "0.5",
+                    "--folded",
+                    str(folded),
+                ]
+            )
+            == 0
+        )
+        assert not prof.is_enabled()  # torn down by the CLI
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert "retiring" in out
+        assert "conservation: sum(causes) == width x cycles [exact]" in out
+        assert "VIOLATED" not in out
+        lines = folded.read_text().splitlines()
+        assert lines
+        for line in lines:
+            stack, value = line.rsplit(" ", 1)
+            assert ";" in stack
+            assert int(value) > 0
+
+    def test_profile_target_exports_to_trace(
+        self, tiny_cli, fresh_caches, tmp_path, capsys
+    ):
+        trace_file = tmp_path / "p.jsonl"
+        assert (
+            main(
+                [
+                    "profile",
+                    "duplexity",
+                    "mcrouter",
+                    "0.5",
+                    "--trace",
+                    str(trace_file),
+                ]
+            )
+            == 0
+        )
+        records = [
+            json.loads(line) for line in trace_file.read_text().splitlines()
+        ]
+        profile_records = [r for r in records if r["type"] == "profile"]
+        kinds = {r["kind"] for r in profile_records}
+        assert {"core", "dyad", "waterfall"} <= kinds
+        for r in profile_records:
+            if r["kind"] == "core":
+                assert r["conserved"] is True
+                assert sum(r["slots"].values()) == r["slots_total"]
+
+    def test_report_counts_profile_records(
+        self, tiny_cli, fresh_caches, tmp_path, capsys
+    ):
+        trace_file = tmp_path / "p.jsonl"
+        main(
+            [
+                "profile",
+                "baseline",
+                "wordstem",
+                "0.5",
+                "--trace",
+                str(trace_file),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["report", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert 'repro_profile_record_count{kind="core"}' in out
+
+    def test_profile_env_variable_on_cell_target(
+        self, tiny_cli, fresh_caches, capsys, monkeypatch
+    ):
+        # REPRO_PROF=1 profiles any target; without a trace stream the
+        # data is captured and torn down silently (no crash, no output
+        # contamination), which is what a sweeps-under-profiling CI leg
+        # relies on.
+        monkeypatch.setenv("REPRO_PROF", "1")
+        assert main(["cell", "baseline", "wordstem", "0.5"]) == 0
+        assert not prof.is_enabled()
+
+    def test_profile_rejects_bad_args(self):
+        with pytest.raises(SystemExit, match="usage: repro profile"):
+            main(["profile", "baseline"])

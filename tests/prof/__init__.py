@@ -1,0 +1,1 @@
+"""Microarchitectural profiler (repro.prof) tests."""

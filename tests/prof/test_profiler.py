@@ -1,0 +1,259 @@
+"""Profiler core: lifecycle, exact distribution, deltas, waterfalls.
+
+The load-bearing properties: :func:`repro.prof._distribute` conserves
+its total exactly for any weight vector; a worker-style
+mark/delta/merge roundtrip reproduces the serial totals; and turning
+the profiler on never changes M/G/1 simulation results (the exemplar
+sampler's RNG is private).
+"""
+
+import numpy as np
+import pytest
+
+from repro import prof
+from repro.common.distributions import Exponential
+from repro.prof import _distribute
+from repro.prof.taxonomy import SlotCause
+from repro.queueing.mg1 import MG1Simulator, RestartPenaltyService
+from repro.uarch.cores import BaselineCoreModel
+from tests.uarch.test_cores import trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_prof():
+    prof.reset()
+    yield
+    prof.reset()
+
+
+class TestLifecycle:
+    def test_enable_disable_reset(self):
+        assert not prof.is_enabled()
+        prof.enable()
+        assert prof.is_enabled()
+        prof.disable()
+        assert not prof.is_enabled()
+        prof.enable()
+        prof.reset()
+        assert not prof.is_enabled()
+        assert prof.snapshot().empty
+
+    def test_enable_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROF", raising=False)
+        assert not prof.enable_from_env()
+        monkeypatch.setenv("REPRO_PROF", "1")
+        assert prof.enable_from_env()
+        assert prof.is_enabled()
+
+    def test_context_labels_namespace_cores(self):
+        prof.enable()
+        with prof.context(design="duplexity", workload="McRouter"):
+            assert prof._core_key("lender") == "McRouter/lender"
+        assert prof._core_key("lender") == "lender"
+
+    def test_context_is_noop_when_off(self):
+        with prof.context(design="x", workload="y"):
+            assert prof._core_key("core") == "core"
+
+
+class TestDistribute:
+    @pytest.mark.parametrize(
+        "total,weights",
+        [
+            (0, [1, 2, 3]),
+            (10, []),
+            (10, [0, 0]),
+            (7, [1, 1, 1]),
+            (1, [3, 5]),
+            (1000, [1, 999]),
+            (12345, [7, 0, 13, 999, 1]),
+        ],
+    )
+    def test_exact_conservation(self, total, weights):
+        alloc = _distribute(total, weights)
+        expected = total if (total > 0 and sum(weights) > 0) else 0
+        assert sum(alloc) == expected
+        assert all(a >= 0 for a in alloc)
+
+    def test_randomized_conservation(self):
+        rng = np.random.default_rng(42)
+        for _ in range(200):
+            total = int(rng.integers(0, 10_000))
+            weights = [int(w) for w in rng.integers(0, 1000, size=rng.integers(1, 9))]
+            alloc = _distribute(total, weights)
+            if total > 0 and sum(weights) > 0:
+                assert sum(alloc) == total
+            else:
+                assert sum(alloc) == 0
+
+    def test_proportionality_within_one(self):
+        total, weights = 1000, [1, 2, 7]
+        alloc = _distribute(total, weights)
+        for a, w in zip(alloc, weights):
+            assert abs(a - total * w / 10) < 1
+
+    def test_zero_weight_gets_nothing(self):
+        assert _distribute(100, [0, 5])[0] == 0
+
+
+def _profile_one_run():
+    """One small profiled core run; returns the resulting snapshot."""
+    model = BaselineCoreModel()
+    with prof.context(workload="W"):
+        model.run(trace(4000))
+    return prof.snapshot()
+
+
+class TestDeltaMerge:
+    def test_roundtrip_reproduces_serial_totals(self):
+        prof.enable()
+        serial = _profile_one_run()
+
+        prof.reset()
+        prof.enable()
+        mark = prof.mark()
+        merged_snapshot_input = _profile_one_run()
+        delta = prof.delta_since(mark)
+        assert not delta.empty
+
+        prof.reset()
+        prof.configure_worker({"enabled": True})
+        prof.merge_delta(delta)
+        merged = prof.snapshot()
+        assert merged == serial
+        assert merged == merged_snapshot_input
+
+    def test_configure_worker_starts_clean(self):
+        prof.enable()
+        _profile_one_run()
+        assert not prof.snapshot().empty
+        # A forked worker inherits the parent's totals; configure_worker
+        # must wipe them so the worker's delta is worker-only.
+        prof.configure_worker({"enabled": True})
+        assert prof.is_enabled()
+        assert prof.snapshot().empty
+
+    def test_merge_is_noop_when_off(self):
+        prof.enable()
+        mark = prof.mark()
+        _profile_one_run()
+        delta = prof.delta_since(mark)
+        prof.reset()
+        prof.merge_delta(delta)
+        assert prof.snapshot().empty
+
+
+class TestMg1Waterfalls:
+    def test_results_identical_with_profiling_on(self):
+        service = RestartPenaltyService(Exponential(1e-6), penalty=2e-7)
+        plain = MG1Simulator.at_load(0.6, service, seed=5).run(
+            num_requests=800, warmup=100
+        )
+        prof.enable()
+        profiled = MG1Simulator.at_load(0.6, service, seed=5).run(
+            num_requests=800, warmup=100
+        )
+        assert np.array_equal(plain.wait_times, profiled.wait_times)
+        assert np.array_equal(plain.service_times, profiled.service_times)
+        assert plain.busy_time == profiled.busy_time
+        assert plain.duration == profiled.duration
+
+    def test_waterfall_fields(self):
+        prof.enable()
+        service = RestartPenaltyService(Exponential(1e-6), penalty=2e-7)
+        with prof.context(design="duplexity", workload="McRouter"):
+            result = MG1Simulator.at_load(0.6, service, seed=5).run(
+                num_requests=800, warmup=100
+            )
+        snap = prof.snapshot()
+        (record,) = snap.waterfalls
+        assert record.design == "duplexity"
+        assert record.workload == "McRouter"
+        assert record.requests == result.num_requests
+        assert record.penalty_s == pytest.approx(2e-7)
+        assert 0 < record.penalized_requests <= record.requests
+        assert record.p99_sojourn_s >= record.p50_sojourn_s > 0
+        assert record.exemplars
+        sojourns = [e.sojourn_s for e in record.exemplars]
+        assert sojourns == sorted(sojourns, reverse=True)
+        for e in record.exemplars:
+            assert e.sojourn_s == pytest.approx(e.wait_s + e.service_s)
+            assert e.penalty_s in (0.0, pytest.approx(2e-7))
+        # The top exemplar is the observed maximum sojourn.
+        assert sojourns[0] == pytest.approx(
+            float((result.wait_times + result.service_times).max())
+        )
+
+    def test_waterfalls_deterministic(self):
+        service = RestartPenaltyService(Exponential(1e-6), penalty=2e-7)
+        prof.enable()
+        MG1Simulator.at_load(0.6, service, seed=5).run(
+            num_requests=800, warmup=100
+        )
+        first = prof.snapshot().waterfalls
+        prof.reset()
+        prof.enable()
+        MG1Simulator.at_load(0.6, service, seed=5).run(
+            num_requests=800, warmup=100
+        )
+        assert prof.snapshot().waterfalls == first
+
+    def test_tail_attachment(self):
+        prof.enable()
+        with prof.context(design="baseline", workload="WordStem"):
+            prof.attach_tail(1e6, 0.99, 3.2e-6)
+        (tail,) = prof.snapshot().tails
+        assert tail.design == "baseline"
+        assert tail.workload == "WordStem"
+        assert tail.quantile == 0.99
+        assert tail.tail_s == pytest.approx(3.2e-6)
+
+
+class TestIntervalSampler:
+    def test_intervals_emitted_for_long_runs(self):
+        prof.enable()
+        model = BaselineCoreModel()
+        model.run(trace(60_000))
+        snap = prof.snapshot()
+        samples = [s for s in snap.intervals if s.core == "baseline"]
+        assert samples
+        for s in samples:
+            assert s.window_cycles >= prof.IntervalSampler.DEFAULT_WINDOW
+            assert s.instructions > 0
+            assert s.ipc == pytest.approx(s.instructions / s.window_cycles)
+            assert s.l1d_mpki >= 0.0
+            assert s.active_threads >= 0
+        cycles = [s.cycle for s in samples]
+        assert cycles == sorted(cycles)
+
+    def test_stale_scratch_cleared_after_disable(self):
+        prof.enable()
+        model = BaselineCoreModel()
+        model.run(trace(2000), max_instructions=1000)
+        assert model.engine.threads[0].prof is not None
+        prof.disable()
+        model.engine.run(max_instructions=500)
+        assert model.engine.threads[0].prof is None
+        assert model.engine._prof_sampler is None
+
+
+class TestSnapshotStructure:
+    def test_core_profile_categories_sum_to_total(self):
+        prof.enable()
+        snap = _profile_one_run()
+        (core,) = [c for c in snap.cores if c.core == "W/baseline"]
+        assert core.conserved()
+        assert sum(core.by_category().values()) == core.slots_total
+        assert core.slots.get(int(SlotCause.RETIRING)) == 4000
+
+    def test_folded_lines_parse(self):
+        prof.enable()
+        snap = _profile_one_run()
+        lines = snap.folded_lines()
+        assert lines
+        total = 0
+        for line in lines:
+            stack, value = line.rsplit(" ", 1)
+            assert ";" in stack
+            total += int(value)
+        assert total == sum(c.slots_total for c in snap.cores)

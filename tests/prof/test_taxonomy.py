@@ -1,0 +1,65 @@
+"""Slot-cause taxonomy: totality and engine-side mapping.
+
+The regression pinned here: every cause the engine can charge maps to
+exactly one top-down category — a new engine-side cause that is not in
+the taxonomy (or a taxonomy member without a category) fails loudly
+instead of landing in a silent "other" bucket.
+"""
+
+import repro.uarch.engine as engine_mod
+from repro.prof.taxonomy import (
+    CATEGORIES,
+    CATEGORY,
+    NUM_CAUSES,
+    DyadPhase,
+    SlotCause,
+)
+
+
+class TestTotality:
+    def test_every_cause_categorized_exactly_once(self):
+        assert set(CATEGORY) == set(SlotCause)
+
+    def test_every_category_value_is_known(self):
+        assert set(CATEGORY.values()) == set(CATEGORIES)
+
+    def test_causes_are_dense_small_ints(self):
+        # The engine indexes a plain list with these; they must be a
+        # dense 0..N-1 range.
+        assert sorted(int(c) for c in SlotCause) == list(range(NUM_CAUSES))
+        assert NUM_CAUSES == len(SlotCause)
+
+
+class TestEngineMapping:
+    def test_engine_charge_constants_map_into_taxonomy(self):
+        consts = {
+            name: value
+            for name, value in vars(engine_mod).items()
+            if name.startswith("_C_")
+        }
+        assert consts, "engine no longer charges any slot causes"
+        for name, value in consts.items():
+            cause = SlotCause(value)  # raises ValueError if unmapped
+            assert cause in CATEGORY, f"{name} has no category"
+
+    def test_engine_never_charges_retiring_or_idle(self):
+        # RETIRING is derived from retired-instruction counts and IDLE is
+        # the attribution residual; neither may appear as a stall charge.
+        values = {
+            value
+            for name, value in vars(engine_mod).items()
+            if name.startswith("_C_")
+        }
+        assert int(SlotCause.RETIRING) not in values
+        assert int(SlotCause.IDLE) not in values
+
+    def test_remote_causes_form_the_remote_category(self):
+        assert CATEGORY[SlotCause.REMOTE_STALL] == "remote"
+        assert CATEGORY[SlotCause.CONTEXT_SWAP] == "remote"
+
+
+class TestDyadPhases:
+    def test_phases_are_distinct_dense_ints(self):
+        assert sorted(int(p) for p in DyadPhase) == list(
+            range(len(DyadPhase))
+        )

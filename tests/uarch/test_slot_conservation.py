@@ -1,0 +1,158 @@
+"""Slot-attribution conservation across every core datapath.
+
+The profiler's headline guarantee: for every profiled core,
+``sum(attributed slots) == width x cycles`` as an exact integer
+identity — retiring slots equal retired instructions, stall slots are
+distributed over the recorded causes by largest remainder, and any
+unclaimed residual lands in an explicit IDLE bucket.  Pinned here for
+each core model (OoO, OoO-SMT under both fetch policies, in-order SMT,
+and the HSMT lender core) so an engine change that leaks or
+double-charges slots fails loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro import prof
+from repro.prof.taxonomy import CATEGORY, SlotCause
+from repro.uarch.cores import (
+    BaselineCoreModel,
+    InOrderSMTCoreModel,
+    LenderCoreModel,
+    SMTCoreModel,
+    SMTCoreConfig,
+)
+from tests.uarch.test_cores import trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_prof():
+    prof.reset()
+    prof.enable()
+    yield
+    prof.reset()
+
+
+def _check(engine, *, retired: int | None = None):
+    """Assert exact conservation for ``engine``'s core profile."""
+    snap = prof.snapshot()
+    (core,) = [c for c in snap.cores if c.core == engine.name]
+    assert core.conserved()
+    assert core.slots_total == engine.width * engine.now
+    assert sum(core.slots.values()) == core.slots_total
+    for cause in core.slots:
+        assert SlotCause(cause) in CATEGORY
+    for ts in core.threads:
+        assert all(v >= 0 for v in ts.slots.values())
+    # Per-thread buckets must themselves sum back to the core total.
+    assert (
+        sum(v for ts in core.threads for v in ts.slots.values())
+        == core.slots_total
+    )
+    if retired is not None:
+        assert core.slots.get(int(SlotCause.RETIRING), 0) == retired
+    return core
+
+
+def test_baseline_ooo_conserves():
+    model = BaselineCoreModel()
+    result = model.run(trace(8000))
+    core = _check(model.engine, retired=result.engine.instructions)
+    assert core.mode == "ooo"
+    assert core.width == model.engine.width
+
+
+def test_baseline_with_warmup_conserves():
+    # Warmup retires instructions through the same engine; the slot pool
+    # must cover the warmup cycles too (account_run folds every run).
+    model = BaselineCoreModel()
+    model.run(trace(8000), warmup_instructions=2000)
+    _check(model.engine, retired=8000)
+
+
+def test_smt_icount_conserves():
+    model = SMTCoreModel()
+    traces = [trace(5000, slot=i, seed=i) for i in range(2)]
+    result = model.run(traces, max_instructions=8000)
+    core = _check(model.engine, retired=result.engine.instructions)
+    assert core.mode == "smt-icount"
+    # Both hardware threads should have retired something.
+    named = {ts.thread for ts in core.threads}
+    assert {"smt.t0", "smt.t1"} <= named
+
+
+def test_smt_priority_conserves():
+    model = SMTCoreModel(SMTCoreConfig(fetch_policy="priority"))
+    traces = [trace(5000, slot=i, seed=i) for i in range(2)]
+    model.run(traces, max_instructions=8000)
+    core = _check(model.engine)
+    assert core.mode == "smt-priority"
+
+
+def test_inorder_smt_conserves():
+    model = InOrderSMTCoreModel()
+    traces = [trace(4000, slot=i, seed=i) for i in range(4)]
+    result = model.run(traces, max_instructions=20_000)
+    core = _check(model.engine, retired=result.engine.instructions)
+    assert core.mode == "ino-smt"
+    # An in-order datapath must charge serialization somewhere: the
+    # stall mass cannot all be IDLE on a 4-thread looping run.
+    stall = core.slots_total - core.slots.get(int(SlotCause.RETIRING), 0)
+    idle = core.slots.get(int(SlotCause.IDLE), 0)
+    assert stall == 0 or idle < stall
+
+
+def test_lender_hsmt_conserves():
+    model = LenderCoreModel()
+    for i in range(12):
+        model.add_virtual_context(trace(3000, slot=i, seed=i))
+    result = model.run(max_instructions=30_000)
+    core = _check(model.engine, retired=result.engine.instructions)
+    assert core.mode == "hsmt"
+
+
+def test_multiple_runs_accumulate_conserved():
+    # Two runs through the same engine: totals accumulate and stay exact.
+    model = BaselineCoreModel()
+    model.run(trace(3000), max_instructions=1500)
+    model.engine.run(max_instructions=1500)
+    _check(model.engine, retired=3000)
+
+
+def test_conservation_survives_merge_roundtrip():
+    model = BaselineCoreModel()
+    model.run(trace(6000))
+    serial = prof.snapshot()
+
+    mark_all = prof.mark()
+    delta_none = prof.delta_since(mark_all)
+    assert delta_none.empty
+
+    # Ship everything as a delta into a clean process-alike and re-check.
+    empty_mark = prof.ProfMark(
+        slots_total={},
+        retired={},
+        charges={},
+        dyad_cycles={},
+        dyad_instr={},
+        num_intervals=0,
+        num_waterfalls=0,
+        num_transitions=0,
+        num_tails=0,
+        dropped={},
+    )
+    delta = prof.delta_since(empty_mark)
+    prof.configure_worker({"enabled": True})
+    prof.merge_delta(delta)
+    assert prof.snapshot() == serial
+
+
+def test_retiring_exactly_matches_instruction_count():
+    rng = np.random.default_rng(7)
+    for n in (1000, 2500, 4000):
+        prof.reset()
+        prof.enable()
+        model = BaselineCoreModel()
+        model.run(trace(int(n), seed=int(rng.integers(100))))
+        core = _check(model.engine)
+        assert core.slots.get(int(SlotCause.RETIRING), 0) == n
