@@ -1,17 +1,24 @@
 """Performance-trajectory benchmark: time a pinned FAST subset cold and warm.
 
 Runs a fixed (design x workload x load) subset of the evaluation matrix
-twice — once against a fresh result cache (cold: every cell simulates)
-and once against the warmed cache with the in-memory layers cleared
-(warm: every cell should come from disk) — and writes the wall times,
-cache hit rate and simulated-cycle volume to
+against a fresh result cache under both fastpath modes (reference cold
+pass with ``REPRO_FASTPATH=off``, compiled cold pass with ``on``), then a
+warm pass against the warmed disk cache, and writes the wall times,
+speedup, cache hit rate and simulated-cycle volume to
 ``benchmarks/output/BENCH_profile.json``.  CI uploads the file as an
 artifact, so the simulator's performance trajectory is tracked across
-commits without failing builds on noisy thresholds.
+commits.
+
+One threshold *does* fail the build: the compiled cold sweep is gated
+against ``benchmarks/perf_baseline.json`` — a regression of more than
+25% over the committed baseline exits non-zero, so the fast path cannot
+silently rot back toward reference speed.  ``--no-gate`` skips the gate
+(e.g. when profiling on a deliberately slow machine); the gate also
+skips itself when no C compiler is available.
 
 Usage::
 
-    python benchmarks/perf_trajectory.py [--out PATH]
+    python benchmarks/perf_trajectory.py [--out PATH] [--no-gate]
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from repro.harness.experiment import clear_tail_cache  # noqa: E402
 from repro.harness.fidelity import FAST  # noqa: E402
 from repro.harness.measure import clear_cache as clear_measure_cache  # noqa: E402
 from repro.harness.parallel import GridRunStats, run_grid_cells  # noqa: E402
+from repro.uarch import fastpath  # noqa: E402
 from repro.workloads.microservices import standard_microservices  # noqa: E402
 
 #: The pinned subset: two design families (single-threaded baseline and
@@ -43,6 +51,13 @@ WORKLOAD_NAMES = ("McRouter", "WordStem")
 LOADS = (0.3, 0.7)
 
 DEFAULT_OUT = pathlib.Path(__file__).parent / "output" / "BENCH_profile.json"
+
+#: Committed record of the compiled cold sweep on the reference machine.
+BASELINE_PATH = pathlib.Path(__file__).parent / "perf_baseline.json"
+
+#: The gate fails when the compiled cold sweep exceeds the committed
+#: baseline by more than this factor.
+GATE_HEADROOM = 1.25
 
 
 def _workloads():
@@ -71,26 +86,48 @@ def main(argv: list[str] | None = None) -> int:
         default=str(DEFAULT_OUT),
         help=f"output JSON path (default {DEFAULT_OUT})",
     )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="record timings without failing on the perf-baseline gate",
+    )
     options = parser.parse_args(argv)
+    compiled_available = fastpath.is_available()
 
     # In-memory observation only: engine.cycles gives the simulated-cycle
     # volume behind the cold wall time.
     obs.reset()
     obs.enable()
-    with tempfile.TemporaryDirectory(prefix="repro-perf-") as tmp:
-        # Fresh disk cache: the cold pass simulates every cell.
-        cache.configure(root=tmp, enabled=True)
-        clear_measure_cache()
-        clear_tail_cache()
-        cold_stats, cold_wall = _sweep()
-        cycles = obs.value("engine.cycles")
+    try:
+        # Reference cold pass: the pure-Python path, its own fresh cache.
+        fastpath.set_mode("off")
+        with tempfile.TemporaryDirectory(prefix="repro-perf-ref-") as tmp:
+            cache.configure(root=tmp, enabled=True)
+            clear_measure_cache()
+            clear_tail_cache()
+            _, reference_wall = _sweep()
 
-        # Warm pass: keep the disk layer, drop the in-memory layers so
-        # every cell exercises the disk-cache read path.
-        clear_measure_cache()
-        clear_tail_cache()
-        warm_stats, warm_wall = _sweep()
-    obs.reset()
+        # Compiled cold + warm passes.  With no C compiler 'on' falls
+        # back to the reference path; the payload records which ran.
+        fastpath.set_mode("on" if compiled_available else "off")
+        obs.reset()
+        obs.enable()
+        with tempfile.TemporaryDirectory(prefix="repro-perf-") as tmp:
+            # Fresh disk cache: the cold pass simulates every cell.
+            cache.configure(root=tmp, enabled=True)
+            clear_measure_cache()
+            clear_tail_cache()
+            cold_stats, cold_wall = _sweep()
+            cycles = obs.value("engine.cycles")
+
+            # Warm pass: keep the disk layer, drop the in-memory layers
+            # so every cell exercises the disk-cache read path.
+            clear_measure_cache()
+            clear_tail_cache()
+            warm_stats, warm_wall = _sweep()
+    finally:
+        fastpath.set_mode(None)
+        obs.reset()
 
     payload = {
         "designs": DESIGNS,
@@ -98,7 +135,10 @@ def main(argv: list[str] | None = None) -> int:
         "loads": list(LOADS),
         "fidelity": FAST.name,
         "cells": cold_stats.cells,
+        "fastpath_available": compiled_available,
         "wall_s": round(cold_wall, 3),
+        "wall_s_reference": round(reference_wall, 3),
+        "speedup": round(reference_wall / cold_wall, 2) if cold_wall > 0 else 0.0,
         "wall_s_warm": round(warm_wall, 3),
         "cache_hit_rate": round(warm_stats.disk.hit_rate, 4),
         "cycles_simulated": int(cycles),
@@ -107,6 +147,21 @@ def main(argv: list[str] | None = None) -> int:
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(json.dumps(payload, indent=2, sort_keys=True))
+
+    if options.no_gate or not compiled_available or not BASELINE_PATH.exists():
+        return 0
+    baseline = json.loads(BASELINE_PATH.read_text())
+    limit = baseline["wall_s_compiled"] * GATE_HEADROOM
+    if cold_wall > limit:
+        print(
+            f"PERF GATE FAILED: compiled cold sweep took {cold_wall:.3f}s, "
+            f"over the gate of {limit:.3f}s "
+            f"({baseline['wall_s_compiled']}s baseline x {GATE_HEADROOM}); "
+            "if the slowdown is intentional, update "
+            f"{BASELINE_PATH.name} and review the diff",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -197,9 +197,23 @@ def main(argv: list[str] | None = None) -> int:
             " stacks to this path"
         ),
     )
+    parser.add_argument(
+        "--fastpath",
+        choices=("auto", "on", "off"),
+        help=(
+            "compiled execution kernel for the timing engine and M/G/1"
+            " queue (byte-identical results); overrides REPRO_FASTPATH"
+            " (default: auto)"
+        ),
+    )
     options = parser.parse_args(argv)
     fidelity = FIDELITIES[options.fidelity]
     target = options.target.lower()
+
+    if options.fastpath:
+        from repro.uarch import fastpath
+
+        fastpath.set_mode(options.fastpath)
 
     if target == "report":
         return _run_report(options)

@@ -294,3 +294,41 @@ class Mixture(Distribution):
             if count:
                 out[mask] = component.sample_many(rng, count)
         return out
+
+
+# ----------------------------------------------------------------------
+# Stream-safety classification (used by the batched M/G/1 fast path)
+# ----------------------------------------------------------------------
+
+#: Distributions whose ``sample_many(rng, n)`` consumes the generator's
+#: bitstream exactly as ``n`` sequential ``sample(rng)`` calls would and
+#: produces bit-identical values.  True for NumPy's element-at-a-time
+#: array fills (each element runs the same scalar algorithm), asserted
+#: empirically by tests/queueing/test_mg1_batched.py.  ``SumDistribution``
+#: and ``Mixture`` are excluded: their bulk fills reorder the stream
+#: (component-major / selector-batched) relative to the scalar path.
+_STREAM_SAFE = (Deterministic, Exponential, Uniform, LogNormal, Pareto)
+
+
+def is_stream_safe(dist: Distribution) -> bool:
+    """Whether bulk sampling matches sequential sampling bit-for-bit.
+
+    Exact-type checks: a subclass may override ``sample`` arbitrarily,
+    so it is conservatively unsafe.
+    """
+    if type(dist) in _STREAM_SAFE:
+        return True
+    if type(dist) is ScaledDistribution:
+        return is_stream_safe(dist.base)
+    return False
+
+
+def draws_per_sample(dist: Distribution) -> int:
+    """How many rng draws one ``sample`` call consumes (0 or 1 for the
+    stream-safe set; used to decide whether interleaved per-request draws
+    can be hoisted into one bulk fill)."""
+    if type(dist) is Deterministic:
+        return 0
+    if type(dist) is ScaledDistribution:
+        return draws_per_sample(dist.base)
+    return 1

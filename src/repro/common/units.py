@@ -64,6 +64,22 @@ def cycles_from_ns(ns: float, frequency_hz: float) -> float:
     return cycles_from_seconds(seconds_from_ns(ns), frequency_hz)
 
 
+def quantize_cycles(cycles: float) -> int:
+    """Quantize a fractional cycle count to whole cycles by truncation.
+
+    This is THE conversion used wherever a duration becomes a discrete
+    cycle count on a timing path (``stall_cycles_for_ns``, scheduler
+    quanta, the compiled kernel's precomputed stall columns): a stall
+    ends within the cycle it completes, so the fraction is dropped, not
+    rounded.  Latency *parameters* (e.g. a cache level's configured hit
+    latency derived from nanoseconds) may still round — that is a
+    modelling choice made once at configuration time, not a timing-path
+    conversion.  Keeping a single helper prevents the truncate-vs-round
+    split from diverging between the reference and compiled paths.
+    """
+    return int(cycles)
+
+
 def ghz(value: float) -> float:
     """Frequency in Hz from GHz, e.g. ``ghz(3.4) == 3.4e9``."""
     return value * 1e9

@@ -92,6 +92,9 @@ def measure(
                 return stored
 
         sp.set("source", "simulate")
+        from repro.uarch import fastpath
+
+        sp.set("fastpath", fastpath.mode())
         obs.add("measure.computes")
         # Profile records captured during the simulation carry the cell's
         # labels; the workload label namespaces core names so two

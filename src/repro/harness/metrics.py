@@ -248,6 +248,75 @@ class DesignServiceModel(ServiceModel):
             total += self.start_penalty_s
         return total
 
+    def batch_base(
+        self, rng: np.random.Generator, n: int
+    ) -> tuple[np.ndarray, float, bool] | None:
+        """Pre-draw ``n`` base (idle-independent) service times, consuming
+        ``rng`` exactly as ``n`` sequential ``service_time`` calls would.
+
+        Eligible when at most one phase term consumes the generator per
+        request (the rest are ``Deterministic``): the per-request stream
+        then collapses to ``n`` consecutive draws of that one stream-safe
+        distribution, which a single bulk fill reproduces bit-for-bit.
+        The accumulation replays the scalar loop's additions in order —
+        constant terms fold into a scalar prefix, the random term joins
+        elementwise, later constants add elementwise — so every float op
+        matches the reference.  Multi-draw workloads (e.g. McRouter's
+        compute + stall pair) return ``None`` untouched and stay scalar.
+        """
+        from repro.common.distributions import (
+            Deterministic,
+            draws_per_sample,
+            is_stream_safe,
+        )
+
+        terms: list[tuple[str, object]] = []
+        consuming = 0
+        for phase in self.workload.phases:
+            compute = phase.compute_us
+            if draws_per_sample(compute) == 0:
+                terms.append(
+                    ("const", seconds_from_us(compute.sample(rng)) * self.slowdown)
+                )
+            elif is_stream_safe(compute):
+                consuming += 1
+                terms.append(("compute", compute))
+            else:
+                return None
+            if phase.stall_us is not None:
+                stall = phase.stall_us
+                if draws_per_sample(stall) == 0:
+                    terms.append(("const", seconds_from_us(stall.sample(rng))))
+                elif is_stream_safe(stall):
+                    consuming += 1
+                    terms.append(("stall", stall))
+                else:
+                    return None
+                terms.append(("const", self.per_stall_penalty_s))
+        if consuming > 1:
+            return None
+
+        acc = 0.0
+        arr: np.ndarray | None = None
+        for kind, payload in terms:
+            if kind == "const":
+                if arr is None:
+                    acc = acc + payload
+                else:
+                    arr = arr + payload
+            else:
+                xs = payload.sample_many(rng, n)
+                if kind == "compute":
+                    term = seconds_from_us(xs) * self.slowdown
+                else:
+                    term = seconds_from_us(xs)
+                arr = acc + term
+        if arr is None:
+            arr = np.full(n, acc)
+        # idle_before > 0 always adds start_penalty_s in the scalar path
+        # (even when it is 0.0), so has_penalty is unconditionally True.
+        return np.ascontiguousarray(arr, dtype=np.float64), self.start_penalty_s, True
+
     def mean_service_time(self) -> float:
         mean = 0.0
         for phase in self.workload.phases:

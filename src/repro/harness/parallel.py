@@ -32,6 +32,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro import obs, prof, validate
+from repro.uarch import fastpath
 from repro.core.designs import DESIGN_NAMES
 from repro.harness import cache as disk_cache
 from repro.harness.cache import CacheStats
@@ -224,9 +225,10 @@ def _worker_chunk(
     cache_config: dict,
     obs_config: dict,
     prof_config: dict,
+    fastpath_config: dict,
 ):
     """Pool-worker entry point: evaluate one chunk under the parent's
-    cache/observability/profiling configuration and report the
+    cache/observability/profiling/fastpath configuration and report the
     worker-side cache, observation and profile deltas.
 
     Pool workers are reused across chunks, so all three reports are
@@ -237,6 +239,7 @@ def _worker_chunk(
     disk_cache.configure(**cache_config)
     obs.configure_worker(obs_config)
     prof.configure_worker(prof_config)
+    fastpath.configure_worker(fastpath_config)
     before = disk_cache.stats_snapshot()
     obs_mark = obs.mark()
     prof_mark = prof.mark()
@@ -280,6 +283,7 @@ def _run_pooled(
     cache_config = disk_cache.current_config()
     obs_config = obs.config_for_worker()
     prof_config = prof.config_for_worker()
+    fastpath_config = fastpath.config_for_worker()
     max_workers = min(workers, len(workloads))
     try:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
@@ -293,6 +297,7 @@ def _run_pooled(
                     cache_config,
                     obs_config,
                     prof_config,
+                    fastpath_config,
                 )
                 for workload in workloads
             ]

@@ -55,6 +55,23 @@ class DistributionService:
     def mean_service_time(self) -> float:
         return self.dist.mean()
 
+    def batch_base(
+        self, rng: np.random.Generator, n: int
+    ) -> tuple[np.ndarray, float, bool] | None:
+        """Pre-draw ``n`` base service times for the batched Lindley path.
+
+        Contract (shared by every ``batch_base``): on success, consume
+        ``rng`` exactly as ``n`` sequential ``service_time`` calls would
+        and return ``(base, idle_penalty, has_penalty)``; on ineligibility
+        return ``None`` *without touching the generator* so the scalar
+        reference loop sees an untouched stream.
+        """
+        from repro.common.distributions import is_stream_safe
+
+        if not is_stream_safe(self.dist):
+            return None
+        return np.asarray(self.dist.sample_many(rng, n), dtype=np.float64), 0.0, False
+
 
 @dataclass(frozen=True)
 class RestartPenaltyService:
@@ -76,6 +93,19 @@ class RestartPenaltyService:
     def service_time(self, rng: np.random.Generator, idle_before: float) -> float:
         base = self.dist.sample(rng)
         return base + self.penalty if idle_before > 0 else base
+
+    def batch_base(
+        self, rng: np.random.Generator, n: int
+    ) -> tuple[np.ndarray, float, bool] | None:
+        """See :meth:`DistributionService.batch_base`; the idle penalty is
+        applied inside the Lindley recurrence exactly where the scalar
+        path applies it (``base + penalty`` when ``idle_before > 0``)."""
+        from repro.common.distributions import is_stream_safe
+
+        if not is_stream_safe(self.dist):
+            return None
+        base = np.asarray(self.dist.sample_many(rng, n), dtype=np.float64)
+        return base, self.penalty, True
 
     def mean_service_time(self) -> float:
         # The penalty applies to the (load-dependent) fraction of requests
@@ -188,6 +218,15 @@ class MG1Simulator:
         rng = np.random.default_rng(self.seed)
         inter_arrivals = rng.exponential(1.0 / self.arrival_rate, size=num_requests)
 
+        # Batched fast path: when the service model's draws are
+        # queue-state independent and stream-safe, pre-draw them in bulk
+        # (identical bitstream) and run the Lindley recurrence in the
+        # compiled kernel.  Falls through to the scalar reference loop on
+        # any ineligibility; both paths produce bit-identical results.
+        result = self._run_batched(rng, inter_arrivals, num_requests, warmup)
+        if result is not None:
+            return result
+
         waits = np.empty(num_requests)
         services = np.empty(num_requests)
         idles: list[float] = []
@@ -250,6 +289,88 @@ class MG1Simulator:
             wait_times=waits[warmup:],
             service_times=services[warmup:],
             idle_periods=np.asarray(idles, dtype=float),
+            busy_time=busy,
+            duration=duration,
+            arrival_rate=self.arrival_rate,
+        )
+
+    def _run_batched(
+        self,
+        rng: np.random.Generator,
+        inter_arrivals: np.ndarray,
+        num_requests: int,
+        warmup: int,
+    ) -> QueueResult | None:
+        """The vectorized ``_run``: bulk service draws + compiled Lindley.
+
+        Returns ``None`` (with ``rng`` untouched) whenever the fastpath
+        is off, the kernel is unavailable, or the service model cannot
+        pre-draw its times without changing the bitstream; the caller
+        then runs the scalar reference loop.
+        """
+        from repro.uarch import fastpath
+
+        if fastpath.mode() == "off":
+            return None
+        batch = getattr(self.service, "batch_base", None)
+        if batch is None:
+            return None
+        from repro.uarch.fastpath.build import load_kernel
+
+        lib = load_kernel()
+        if lib is None:
+            return None
+        decomposed = batch(rng, num_requests)
+        if decomposed is None:
+            return None
+        base, penalty, has_penalty = decomposed
+
+        waits = np.empty(num_requests)
+        services = np.empty(num_requests)
+        idle_buf = np.empty(num_requests)
+        penalized = (
+            np.zeros(num_requests, dtype=np.uint8) if prof.is_enabled() else None
+        )
+        out3 = np.zeros(3)
+        gaps = np.ascontiguousarray(inter_arrivals, dtype=np.float64)
+        nidles = lib.rfp_lindley(
+            gaps.ctypes.data,
+            num_requests,
+            warmup,
+            1 if has_penalty else 0,
+            float(penalty),
+            base.ctypes.data,
+            waits.ctypes.data,
+            services.ctypes.data,
+            idle_buf.ctypes.data,
+            penalized.ctypes.data if penalized is not None else None,
+            out3.ctypes.data,
+        )
+        if nidles < 0:
+            raise ValueError("service model produced a negative time")
+
+        arrival, backlog, window_start = out3
+        last_departure = arrival + backlog
+        duration = float(last_departure - window_start)
+        busy = float(waits[warmup] + services[warmup:].sum())
+        obs.add("mg1.runs")
+        obs.add("mg1.requests_completed", num_requests - warmup)
+        if penalized is not None:
+            prof_penalty = float(getattr(self.service, "penalty", 0.0) or 0.0)
+            prof.record_mg1_run(
+                rate=self.arrival_rate,
+                waits=waits[warmup:],
+                services=services[warmup:],
+                penalized=(
+                    penalized[warmup:] != 0 if prof_penalty > 0 else None
+                ),
+                penalty=prof_penalty,
+                seed=self.seed,
+            )
+        return QueueResult(
+            wait_times=waits[warmup:],
+            service_times=services[warmup:],
+            idle_periods=idle_buf[: int(nidles)].copy(),
             busy_time=busy,
             duration=duration,
             arrival_rate=self.arrival_rate,

@@ -33,7 +33,7 @@ from repro.common.params import (
     OoOCoreConfig,
     SMTCoreConfig,
 )
-from repro.common.units import cycles_from_ns, cycles_from_us
+from repro.common.units import cycles_from_ns, cycles_from_us, quantize_cycles
 from repro.uarch.engine import CorePorts, EngineResult, ThreadState, TimingEngine
 from repro.uarch.hsmt import HSMTScheduler
 from repro.uarch.isa import Trace
@@ -395,7 +395,9 @@ class LenderCoreModel:
             frequency_hz=self.config.frequency_hz,
             name=name,
         )
-        quantum = int(cycles_from_us(self.config.quantum_us, self.config.frequency_hz))
+        quantum = quantize_cycles(
+            cycles_from_us(self.config.quantum_us, self.config.frequency_hz)
+        )
         self.scheduler = HSMTScheduler(
             self.engine,
             physical_contexts=self.config.physical_contexts,

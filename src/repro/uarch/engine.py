@@ -35,7 +35,9 @@ from repro import obs, prof
 from repro.branch.btb import BranchTargetBuffer
 from repro.caches.hierarchy import MemoryHierarchy
 from repro.caches.tlb import TLB
+from repro.common.units import quantize_cycles
 from repro.prof.taxonomy import SlotCause
+from repro.uarch import fastpath
 from repro.uarch.isa import NO_REG, NUM_ARCH_REGS, Op, Trace
 from repro.uarch.slots import SlotAllocator
 
@@ -277,10 +279,20 @@ class TimingEngine:
         # threads' stale scratch accumulators.
         self._prof_sampler = None
         self._prof_active = False
+        # Compiled fast path: a live adapter binding while this engine's
+        # state is mirrored into the kernel, and a latch marking the
+        # engine permanently ineligible (set after a failed bind so the
+        # reference path doesn't retry — and eject — every run).
+        self._fp_binding = None
+        self._fp_ineligible = False
 
     # -- construction ----------------------------------------------------
 
     def add_thread(self, thread: ThreadState) -> ThreadState:
+        if self._fp_binding is not None:
+            # The kernel's thread table is fixed at bind time; restore
+            # everything to Python and let the next run() re-bind.
+            fastpath.eject_engine(self)
         idx = len(self.threads)
         self.threads.append(thread)
         if thread.active:
@@ -301,6 +313,11 @@ class TimingEngine:
 
     def activate(self, thread: ThreadState, at_cycle: int) -> None:
         """(Re-)insert a context into the run heap at ``at_cycle``."""
+        if self._fp_binding is not None:
+            # External activations mutate the heap behind the kernel's
+            # back; restore Python authority first (re-bind happens on
+            # the next run()).
+            fastpath.eject_engine(self)
         thread.active = True
         thread.activated_at = at_cycle
         thread.next_fetch = max(thread.next_fetch, at_cycle)
@@ -310,7 +327,7 @@ class TimingEngine:
         self._push(thread)
 
     def stall_cycles_for_ns(self, ns: float) -> int:
-        return int(ns * self.frequency_hz / 1e9)
+        return quantize_cycles(ns * self.frequency_hz / 1e9)
 
     def fast_forward(self, cycle: int) -> None:
         """Advance the clock to ``cycle`` without executing anything.
@@ -321,6 +338,8 @@ class TimingEngine:
         window's start.  Pending thread wake-ups earlier than ``cycle``
         simply become runnable immediately.
         """
+        if fastpath.try_fast_forward(self, cycle):
+            return
         if cycle > self.now:
             self.now = cycle
         # Void the interval before ``cycle`` even when the engine's
@@ -375,7 +394,13 @@ class TimingEngine:
         executed = 0
         heap = self._heap
         self._fetch_limit = until_cycle
-        while True:
+        compiled = fastpath.try_run(
+            self,
+            until_cycle=until_cycle,
+            max_instructions=max_instructions,
+            stop_after_remote=stop_after_remote,
+        )
+        while not compiled:
             if not heap:
                 # No runnable context: let an HSMT scheduler wake/activate
                 # blocked virtual contexts (advancing time to the wake).

@@ -1,0 +1,122 @@
+"""Compiled trace-generation loop (see workloads/tracegen.py).
+
+``generate_trace`` pre-draws every random variate in bulk *before* its
+per-instruction loop, so the loop itself is a pure deterministic state
+machine over those arrays.  ``rfp_tracegen`` is a line-for-line C port of
+that state machine; with identical input arrays the output columns are
+bit-identical to the Python loop, which is what keeps golden snapshots
+byte-stable across ``REPRO_FASTPATH`` modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.uarch.fastpath.build import load_kernel
+
+
+def fill(
+    profile,
+    n: int,
+    num_blocks: int,
+    block_size: int,
+    num_arch_regs: int,
+    block_bias: np.ndarray,
+    block_target: np.ndarray,
+    kind_draws: np.ndarray,
+    locality_draws: np.ndarray,
+    seq_draws: np.ndarray,
+    chase_draws: np.ndarray,
+    dep_draws: np.ndarray,
+    pred_draws: np.ndarray,
+    taken_draws: np.ndarray,
+    cold_offsets: np.ndarray,
+    hot_offsets: np.ndarray,
+    reg_draws: np.ndarray,
+    remote_positions: np.ndarray | None,
+    remote_stalls: np.ndarray | None,
+    op: np.ndarray,
+    dst: np.ndarray,
+    src1: np.ndarray,
+    src2: np.ndarray,
+    addr: np.ndarray,
+    pc: np.ndarray,
+    taken: np.ndarray,
+    target: np.ndarray,
+    stall_ns: np.ndarray,
+) -> bool:
+    """Run the compiled loop in place over the pre-drawn arrays.
+
+    Returns False (leaving the output arrays untouched beyond their
+    initial fill) when the kernel is unavailable, in which case the
+    caller falls back to the reference loop.
+    """
+    lib = load_kernel()
+    if lib is None:
+        return False
+
+    dp = np.array(
+        [
+            profile.load_fraction,
+            profile.load_fraction + profile.store_fraction,
+            profile.load_fraction + profile.store_fraction + profile.imul_fraction,
+            profile.load_fraction
+            + profile.store_fraction
+            + profile.imul_fraction
+            + profile.fp_fraction,
+            profile.pointer_chase_fraction,
+            profile.sequential_fraction,
+            profile.hot_fraction,
+            profile.dep_chain,
+            profile.branch_predictability,
+            profile.branch_taken_prob,
+        ],
+        dtype=np.float64,
+    )
+    n_remote = 0 if remote_positions is None else int(remote_positions.size)
+    ip = np.array(
+        [
+            n,
+            num_blocks,
+            block_size,
+            profile.code_base,
+            profile.data_base,
+            profile.working_set_bytes,
+            profile.hot_set_bytes,
+            num_arch_regs,
+            n_remote,
+        ],
+        dtype=np.int64,
+    )
+
+    def _ptr(arr):
+        return arr.ctypes.data
+
+    lib.rfp_tracegen(
+        _ptr(dp),
+        _ptr(ip),
+        _ptr(kind_draws),
+        _ptr(locality_draws),
+        _ptr(seq_draws),
+        _ptr(chase_draws),
+        _ptr(dep_draws),
+        _ptr(pred_draws),
+        _ptr(taken_draws),
+        _ptr(cold_offsets),
+        _ptr(hot_offsets),
+        _ptr(reg_draws),
+        _ptr(block_bias),
+        _ptr(block_target),
+        _ptr(remote_positions) if n_remote else None,
+        _ptr(remote_stalls) if n_remote else None,
+        _ptr(op),
+        _ptr(dst),
+        _ptr(src1),
+        _ptr(src2),
+        _ptr(addr),
+        _ptr(pc),
+        _ptr(taken),
+        _ptr(target),
+        _ptr(stall_ns),
+    )
+    return True

@@ -11,6 +11,15 @@ the paper) bounds starvation.
 The scheduler plugs into :class:`~repro.uarch.engine.TimingEngine` through
 its ``Scheduler`` protocol; contexts must use ``remote_policy =
 "scheduler"``.
+
+Compiled-path contract (``repro.uarch.fastpath``): the kernel mirrors
+this scheduler exactly, importing ``ready``/``_blocked`` and the scalar
+counters at every run start and exporting them back at every run end.
+Between runs the Python objects are therefore authoritative, which is
+what lets :meth:`steal_context`/:meth:`return_context` mutate the run
+queue freely from the dyad without any fastpath coordination (context
+activation routes through ``engine.activate``, which restores Python
+authority first if needed).
 """
 
 from __future__ import annotations

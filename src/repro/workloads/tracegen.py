@@ -201,6 +201,55 @@ def generate_trace(
         remote_stalls = None
         remote_positions = None
 
+    # All randomness is pre-drawn above, so the per-instruction loop is a
+    # pure deterministic state machine over those arrays.  The compiled
+    # kernel ports it line for line and fills the columns bit-identically;
+    # the Python loop below is the reference (and the fallback).
+    from repro.uarch import fastpath
+
+    if fastpath.try_tracegen(
+        profile=profile,
+        n=n,
+        num_blocks=num_blocks,
+        block_size=BLOCK_SIZE,
+        num_arch_regs=NUM_ARCH_REGS,
+        block_bias=block_bias,
+        block_target=block_target,
+        kind_draws=kind_draws,
+        locality_draws=locality_draws,
+        seq_draws=seq_draws,
+        chase_draws=chase_draws,
+        dep_draws=dep_draws,
+        pred_draws=pred_draws,
+        taken_draws=taken_draws,
+        cold_offsets=cold_offsets,
+        hot_offsets=hot_offsets,
+        reg_draws=reg_draws,
+        remote_positions=remote_positions,
+        remote_stalls=remote_stalls,
+        op=op,
+        dst=dst,
+        src1=src1,
+        src2=src2,
+        addr=addr,
+        pc=pc,
+        taken=taken,
+        target=target,
+        stall_ns=stall_ns,
+    ):
+        return Trace(
+            op=op,
+            dst=dst,
+            src1=src1,
+            src2=src2,
+            addr=addr,
+            pc=pc,
+            taken=taken,
+            target=target,
+            stall_ns=stall_ns,
+            name=profile.name,
+        )
+
     block = 0
     offset = 0
     last_dst = 0  # register holding the most recent result

@@ -63,3 +63,40 @@ def test_size_constants():
     assert units.KB == 1024
     assert units.MB == 1024 * 1024
     assert not math.isnan(units.NS_PER_S)
+
+
+class TestQuantizeCycles:
+    """The single timing-path float->cycles conversion (truncation).
+
+    Pinned so the truncate-vs-round split cannot re-diverge between the
+    reference engine, the scheduler quantum, and the compiled kernel's
+    precomputed stall columns.
+    """
+
+    def test_truncates_not_rounds(self):
+        assert units.quantize_cycles(3249.9999) == 3249
+        assert units.quantize_cycles(3250.0) == 3250
+        assert units.quantize_cycles(0.999) == 0
+
+    def test_engine_stall_conversion_pinned(self):
+        from repro.uarch.engine import TimingEngine
+
+        engine = TimingEngine(frequency_hz=3.25e9)
+        # 1000 ns at 3.25 GHz is exactly 3250 cycles; 999 ns truncates.
+        assert engine.stall_cycles_for_ns(1000.0) == 3250
+        assert engine.stall_cycles_for_ns(999.0) == 3246  # 3246.75 -> 3246
+
+    def test_scalar_matches_vectorized_stall_columns(self):
+        """The fastpath adapter precomputes per-instruction stall cycles
+        as a vectorized column; it must agree with the scalar engine
+        conversion element for element."""
+        import numpy as np
+
+        from repro.uarch.engine import TimingEngine
+
+        hz = 3.25e9
+        engine = TimingEngine(frequency_hz=hz)
+        stall_ns = np.array([0.0, 50.0, 999.0, 1000.0, 12_345.678, 2e6])
+        vectorized = (stall_ns * hz / 1e9).astype(np.int64)
+        scalar = [engine.stall_cycles_for_ns(float(ns)) for ns in stall_ns]
+        assert vectorized.tolist() == scalar

@@ -5,12 +5,15 @@ If the shift is intentional, regenerate with
 ``PYTHONPATH=src python tests/golden/regen.py`` and review the diff.
 """
 
+import json
 import math
 
 import pytest
 
+from repro.harness import cache
 from repro.harness.experiment import clear_tail_cache
 from repro.harness.measure import clear_cache
+from repro.uarch import fastpath
 from tests.golden import GOLDEN_PATH, build_payload, load_golden
 
 #: Values are deterministic on one platform; the tolerance only absorbs
@@ -73,6 +76,33 @@ def test_golden_config_unchanged(payload):
 def test_golden_cells_match(payload):
     problems = compare_cells(payload["cells"], load_golden()["cells"])
     assert not problems, _REGEN_HINT + "\n" + "\n".join(problems[:20])
+
+
+@pytest.mark.skipif(
+    not fastpath.is_available(), reason="no C compiler for the fastpath kernel"
+)
+def test_golden_payload_byte_identical_across_fastpath_modes():
+    """The compiled fast path is byte-transparent end to end: the full
+    golden grid payload serializes identically with REPRO_FASTPATH on
+    and off (which is also why the cache SCHEMA_VERSION does not bump
+    for the fastpath)."""
+    previous = cache.current_config()
+    try:
+        cache.configure(enabled=False)  # force real computation both legs
+        fastpath.set_mode("off")
+        clear_cache()
+        clear_tail_cache()
+        plain = json.dumps(build_payload(), sort_keys=True)
+        fastpath.set_mode("on")
+        clear_cache()
+        clear_tail_cache()
+        compiled = json.dumps(build_payload(), sort_keys=True)
+    finally:
+        fastpath.set_mode(None)
+        clear_cache()
+        clear_tail_cache()
+        cache.configure(**previous)
+    assert compiled == plain
 
 
 def test_comparator_catches_shifts():

@@ -87,6 +87,33 @@ class TestNonInterference:
         profiled = json.dumps(build_payload(), sort_keys=True)
         assert profiled == plain
 
+    def test_profiled_golden_payload_byte_identical_with_fastpath(
+        self, fresh_caches
+    ):
+        """Profiler and compiled fast path together: the hardest leg —
+        slot attributions flow through the kernel's boundary-exit
+        protocol — must still serialize byte-identically."""
+        from repro.uarch import fastpath
+        from tests.golden import build_payload
+
+        if not fastpath.is_available():
+            pytest.skip("no C compiler for the fastpath kernel")
+        cache.configure(enabled=False)
+        try:
+            fastpath.set_mode("off")
+            prof.enable()
+            plain = json.dumps(build_payload(), sort_keys=True)
+            prof.disable()
+            prof.reset()
+            _reset_l1()
+            fastpath.set_mode("on")
+            prof.enable()
+            compiled = json.dumps(build_payload(), sort_keys=True)
+            prof.disable()
+        finally:
+            fastpath.set_mode(None)
+        assert compiled == plain
+
 
 class TestPooledDeltas:
     def test_pooled_profile_matches_serial(self, fresh_caches):

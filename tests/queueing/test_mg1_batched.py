@@ -1,0 +1,283 @@
+"""Batched M/G/1 fast path vs the scalar reference loop.
+
+The batched ``_run`` pre-draws service times in bulk (on the exact same
+generator stream the scalar loop would consume) and runs the Lindley
+recurrence in the compiled kernel.  Its contract is bit identity: every
+``QueueResult`` field — wait/service arrays, idle periods, busy time,
+window duration — must equal the scalar loop's, for every eligible
+service model, and ineligible models must fall back without perturbing
+the stream.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import prof
+from repro.common.distributions import (
+    Deterministic,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Pareto,
+    ScaledDistribution,
+    SumDistribution,
+    Uniform,
+    draws_per_sample,
+    is_stream_safe,
+)
+from repro.harness.metrics import DesignServiceModel
+from repro.queueing.mg1 import (
+    DistributionService,
+    MG1Simulator,
+    RestartPenaltyService,
+)
+from repro.uarch import fastpath
+from repro.workloads import microservices as ms
+
+pytestmark = pytest.mark.skipif(
+    not fastpath.is_available(), reason="no C compiler for the fastpath kernel"
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_mode():
+    yield
+    fastpath.set_mode(None)
+
+
+def run_both(make_sim, n, warmup):
+    fastpath.set_mode("off")
+    ref = make_sim().run(n, warmup)
+    fastpath.set_mode("on")
+    fast = make_sim().run(n, warmup)
+    return ref, fast
+
+
+def assert_identical(ref, fast):
+    assert np.array_equal(ref.wait_times, fast.wait_times)
+    assert np.array_equal(ref.service_times, fast.service_times)
+    assert np.array_equal(ref.idle_periods, fast.idle_periods)
+    assert ref.wait_times.dtype == fast.wait_times.dtype
+    assert ref.idle_periods.dtype == fast.idle_periods.dtype
+    assert ref.busy_time == fast.busy_time
+    assert ref.duration == fast.duration
+    assert ref.arrival_rate == fast.arrival_rate
+
+
+SERVICES = {
+    "exponential": lambda: Exponential(2e-6),
+    "uniform": lambda: Uniform(1e-6, 4e-6),
+    "lognormal": lambda: LogNormal(3e-6, 1.5),
+    "pareto": lambda: Pareto(2e-6, 2.5),
+    "deterministic": lambda: Deterministic(2e-6),
+    "scaled-lognormal": lambda: ScaledDistribution(LogNormal(2e-6, 1.0), 1.7),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SERVICES))
+@pytest.mark.parametrize("seed", [0, 3, 12345])
+def test_distribution_service_identical(name, seed):
+    dist = SERVICES[name]()
+    ref, fast = run_both(
+        lambda: MG1Simulator.at_load(0.7, dist, seed=seed), 20_000, 2_000
+    )
+    assert_identical(ref, fast)
+
+
+@pytest.mark.parametrize("penalty", [0.0, 5e-7])
+@pytest.mark.parametrize("seed", [0, 5])
+def test_restart_penalty_identical(penalty, seed):
+    """Idle-triggered restart penalties are applied inside the compiled
+    recurrence at the exact point the scalar loop applies them."""
+    ref, fast = run_both(
+        lambda: MG1Simulator.at_load(
+            0.6, RestartPenaltyService(Exponential(2e-6), penalty), seed=seed
+        ),
+        20_000,
+        2_000,
+    )
+    assert_identical(ref, fast)
+    # Low load => idle periods exist, so penalties actually fired.
+    assert ref.idle_periods.size > 0
+
+
+@pytest.mark.parametrize(
+    "workload,eligible",
+    [
+        ("wordstem", True),  # single LogNormal phase, no stall draw
+        ("flann_ha", False),  # compute + stall draws interleave per request
+        ("rsc", False),
+        ("mcrouter", False),
+    ],
+)
+def test_design_service_model(workload, eligible):
+    service = DesignServiceModel(
+        getattr(ms, workload)(),
+        slowdown=1.3,
+        per_stall_penalty_s=1e-8,
+        start_penalty_s=3e-8,
+    )
+    rng = np.random.default_rng(0)
+    state_before = rng.bit_generator.state
+    decomposed = service.batch_base(rng, 16)
+    if eligible:
+        assert decomposed is not None
+    else:
+        # Ineligible: returns None with the generator untouched.
+        assert decomposed is None
+        assert rng.bit_generator.state == state_before
+    ref, fast = run_both(
+        lambda: MG1Simulator.at_load(0.7, service, seed=11), 20_000, 2_000
+    )
+    assert_identical(ref, fast)
+
+
+def test_design_multiphase_with_deterministic_terms():
+    """Constant phases (Deterministic compute/stall) consume no draws, so
+    a multi-phase workload with exactly one random term stays eligible;
+    the constant terms fold into the base in the scalar loop's addition
+    order."""
+    workload = ms.Microservice(
+        name="synthetic",
+        phases=(
+            ms.Phase(Deterministic(2.0), Deterministic(1.5)),
+            ms.Phase(LogNormal(4.0, 0.3), None),
+            ms.Phase(Deterministic(0.5), None),
+        ),
+        profile=ms.wordstem().profile,
+    )
+    service = DesignServiceModel(
+        workload, slowdown=1.2, per_stall_penalty_s=1e-8, start_penalty_s=3e-8
+    )
+    assert service.batch_base(np.random.default_rng(0), 8) is not None
+    ref, fast = run_both(
+        lambda: MG1Simulator.at_load(0.6, service, seed=21), 20_000, 2_000
+    )
+    assert_identical(ref, fast)
+
+
+def test_batch_base_consumes_stream_exactly():
+    """On success, batch_base advances the generator exactly as n
+    sequential service_time calls would."""
+    for service in (
+        DistributionService(LogNormal(2e-6, 1.0)),
+        RestartPenaltyService(Exponential(2e-6), 5e-7),
+        DesignServiceModel(ms.wordstem(), 1.3, start_penalty_s=3e-8),
+    ):
+        r1, r2 = np.random.default_rng(9), np.random.default_rng(9)
+        service.batch_base(r1, 777)
+        for _ in range(777):
+            service.service_time(r2, 0.0)
+        assert r1.bit_generator.state == r2.bit_generator.state
+
+
+@pytest.mark.parametrize(
+    "dist_name",
+    ["exponential", "uniform", "lognormal", "pareto", "scaled-lognormal"],
+)
+def test_stream_safety_empirical(dist_name):
+    """The whitelist's defining property, asserted directly: bulk fills
+    produce the same values and leave the generator in the same state as
+    sequential scalar draws."""
+    dist = SERVICES[dist_name]()
+    assert is_stream_safe(dist)
+    r1, r2 = np.random.default_rng(42), np.random.default_rng(42)
+    bulk = dist.sample_many(r1, 500)
+    seq = np.array([dist.sample(r2) for _ in range(500)])
+    assert np.array_equal(bulk, seq)
+    assert r1.bit_generator.state == r2.bit_generator.state
+
+
+def test_stream_unsafe_compositions_excluded():
+    combo = SumDistribution((Exponential(1e-6), Uniform(1e-6, 2e-6)))
+    mix = Mixture((Exponential(1e-6), Exponential(3e-6)), (0.5, 0.5))
+    assert not is_stream_safe(combo)
+    assert not is_stream_safe(mix)
+    # ...and simulations over them still agree (both legs scalar).
+    for service in (combo, mix):
+        ref, fast = run_both(
+            lambda: MG1Simulator.at_load(0.5, service, seed=2), 5_000, 500
+        )
+        assert_identical(ref, fast)
+
+
+def test_draws_per_sample():
+    assert draws_per_sample(Deterministic(1e-6)) == 0
+    assert draws_per_sample(ScaledDistribution(Deterministic(1e-6), 2.0)) == 0
+    assert draws_per_sample(Exponential(1e-6)) == 1
+    assert draws_per_sample(ScaledDistribution(LogNormal(1e-6, 1.0), 2.0)) == 1
+
+
+@pytest.mark.parametrize(
+    "n,warmup",
+    [(1, 0), (2, 1), (100, 99), (100, 0), (20_000, 19_999)],
+    ids=["single", "pair", "all-warmup", "no-warmup", "one-retained"],
+)
+def test_window_edge_cases_identical(n, warmup):
+    ref, fast = run_both(
+        lambda: MG1Simulator.at_load(0.7, Exponential(2e-6), seed=3), n, warmup
+    )
+    assert_identical(ref, fast)
+
+
+def test_profiled_run_identical():
+    """prof.record_mg1_run sees identical waits/services/penalized arrays
+    from either path: full snapshot equality."""
+
+    def snap_for(mode):
+        fastpath.set_mode(mode)
+        prof.reset()
+        prof.enable()
+        try:
+            MG1Simulator.at_load(
+                0.6, RestartPenaltyService(Exponential(2e-6), 5e-7), seed=5
+            ).run(20_000, 2_000)
+            return dataclasses.asdict(prof.snapshot())
+        finally:
+            prof.disable()
+            prof.reset()
+
+    assert snap_for("off") == snap_for("on")
+
+
+def test_negative_service_raises_either_way():
+    class NegativeService:
+        def service_time(self, rng, idle_before):
+            return -1.0
+
+        def mean_service_time(self):
+            return 1e-6
+
+        def batch_base(self, rng, n):
+            return np.full(n, -1.0), 0.0, False
+
+    for mode in ("off", "on"):
+        fastpath.set_mode(mode)
+        sim = MG1Simulator(arrival_rate=1e5, service=NegativeService(), seed=0)
+        with pytest.raises(ValueError, match="negative"):
+            sim.run(100)
+
+
+def test_off_mode_never_batches():
+    """REPRO_FASTPATH=off must not even construct the batched path."""
+    called = []
+
+    class SpyService:
+        def service_time(self, rng, idle_before):
+            return 2e-6
+
+        def mean_service_time(self):
+            return 2e-6
+
+        def batch_base(self, rng, n):
+            called.append(n)
+            return np.full(n, 2e-6), 0.0, False
+
+    fastpath.set_mode("off")
+    MG1Simulator.at_load(0.7, SpyService(), seed=3).run(1_000, 100)
+    assert not called
+    fastpath.set_mode("on")
+    MG1Simulator.at_load(0.7, SpyService(), seed=3).run(1_000, 100)
+    assert called == [1_000]

@@ -1,0 +1,368 @@
+"""Differential fuzzing of the compiled fast path against the reference.
+
+The fastpath's contract is *byte identity*: running any engine window in
+the compiled kernel must leave every observable — results, per-thread
+state, queue contents, cache/TLB/BTB/predictor state, scheduler state,
+slot-cause attributions, interval timelines — exactly as the pure-Python
+reference loop would.  These tests run both paths over a grid of core
+models x trace characters x run shapes and compare full state dumps
+field for field, so any semantic drift in the kernel fails loudly rather
+than skewing results quietly.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import prof
+from repro.prof.taxonomy import SlotCause
+from repro.uarch import fastpath
+from repro.uarch.cores import (
+    BaselineCoreModel,
+    InOrderSMTCoreModel,
+    LenderCoreModel,
+    SMTCoreModel,
+)
+from repro.workloads.tracegen import RemoteSpec, TraceProfile, generate_trace
+
+pytestmark = pytest.mark.skipif(
+    not fastpath.is_available(), reason="no C compiler for the fastpath kernel"
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_mode():
+    yield
+    fastpath.set_mode(None)
+
+
+PROFILES = {
+    "friendly": TraceProfile(
+        name="friendly",
+        working_set_bytes=16 << 10,
+        hot_set_bytes=8 << 10,
+        code_bytes=8 << 10,
+    ),
+    "hostile": TraceProfile(
+        name="hostile",
+        working_set_bytes=1 << 20,
+        hot_set_bytes=16 << 10,
+        code_bytes=64 << 10,
+        pointer_chase_fraction=0.2,
+        load_fraction=0.35,
+        branch_predictability=0.6,
+        dep_chain=0.5,
+    ),
+}
+
+#: (num_instructions, warmup) shapes standing in for the fidelity axis.
+RUN_SHAPES = {"short": (6_000, 0), "warmed": (20_000, 10_000)}
+
+
+def _trace(profile_name, n, slot=0, seed=0, remote=None):
+    profile = PROFILES[profile_name].relocated(slot)
+    return generate_trace(profile, n, np.random.default_rng(seed), remote=remote)
+
+
+def engine_state(engine):
+    """Every observable scalar/array of an engine, Python-side."""
+    state = {
+        "now": engine.now,
+        "instructions": engine.instructions,
+        "_seq": engine._seq,
+        "_prune_countdown": engine._prune_countdown,
+        "heap": sorted(engine._heap),
+    }
+    for label, alloc in (
+        ("fetch", engine.fetch_slots),
+        ("issue", engine.issue_slots),
+        ("commit", engine.commit_slots),
+    ):
+        state[label] = (dict(alloc._used), alloc._floor, alloc.allocated)
+    sched = engine.scheduler
+    if sched is not None:
+        state["sched"] = (
+            [t.name for t in sched.ready],
+            [(c, s, t.name) for (c, s, t) in sched._blocked],
+            sched._seq,
+            sched.active_count,
+            sched.swaps,
+            sched.preemptions,
+        )
+    for i, t in enumerate(engine.threads):
+        state[f"t{i}"] = {
+            "cursor": t.cursor,
+            "done": t.done,
+            "active": t.active,
+            "next_fetch": t.next_fetch,
+            "last_issue": t.last_issue,
+            "last_commit": t.last_commit,
+            "last_line": t.last_line,
+            "last_page": t.last_page,
+            "instructions": t.instructions,
+            "mispredicts": t.mispredicts,
+            "branches": t.branches,
+            "remote_ops": t.remote_ops,
+            "remote_stall_cycles": t.remote_stall_cycles,
+            "activated_at": t.activated_at,
+            "first_fetch": t.first_fetch,
+            "bp_history": t.bp_history,
+            "last_remote_issue": t.last_remote_issue,
+            "last_remote_complete": t.last_remote_complete,
+            "reg_ready": list(t.reg_ready),
+            "rob": list(t.rob),
+            "lq": list(t.lq),
+            "sq": list(t.sq),
+        }
+        ports = t.ports
+        for plabel, hier in (("ih", ports.ihier), ("dh", ports.dhier)):
+            state[f"t{i}.{plabel}"] = {
+                "accesses": hier.accesses,
+                "total_latency": hier.total_latency,
+                "memory_lookups": hier.memory_lookups,
+                "prefetches": hier.prefetches,
+                "last_line": hier._last_line,
+                "level_lookups": list(hier.level_lookups),
+                "levels": [
+                    (
+                        lvl.cache.hits,
+                        lvl.cache.misses,
+                        lvl.cache.evictions,
+                        lvl.cache.invalidations,
+                        lvl.cache._sets,
+                    )
+                    for lvl in hier.levels
+                ],
+            }
+        for plabel, tlb in (("itlb", ports.itlb), ("dtlb", ports.dtlb)):
+            if tlb is not None:
+                state[f"t{i}.{plabel}"] = (tlb.hits, tlb.misses, list(tlb._entries))
+        if ports.btb is not None:
+            state[f"t{i}.btb"] = (
+                ports.btb.hits,
+                ports.btb.misses,
+                list(ports.btb._tags),
+                list(ports.btb._targets),
+            )
+        pred = ports.predictor
+        if pred is not None:
+            tables = []
+            if hasattr(pred, "_table"):  # Bimodal / Gshare
+                tables.append(pred._table.tolist())
+            if hasattr(pred, "bimodal"):  # Tournament
+                tables.append(pred.bimodal._table.tolist())
+                tables.append(pred.gshare._table.tolist())
+                tables.append(pred._selector.tolist())
+            state[f"t{i}.pred"] = (type(pred).__name__, tables)
+    return state
+
+
+def assert_states_equal(off, on):
+    assert off.keys() == on.keys()
+    for key in off:
+        assert off[key] == on[key], f"state diverged at {key!r}"
+
+
+def _result_fields(result):
+    return (
+        result.engine.instructions,
+        result.engine.cycles,
+        result.engine.width,
+        result.engine.start_cycle,
+        result.thread_instructions,
+        result.thread_stall_cycles,
+    )
+
+
+def _run_both(run_fn):
+    """Run ``run_fn`` under both modes; return (off, on) outcome pairs.
+
+    The mode-on engine is ejected before state capture so the comparison
+    reads fully exported Python state, and the test asserts the kernel
+    actually engaged — a silent fallback would make the suite vacuous.
+    """
+    fastpath.set_mode("off")
+    model_off, result_off = run_fn()
+    fastpath.set_mode("on")
+    model_on, result_on = run_fn()
+    assert model_on.engine._fp_binding is not None, "kernel did not engage"
+    fastpath.eject_engine(model_on.engine)
+    assert model_on.engine._fp_binding is None
+    return (model_off, result_off), (model_on, result_on)
+
+
+RUNNERS = {}
+
+
+def runner(name):
+    def deco(fn):
+        RUNNERS[name] = fn
+        return fn
+
+    return deco
+
+
+@runner("baseline")
+def _run_baseline(profile_name, shape):
+    n, warmup = RUN_SHAPES[shape]
+    model = BaselineCoreModel()
+    result = model.run(_trace(profile_name, n), warmup_instructions=warmup)
+    return model, result
+
+
+@runner("smt")
+def _run_smt(profile_name, shape):
+    n, warmup = RUN_SHAPES[shape]
+    model = SMTCoreModel()
+    traces = [_trace(profile_name, n, slot=i, seed=i) for i in range(2)]
+    result = model.run(traces, max_instructions=n + warmup)
+    return model, result
+
+
+@runner("ino-smt")
+def _run_ino(profile_name, shape):
+    n, warmup = RUN_SHAPES[shape]
+    model = InOrderSMTCoreModel()
+    traces = [_trace(profile_name, n // 2, slot=i, seed=i) for i in range(4)]
+    result = model.run(traces, max_instructions=n + warmup)
+    return model, result
+
+
+@runner("lender-hsmt")
+def _run_lender(profile_name, shape):
+    n, warmup = RUN_SHAPES[shape]
+    model = LenderCoreModel()
+    spec = RemoteSpec(mean_interval_instructions=400.0, mean_stall_us=2.0)
+    for i in range(8):
+        model.add_virtual_context(
+            _trace(profile_name, n // 2, slot=i, seed=i, remote=spec)
+        )
+    result = model.run(max_instructions=n + warmup)
+    return model, result
+
+
+@pytest.mark.parametrize("shape", sorted(RUN_SHAPES))
+@pytest.mark.parametrize("profile_name", sorted(PROFILES))
+@pytest.mark.parametrize("model_name", sorted(RUNNERS))
+def test_full_state_identical(model_name, profile_name, shape):
+    run = RUNNERS[model_name]
+    (m_off, r_off), (m_on, r_on) = _run_both(lambda: run(profile_name, shape))
+    assert _result_fields(r_off) == _result_fields(r_on)
+    assert_states_equal(engine_state(m_off.engine), engine_state(m_on.engine))
+
+
+@pytest.mark.parametrize("model_name", sorted(RUNNERS))
+def test_profiled_run_identical(model_name):
+    """Slot-cause vectors, interval timelines and waterfalls, field for
+    field: the whole profile snapshot must be mode-independent."""
+    run = RUNNERS[model_name]
+
+    def profiled():
+        prof.reset()
+        prof.enable()
+        try:
+            outcome = run("friendly", "warmed")
+            snap = prof.snapshot()
+        finally:
+            prof.disable()
+        return outcome, dataclasses.asdict(snap)
+
+    fastpath.set_mode("off")
+    (_, _), snap_off = profiled()
+    fastpath.set_mode("on")
+    (model_on, _), snap_on = profiled()
+    assert model_on.engine._fp_binding is not None, "kernel did not engage"
+    fastpath.eject_engine(model_on.engine)
+    assert snap_off == snap_on
+
+
+@pytest.mark.parametrize("model_name", sorted(RUNNERS))
+def test_slot_conservation_on_compiled_path(model_name):
+    """sum(causes) == width x cycles must hold on the compiled path in
+    its own right, not only by matching the reference."""
+    fastpath.set_mode("on")
+    prof.reset()
+    prof.enable()
+    try:
+        model, _ = RUNNERS[model_name]("friendly", "warmed")
+        assert model.engine._fp_binding is not None, "kernel did not engage"
+        snap = prof.snapshot()
+    finally:
+        prof.disable()
+        prof.reset()
+    (core,) = [c for c in snap.cores if c.core == model.engine.name]
+    assert core.conserved()
+    assert core.slots_total == model.engine.width * model.engine.now
+    assert sum(core.slots.values()) == core.slots_total
+    assert (
+        sum(v for ts in core.threads for v in ts.slots.values())
+        == core.slots_total
+    )
+    assert all(SlotCause(c) is not None for c in core.slots)
+
+
+@pytest.mark.parametrize("profile_name", sorted(PROFILES))
+@pytest.mark.parametrize(
+    "remote",
+    [None, RemoteSpec(mean_interval_instructions=200.0, mean_stall_us=5.0)],
+    ids=["local", "remote"],
+)
+@pytest.mark.parametrize("seed", [0, 7])
+def test_tracegen_columns_identical(profile_name, remote, seed):
+    """The compiled trace-generation loop fills every column (values and
+    dtypes) bit-identically to the reference loop."""
+    columns = ("op", "dst", "src1", "src2", "addr", "pc", "taken", "target", "stall_ns")
+    for n in (1, 8, 9, 4_000):
+        fastpath.set_mode("off")
+        ref = generate_trace(
+            PROFILES[profile_name], n, np.random.default_rng(seed), remote=remote
+        )
+        fastpath.set_mode("on")
+        fast = generate_trace(
+            PROFILES[profile_name], n, np.random.default_rng(seed), remote=remote
+        )
+        for col in columns:
+            a, b = getattr(ref, col), getattr(fast, col)
+            assert a.dtype == b.dtype, (col, n)
+            assert np.array_equal(a, b), (col, n)
+
+
+def test_incremental_runs_and_fast_forward_identical():
+    """Resumable-run shapes: several max_instructions windows with a
+    fast_forward between them must stay in lockstep."""
+
+    def staged():
+        model = BaselineCoreModel()
+        model.run(_trace("friendly", 12_000), max_instructions=3_000)
+        engine = model.engine
+        engine.fast_forward(engine.now + 12_345)
+        engine.run(max_instructions=4_000)
+        engine.run()
+        return model
+
+    fastpath.set_mode("off")
+    m_off = staged()
+    fastpath.set_mode("on")
+    m_on = staged()
+    fastpath.eject_engine(m_on.engine)
+    assert_states_equal(engine_state(m_off.engine), engine_state(m_on.engine))
+
+
+def test_auto_mode_skips_tiny_runs_and_compiles_big_ones():
+    fastpath.set_mode("auto")
+    small = BaselineCoreModel()
+    small.run(_trace("friendly", 500))
+    assert small.engine._fp_binding is None
+
+    big = BaselineCoreModel()
+    big.run(_trace("friendly", 30_000))
+    assert big.engine._fp_binding is not None
+    fastpath.eject_engine(big.engine)
+
+
+def test_off_mode_never_binds():
+    fastpath.set_mode("off")
+    model = BaselineCoreModel()
+    model.run(_trace("friendly", 30_000))
+    assert model.engine._fp_binding is None
