@@ -34,7 +34,12 @@ sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
 
-from repro import obs  # noqa: E402
+from repro import obs, validate  # noqa: E402
+from repro.cluster.experiment import (  # noqa: E402
+    ClusterConfig,
+    clear_cluster_cache,
+    run_cluster_cell,
+)
 from repro.harness import cache  # noqa: E402
 from repro.harness.experiment import clear_tail_cache  # noqa: E402
 from repro.harness.fidelity import FAST  # noqa: E402
@@ -49,6 +54,23 @@ from repro.workloads.microservices import standard_microservices  # noqa: E402
 DESIGNS = ["baseline", "duplexity"]
 WORKLOAD_NAMES = ("McRouter", "WordStem")
 LOADS = (0.3, 0.7)
+
+#: Pinned cluster sweep: the acceptance-scale fork-join topology —
+#: 16 dyad-servers, fan-out 8, one million mid-tier (8M leaf) requests —
+#: timed on the compiled path under strict validation.
+CLUSTER_CONFIG = ClusterConfig(
+    n_servers=16,
+    fanout=8,
+    balancer="random",
+    num_requests=1_000_000,
+    warmup=50_000,
+)
+CLUSTER_WORKLOAD = "WordStem"
+CLUSTER_LOAD = 0.7
+
+#: A cluster p99.9 batch-means CI wider than this fails the benchmark:
+#: the pinned sweep must be statistically converged, not just fast.
+CLUSTER_MAX_REL_ERR = 0.05
 
 DEFAULT_OUT = pathlib.Path(__file__).parent / "output" / "BENCH_profile.json"
 
@@ -77,6 +99,22 @@ def _sweep() -> tuple[GridRunStats, float]:
         stats=stats,
     )
     return stats, time.perf_counter() - start
+
+
+def _cluster_sweep():
+    """Time the pinned cluster cell under strict validation.
+
+    Returns ``(cell, wall_s, violations)``; the L1 cluster cache is
+    cleared first so the wall time covers a real simulation.
+    """
+    workload = {w.name: w for w in standard_microservices()}[CLUSTER_WORKLOAD]
+    clear_cluster_cache()
+    start = time.perf_counter()
+    with validate.collecting() as found:
+        cell = run_cluster_cell(
+            "duplexity", workload, CLUSTER_LOAD, CLUSTER_CONFIG, FAST
+        )
+    return cell, time.perf_counter() - start, list(found)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -120,6 +158,9 @@ def main(argv: list[str] | None = None) -> int:
             cold_stats, cold_wall = _sweep()
             cycles = obs.value("engine.cycles")
 
+            # Pinned cluster sweep, on the same (now-warm) measurements.
+            cluster_cell, cluster_wall, cluster_violations = _cluster_sweep()
+
             # Warm pass: keep the disk layer, drop the in-memory layers
             # so every cell exercises the disk-cache read path.
             clear_measure_cache()
@@ -142,11 +183,47 @@ def main(argv: list[str] | None = None) -> int:
         "wall_s_warm": round(warm_wall, 3),
         "cache_hit_rate": round(warm_stats.disk.hit_rate, 4),
         "cycles_simulated": int(cycles),
+        "cluster": {
+            "n_servers": CLUSTER_CONFIG.n_servers,
+            "fanout": CLUSTER_CONFIG.fanout,
+            "balancer": CLUSTER_CONFIG.balancer,
+            "requests": CLUSTER_CONFIG.num_requests,
+            "load": CLUSTER_LOAD,
+            "wall_s": round(cluster_wall, 3),
+            "p999_us": round(cluster_cell.p999_us, 3),
+            "p999_rel_err": round(cluster_cell.p999_rel_err, 5),
+            "requests_per_watt": round(cluster_cell.requests_per_watt, 1),
+            "utilization_spread": round(
+                cluster_cell.max_utilization - cluster_cell.min_utilization, 5
+            ),
+            "validation_violations": len(cluster_violations),
+        },
     }
     out = pathlib.Path(options.out)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(json.dumps(payload, indent=2, sort_keys=True))
+
+    failed = False
+    if cluster_violations:
+        print(
+            f"CLUSTER VALIDATION FAILED: {len(cluster_violations)} invariant"
+            " violation(s) in the pinned cluster sweep:",
+            file=sys.stderr,
+        )
+        for violation in cluster_violations[:10]:
+            print(f"  {violation}", file=sys.stderr)
+        failed = True
+    if cluster_cell.p999_rel_err > CLUSTER_MAX_REL_ERR:
+        print(
+            f"CLUSTER CONVERGENCE FAILED: p99.9 relative error"
+            f" {cluster_cell.p999_rel_err:.4f} exceeds"
+            f" {CLUSTER_MAX_REL_ERR}",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
+        return 1
 
     if options.no_gate or not compiled_available or not BASELINE_PATH.exists():
         return 0
@@ -162,6 +239,19 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    cluster_baseline = baseline.get("cluster_wall_s_compiled")
+    if cluster_baseline is not None:
+        cluster_limit = cluster_baseline * GATE_HEADROOM
+        if cluster_wall > cluster_limit:
+            print(
+                f"PERF GATE FAILED: compiled cluster sweep took"
+                f" {cluster_wall:.3f}s, over the gate of"
+                f" {cluster_limit:.3f}s ({cluster_baseline}s baseline x"
+                f" {GATE_HEADROOM}); if the slowdown is intentional, update"
+                f" {BASELINE_PATH.name} and review the diff",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -7,6 +7,8 @@ Examples::
     python -m repro fig5a --fidelity fast --workload mcrouter
     python -m repro fig5d --workers 4 --stats
     python -m repro cell duplexity mcrouter 0.5
+    python -m repro cluster duplexity mcrouter 0.3 0.6 0.9 --servers 16 \
+        --fanout 4 --balancer jsq --arrivals mmpp
     python -m repro validate --fidelity fast
     python -m repro fig5d --workers 4 --trace /tmp/run.jsonl
     python -m repro report /tmp/run.jsonl
@@ -151,7 +153,7 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         help=(
             "table1|table2|fig1a|fig1b|fig1c|fig2a|fig2b|fig5a..fig5f|"
-            "fig6|cell|validate|report|profile"
+            "fig6|cell|cluster|validate|report|profile"
         ),
     )
     parser.add_argument(
@@ -159,6 +161,7 @@ def main(argv: list[str] | None = None) -> int:
         nargs="*",
         help=(
             "for `cell`/`profile`: DESIGN WORKLOAD LOAD;"
+            " for `cluster`: DESIGN WORKLOAD LOAD [LOAD ...];"
             " for `report`: TRACE_PATH"
         ),
     )
@@ -196,6 +199,39 @@ def main(argv: list[str] | None = None) -> int:
             "for `profile`: also write flamegraph.pl-compatible folded"
             " stacks to this path"
         ),
+    )
+    cluster_group = parser.add_argument_group(
+        "cluster", "topology/traffic for the `cluster` target"
+    )
+    cluster_group.add_argument(
+        "--servers", type=int, default=16, help="dyad-servers in the cluster"
+    )
+    cluster_group.add_argument(
+        "--fanout", type=int, default=1, help="leaf fan-out per mid-tier request"
+    )
+    cluster_group.add_argument(
+        "--balancer",
+        choices=("random", "round_robin", "jsq", "power_of_two"),
+        default="random",
+        help="load-balancing policy",
+    )
+    cluster_group.add_argument(
+        "--arrivals",
+        choices=("poisson", "mmpp", "diurnal"),
+        default="poisson",
+        help="open-loop arrival process",
+    )
+    cluster_group.add_argument(
+        "--cluster-requests",
+        type=int,
+        default=0,
+        help="mid-tier requests per run (0 = fidelity default)",
+    )
+    cluster_group.add_argument(
+        "--cluster-warmup",
+        type=int,
+        default=0,
+        help="warmup requests dropped (used with --cluster-requests)",
     )
     parser.add_argument(
         "--fastpath",
@@ -319,12 +355,83 @@ def _run_target(options, target: str, fidelity: Fidelity) -> int:
             "nic_iops_utilization",
         ):
             print(f"{field:36s} {getattr(cell, field):.4f}")
+    elif target == "cluster":
+        exit_code = _run_cluster(options, fidelity, run_stats)
     else:
         raise SystemExit(f"unknown target {options.target!r}")
     if options.stats:
         print()
         print(format_grid_stats(run_stats))
     return exit_code
+
+
+def _run_cluster(options, fidelity: Fidelity, run_stats: GridRunStats) -> int:
+    """Sweep one (design, workload) cluster topology across load points
+    and print cluster-level tails, utilization spread, and
+    requests-per-watt."""
+    from repro.cluster.experiment import ClusterConfig, run_cluster_sweep
+
+    if len(options.args) < 3:
+        raise SystemExit(
+            "usage: repro cluster DESIGN WORKLOAD LOAD [LOAD ...]"
+        )
+    design, workload_name, *load_args = options.args
+    (workload,) = _workloads(workload_name)
+    try:
+        loads = tuple(float(x) for x in load_args)
+    except ValueError:
+        raise SystemExit(f"loads must be numeric, got {load_args!r}") from None
+    config = ClusterConfig(
+        n_servers=options.servers,
+        fanout=options.fanout,
+        balancer=options.balancer,
+        arrivals=options.arrivals,
+        num_requests=options.cluster_requests,
+        warmup=options.cluster_warmup,
+    )
+    cells = run_cluster_sweep(
+        design,
+        workload,
+        loads,
+        config,
+        fidelity,
+        workers=options.workers,
+        stats=run_stats,
+    )
+    rows = [
+        [
+            f"{c.load:g}",
+            f"{c.p99_us:.2f}",
+            f"{c.p999_us:.2f}",
+            f"{100 * c.p999_rel_err:.1f}%",
+            f"{c.mean_utilization:.3f}",
+            f"{c.max_utilization - c.min_utilization:.3f}",
+            f"{c.total_power_w:.1f}",
+            f"{c.requests_per_watt:.0f}",
+        ]
+        for c in cells
+    ]
+    print(
+        format_table(
+            [
+                "load",
+                "p99 (us)",
+                "p99.9 (us)",
+                "p99.9 err",
+                "util mean",
+                "util spread",
+                "power (W)",
+                "req/W",
+            ],
+            rows,
+            (
+                f"Cluster: {design}/{workload.name}"
+                f" x{config.n_servers} fanout {config.fanout}"
+                f" {config.balancer}/{config.arrivals}"
+            ),
+        )
+    )
+    return 0
 
 
 def _run_report(options) -> int:

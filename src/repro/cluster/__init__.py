@@ -1,0 +1,41 @@
+"""Cluster-scale serving simulator: N dyad-servers behind a balancer.
+
+The paper's deployment story (Section V) is not one core but a mid-tier
+that fans requests out to racks of leaf microservers and blocks on the
+slowest response.  This package simulates that topology: an open-loop
+arrival process feeds a pluggable load balancer that dispatches each
+mid-tier request to ``fanout`` leaf servers; the request completes at
+the *max* leaf sojourn (a simulated fork-join, replacing the closed-form
+:class:`repro.queueing.fanout.FanOutMax` approximation); each leaf
+server runs the same FCFS Lindley recurrence as the single-server
+M/G/1 path, compiled where eligible.
+
+Entry points:
+
+- :class:`repro.cluster.sim.ClusterSimulator` — the simulator proper.
+- :func:`repro.cluster.experiment.run_cluster_cell` /
+  :func:`~repro.cluster.experiment.run_cluster_sweep` — harness-level
+  cells with caching, validation and pooled execution.
+- ``python -m repro cluster DESIGN WORKLOAD LOAD...`` — CLI sweep.
+"""
+
+from repro.cluster.arrivals import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+from repro.cluster.balancers import BALANCERS, Balancer, get_balancer
+from repro.cluster.sim import ClusterResult, ClusterSimulator
+
+__all__ = [
+    "ArrivalProcess",
+    "BALANCERS",
+    "Balancer",
+    "ClusterResult",
+    "ClusterSimulator",
+    "DiurnalArrivals",
+    "MMPPArrivals",
+    "PoissonArrivals",
+    "get_balancer",
+]

@@ -1,0 +1,155 @@
+"""Pluggable leaf-selection policies for the cluster simulator.
+
+Two families:
+
+- *State-independent* (``random``, ``round_robin``): the full
+  ``(n, fanout)`` assignment matrix is a pure function of the dispatch
+  stream, so :class:`~repro.cluster.sim.ClusterSimulator` can simulate
+  each server's whole arrival subsequence independently (and feed the
+  compiled Lindley kernel).
+- *State-dependent* (``jsq``, ``power_of_two``): selection reads the
+  per-server queue lengths at dispatch time, so the simulator must run
+  the global-order event loop.
+
+Each mid-tier request is dispatched to ``fanout`` *distinct* servers.
+Queue-length ties break uniformly at random (via the dispatch stream),
+never by server index: a deterministic tie-break would systematically
+skew low-index servers and break the per-server symmetry that
+validation's Little's-law check leans on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Balancer(ABC):
+    """A leaf-selection policy."""
+
+    #: Registry key and display name.
+    name: str = ""
+
+    #: True when selection reads per-server queue state at dispatch time.
+    state_dependent: bool = False
+
+    def assignments(
+        self, rng: np.random.Generator, n: int, fanout: int, n_servers: int
+    ) -> np.ndarray | None:
+        """The full ``(n, fanout)`` server-index matrix, or ``None`` for
+        state-dependent policies (which must use :meth:`select`)."""
+        return None
+
+    @abstractmethod
+    def select(
+        self,
+        rng: np.random.Generator,
+        fanout: int,
+        n_servers: int,
+        queue_lengths: np.ndarray,
+    ) -> np.ndarray:
+        """``fanout`` distinct server indices for one request."""
+
+
+class RandomBalancer(Balancer):
+    """Uniformly random choice of ``fanout`` distinct servers."""
+
+    name = "random"
+    state_dependent = False
+
+    def assignments(self, rng, n, fanout, n_servers):
+        if fanout == 1:
+            return rng.integers(0, n_servers, size=(n, 1))
+        # fanout distinct servers per request: rank per-request random
+        # keys (a vectorized Fisher-Yates-equivalent draw).
+        keys = rng.random((n, n_servers))
+        return np.argsort(keys, axis=1)[:, :fanout]
+
+    def select(self, rng, fanout, n_servers, queue_lengths):
+        if fanout == 1:
+            return rng.integers(0, n_servers, size=1)
+        return np.argsort(rng.random(n_servers))[:fanout]
+
+
+class RoundRobinBalancer(Balancer):
+    """Deterministic rotation: request j takes servers
+    ``(j*fanout + i) % n_servers`` for ``i < fanout``."""
+
+    name = "round_robin"
+    state_dependent = False
+
+    def assignments(self, rng, n, fanout, n_servers):
+        start = (np.arange(n, dtype=np.int64) * fanout)[:, None]
+        offsets = np.arange(fanout, dtype=np.int64)[None, :]
+        return (start + offsets) % n_servers
+
+    def select(self, rng, fanout, n_servers, queue_lengths):
+        raise NotImplementedError(
+            "round_robin is state-independent; use assignments()"
+        )
+
+
+class JSQBalancer(Balancer):
+    """Join-shortest-queue: the ``fanout`` least-loaded servers."""
+
+    name = "jsq"
+    state_dependent = True
+
+    def select(self, rng, fanout, n_servers, queue_lengths):
+        # Random keys break queue-length ties uniformly: lexsort's last
+        # key is primary, so order is (queue_length, random).
+        return np.lexsort((rng.random(n_servers), queue_lengths))[:fanout]
+
+
+class PowerOfTwoBalancer(Balancer):
+    """Power-of-two-choices: per leaf, probe two random servers and take
+    the shorter queue (random tie-break), without reusing a server
+    within one request's fan-out."""
+
+    name = "power_of_two"
+    state_dependent = True
+
+    def select(self, rng, fanout, n_servers, queue_lengths):
+        available = list(range(n_servers))
+        chosen = np.empty(fanout, dtype=np.int64)
+        for i in range(fanout):
+            if len(available) <= 2:
+                probes = available
+            else:
+                picks = rng.choice(len(available), size=2, replace=False)
+                probes = [available[picks[0]], available[picks[1]]]
+            best = probes[0]
+            for candidate in probes[1:]:
+                if queue_lengths[candidate] < queue_lengths[best] or (
+                    queue_lengths[candidate] == queue_lengths[best]
+                    and rng.random() < 0.5
+                ):
+                    best = candidate
+            chosen[i] = best
+            available.remove(best)
+        return chosen
+
+
+BALANCERS: dict[str, type[Balancer]] = {
+    cls.name: cls
+    for cls in (
+        RandomBalancer,
+        RoundRobinBalancer,
+        JSQBalancer,
+        PowerOfTwoBalancer,
+    )
+}
+
+
+def get_balancer(balancer: "str | Balancer") -> Balancer:
+    """Resolve a balancer name (or pass through an instance)."""
+    if isinstance(balancer, Balancer):
+        return balancer
+    try:
+        return BALANCERS[balancer]()
+    except KeyError:
+        raise ValueError(
+            f"unknown balancer {balancer!r}; "
+            f"expected one of {sorted(BALANCERS)}"
+        ) from None

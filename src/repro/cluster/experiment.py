@@ -1,0 +1,469 @@
+"""Cluster experiment cells: (design, workload, load, topology) -> tails
+and requests-per-watt.
+
+``run_cluster_cell`` is the cluster-scale analogue of
+:func:`repro.harness.experiment.run_cell`: it measures the design's core
+behaviour (through the shared measurement cache), builds the inflated
+service model, offers the cluster a per-server leaf load, simulates the
+fork-join topology, and reports batch-means tail percentiles with
+confidence intervals, per-server utilization spread, and
+requests-per-watt via the realized-utilization power composition of
+:mod:`repro.cluster.metrics`.
+
+Caching mirrors the tail-latency path: an in-memory L1 keyed on the full
+(design, workload, load, config, fidelity) point, backed by the
+persistent disk layer under the ``"cluster"`` kind — the disk key folds
+in the *service model* rather than the measurement inputs, so entries
+survive exactly as long as the measured service parameters do.
+
+``run_cluster_sweep`` fans a list of load points out over a process
+pool (chunked one load per worker, with the same worker configuration
+plumbing and serial fallback as :mod:`repro.harness.parallel`).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro import obs, prof, validate
+from repro.cluster.arrivals import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+from repro.cluster.balancers import BALANCERS
+from repro.cluster.metrics import cluster_power_w, summarize
+from repro.cluster.sim import ClusterSimulator
+from repro.common.rng import derive_seed
+from repro.core.designs import Design, get_design
+from repro.harness import cache as disk_cache
+from repro.harness import metrics
+from repro.harness.fidelity import FAST, Fidelity
+from repro.harness.measure import measure
+from repro.harness.parallel import GridRunStats
+from repro.workloads.microservices import Microservice
+
+#: Arrival-process kinds understood by :func:`arrival_process_for`.
+ARRIVAL_KINDS = ("poisson", "mmpp", "diurnal")
+
+#: In-memory (L1) cluster-cell cache.
+_CLUSTER_CACHE: dict[tuple, "ClusterCellResult"] = {}
+
+
+def clear_cluster_cache() -> None:
+    """Drop the in-memory cluster-cell cache (tests, ``profile``)."""
+    _CLUSTER_CACHE.clear()
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Topology and traffic shape of one cluster evaluation.
+
+    ``num_requests``/``warmup`` count *mid-tier* requests (each spawns
+    ``fanout`` leaf requests); leave them 0 to inherit the fidelity's
+    queueing knobs.  ``diurnal_periods`` sizes the sinusoid so one run
+    spans that many full periods regardless of the arrival rate.
+    """
+
+    n_servers: int = 16
+    fanout: int = 1
+    balancer: str = "random"
+    arrivals: str = "poisson"
+    num_requests: int = 0
+    warmup: int = 0
+    burst_ratio: float = 4.0
+    mean_burst_arrivals: float = 200.0
+    diurnal_amplitude: float = 0.5
+    diurnal_periods: float = 8.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.balancer not in BALANCERS:
+            raise ValueError(
+                f"unknown balancer {self.balancer!r}; "
+                f"expected one of {sorted(BALANCERS)}"
+            )
+        if self.arrivals not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"unknown arrival process {self.arrivals!r}; "
+                f"expected one of {ARRIVAL_KINDS}"
+            )
+
+    def requests_for(self, fidelity: Fidelity) -> tuple[int, int]:
+        """(num_requests, warmup), defaulting to the fidelity's knobs."""
+        n = self.num_requests or fidelity.queue_requests
+        w = self.warmup if self.num_requests else fidelity.queue_warmup
+        return int(n), int(w)
+
+
+#: Default topology for the CLI and golden grids.
+DEFAULT_CLUSTER_CONFIG = ClusterConfig()
+
+
+def arrival_process_for(config: ClusterConfig, rate: float, n: int) -> ArrivalProcess:
+    """Build ``config``'s arrival process at mid-tier rate ``rate``."""
+    if config.arrivals == "poisson":
+        return PoissonArrivals(rate)
+    if config.arrivals == "mmpp":
+        return MMPPArrivals.bursty(
+            rate,
+            burst_ratio=config.burst_ratio,
+            mean_burst_arrivals=config.mean_burst_arrivals,
+        )
+    if config.arrivals == "diurnal":
+        # One run spans diurnal_periods full periods: the expected run
+        # length is n/rate seconds.
+        period_s = (n / rate) / config.diurnal_periods
+        return DiurnalArrivals(
+            base_rate=rate,
+            amplitude=config.diurnal_amplitude,
+            period_s=period_s,
+        )
+    raise ValueError(f"unknown arrival process {config.arrivals!r}")
+
+
+@dataclass(frozen=True)
+class ClusterCellResult:
+    """Cluster-level metrics for one (design, workload, load, topology)."""
+
+    design_name: str
+    workload_name: str
+    load: float
+    n_servers: int
+    fanout: int
+    balancer: str
+    arrivals: str
+    num_requests: int
+    p99_us: float
+    p999_us: float
+    #: Batch-means half-width of the p99.9 estimate, relative to it.
+    p999_rel_err: float
+    mean_utilization: float
+    min_utilization: float
+    max_utilization: float
+    utilization_std: float
+    total_power_w: float
+    requests_per_watt: float
+
+
+def _cell_key(
+    design: Design,
+    workload: Microservice,
+    load: float,
+    config: ClusterConfig,
+    fidelity: Fidelity,
+) -> tuple:
+    import dataclasses
+
+    return (
+        design.name,
+        workload.name,
+        float(load),
+        dataclasses.astuple(config),
+        fidelity.cache_token(),
+    )
+
+
+def run_cluster_cell(
+    design: Design | str,
+    workload: Microservice,
+    load: float,
+    config: ClusterConfig = DEFAULT_CLUSTER_CONFIG,
+    fidelity: Fidelity = FAST,
+) -> ClusterCellResult:
+    """Evaluate one cluster cell (through the L1/L2 caches)."""
+    if isinstance(design, str):
+        design = get_design(design)
+    if not 0.0 < load < 1.0:
+        raise ValueError(f"load must be in (0, 1), got {load!r}")
+    key = _cell_key(design, workload, load, config, fidelity)
+    with obs.span(
+        "cluster_cell",
+        design=design.name,
+        workload=workload.name,
+        load=float(load),
+        servers=int(config.n_servers),
+        fanout=int(config.fanout),
+        balancer=config.balancer,
+        arrivals=config.arrivals,
+    ) as sp:
+        cached = _CLUSTER_CACHE.get(key)
+        if cached is not None:
+            sp.set("source", "l1")
+            obs.add("cluster_cell.l1_hits")
+            return cached
+
+        # Core measurement and service model come through the shared
+        # measurement cache, exactly as the single-server grid does.
+        m = measure(design, workload, fidelity)
+        base = measure("baseline", workload, fidelity)
+        service = metrics.service_model_for(design, m, base, workload)
+        num_requests, warmup = config.requests_for(fidelity)
+
+        # Loads are fractions of *nominal* per-server capacity (matching
+        # the single-server harness): a design that inflates service
+        # times runs at a proportionally higher effective leaf rho.  The
+        # offered mid-tier rate keeps every server's leaf rate at
+        # load/nominal_mean * (n_servers/fanout aggregation), clamped so
+        # the effective rho stays below saturation.
+        nominal_mean = workload.service_distribution().mean()
+        service_mean = service.mean_service_time()
+        rate = load * config.n_servers / (config.fanout * nominal_mean)
+        rate_leaf = rate * config.fanout / config.n_servers
+        if rate_leaf * service_mean >= metrics.SATURATION_RHO:
+            rate = (
+                metrics.SATURATION_RHO
+                * config.n_servers
+                / (config.fanout * service_mean)
+            )
+
+        l2 = disk_cache.get_cache()
+        dkey = None
+        if l2 is not None:
+            # Like the tail cache: the service model folds in everything
+            # measurement-derived, so key on it rather than the fidelity
+            # measurement knobs.
+            dkey = l2.key(
+                "cluster",
+                design=design.name,
+                service=service,
+                config=config,
+                rate=float(rate),
+                requests=num_requests,
+                warmup=warmup,
+                fidelity=fidelity,
+            )
+            stored = l2.get(dkey, expect=ClusterCellResult, kind="cluster")
+            if stored is not None:
+                sp.set("source", "l2")
+                obs.add("cluster_cell.l2_hits")
+                _CLUSTER_CACHE[key] = stored
+                return stored
+
+        sp.set("source", "simulate")
+        obs.add("cluster_cell.computes")
+        seed = derive_seed(fidelity.seed, f"cluster-cell/{config.seed}")
+        arrivals = arrival_process_for(config, rate, num_requests)
+        sim = ClusterSimulator(
+            arrivals,
+            service,
+            n_servers=config.n_servers,
+            fanout=config.fanout,
+            balancer=config.balancer,
+            seed=seed,
+        )
+        with prof.context(design=design.name, workload=workload.name):
+            result = sim.run(num_requests, warmup=warmup)
+        validate.dispatch(
+            result,
+            subject=(
+                f"cluster:{design.name}/{workload.name}@{load:g}"
+                f"/{config.balancer}x{config.n_servers}f{config.fanout}"
+            ),
+        )
+
+        power = cluster_power_w(design, m, workload, load, result)
+        summary = summarize(result, power)
+        cell = ClusterCellResult(
+            design_name=design.name,
+            workload_name=workload.name,
+            load=float(load),
+            n_servers=config.n_servers,
+            fanout=config.fanout,
+            balancer=config.balancer,
+            arrivals=config.arrivals,
+            num_requests=num_requests,
+            p99_us=summary.p99_s * 1e6,
+            p999_us=summary.p999_s * 1e6,
+            p999_rel_err=summary.p999_relative_error,
+            mean_utilization=summary.mean_utilization,
+            min_utilization=summary.min_utilization,
+            max_utilization=summary.max_utilization,
+            utilization_std=summary.utilization_std,
+            total_power_w=summary.total_power_w,
+            requests_per_watt=summary.requests_per_watt,
+        )
+        # Guard the summarized cell before it reaches either cache layer.
+        validate.dispatch(cell)
+        _CLUSTER_CACHE[key] = cell
+        if l2 is not None and dkey is not None:
+            l2.put(dkey, cell)
+        return cell
+
+
+# ----------------------------------------------------------------------
+# Sweeps (serial or pooled by load point)
+# ----------------------------------------------------------------------
+
+
+def _evaluate_load(
+    design_name: str,
+    workload: Microservice,
+    load: float,
+    config: ClusterConfig,
+    fidelity: Fidelity,
+) -> tuple["ClusterCellResult", float]:
+    start = time.perf_counter()
+    cell = run_cluster_cell(design_name, workload, load, config, fidelity)
+    return cell, time.perf_counter() - start
+
+
+def _worker_load(
+    design_name: str,
+    workload: Microservice,
+    load: float,
+    config: ClusterConfig,
+    fidelity: Fidelity,
+    cache_config: dict,
+    obs_config: dict,
+    prof_config: dict,
+    fastpath_config: dict,
+):
+    """Pool-worker entry point; same delta-report discipline as
+    :func:`repro.harness.parallel._worker_chunk`."""
+    from repro.uarch import fastpath
+
+    disk_cache.configure(**cache_config)
+    obs.configure_worker(obs_config)
+    prof.configure_worker(prof_config)
+    fastpath.configure_worker(fastpath_config)
+    before = disk_cache.stats_snapshot()
+    obs_mark = obs.mark()
+    prof_mark = prof.mark()
+    cell, wall_s = _evaluate_load(design_name, workload, load, config, fidelity)
+    delta = disk_cache.stats_snapshot().since(before)
+    return (
+        cell,
+        wall_s,
+        delta,
+        obs.delta_since(obs_mark),
+        prof.delta_since(prof_mark),
+    )
+
+
+def run_cluster_sweep(
+    design: Design | str,
+    workload: Microservice,
+    loads: tuple[float, ...],
+    config: ClusterConfig = DEFAULT_CLUSTER_CONFIG,
+    fidelity: Fidelity = FAST,
+    workers: int = 1,
+    stats: GridRunStats | None = None,
+) -> list[ClusterCellResult]:
+    """Evaluate one (design, workload) across ``loads``.
+
+    ``workers > 1`` fans load points out over a process pool (one load
+    per task); results come back in load order and are value-identical
+    to the serial sweep — every cell is a pure function of its inputs.
+    A broken pool degrades to the serial path.
+    """
+    from repro.harness.parallel import CellTiming
+
+    design_name = design if isinstance(design, str) else design.name
+    load_tuple = tuple(float(x) for x in loads)
+    start = time.perf_counter()
+    outcome: list[tuple[ClusterCellResult, float]] | None = None
+    with obs.span(
+        "cluster_sweep",
+        design=design_name,
+        workload=workload.name,
+        loads=len(load_tuple),
+        workers=max(1, workers),
+        fidelity=fidelity.name,
+    ):
+        if workers > 1 and len(load_tuple) > 1:
+            outcome = _sweep_pooled(
+                design_name, workload, load_tuple, config, fidelity,
+                workers, stats,
+            )
+        if outcome is None:
+            before = disk_cache.stats_snapshot()
+            outcome = [
+                _evaluate_load(design_name, workload, load, config, fidelity)
+                for load in load_tuple
+            ]
+            if stats is not None:
+                stats.disk.merge(disk_cache.stats_snapshot().since(before))
+        obs.add("cluster_sweep.runs")
+        obs.add("cluster_sweep.cells", len(outcome))
+    cells = [cell for cell, _ in outcome]
+    if stats is not None:
+        stats.workers = max(1, workers)
+        stats.wall_s = time.perf_counter() - start
+        stats.timings.extend(
+            CellTiming(
+                design_name=design_name,
+                workload_name=workload.name,
+                load=load,
+                wall_s=wall_s,
+            )
+            for load, (_, wall_s) in zip(load_tuple, outcome)
+        )
+    return cells
+
+
+def _sweep_pooled(
+    design_name: str,
+    workload: Microservice,
+    loads: tuple[float, ...],
+    config: ClusterConfig,
+    fidelity: Fidelity,
+    workers: int,
+    stats: GridRunStats | None,
+):
+    """Fan loads over a pool; ``None`` means "fall back to serial"."""
+    from repro.uarch import fastpath
+
+    cache_config = disk_cache.current_config()
+    obs_config = obs.config_for_worker()
+    prof_config = prof.config_for_worker()
+    fastpath_config = fastpath.config_for_worker()
+    max_workers = min(workers, len(loads))
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(
+                    _worker_load,
+                    design_name,
+                    workload,
+                    load,
+                    config,
+                    fidelity,
+                    cache_config,
+                    obs_config,
+                    prof_config,
+                    fastpath_config,
+                )
+                for load in loads
+            ]
+            outcome = []
+            for future in futures:
+                cell, wall_s, delta, obs_delta, prof_delta = future.result()
+                outcome.append((cell, wall_s))
+                if stats is not None:
+                    stats.disk.merge(delta)
+                obs.merge_delta(obs_delta)
+                prof.merge_delta(prof_delta)
+    except (BrokenProcessPool, pickle.PicklingError, OSError):
+        if stats is not None:
+            stats.serial_fallbacks += 1
+        obs.add("cluster_sweep.serial_fallbacks")
+        return None
+    return outcome
+
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ClusterCellResult",
+    "ClusterConfig",
+    "DEFAULT_CLUSTER_CONFIG",
+    "arrival_process_for",
+    "clear_cluster_cache",
+    "run_cluster_cell",
+    "run_cluster_sweep",
+]

@@ -1,0 +1,126 @@
+"""Cluster-level summary metrics: tails with CIs, utilization spread,
+requests-per-watt.
+
+Tail percentiles reuse the batch-means CI machinery from
+:mod:`repro.queueing.stats` over the retained mid-tier sojourns (which
+are in arrival order, as batch means requires).  Power reuses the
+pairing composition of :func:`repro.harness.metrics.rate_breakdown` /
+:mod:`repro.power.mcpat`, but driven by each server's *realized* busy
+fraction rather than the offered load, so imbalanced clusters report
+imbalanced power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.sim import ClusterResult
+from repro.harness.measure import CoreMeasurement
+from repro.harness.metrics import LLC_MB_PER_PAIRING, idle_window_efficiency
+from repro.power.mcpat import (
+    core_power_model,
+    lender_power_model,
+    llc_static_w,
+)
+from repro.core.designs import Design, get_design
+from repro.queueing.stats import batch_means_percentile
+from repro.workloads.microservices import Microservice
+
+
+@dataclass(frozen=True)
+class ClusterSummary:
+    """Cluster-level report for one (design, workload, load) cell."""
+
+    p99_s: float
+    p99_half_width_s: float
+    p999_s: float
+    p999_half_width_s: float
+    p999_batches: int
+    mean_utilization: float
+    min_utilization: float
+    max_utilization: float
+    utilization_std: float
+    total_power_w: float
+    requests_per_watt: float
+
+    @property
+    def p999_relative_error(self) -> float:
+        return self.p999_half_width_s / self.p999_s if self.p999_s > 0 else 0.0
+
+
+def dyad_power_w(
+    design: Design | str,
+    m: CoreMeasurement,
+    workload: Microservice,
+    busy_fraction: float,
+    load: float,
+) -> float:
+    """Power (W) of one dyad pairing at a realized busy fraction.
+
+    Mirrors the composition of
+    :func:`repro.harness.metrics.energy_per_instruction_nj` — master
+    rate while busy, filler fill during idle windows (discounted by the
+    morph/restart overhead at the *offered* load's mean idle length),
+    lender batch core, LLC static — with the realized busy fraction in
+    place of ``load * inflation``.
+    """
+    if isinstance(design, str):
+        design = get_design(design)
+    busy = min(max(busy_fraction, 0.0), 1.0)
+    master_ips = busy * m.master_ipc_saturated * m.frequency_hz
+    idle_util = (m.idle_fill_ipc / m.width) * idle_window_efficiency(
+        m, workload, load
+    )
+    total_core_ips = (
+        busy * m.utilization_at_saturation + (1.0 - busy) * idle_util
+    ) * m.width * m.frequency_hz
+    filler_ips = max(0.0, total_core_ips - master_ips)
+    core = core_power_model(design.name)
+    lender = lender_power_model()
+    return (
+        core.power_w(ooo_ips=master_ips, inorder_ips=filler_ips)
+        + lender.power_w(ooo_ips=0.0, inorder_ips=m.lender_ipc * m.frequency_hz)
+        + llc_static_w(LLC_MB_PER_PAIRING)
+    )
+
+
+def cluster_power_w(
+    design: Design | str,
+    m: CoreMeasurement,
+    workload: Microservice,
+    load: float,
+    result: ClusterResult,
+) -> float:
+    """Total cluster power: one dyad pairing per server, each at its
+    realized utilization."""
+    return float(
+        sum(
+            dyad_power_w(design, m, workload, server.utilization, load)
+            for server in result.servers
+        )
+    )
+
+
+def summarize(result: ClusterResult, total_power_w: float) -> ClusterSummary:
+    """Batch-means tails + utilization spread + requests-per-watt."""
+    p99 = batch_means_percentile(result.sojourn_times, 0.99)
+    p999 = batch_means_percentile(result.sojourn_times, 0.999)
+    utils = result.utilizations
+    requests_per_watt = (
+        result.arrival_rate / total_power_w if total_power_w > 0 else 0.0
+    )
+    return ClusterSummary(
+        p99_s=p99.value,
+        p99_half_width_s=p99.half_width,
+        p999_s=p999.value,
+        p999_half_width_s=p999.half_width,
+        p999_batches=p999.batches,
+        mean_utilization=float(utils.mean()),
+        min_utilization=float(utils.min()),
+        max_utilization=float(utils.max()),
+        utilization_std=float(utils.std()),
+        total_power_w=total_power_w,
+        requests_per_watt=requests_per_watt,
+    )

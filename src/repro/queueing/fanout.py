@@ -16,7 +16,7 @@ from functools import cached_property
 
 import numpy as np
 
-from repro.common.distributions import Distribution
+from repro.common.distributions import Distribution, is_stream_safe
 
 #: Max-samples drawn for the Monte-Carlo mean estimate of
 #: :class:`FanOutMax`.  The draw budget scales with the fan-out
@@ -25,6 +25,11 @@ from repro.common.distributions import Distribution
 #: as at fan-out 2, instead of degrading to a few hundred max-samples
 #: under a fixed draw cap.
 _MEAN_MAX_SAMPLES = 4096
+
+#: Per-chunk leaf-draw cap for the mean estimate (doubles, so 8 MB per
+#: chunk).  Chunking keeps memory O(chunk) at large fan-out: one bulk
+#: buffer would be ``4096 * fanout`` doubles, ~320 MB at fan-out 10k.
+_MEAN_CHUNK_DRAWS = 1 << 20
 
 
 def harmonic(n: int) -> float:
@@ -63,10 +68,28 @@ class FanOutMax(Distribution):
         # No general closed form; estimate by Monte Carlo with a fixed
         # internal seed (deterministic across instances and processes).
         rng = np.random.default_rng(0xFA)
-        draws = self.leaf.sample_many(rng, _MEAN_MAX_SAMPLES * self.fanout)
-        return float(
-            draws.reshape(_MEAN_MAX_SAMPLES, self.fanout).max(axis=1).mean()
-        )
+        rows_per_chunk = max(1, _MEAN_CHUNK_DRAWS // self.fanout)
+        if rows_per_chunk >= _MEAN_MAX_SAMPLES or not is_stream_safe(self.leaf):
+            # Small fan-outs fit in one chunk anyway; leaves outside the
+            # stream-safe whitelist may consume the generator differently
+            # when a fill is split, so they keep the single bulk fill.
+            draws = self.leaf.sample_many(rng, _MEAN_MAX_SAMPLES * self.fanout)
+            return float(
+                draws.reshape(_MEAN_MAX_SAMPLES, self.fanout).max(axis=1).mean()
+            )
+        # Stream-safe leaves guarantee chunked fills concatenate to the
+        # bulk fill bit-for-bit (same seed, same draw order), so the
+        # max-samples — and hence the cached estimate — are unchanged.
+        maxima = np.empty(_MEAN_MAX_SAMPLES)
+        done = 0
+        while done < _MEAN_MAX_SAMPLES:
+            rows = min(rows_per_chunk, _MEAN_MAX_SAMPLES - done)
+            draws = self.leaf.sample_many(rng, rows * self.fanout)
+            maxima[done : done + rows] = draws.reshape(rows, self.fanout).max(
+                axis=1
+            )
+            done += rows
+        return float(maxima.mean())
 
     def mean(self) -> float:
         # ``mean()`` sits under ``mean_service_time()`` in the hot
@@ -104,4 +127,11 @@ def fanout_for_leaf_budget(
         raise ValueError("quantile must be in (0, 1)")
     if not 0 < target_violation < 1:
         raise ValueError("target must be in (0, 1)")
-    return max(1, int(math.log(1.0 - target_violation) / math.log(leaf_quantile)))
+    # The exact answer is floor(log(1-target)/log(q)), but when
+    # 1 - q**n == target exactly the float ratio can land one ulp below
+    # the integer n and truncate to n-1.  The epsilon guard absorbs the
+    # log/division rounding without ever admitting the next integer: a
+    # genuinely over-budget fan-out sits at least ~1/n below, which is
+    # orders of magnitude larger than 1e-9 for any practical fan-out.
+    ratio = math.log(1.0 - target_violation) / math.log(leaf_quantile)
+    return max(1, math.floor(ratio + 1e-9))

@@ -20,6 +20,14 @@ Invariant catalogue
     * utilization ~= effective rho (``lambda * E[S]``) within the same
       statistical tolerance
 
+:class:`~repro.cluster.sim.ClusterResult` (and cluster cells)
+    * every per-server ``QueueResult`` passes its own checks, with the
+      rate-noise allowance scaled by the arrival process's count
+      dispersion (bursty MMPP windows wander further than Poisson)
+    * cluster-wide Little's law over the mid-tier fork-join sojourns
+    * work conservation summed over servers: total busy time equals the
+      offered leaf work (capped at N server-equivalents) within CI
+
 :class:`~repro.harness.measure.CoreMeasurement`
     * IPCs bounded by issue width (master <= ``width``; filler/lender by
       the 8-way HSMT datapath), saturated IPC <= compute IPC
@@ -233,10 +241,18 @@ def check(result: Any, subject: str = "") -> list[Violation]:
     cells (checked per cell *and* against the cross-cell grid
     invariants).
     """
+    from repro.cluster.experiment import ClusterCellResult
+    from repro.cluster.sim import ClusterResult
     from repro.harness.experiment import CellResult
     from repro.harness.measure import CoreMeasurement
     from repro.queueing.mg1 import QueueResult
 
+    if isinstance(result, ClusterResult):
+        return check_cluster_result(result, subject=subject or "cluster")
+    if isinstance(result, ClusterCellResult):
+        return check_cluster_cell(
+            result, subject=subject or _cluster_cell_subject(result)
+        )
     if isinstance(result, QueueResult):
         return check_queue_result(result, subject=subject or "QueueResult")
     if isinstance(result, CoreMeasurement):
@@ -266,8 +282,16 @@ def _cell_subject(cell) -> str:
 # ----------------------------------------------------------------------
 
 
-def check_queue_result(result, subject: str = "QueueResult") -> list[Violation]:
-    """Structural and conservation invariants of one M/G/1 run."""
+def check_queue_result(
+    result, subject: str = "QueueResult", rate_slack: float | None = None
+) -> list[Violation]:
+    """Structural and conservation invariants of one M/G/1 run.
+
+    ``rate_slack`` overrides the relative realized-vs-offered rate
+    allowance (default ``RATE_SLACK_SIGMAS / sqrt(n)``, the Poisson
+    level); cluster validation passes a dispersion-scaled value for
+    bursty arrival processes.
+    """
     out: list[Violation] = []
 
     def bad(invariant, message, observed=None, expected=None):
@@ -331,11 +355,13 @@ def check_queue_result(result, subject: str = "QueueResult") -> list[Violation]:
             observed=utilization,
         )
 
-    out.extend(_check_queue_conservation(result, subject))
+    out.extend(_check_queue_conservation(result, subject, rate_slack))
     return out
 
 
-def _check_queue_conservation(result, subject: str) -> list[Violation]:
+def _check_queue_conservation(
+    result, subject: str, rate_slack: float | None = None
+) -> list[Violation]:
     """Little's law and utilization ~= effective rho, CI-toleranced.
 
     Both compare a realized quantity against the *offered* arrival rate,
@@ -350,7 +376,9 @@ def _check_queue_conservation(result, subject: str) -> list[Violation]:
     rate = result.arrival_rate
     if rate <= 0 or n < MIN_STOCHASTIC_SAMPLES or result.duration <= 0:
         return out
-    rate_noise = RATE_SLACK_SIGMAS / math.sqrt(n)
+    rate_noise = (
+        rate_slack if rate_slack is not None else RATE_SLACK_SIGMAS / math.sqrt(n)
+    )
     batches = min(20, max(2, n // 50))
 
     # Little's law: L (time-average jobs in system, by the area identity
@@ -390,6 +418,218 @@ def _check_queue_conservation(result, subject: str) -> list[Violation]:
                 observed=result.utilization,
                 expected=expected_util,
             )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# ClusterResult (per-server + cluster-wide conservation)
+# ----------------------------------------------------------------------
+
+
+def check_cluster_result(result, subject: str = "cluster") -> list[Violation]:
+    """Per-server queue invariants plus cluster-wide conservation laws.
+
+    * every per-server :class:`~repro.queueing.mg1.QueueResult` passes
+      its own structural and conservation checks, with the rate-noise
+      allowance scaled by the arrival process's count dispersion (bursty
+      MMPP windows legitimately wander further from the offered rate
+      than Poisson ones);
+    * cluster-wide Little's law on the mid-tier: the time-average number
+      of in-flight requests (area identity over max-leaf sojourns)
+      equals ``lambda_mid * W`` within the batch-means CI;
+    * work conservation summed over servers: total busy time over the
+      window equals ``lambda_mid * fanout * E[S]`` server-equivalents
+      (capped at N), within pooled CI + rate noise.
+    """
+    from repro.queueing.stats import batch_means_mean
+
+    out: list[Violation] = []
+
+    def bad(invariant, message, observed=None, expected=None):
+        out.append(Violation(invariant, subject, message, observed, expected))
+
+    if not 1 <= result.fanout <= result.n_servers:
+        bad(
+            "fanout-range",
+            "fan-out outside [1, n_servers]",
+            observed=float(result.fanout),
+            expected=float(result.n_servers),
+        )
+    for name, value in (
+        ("duration", result.duration),
+        ("arrival_rate", result.arrival_rate),
+        ("arrival_dispersion", result.arrival_dispersion),
+    ):
+        if not math.isfinite(value):
+            bad("finite", f"{name} is not finite", observed=value)
+    if out:
+        return out
+    if result.duration <= 0:
+        bad("window", "duration must be positive", observed=result.duration)
+        return out
+    if result.arrival_dispersion < 1.0 - 1e-9:
+        bad(
+            "dispersion-ge-1",
+            "arrival count dispersion below the Poisson floor",
+            observed=result.arrival_dispersion,
+            expected=1.0,
+        )
+    sojourn = result.sojourn_times
+    if sojourn.size and not np.isfinite(sojourn).all():
+        bad("finite", "sojourn_times contains non-finite entries")
+        return out
+    if sojourn.size and sojourn.min() < 0:
+        bad(
+            "non-negative",
+            "negative mid-tier sojourn",
+            observed=float(sojourn.min()),
+            expected=0.0,
+        )
+
+    dispersion = max(result.arrival_dispersion, 1.0)
+    for i, server in enumerate(result.servers):
+        n_i = server.num_requests
+        slack = (
+            RATE_SLACK_SIGMAS * math.sqrt(dispersion / n_i) if n_i else None
+        )
+        if server.duration != result.duration:
+            bad(
+                "shared-window",
+                f"server{i} reports a different window duration",
+                observed=server.duration,
+                expected=result.duration,
+            )
+        out.extend(
+            check_queue_result(
+                server, subject=f"{subject}/server{i}", rate_slack=slack
+            )
+        )
+
+    n = result.num_requests
+    rate = result.arrival_rate
+    if rate <= 0 or n < MIN_STOCHASTIC_SAMPLES:
+        return out
+    rate_noise = RATE_SLACK_SIGMAS * math.sqrt(dispersion / n)
+
+    # Cluster-wide Little's law over the mid-tier fork-join sojourns.
+    batches = min(20, max(2, n // 50))
+    w_est = batch_means_mean(sojourn, batches=batches)
+    l_observed = float(sojourn.sum()) / result.duration
+    l_predicted = rate * w_est.value
+    tolerance = rate * w_est.half_width + l_predicted * rate_noise + 1e-12
+    if abs(l_observed - l_predicted) > tolerance:
+        bad(
+            "littles-law-cluster",
+            "cluster-wide time-average occupancy deviates from"
+            " lambda * W beyond the batch-means CI",
+            observed=l_observed,
+            expected=l_predicted,
+        )
+
+    # Work conservation summed over servers: the cluster as a whole must
+    # absorb the offered leaf work.
+    leaf_counts = [s.num_requests for s in result.servers]
+    total_leaves = sum(leaf_counts)
+    if total_leaves >= MIN_STOCHASTIC_SAMPLES:
+        pooled = np.concatenate(
+            [s.service_times for s in result.servers if s.num_requests]
+        )
+        s_batches = min(20, max(2, total_leaves // 50))
+        s_est = batch_means_mean(pooled, batches=s_batches)
+        leaf_rate = rate * result.fanout
+        expected_busy = min(leaf_rate * s_est.value, float(result.n_servers))
+        observed_busy = (
+            sum(s.busy_time for s in result.servers) / result.duration
+        )
+        leaf_noise = RATE_SLACK_SIGMAS * math.sqrt(dispersion / total_leaves)
+        tolerance = (
+            leaf_rate * s_est.half_width
+            + expected_busy * leaf_noise
+            + 0.005 * result.n_servers
+        )
+        if abs(observed_busy - expected_busy) > tolerance:
+            bad(
+                "work-conservation-cluster",
+                "summed busy time deviates from the offered leaf work",
+                observed=observed_busy,
+                expected=expected_busy,
+            )
+    return out
+
+
+def _cluster_cell_subject(cell) -> str:
+    return (
+        f"cluster:{cell.design_name}/{cell.workload_name}@{cell.load:g}"
+        f"/{cell.balancer}x{cell.n_servers}f{cell.fanout}"
+    )
+
+
+def check_cluster_cell(cell, subject: str = "") -> list[Violation]:
+    """Range/positivity/ordering invariants of one cluster cell."""
+    subject = subject or _cluster_cell_subject(cell)
+    out: list[Violation] = []
+
+    def bad(invariant, message, observed=None, expected=None):
+        out.append(Violation(invariant, subject, message, observed, expected))
+
+    positive_finite = {
+        "p99_us": cell.p99_us,
+        "p999_us": cell.p999_us,
+        "total_power_w": cell.total_power_w,
+        "requests_per_watt": cell.requests_per_watt,
+    }
+    for name, value in positive_finite.items():
+        if not math.isfinite(value) or value <= 0:
+            bad(
+                "positive-finite",
+                f"{name} must be positive and finite",
+                observed=value,
+            )
+    if out:
+        return out
+    if not 0.0 < cell.load < 1.0:
+        bad("load-range", "load outside (0, 1)", observed=cell.load)
+    if cell.n_servers < 1 or not 1 <= cell.fanout <= cell.n_servers:
+        bad(
+            "fanout-range",
+            "fan-out outside [1, n_servers]",
+            observed=float(cell.fanout),
+            expected=float(cell.n_servers),
+        )
+    if cell.p999_us < cell.p99_us * (1 - 1e-9):
+        bad(
+            "tail-ordering",
+            "p99.9 below p99",
+            observed=cell.p999_us,
+            expected=cell.p99_us,
+        )
+    for name, value in (
+        ("mean_utilization", cell.mean_utilization),
+        ("min_utilization", cell.min_utilization),
+        ("max_utilization", cell.max_utilization),
+    ):
+        if not 0.0 <= value <= 1.0 + 1e-9:
+            bad(
+                "utilization-range",
+                f"{name} outside [0, 1]",
+                observed=value,
+            )
+    if not (
+        cell.min_utilization - 1e-9
+        <= cell.mean_utilization
+        <= cell.max_utilization + 1e-9
+    ):
+        bad(
+            "utilization-ordering",
+            "mean utilization outside [min, max]",
+            observed=cell.mean_utilization,
+        )
+    if cell.utilization_std < 0 or not math.isfinite(cell.utilization_std):
+        bad(
+            "non-negative",
+            "utilization spread must be non-negative and finite",
+            observed=cell.utilization_std,
         )
     return out
 
@@ -631,6 +871,8 @@ __all__ = [
     "Violation",
     "check",
     "check_cell",
+    "check_cluster_cell",
+    "check_cluster_result",
     "check_core_measurement",
     "check_grid",
     "check_queue_result",

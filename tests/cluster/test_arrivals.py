@@ -1,0 +1,122 @@
+"""Open-loop arrival processes: determinism, reduction contracts,
+realized rates, and count dispersion."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.arrivals import (
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+from repro.common.rng import SeedSequenceFactory
+
+
+def epochs_for(process, seed=0, n=20_000):
+    return process.epochs(SeedSequenceFactory(seed), n)
+
+
+PROCESSES = {
+    "poisson": lambda: PoissonArrivals(1e5),
+    "mmpp": lambda: MMPPArrivals.bursty(1e5),
+    "diurnal": lambda: DiurnalArrivals(1e5, 0.5, 0.05),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROCESSES))
+def test_epochs_ascending_and_deterministic(name):
+    process = PROCESSES[name]()
+    a = epochs_for(process, seed=7)
+    b = epochs_for(process, seed=7)
+    c = epochs_for(process, seed=8)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+    assert np.all(np.diff(a) >= 0)
+    assert a[0] > 0
+
+
+@pytest.mark.parametrize("name", sorted(PROCESSES))
+def test_realized_rate_near_offered(name):
+    process = PROCESSES[name]()
+    n = 50_000
+    eps = epochs_for(process, n=n)
+    realized = n / eps[-1]
+    # Slack scales with the count dispersion, as in validation.
+    noise = 6.0 * math.sqrt(process.count_dispersion(n) / n)
+    assert realized == pytest.approx(process.rate(), rel=max(3 * noise, 0.02))
+
+
+def test_mmpp_equal_rates_reduces_to_poisson_bitwise():
+    """An MMPP whose phases share one rate accepts every candidate and
+    consumes no modulation draw: epochs are bit-identical to Poisson."""
+    rate = 2.5e5
+    degenerate = MMPPArrivals(rates=(rate, rate), switch_rates=(10.0, 10.0))
+    poisson = PoissonArrivals(rate)
+    assert np.array_equal(
+        epochs_for(degenerate, seed=3), epochs_for(poisson, seed=3)
+    )
+    assert degenerate.count_dispersion(10_000) == pytest.approx(1.0)
+
+
+def test_diurnal_zero_amplitude_reduces_to_poisson_bitwise():
+    rate = 2.5e5
+    flat = DiurnalArrivals(rate, 0.0, 1.0)
+    assert np.array_equal(
+        epochs_for(flat, seed=3), epochs_for(PoissonArrivals(rate), seed=3)
+    )
+    assert flat.count_dispersion(10_000) == 1.0
+
+
+def test_mmpp_bursty_profile_and_dispersion():
+    """bursty() hits the requested long-run mean, and the asymptotic
+    index of dispersion matches the closed form (73 for the default
+    ratio-4, 200-arrival-dwell profile)."""
+    process = MMPPArrivals.bursty(1e5, burst_ratio=4.0, mean_burst_arrivals=200.0)
+    assert process.rate() == pytest.approx(1e5)
+    assert process.rates[1] == pytest.approx(4.0 * process.rates[0])
+    # Symmetric dwells: pi0 = pi1 = 1/2, quiet = 2R/5, burst = 8R/5,
+    # s01 + s10 = R/100 => IDC = 1 + 0.5 * (6R/5)^2 / (R * R/100) = 73.
+    assert process.count_dispersion(10_000) == pytest.approx(73.0)
+
+
+def test_mmpp_is_actually_burstier_than_poisson():
+    """Realized inter-arrival CV^2 well above 1 for the bursty profile."""
+    gaps = np.diff(epochs_for(MMPPArrivals.bursty(1e5), n=100_000))
+    cv2 = gaps.var() / gaps.mean() ** 2
+    assert cv2 > 1.3
+
+
+def test_diurnal_rate_tracks_the_sinusoid():
+    """Arrival counts in the peak half-period exceed the trough's."""
+    period = 0.02
+    process = DiurnalArrivals(1e5, 0.8, period)
+    eps = epochs_for(process, n=50_000)
+    phase = np.mod(eps, period) / period
+    peak = np.count_nonzero(phase < 0.5)  # sin > 0 half
+    trough = np.count_nonzero(phase >= 0.5)
+    assert peak > 1.5 * trough
+
+
+def test_dispersion_floor():
+    for name in sorted(PROCESSES):
+        assert PROCESSES[name]().count_dispersion(1000) >= 1.0
+
+
+@pytest.mark.parametrize(
+    "build",
+    [
+        lambda: PoissonArrivals(0.0),
+        lambda: PoissonArrivals(-1.0),
+        lambda: MMPPArrivals(rates=(1.0, -1.0), switch_rates=(1.0, 1.0)),
+        lambda: MMPPArrivals(rates=(1.0, 2.0), switch_rates=(0.0, 1.0)),
+        lambda: MMPPArrivals.bursty(1e5, burst_ratio=0.5),
+        lambda: DiurnalArrivals(1e5, 1.0, 1.0),
+        lambda: DiurnalArrivals(1e5, -0.1, 1.0),
+        lambda: DiurnalArrivals(1e5, 0.5, 0.0),
+    ],
+)
+def test_invalid_parameters_raise(build):
+    with pytest.raises(ValueError):
+        build()

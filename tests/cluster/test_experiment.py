@@ -1,0 +1,137 @@
+"""Cluster experiment cells: caching, sweep determinism, validation."""
+
+import dataclasses
+
+import pytest
+
+import repro.cluster.experiment as cluster_experiment
+from repro import validate
+from repro.cluster.arrivals import (
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+from repro.cluster.experiment import (
+    ClusterConfig,
+    arrival_process_for,
+    run_cluster_cell,
+    run_cluster_sweep,
+)
+from repro.harness import cache
+from repro.harness.fidelity import FAST
+from repro.harness.parallel import GridRunStats
+from repro.workloads.microservices import wordstem
+
+SMALL = ClusterConfig(
+    n_servers=4, fanout=2, balancer="random", num_requests=6_000, warmup=600
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_l1():
+    cluster_experiment._CLUSTER_CACHE.clear()
+    yield
+    cluster_experiment._CLUSTER_CACHE.clear()
+
+
+@pytest.fixture()
+def workload():
+    return wordstem()
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="unknown balancer"):
+        ClusterConfig(balancer="lru")
+    with pytest.raises(ValueError, match="unknown arrival"):
+        ClusterConfig(arrivals="pareto")
+
+
+def test_requests_default_to_fidelity():
+    assert ClusterConfig().requests_for(FAST) == (
+        FAST.queue_requests,
+        FAST.queue_warmup,
+    )
+    assert SMALL.requests_for(FAST) == (6_000, 600)
+
+
+def test_arrival_process_factory():
+    assert isinstance(
+        arrival_process_for(ClusterConfig(), 1e5, 1000), PoissonArrivals
+    )
+    mmpp = arrival_process_for(ClusterConfig(arrivals="mmpp"), 1e5, 1000)
+    assert isinstance(mmpp, MMPPArrivals)
+    assert mmpp.rate() == pytest.approx(1e5)
+    diurnal = arrival_process_for(
+        ClusterConfig(arrivals="diurnal", diurnal_periods=8.0), 1e5, 1000
+    )
+    assert isinstance(diurnal, DiurnalArrivals)
+    # One run spans diurnal_periods full periods.
+    assert diurnal.period_s == pytest.approx((1000 / 1e5) / 8.0)
+
+
+def test_cell_passes_strict_validation(workload):
+    cell = run_cluster_cell("duplexity", workload, 0.6, SMALL)
+    assert validate.check(cell) == []
+    assert cell.design_name == "duplexity"
+    assert cell.n_servers == 4 and cell.fanout == 2
+    assert cell.p999_us >= cell.p99_us > 0
+    assert 0 < cell.mean_utilization < 1
+    assert cell.requests_per_watt > 0
+
+
+def test_load_bounds(workload):
+    with pytest.raises(ValueError, match="load"):
+        run_cluster_cell("duplexity", workload, 1.5, SMALL)
+
+
+def test_l1_cache_returns_identical_cell(workload):
+    a = run_cluster_cell("duplexity", workload, 0.5, SMALL)
+    b = run_cluster_cell("duplexity", workload, 0.5, SMALL)
+    assert a == b
+
+
+def test_l2_round_trip(workload, tmp_path):
+    previous = cache.current_config()
+    cache.configure(enabled=True, root=tmp_path)
+    try:
+        a = run_cluster_cell("duplexity", workload, 0.5, SMALL)
+        cluster_experiment._CLUSTER_CACHE.clear()
+        b = run_cluster_cell("duplexity", workload, 0.5, SMALL)
+    finally:
+        cache.configure(**previous)
+    assert a == b
+
+
+def test_distinct_configs_do_not_alias(workload):
+    a = run_cluster_cell("duplexity", workload, 0.5, SMALL)
+    b = run_cluster_cell(
+        "duplexity", workload, 0.5, dataclasses.replace(SMALL, balancer="jsq")
+    )
+    assert a != b
+
+
+def test_sweep_pooled_equals_serial(workload):
+    loads = (0.3, 0.5, 0.7)
+    serial = run_cluster_sweep("duplexity", workload, loads, SMALL, workers=1)
+    cluster_experiment._CLUSTER_CACHE.clear()
+    stats = GridRunStats()
+    pooled = run_cluster_sweep(
+        "duplexity", workload, loads, SMALL, workers=3, stats=stats
+    )
+    assert pooled == serial
+    assert [c.load for c in serial] == list(loads)
+    assert stats.cells == 3
+    assert stats.wall_s > 0
+
+
+def test_saturating_load_is_clamped(workload):
+    """A load whose inflated rho would exceed SATURATION_RHO still
+    completes with a finite tail (the offered rate is clamped, exactly
+    like the single-server tail path)."""
+    cell = run_cluster_cell(
+        "duplexity",
+        workload,
+        0.99,
+        dataclasses.replace(SMALL, num_requests=3_000, warmup=300),
+    )
+    assert validate.check(cell) == []

@@ -79,3 +79,70 @@ def write_golden(payload: dict | None = None) -> Path:
 
 def load_golden() -> dict:
     return json.loads(GOLDEN_PATH.read_text())
+
+
+# ----------------------------------------------------------------------
+# Cluster golden: one (design, workload, load) point across topologies
+# ----------------------------------------------------------------------
+
+CLUSTER_GOLDEN_PATH = Path(__file__).parent / "cluster_small.json"
+
+#: Representative topologies at one load point: the vectorized executor
+#: (random), the event-loop executor (jsq), and bursty arrivals.
+GOLDEN_CLUSTER_LOAD = 0.6
+
+
+def golden_cluster_configs():
+    from repro.cluster.experiment import ClusterConfig
+
+    return (
+        ClusterConfig(
+            n_servers=4, fanout=2, balancer="random",
+            num_requests=4000, warmup=400,
+        ),
+        ClusterConfig(
+            n_servers=4, fanout=2, balancer="jsq",
+            num_requests=4000, warmup=400,
+        ),
+        ClusterConfig(
+            n_servers=4, fanout=2, balancer="random", arrivals="mmpp",
+            num_requests=4000, warmup=400,
+        ),
+    )
+
+
+def compute_cluster_cells():
+    from repro.cluster.experiment import run_cluster_cell
+    from repro.workloads.microservices import wordstem
+
+    return [
+        run_cluster_cell(
+            "duplexity", wordstem(), GOLDEN_CLUSTER_LOAD, config,
+            GOLDEN_FIDELITY,
+        )
+        for config in golden_cluster_configs()
+    ]
+
+
+def build_cluster_payload() -> dict:
+    return {
+        "schema": 1,
+        "fidelity": dataclasses.asdict(GOLDEN_FIDELITY),
+        "load": GOLDEN_CLUSTER_LOAD,
+        "configs": [
+            dataclasses.asdict(config) for config in golden_cluster_configs()
+        ],
+        "cells": [dataclasses.asdict(cell) for cell in compute_cluster_cells()],
+    }
+
+
+def write_cluster_golden(payload: dict | None = None) -> Path:
+    payload = payload if payload is not None else build_cluster_payload()
+    CLUSTER_GOLDEN_PATH.write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    )
+    return CLUSTER_GOLDEN_PATH
+
+
+def load_cluster_golden() -> dict:
+    return json.loads(CLUSTER_GOLDEN_PATH.read_text())

@@ -29,9 +29,11 @@ def main() -> int:
     # conservation-law or range violation aborts before the file is
     # written.
     validate.set_mode(validate.Mode.STRICT)
-    from tests.golden import write_golden
+    from tests.golden import write_cluster_golden, write_golden
 
     path = write_golden()
+    print(f"wrote {path}")
+    path = write_cluster_golden()
     print(f"wrote {path}")
     return 0
 

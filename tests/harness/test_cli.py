@@ -63,3 +63,39 @@ def test_cell_runs(capsys):
         assert "tail_99_us" in out
     finally:
         cli.FIDELITIES["fast"] = original
+
+
+def test_cluster_usage_error():
+    with pytest.raises(SystemExit):
+        main(["cluster", "duplexity", "wordstem"])
+
+
+def test_cluster_rejects_bad_load():
+    with pytest.raises(SystemExit, match="numeric"):
+        main(["cluster", "duplexity", "wordstem", "high"])
+
+
+def test_cluster_runs(capsys):
+    from tests.harness.test_measure import TINY
+    import repro.cli as cli
+
+    original = cli.FIDELITIES["fast"]
+    cli.FIDELITIES["fast"] = TINY
+    try:
+        assert (
+            main(
+                [
+                    "cluster", "duplexity", "wordstem", "0.3", "0.6",
+                    "--servers", "4", "--fanout", "2", "--balancer", "jsq",
+                    "--arrivals", "mmpp", "--cluster-requests", "4000",
+                    "--cluster-warmup", "400", "--stats",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Cluster: duplexity/WordStem x4 fanout 2 jsq/mmpp" in out
+        assert "p99.9 (us)" in out
+        assert "req/W" in out
+    finally:
+        cli.FIDELITIES["fast"] = original

@@ -10,11 +10,19 @@ import math
 
 import pytest
 
+from repro.cluster.experiment import clear_cluster_cache
 from repro.harness import cache
 from repro.harness.experiment import clear_tail_cache
 from repro.harness.measure import clear_cache
 from repro.uarch import fastpath
-from tests.golden import GOLDEN_PATH, build_payload, load_golden
+from tests.golden import (
+    CLUSTER_GOLDEN_PATH,
+    GOLDEN_PATH,
+    build_cluster_payload,
+    build_payload,
+    load_cluster_golden,
+    load_golden,
+)
 
 #: Values are deterministic on one platform; the tolerance only absorbs
 #: cross-platform/numpy floating-point wiggle, not modelling changes.
@@ -122,3 +130,64 @@ def test_comparator_tolerates_fp_wiggle():
         for c in golden["cells"]
     ]
     assert not compare_cells(wiggled, golden["cells"])
+
+
+# ----------------------------------------------------------------------
+# Cluster golden (same comparator, same regen script)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cluster_payload():
+    clear_cache()
+    clear_tail_cache()
+    clear_cluster_cache()
+    return build_cluster_payload()
+
+
+def test_cluster_golden_file_exists():
+    assert CLUSTER_GOLDEN_PATH.exists(), (
+        "missing cluster golden snapshot; generate it with "
+        "`PYTHONPATH=src python tests/golden/regen.py`"
+    )
+
+
+def test_cluster_golden_config_unchanged(cluster_payload):
+    golden = load_cluster_golden()
+    for key in ("schema", "fidelity", "load", "configs"):
+        assert cluster_payload[key] == golden[key], f"cluster golden {key} drifted"
+
+
+def test_cluster_golden_cells_match(cluster_payload):
+    problems = compare_cells(
+        cluster_payload["cells"], load_cluster_golden()["cells"]
+    )
+    assert not problems, _REGEN_HINT + "\n" + "\n".join(problems[:20])
+
+
+@pytest.mark.skipif(
+    not fastpath.is_available(), reason="no C compiler for the fastpath kernel"
+)
+def test_cluster_golden_byte_identical_across_fastpath_modes():
+    """The epoch-Lindley kernel is byte-transparent for the cluster
+    payload too (vectorized servers compiled vs scalar)."""
+    previous = cache.current_config()
+    try:
+        cache.configure(enabled=False)
+        fastpath.set_mode("off")
+        clear_cache()
+        clear_tail_cache()
+        clear_cluster_cache()
+        plain = json.dumps(build_cluster_payload(), sort_keys=True)
+        fastpath.set_mode("on")
+        clear_cache()
+        clear_tail_cache()
+        clear_cluster_cache()
+        compiled = json.dumps(build_cluster_payload(), sort_keys=True)
+    finally:
+        fastpath.set_mode(None)
+        clear_cache()
+        clear_tail_cache()
+        clear_cluster_cache()
+        cache.configure(**previous)
+    assert compiled == plain

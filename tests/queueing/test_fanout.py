@@ -5,6 +5,8 @@ import pytest
 
 from repro.common.distributions import Deterministic, Exponential
 from repro.queueing.fanout import (
+    _MEAN_CHUNK_DRAWS,
+    _MEAN_MAX_SAMPLES,
     FanOutMax,
     expected_max_exponential,
     fanout_for_leaf_budget,
@@ -149,3 +151,66 @@ class TestTailAmplification:
             tail_amplification(0.9, 0)
         with pytest.raises(ValueError):
             fanout_for_leaf_budget(1.0, 0.1)
+
+
+class TestFanoutBudgetExactBoundaries:
+    """Regression: ``int()`` truncated a float ratio that can land one
+    ulp below an exact integer, returning n-1 when ``1 - q**n == target``
+    exactly."""
+
+    @pytest.mark.parametrize(
+        "quantile", [0.3, 0.5, 0.9, 0.95, 0.99, 0.999, 0.9999]
+    )
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 10, 50, 100, 1000])
+    def test_exact_boundary_returns_n(self, quantile, n):
+        # Construct the target to sit exactly on the fan-out-n boundary:
+        # the float 1 - q**n.  The budget at that target is exactly n.
+        target = tail_amplification(quantile, n)
+        if not 0 < target < 1:
+            pytest.skip("target underflowed out of the open interval")
+        assert fanout_for_leaf_budget(quantile, target) == n
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_budget_is_largest_feasible(self, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(200):
+            quantile = float(rng.uniform(0.05, 0.9999))
+            target = float(rng.uniform(1e-6, 0.999))
+            fanout = fanout_for_leaf_budget(quantile, target)
+            assert fanout >= 1
+            if tail_amplification(quantile, 1) <= target:
+                # Not clamped: the result meets the budget and is maximal.
+                assert tail_amplification(quantile, fanout) <= target
+                assert tail_amplification(quantile, fanout + 1) > target
+
+
+class TestChunkedMeanEstimate:
+    """Regression: the Monte-Carlo mean materialized ``4096 * fanout``
+    draws in one buffer (~320 MB at fan-out 10k); the accumulation is now
+    chunked with the estimate bit-identical (same seed, same draw order)."""
+
+    # Smallest fan-outs that overflow one chunk: chunking engages above
+    # _MEAN_CHUNK_DRAWS / _MEAN_MAX_SAMPLES = 256 leaves.
+    @pytest.mark.parametrize("fanout", [300, 1000])
+    def test_bit_identical_to_single_bulk_fill(self, fanout):
+        rng = np.random.default_rng(0xFA)
+        draws = Exponential(1.0).sample_many(rng, _MEAN_MAX_SAMPLES * fanout)
+        bulk = float(
+            draws.reshape(_MEAN_MAX_SAMPLES, fanout).max(axis=1).mean()
+        )
+        assert FanOutMax(Exponential(1.0), fanout=fanout).mean() == bulk
+
+    def test_per_call_draws_bounded(self, monkeypatch):
+        calls = []
+        original = Exponential.sample_many
+
+        def spy(self, rng, n):
+            calls.append(n)
+            return original(self, rng, n)
+
+        # Patch the class, not an instance: is_stream_safe checks exact
+        # types, and the chunked path only serves stream-safe leaves.
+        monkeypatch.setattr(Exponential, "sample_many", spy)
+        FanOutMax(Exponential(1.0), fanout=10_000).mean()
+        assert max(calls) <= _MEAN_CHUNK_DRAWS
+        assert sum(calls) == _MEAN_MAX_SAMPLES * 10_000

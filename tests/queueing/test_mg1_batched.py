@@ -222,6 +222,41 @@ def test_window_edge_cases_identical(n, warmup):
     assert_identical(ref, fast)
 
 
+class TestIdlePeriodWindowAgreement:
+    """Idle-period retention (`n > warmup`) at the smallest windows,
+    where an off-by-one in either path would surface first."""
+
+    @pytest.mark.parametrize("warmup", [0, 1])
+    def test_minimal_warmup_idles_identical(self, warmup):
+        ref, fast = run_both(
+            lambda: MG1Simulator.at_load(0.3, Exponential(2e-6), seed=7),
+            5_000,
+            warmup,
+        )
+        assert_identical(ref, fast)
+        # Low load: the window genuinely contains idle periods, so the
+        # retention rule was exercised, not vacuously satisfied.
+        assert ref.idle_periods.size > 0
+        # Arrival `warmup` itself is excluded (strict `n > warmup`), so
+        # at most one idle period per retained arrival after it.
+        assert ref.idle_periods.size <= 5_000 - warmup - 1
+
+    def test_first_retained_arrival_hits_idle_server(self):
+        """A window whose first retained arrival finds the server idle:
+        its wait is zero and the idle gap before it must be dropped by
+        both paths (it belongs to arrival `warmup`, not `warmup + 1`)."""
+        warmup = 50
+        ref, fast = run_both(
+            lambda: MG1Simulator.at_load(0.05, Exponential(2e-6), seed=1),
+            2_000,
+            warmup,
+        )
+        assert_identical(ref, fast)
+        # rho = 0.05 => the first retained arrival found an empty queue.
+        assert ref.wait_times[0] == 0.0
+        assert ref.idle_periods.size > 0
+
+
 def test_profiled_run_identical():
     """prof.record_mg1_run sees identical waits/services/penalized arrays
     from either path: full snapshot equality."""
