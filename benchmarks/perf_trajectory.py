@@ -9,12 +9,17 @@ speedup, cache hit rate and simulated-cycle volume to
 artifact, so the simulator's performance trajectory is tracked across
 commits.
 
-One threshold *does* fail the build: the compiled cold sweep is gated
-against ``benchmarks/perf_baseline.json`` — a regression of more than
-25% over the committed baseline exits non-zero, so the fast path cannot
-silently rot back toward reference speed.  ``--no-gate`` skips the gate
-(e.g. when profiling on a deliberately slow machine); the gate also
-skips itself when no C compiler is available.
+Thresholds that *do* fail the build, all against
+``benchmarks/perf_baseline.json``: the compiled cold sweep and the
+pinned cluster sweep each gate at 25% over their committed baselines, so
+the fast path cannot silently rot back toward reference speed; and the
+cluster sweep with tail telemetry *disabled* gates at 3% over its own
+baseline, so :mod:`repro.cluster.tailobs` stays near-free when off.
+The benchmark also re-runs the cluster sweep with telemetry *on* and
+fails if the results differ at all — telemetry must never change
+simulation output.  ``--no-gate`` skips the baseline gates (e.g. when
+profiling on a deliberately slow machine); they also skip themselves
+when no C compiler is available.
 
 Usage::
 
@@ -35,6 +40,7 @@ sys.path.insert(
 )
 
 from repro import obs, validate  # noqa: E402
+from repro.cluster import tailobs  # noqa: E402
 from repro.cluster.experiment import (  # noqa: E402
     ClusterConfig,
     clear_cluster_cache,
@@ -80,6 +86,13 @@ BASELINE_PATH = pathlib.Path(__file__).parent / "perf_baseline.json"
 #: The gate fails when the compiled cold sweep exceeds the committed
 #: baseline by more than this factor.
 GATE_HEADROOM = 1.25
+
+#: Telemetry-off cluster gate: with :mod:`repro.cluster.tailobs`
+#: *disabled* (the default), the pinned cluster sweep may exceed its
+#: committed ``cluster_wall_s_tailobs_off`` baseline by at most 3% —
+#: the off path is a single flag check per run, so any per-request cost
+#: leaking onto it shows up far above this line.
+TAILOBS_OFF_HEADROOM = 1.03
 
 
 def _workloads():
@@ -159,7 +172,27 @@ def main(argv: list[str] | None = None) -> int:
             cycles = obs.value("engine.cycles")
 
             # Pinned cluster sweep, on the same (now-warm) measurements.
+            # Telemetry off (the default): this is the wall time the
+            # tailobs off-path gate below protects.
             cluster_cell, cluster_wall, cluster_violations = _cluster_sweep()
+
+            # Same sweep with per-request tail telemetry on.  The disk
+            # layer is bypassed (the off pass warmed it and telemetry
+            # does not change the cache key), so this pass re-simulates;
+            # identical results double as a byte-identity check at the
+            # million-request scale.
+            cache.configure(enabled=False)
+            tailobs.reset()
+            tailobs.enable()
+            try:
+                cluster_cell_on, cluster_wall_on, _ = _cluster_sweep()
+                tailobs_records = sum(
+                    len(run.records) for run in tailobs.snapshot().runs
+                )
+            finally:
+                tailobs.reset()
+            cache.configure(root=tmp, enabled=True)
+            telemetry_identical = cluster_cell_on == cluster_cell
 
             # Warm pass: keep the disk layer, drop the in-memory layers
             # so every cell exercises the disk-cache read path.
@@ -190,6 +223,15 @@ def main(argv: list[str] | None = None) -> int:
             "requests": CLUSTER_CONFIG.num_requests,
             "load": CLUSTER_LOAD,
             "wall_s": round(cluster_wall, 3),
+            "wall_s_tailobs_off": round(cluster_wall, 3),
+            "wall_s_tailobs_on": round(cluster_wall_on, 3),
+            "tailobs_on_overhead": (
+                round(cluster_wall_on / cluster_wall, 3)
+                if cluster_wall > 0
+                else 0.0
+            ),
+            "tailobs_records": tailobs_records,
+            "tailobs_identical_results": telemetry_identical,
             "p999_us": round(cluster_cell.p999_us, 3),
             "p999_rel_err": round(cluster_cell.p999_rel_err, 5),
             "requests_per_watt": round(cluster_cell.requests_per_watt, 1),
@@ -222,6 +264,14 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         failed = True
+    if not telemetry_identical:
+        print(
+            "TAILOBS IDENTITY FAILED: the cluster cell differs with tail"
+            " telemetry on — telemetry must never change simulation"
+            " results",
+            file=sys.stderr,
+        )
+        failed = True
     if failed:
         return 1
 
@@ -249,6 +299,20 @@ def main(argv: list[str] | None = None) -> int:
                 f" {cluster_limit:.3f}s ({cluster_baseline}s baseline x"
                 f" {GATE_HEADROOM}); if the slowdown is intentional, update"
                 f" {BASELINE_PATH.name} and review the diff",
+                file=sys.stderr,
+            )
+            return 1
+    tail_off_baseline = baseline.get("cluster_wall_s_tailobs_off")
+    if tail_off_baseline is not None:
+        tail_off_limit = tail_off_baseline * TAILOBS_OFF_HEADROOM
+        if cluster_wall > tail_off_limit:
+            print(
+                f"TAILOBS OFF-PATH GATE FAILED: the telemetry-off cluster"
+                f" sweep took {cluster_wall:.3f}s, over the gate of"
+                f" {tail_off_limit:.3f}s ({tail_off_baseline}s baseline x"
+                f" {TAILOBS_OFF_HEADROOM}); tail telemetry must stay"
+                " near-free when disabled — if the slowdown is intentional,"
+                f" update {BASELINE_PATH.name} and review the diff",
                 file=sys.stderr,
             )
             return 1

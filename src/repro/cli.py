@@ -44,6 +44,20 @@ stacks.  ``REPRO_PROF=1`` turns the profiler on for any other target
 (totals then appear under ``--stats`` and, with ``--trace``, as
 ``type=profile`` records in the JSONL stream).  Profiling never changes
 simulation results either.
+
+``cluster ... --tail-report`` re-simulates the sweep with the tail
+observability layer (:mod:`repro.cluster.tailobs`) on and appends, per
+run, a tail-attribution table (p99/p99.9 exceedance mass split into
+queueing / service / fan-out straggle / balancer misplacement), SLO
+verdicts for each ``--slo US[:TARGET]`` objective, and the slowest
+recorded requests with their critical-path decomposition.
+``--tail-threshold-us US`` additionally records *every* request over an
+absolute latency; ``--drill`` also turns the profiler on and joins each
+exceedance exemplar to its critical server's M/G/1 waterfall and the
+workload's top-down slot causes.  With ``--trace``, the captured runs
+stream into the JSONL trace as ``type=cluster`` records (counted by
+``repro report``); ``REPRO_TAILOBS=1`` enables in-memory capture for
+any target.  Tail telemetry never changes simulation results either.
 """
 
 from __future__ import annotations
@@ -233,6 +247,42 @@ def main(argv: list[str] | None = None) -> int:
         default=0,
         help="warmup requests dropped (used with --cluster-requests)",
     )
+    cluster_group.add_argument(
+        "--tail-report",
+        action="store_true",
+        help=(
+            "re-simulate with per-request tail telemetry on and print"
+            " the tail-attribution report (bypasses the result caches)"
+        ),
+    )
+    cluster_group.add_argument(
+        "--slo",
+        action="append",
+        metavar="US[:TARGET]",
+        help=(
+            "latency objective in microseconds with an optional target"
+            " quantile (default 0.999), e.g. 800 or 800:0.99; repeatable;"
+            " implies --tail-report"
+        ),
+    )
+    cluster_group.add_argument(
+        "--tail-threshold-us",
+        type=float,
+        metavar="US",
+        help=(
+            "record every request with a sojourn over this many"
+            " microseconds; implies --tail-report"
+        ),
+    )
+    cluster_group.add_argument(
+        "--drill",
+        action="store_true",
+        help=(
+            "cross-layer drill-down: profile the re-simulation and join"
+            " tail exemplars to per-server waterfalls and top-down slot"
+            " causes; implies --tail-report"
+        ),
+    )
     parser.add_argument(
         "--fastpath",
         choices=("auto", "on", "off"),
@@ -261,15 +311,24 @@ def main(argv: list[str] | None = None) -> int:
 
     enabled_obs = _enable_obs(options, target, fidelity, argv)
     enabled_prof = target == "profile" or prof.enable_from_env()
+    enabled_tailobs = _enable_tailobs(options, target)
     try:
         return _run_target(options, target, fidelity)
     finally:
+        from repro.cluster import tailobs
+
         if enabled_prof and prof.is_enabled():
             # REPRO_PROF alongside --trace: stream the profile records
             # into the trace before the closing counters record.
             if obs.trace_path() is not None:
                 prof.export_to_obs(prof.snapshot())
             prof.disable()
+        if enabled_tailobs and tailobs.is_enabled():
+            # Same discipline: the captured cluster runs stream into the
+            # trace as type=cluster records before the counters record.
+            if obs.trace_path() is not None:
+                tailobs.export_to_obs(tailobs.snapshot())
+            tailobs.disable()
         if enabled_obs:
             obs.disable()
 
@@ -286,16 +345,75 @@ def _enable_obs(
     trace_dest = options.trace or os.environ.get("REPRO_TRACE") or None
     if trace_dest:
         obs.reset()
+        extra: dict = {"workers": max(1, options.workers)}
+        if target == "cluster":
+            # Cluster runs are reproducible-by-artifact like grid runs:
+            # the manifest pins the full topology/traffic shape.
+            extra["cluster"] = {
+                "servers": options.servers,
+                "fanout": options.fanout,
+                "balancer": options.balancer,
+                "arrivals": options.arrivals,
+                "requests": options.cluster_requests,
+                "warmup": options.cluster_warmup,
+            }
         manifest = build_manifest(
             target=target,
             fidelity=fidelity,
             argv=list(argv) if argv is not None else sys.argv[1:],
-            extra={"workers": max(1, options.workers)},
+            extra=extra,
         )
         write_manifest(manifest_path_for(trace_dest), manifest)
         obs.enable(trace_path=trace_dest, manifest=manifest)
         return True
     return obs.enable_from_env()
+
+
+def _tail_requested(options, target: str) -> bool:
+    return target == "cluster" and bool(
+        options.tail_report
+        or options.drill
+        or options.slo
+        or options.tail_threshold_us is not None
+    )
+
+
+def _parse_slo(raw: str):
+    """``US[:TARGET]`` -> :class:`repro.cluster.tailobs.SLObjective`."""
+    from repro.cluster.tailobs import SLObjective
+
+    latency, _, quantile = raw.partition(":")
+    try:
+        latency_s = float(latency) * 1e-6
+        target = float(quantile) if quantile else 0.999
+        return SLObjective(latency_s=latency_s, target=target)
+    except ValueError as exc:
+        raise SystemExit(f"bad --slo {raw!r}: {exc}") from None
+
+
+def _enable_tailobs(options, target: str) -> bool:
+    """Turn cluster tail telemetry on if requested.
+
+    The explicit cluster flags win; ``REPRO_TAILOBS=1`` enables
+    in-memory capture for any target.  Returns whether this call
+    enabled capture (and so owns the matching ``disable()``).
+    """
+    from repro.cluster import tailobs
+
+    if _tail_requested(options, target):
+        tailobs.reset()
+        tailobs.enable(
+            tailobs.TailObsConfig(
+                threshold_s=(
+                    options.tail_threshold_us * 1e-6
+                    if options.tail_threshold_us is not None
+                    else None
+                ),
+                slos=tuple(_parse_slo(raw) for raw in options.slo or ()),
+            )
+        )
+        return True
+    return tailobs.enable_from_env()
 
 
 def _run_target(options, target: str, fidelity: Fidelity) -> int:
@@ -368,8 +486,14 @@ def _run_target(options, target: str, fidelity: Fidelity) -> int:
 def _run_cluster(options, fidelity: Fidelity, run_stats: GridRunStats) -> int:
     """Sweep one (design, workload) cluster topology across load points
     and print cluster-level tails, utilization spread, and
-    requests-per-watt."""
-    from repro.cluster.experiment import ClusterConfig, run_cluster_sweep
+    requests-per-watt (plus the tail-attribution report when tail
+    telemetry was requested)."""
+    from repro.cluster import tailobs
+    from repro.cluster.experiment import (
+        ClusterConfig,
+        clear_cluster_cache,
+        run_cluster_sweep,
+    )
 
     if len(options.args) < 3:
         raise SystemExit(
@@ -389,6 +513,25 @@ def _run_cluster(options, fidelity: Fidelity, run_stats: GridRunStats) -> int:
         num_requests=options.cluster_requests,
         warmup=options.cluster_warmup,
     )
+    tail_mode = _tail_requested(options, "cluster")
+    if tail_mode:
+        # A warm cache would leave telemetry with nothing to record
+        # (cached cells never simulate), so — exactly like `profile` —
+        # the disk layer is disabled and the in-memory cluster cache
+        # cleared for this invocation.
+        cache.configure(enabled=False)
+        clear_cluster_cache()
+        if options.drill:
+            # The drill-down also needs core slot profiles and
+            # per-server waterfalls, so the profiler comes on and the
+            # measurement caches are cleared too.
+            from repro.harness.experiment import clear_tail_cache
+            from repro.harness.measure import clear_cache as clear_measure_cache
+
+            clear_measure_cache()
+            clear_tail_cache()
+            prof.reset()
+            prof.enable()
     cells = run_cluster_sweep(
         design,
         workload,
@@ -431,6 +574,19 @@ def _run_cluster(options, fidelity: Fidelity, run_stats: GridRunStats) -> int:
             ),
         )
     )
+    if tail_mode:
+        snap = tailobs.snapshot()
+        if snap.empty:
+            print("tailobs: no cluster runs captured", file=sys.stderr)
+            return 1
+        prof_snap = None
+        if options.drill and prof.is_enabled():
+            prof_snap = prof.snapshot()
+            if obs.trace_path() is not None:
+                prof.export_to_obs(prof_snap)
+            prof.disable()
+        print()
+        print(tailobs.render_tail_report(snap, prof_snap))
     return 0
 
 

@@ -16,6 +16,13 @@ Queue-length ties break uniformly at random (via the dispatch stream),
 never by server index: a deterministic tie-break would systematically
 skew low-index servers and break the per-server symmetry that
 validation's Little's-law check leans on.
+
+Telemetry contract: policies never observe or record telemetry state.
+:mod:`repro.cluster.tailobs` captures dispatch decisions *outside* the
+policy (the event loop copies the chosen indices after ``select``
+returns; queue lengths at dispatch are reconstructed from the run's
+own output), so the dispatch stream's draw sequence — including the
+tie-break draws above — is bit-identical with telemetry on or off.
 """
 
 from __future__ import annotations

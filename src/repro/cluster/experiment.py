@@ -30,6 +30,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro import obs, prof, validate
+from repro.cluster import tailobs
 from repro.cluster.arrivals import (
     ArrivalProcess,
     DiurnalArrivals,
@@ -257,7 +258,10 @@ def run_cluster_cell(
             balancer=config.balancer,
             seed=seed,
         )
-        with prof.context(design=design.name, workload=workload.name):
+        with prof.context(design=design.name, workload=workload.name), \
+                tailobs.context(
+                    design=design.name, workload=workload.name, load=load
+                ):
             result = sim.run(num_requests, warmup=warmup)
         validate.dispatch(
             result,
@@ -323,6 +327,7 @@ def _worker_load(
     obs_config: dict,
     prof_config: dict,
     fastpath_config: dict,
+    tailobs_config: dict,
 ):
     """Pool-worker entry point; same delta-report discipline as
     :func:`repro.harness.parallel._worker_chunk`."""
@@ -332,9 +337,11 @@ def _worker_load(
     obs.configure_worker(obs_config)
     prof.configure_worker(prof_config)
     fastpath.configure_worker(fastpath_config)
+    tailobs.configure_worker(tailobs_config)
     before = disk_cache.stats_snapshot()
     obs_mark = obs.mark()
     prof_mark = prof.mark()
+    tailobs_mark = tailobs.mark()
     cell, wall_s = _evaluate_load(design_name, workload, load, config, fidelity)
     delta = disk_cache.stats_snapshot().since(before)
     return (
@@ -343,6 +350,7 @@ def _worker_load(
         delta,
         obs.delta_since(obs_mark),
         prof.delta_since(prof_mark),
+        tailobs.delta_since(tailobs_mark),
     )
 
 
@@ -423,6 +431,7 @@ def _sweep_pooled(
     obs_config = obs.config_for_worker()
     prof_config = prof.config_for_worker()
     fastpath_config = fastpath.config_for_worker()
+    tailobs_config = tailobs.config_for_worker()
     max_workers = min(workers, len(loads))
     try:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
@@ -438,17 +447,26 @@ def _sweep_pooled(
                     obs_config,
                     prof_config,
                     fastpath_config,
+                    tailobs_config,
                 )
                 for load in loads
             ]
             outcome = []
             for future in futures:
-                cell, wall_s, delta, obs_delta, prof_delta = future.result()
+                (
+                    cell,
+                    wall_s,
+                    delta,
+                    obs_delta,
+                    prof_delta,
+                    tailobs_delta,
+                ) = future.result()
                 outcome.append((cell, wall_s))
                 if stats is not None:
                     stats.disk.merge(delta)
                 obs.merge_delta(obs_delta)
                 prof.merge_delta(prof_delta)
+                tailobs.merge_delta(tailobs_delta)
     except (BrokenProcessPool, pickle.PicklingError, OSError):
         if stats is not None:
             stats.serial_fallbacks += 1

@@ -103,6 +103,36 @@ def cluster_power_w(
     )
 
 
+def slo_exceedances(sojourns: np.ndarray, latency_s: float) -> np.ndarray:
+    """Boolean mask of sojourns strictly past a latency objective."""
+    return np.asarray(sojourns) > latency_s
+
+
+def burn_rate(exceedances: int, requests: int, target: float) -> float:
+    """Error-budget burn: observed exceedance fraction over the budget
+    ``1 - target`` (1.0 = exactly consuming the budget)."""
+    if requests <= 0:
+        return 0.0
+    return (exceedances / requests) / (1.0 - target)
+
+
+def worst_window_exceedances(over: np.ndarray, window: int) -> int:
+    """Max exceedance count in any ``window`` consecutive requests.
+
+    One cumulative sum, so the rolling maximum is O(n) regardless of
+    window size (tailobs calls this per SLO on million-request runs).
+    """
+    over = np.asarray(over)
+    n = int(over.size)
+    window = min(window, n)
+    if window <= 0 or n == 0:
+        return 0
+    counts = np.cumsum(over, dtype=np.int64)
+    rolling = counts[window - 1 :].copy()
+    rolling[1:] -= counts[: n - window]
+    return int(rolling.max())
+
+
 def summarize(result: ClusterResult, total_power_w: float) -> ClusterSummary:
     """Batch-means tails + utilization spread + requests-per-watt."""
     p99 = batch_means_percentile(result.sojourn_times, 0.99)

@@ -52,7 +52,7 @@ from repro import obs
 from repro.cluster.arrivals import ArrivalProcess, PoissonArrivals
 from repro.cluster.balancers import Balancer, get_balancer
 from repro.common.distributions import Distribution
-from repro.common.rng import SeedSequenceFactory
+from repro.common.rng import SeedSequenceFactory, derive_seed
 from repro.queueing.mg1 import (
     DistributionService,
     MG1Simulator,
@@ -302,6 +302,17 @@ class ClusterSimulator:
             obs.add("cluster.runs")
             obs.add("cluster.requests_completed", num_requests - warmup)
             obs.add("cluster.leaf_requests", num_requests)
+            from repro.cluster import tailobs
+
+            if tailobs.is_enabled():
+                tailobs.record_degenerate_run(
+                    result=result,
+                    rate=self.arrivals.rate_per_s,
+                    seed=self.seed,
+                    balancer=self.balancer.name,
+                    arrivals=self.arrivals.describe(),
+                    warmup=warmup,
+                )
             return ClusterResult(
                 sojourn_times=result.sojourn_times,
                 servers=(result,),
@@ -362,7 +373,9 @@ class ClusterSimulator:
             leaf_sojourns[sel] = waits + services
             per_server.append((waits, services, idles, last_departure, w_i))
         sojourns = leaf_sojourns.reshape(num_requests, fanout).max(axis=1)
-        return self._assemble(epochs, sojourns, per_server, warmup, fast_servers)
+        return self._assemble(
+            epochs, sojourns, per_server, warmup, fast_servers, assign
+        )
 
     def _run_event_loop(
         self,
@@ -373,7 +386,16 @@ class ClusterSimulator:
         warmup: int,
     ) -> ClusterResult:
         """Global-order executor for state-dependent balancers."""
+        from repro.cluster import tailobs
+
         n_servers = self.n_servers
+        # Telemetry keeps the dispatch decisions; this is pure recording
+        # outside the balancer, so the dispatch stream is untouched.
+        decisions = (
+            np.empty((num_requests, self.fanout), dtype=np.int64)
+            if assign is None and tailobs.is_enabled()
+            else None
+        )
         rngs = [
             streams.get(f"{SERVER_STREAM_PREFIX}{i}") for i in range(n_servers)
         ]
@@ -401,6 +423,8 @@ class ClusterSimulator:
                 )
             else:
                 chosen = assign[j]
+            if decisions is not None:
+                decisions[j] = chosen
             retained = j >= warmup
             worst = 0.0
             for raw in chosen:
@@ -443,7 +467,14 @@ class ClusterSimulator:
             )
             for i in range(n_servers)
         ]
-        return self._assemble(epochs, sojourns, per_server, warmup, 0)
+        return self._assemble(
+            epochs,
+            sojourns,
+            per_server,
+            warmup,
+            0,
+            assign if assign is not None else decisions,
+        )
 
     def _assemble(
         self,
@@ -452,6 +483,7 @@ class ClusterSimulator:
         per_server: list,
         warmup: int,
         fast_servers: int,
+        assign: np.ndarray | None = None,
     ) -> ClusterResult:
         num_requests = int(epochs.size)
         window_start = float(epochs[warmup])
@@ -487,6 +519,38 @@ class ClusterSimulator:
         obs.add("cluster.leaf_requests", num_requests * self.fanout)
         obs.add("cluster.fastpath_servers", fast_servers)
         obs.add("cluster.scalar_servers", self.n_servers - fast_servers)
+        from repro import prof
+        from repro.cluster import tailobs
+
+        if prof.is_enabled():
+            # Per-server waterfalls tagged with the server index, so
+            # tailobs' cross-layer drill-down can join an exceedance
+            # exemplar to its critical server's queueing decomposition.
+            for i, (waits, services, _, _, w_i) in enumerate(per_server):
+                if w_i < waits.size:
+                    prof.record_mg1_run(
+                        rate=rate_leaf,
+                        waits=waits[w_i:],
+                        services=services[w_i:],
+                        penalized=None,
+                        penalty=0.0,
+                        seed=derive_seed(self.seed, f"cluster-server/{i}"),
+                        server=i,
+                    )
+        if tailobs.is_enabled() and assign is not None:
+            tailobs.record_cluster_run(
+                epochs=epochs,
+                sojourns=sojourns,
+                assign=assign,
+                per_server=[(w, s) for w, s, _, _, _ in per_server],
+                warmup=warmup,
+                fanout=self.fanout,
+                n_servers=self.n_servers,
+                balancer=self.balancer.name,
+                arrivals=self.arrivals.describe(),
+                rate=rate_mid,
+                seed=self.seed,
+            )
         return ClusterResult(
             sojourn_times=sojourns[warmup:],
             servers=tuple(servers),

@@ -1,0 +1,1193 @@
+"""Cluster tail observability: per-request critical-path records, tail
+attribution, and SLO telemetry.
+
+The cluster simulator reports a single p99/p99.9 — this module answers
+*why* a request landed past it.  It rides the :mod:`repro.obs` fast-path
+discipline: **off by default and near-free when off** (one flag check
+per run, no per-request work), and **never changes simulation results**
+— no simulation RNG stream is consumed (the exemplar reservoir uses a
+private :class:`random.Random`, same discipline as
+:func:`repro.prof.record_mg1_run`), so golden cluster grids stay
+byte-identical with telemetry on or off.
+
+Capture model
+-------------
+
+:class:`~repro.cluster.sim.ClusterSimulator` hands the *completed* run
+to :func:`record_cluster_run` — arrival epochs, the ``(n, fanout)``
+assignment matrix, and each server's arrival-order wait/service arrays.
+Everything per-request is then **reconstructed from the run's own
+output**, identically for both executors:
+
+* per-leaf wait/service/sojourn, by scattering each server's
+  arrival-order arrays back to request-major leaf order;
+* the fork-join **critical path** — the argmax leaf — whose
+  ``wait + service`` equals the mid-tier sojourn *exactly* (the same
+  float addition the executors performed, so reconciliation is ``==``,
+  not ``approx``);
+* the **balancer decision context**: each chosen server's queue length
+  at dispatch and the cluster-wide minimum, reconstructed as
+  ``#leaves assigned from earlier requests - #departures <= t`` — the
+  exact bookkeeping the global event loop maintains live (FCFS
+  departures are non-decreasing per server, so two ``searchsorted``
+  calls recover it).
+
+Requests are recorded when they exceed a configured latency threshold,
+when they exceed any configured tail quantile (every p99/p99.9
+exceedance is captured so attribution is complete), or as uniform
+reservoir exemplars.
+
+Tail attribution
+----------------
+
+For each configured quantile the total **exceedance mass** (sum of
+``sojourn - quantile`` over exceeding requests) is split into cause
+shares — ``queueing`` (critical-path wait net of misplacement),
+``service`` (critical-path service), ``straggle`` (critical leaf over
+the request's mean leaf sojourn; zero at fanout 1), and
+``misplacement`` (the fraction of critical wait proportional to the
+chosen-queue minus min-queue delta).  Shares are integers in
+picoseconds, split per request by the profiler's largest-remainder
+:func:`~repro.prof._distribute`, so **shares sum to the exceedance
+total as an integer identity** (checked by
+:func:`repro.validate.check_cluster_run_obs`).
+
+SLO telemetry
+-------------
+
+:class:`SLObjective` declares a latency objective with a target
+quantile; each run reports exceedance counts, the overall **burn rate**
+(observed exceedance fraction over the error budget ``1 - target``) and
+the worst rolling-window burn rate, exported as ``tailobs.slo.*``
+counters/gauges through :mod:`repro.obs` and as ``type=cluster``
+records in the JSONL trace (counted by ``python -m repro report``).
+
+Pool workers ship a :class:`TailObsDelta` (via :func:`mark` /
+:func:`delta_since` / :func:`merge_delta`) exactly like
+:mod:`repro.obs` and :mod:`repro.prof`, so pooled cluster sweeps
+reproduce serial telemetry.
+
+Enable with :func:`enable`, ``REPRO_TAILOBS=1``, or the CLI's
+``python -m repro cluster ... --tail-report`` / ``--slo``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from repro import obs
+
+__all__ = [
+    "CAUSES",
+    "CauseShares",
+    "ClusterRunObs",
+    "RequestRecord",
+    "SLObjective",
+    "SLOStat",
+    "TailObsConfig",
+    "TailObsDelta",
+    "TailObsMark",
+    "TailObsSnapshot",
+    "config_for_worker",
+    "configure",
+    "configure_worker",
+    "context",
+    "current_config",
+    "delta_since",
+    "disable",
+    "enable",
+    "enable_from_env",
+    "export_to_obs",
+    "is_enabled",
+    "live_totals",
+    "mark",
+    "merge_delta",
+    "record_cluster_run",
+    "record_degenerate_run",
+    "render_tail_report",
+    "reset",
+    "snapshot",
+]
+
+#: Attribution causes, in the (fixed) share-split order.
+CAUSES = ("queueing", "service", "straggle", "misplacement")
+
+#: Runs retained in memory (delta slicing needs append-only streams).
+RUN_CAP = 128
+
+#: Per-request records stored per run; attribution is computed *before*
+#: this cap from the full exceedance set, so capping only limits stored
+#: exemplars, never attribution exactness.
+RECORD_CAP = 4096
+
+#: Per-request records exported to the JSONL trace per run.
+EXPORT_RECORD_CAP = 256
+
+#: Private-RNG salt for the reservoir sampler (same discipline as the
+#: profiler's 0x5F0F waterfall sampler: simulation streams untouched).
+_RESERVOIR_SALT = 0xC1A7
+
+#: Picosecond grid for the exact integer attribution split.
+_PS = 1e12
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """A latency objective: ``target`` quantile under ``latency_s``."""
+
+    latency_s: float
+    target: float = 0.999
+
+    def __post_init__(self) -> None:
+        if not self.latency_s > 0:
+            raise ValueError(f"SLO latency must be positive, got {self.latency_s!r}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"SLO target must be in (0, 1), got {self.target!r}")
+
+    @property
+    def name(self) -> str:
+        return f"{self.latency_s * 1e6:g}us"
+
+
+@dataclass(frozen=True)
+class TailObsConfig:
+    """What to capture and report.
+
+    ``quantiles`` drive the attribution report (every exceedance of each
+    quantile is recorded); ``threshold_s`` additionally captures *all*
+    requests above an absolute latency; ``reservoir`` adds that many
+    uniform exemplars per run; ``slos`` declares latency objectives and
+    ``burn_window`` sizes the rolling burn-rate window (in requests).
+    """
+
+    quantiles: tuple[float, ...] = (0.99, 0.999)
+    threshold_s: float | None = None
+    reservoir: int = 64
+    slos: tuple[SLObjective, ...] = ()
+    burn_window: int = 10_000
+
+    def __post_init__(self) -> None:
+        for q in self.quantiles:
+            if not 0.0 < q < 1.0:
+                raise ValueError(f"quantiles must be in (0, 1), got {q!r}")
+        if self.reservoir < 0:
+            raise ValueError(f"reservoir must be >= 0, got {self.reservoir!r}")
+        if self.burn_window <= 0:
+            raise ValueError(f"burn window must be positive, got {self.burn_window!r}")
+
+
+DEFAULT_CONFIG = TailObsConfig()
+
+
+# ----------------------------------------------------------------------
+# Records
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One mid-tier request's full dispatch/latency decomposition.
+
+    ``index`` is the mid-tier arrival index (warmup included in the
+    numbering); ``servers``/``queue_lens`` are slot-aligned with
+    ``waits``/``services``.  ``crit_leaf`` is the argmax (first-max)
+    leaf; its wait + service equals ``sojourn_s`` exactly.
+    """
+
+    index: int
+    arrival_s: float
+    sojourn_s: float
+    servers: tuple[int, ...]
+    queue_lens: tuple[int, ...]
+    min_queue_len: int
+    waits: tuple[float, ...]
+    services: tuple[float, ...]
+    crit_leaf: int
+
+    @property
+    def crit_server(self) -> int:
+        return self.servers[self.crit_leaf]
+
+    @property
+    def crit_wait_s(self) -> float:
+        return self.waits[self.crit_leaf]
+
+    @property
+    def crit_service_s(self) -> float:
+        return self.services[self.crit_leaf]
+
+    @property
+    def crit_queue_len(self) -> int:
+        return self.queue_lens[self.crit_leaf]
+
+    @property
+    def straggle_s(self) -> float:
+        """Critical-path sojourn over the request's mean leaf sojourn."""
+        leaf = [w + s for w, s in zip(self.waits, self.services)]
+        return self.sojourn_s - sum(leaf) / len(leaf)
+
+
+@dataclass(frozen=True)
+class CauseShares:
+    """Exact integer split of one quantile's exceedance mass."""
+
+    quantile: float
+    threshold_s: float
+    requests: int
+    exceedance_ps: int
+    shares_ps: dict[str, int]
+
+    def share(self, cause: str) -> float:
+        return (
+            self.shares_ps.get(cause, 0) / self.exceedance_ps
+            if self.exceedance_ps
+            else 0.0
+        )
+
+
+@dataclass(frozen=True)
+class SLOStat:
+    """One run's verdict on one latency objective."""
+
+    latency_s: float
+    target: float
+    requests: int
+    exceedances: int
+    burn_rate: float
+    worst_window_burn: float
+    window: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.latency_s * 1e6:g}us"
+
+
+@dataclass(frozen=True)
+class ClusterRunObs:
+    """Everything captured for one cluster run."""
+
+    design: str
+    workload: str
+    load: float | None
+    n_servers: int
+    fanout: int
+    balancer: str
+    arrivals: str
+    rate: float
+    requests: int
+    warmup: int
+    quantile_values: tuple[tuple[float, float], ...]
+    attributions: tuple[CauseShares, ...]
+    slos: tuple[SLOStat, ...]
+    records: tuple[RequestRecord, ...]
+    #: False for the degenerate single-server M/G/1 delegation, where
+    #: queue lengths at dispatch are not reconstructible (misplacement is
+    #: identically zero there: chosen queue == the only queue).
+    queues_observed: bool = True
+    threshold_s: float | None = None
+    reservoir: int = 0
+    dropped_records: int = 0
+
+    def quantile_value(self, q: float) -> float | None:
+        for quantile, value in self.quantile_values:
+            if quantile == q:
+                return value
+        return None
+
+
+@dataclass(frozen=True)
+class TailObsSnapshot:
+    """Frozen view of the captured runs (render/export unit)."""
+
+    runs: tuple[ClusterRunObs, ...] = ()
+    dropped: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return not self.runs
+
+
+# ----------------------------------------------------------------------
+# Process-wide state (single-threaded by design, like repro.obs/prof)
+# ----------------------------------------------------------------------
+
+_enabled: bool = False
+_config: TailObsConfig = DEFAULT_CONFIG
+_runs: list[ClusterRunObs] = []
+_dropped: dict[str, int] = {}
+#: Ambient labels (design/workload/load) applied by :func:`context`.
+_context: dict[str, str] = {}
+
+
+def is_enabled() -> bool:
+    """Whether capture is active (the simulator checks once per run)."""
+    return _enabled
+
+
+def enable(config: TailObsConfig | None = None) -> None:
+    """Turn capture on (idempotent); optionally install a config."""
+    global _enabled, _config
+    if config is not None:
+        _config = config
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn capture off; captured runs stay until :func:`reset`."""
+    global _enabled
+    _enabled = False
+
+
+def reset() -> None:
+    """Clear all state, restore the default config, turn capture off."""
+    global _config
+    disable()
+    _config = DEFAULT_CONFIG
+    _runs.clear()
+    _dropped.clear()
+    _context.clear()
+
+
+def configure(config: TailObsConfig) -> None:
+    """Install ``config`` without changing the enabled flag."""
+    global _config
+    _config = config
+
+
+def current_config() -> TailObsConfig:
+    return _config
+
+
+def enable_from_env() -> bool:
+    """Enable per ``REPRO_TAILOBS=1``.  Returns whether capture is on."""
+    if os.environ.get("REPRO_TAILOBS", "").strip().lower() in (
+        "1",
+        "true",
+        "on",
+        "yes",
+    ):
+        enable()
+        return True
+    return _enabled
+
+
+@contextmanager
+def context(**labels):
+    """Apply ambient labels (``design=``, ``workload=``, ``load=``) to
+    every run recorded inside the block (mirrors
+    :func:`repro.prof.context`)."""
+    if not _enabled:
+        yield
+        return
+    saved = {k: _context.get(k) for k in labels}
+    _context.update({k: str(v) for k, v in labels.items()})
+    try:
+        yield
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                _context.pop(k, None)
+            else:
+                _context[k] = v
+
+
+def _drop(key: str, count: int = 1) -> None:
+    _dropped[key] = _dropped.get(key, 0) + count
+
+
+def _context_load() -> float | None:
+    raw = _context.get("load")
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# Capture (simulator-facing)
+# ----------------------------------------------------------------------
+
+
+def record_cluster_run(
+    *,
+    epochs: np.ndarray,
+    sojourns: np.ndarray,
+    assign: np.ndarray,
+    per_server: list[tuple[np.ndarray, np.ndarray]],
+    warmup: int,
+    fanout: int,
+    n_servers: int,
+    balancer: str,
+    arrivals: str,
+    rate: float,
+    seed: int,
+) -> None:
+    """Capture one completed cluster run.
+
+    ``epochs``/``sojourns`` are the full ``(n,)`` mid-tier arrays
+    (warmup included), ``assign`` the ``(n, fanout)`` server matrix in
+    dispatch order, and ``per_server[i]`` server ``i``'s full
+    arrival-order ``(waits, services)``.  Pure post-processing of the
+    run's own output: no simulation RNG is touched.
+    """
+    if not _enabled:
+        return
+    n = int(epochs.size)
+    retained = sojourns[warmup:]
+    if retained.size == 0:
+        return
+
+    from repro.queueing.stats import percentile
+
+    quantiles = tuple(sorted(set(_config.quantiles)))
+    values = tuple((q, percentile(retained, q)) for q in quantiles)
+
+    # --- selection: every quantile exceedance + threshold + reservoir
+    selected: set[int] = set()
+    exceed_idx: dict[float, np.ndarray] = {}
+    for q, v in values:
+        idx = warmup + np.flatnonzero(retained > v)
+        exceed_idx[q] = idx
+        selected.update(int(j) for j in idx)
+    if _config.threshold_s is not None:
+        selected.update(
+            int(j)
+            for j in warmup + np.flatnonzero(retained > _config.threshold_s)
+        )
+    if _config.reservoir > 0:
+        rnd = random.Random(_RESERVOIR_SALT ^ (seed if seed is not None else 0))
+        k = min(_config.reservoir, n - warmup)
+        selected.update(rnd.sample(range(warmup, n), k))
+
+    J = np.asarray(sorted(selected), dtype=np.int64)
+    waits_sel, services_sel, qlens_sel, minq_sel = _extract(
+        epochs, assign, per_server, n_servers, fanout, J
+    )
+    leaf_sojourns = waits_sel + services_sel
+    crit = (
+        np.argmax(leaf_sojourns, axis=1)
+        if fanout > 1
+        else np.zeros(J.size, dtype=np.int64)
+    )
+
+    records = _build_records(
+        J, epochs, sojourns, assign, waits_sel, services_sel, qlens_sel,
+        minq_sel, crit,
+    )
+    by_index = {r.index: r for r in records}
+    attributions = tuple(
+        _attribute(q, v, [by_index[int(j)] for j in exceed_idx[q]], fanout)
+        for q, v in values
+    )
+    slos = _slo_stats(retained)
+    _finish_run(
+        records=records,
+        attributions=attributions,
+        slos=slos,
+        n_servers=n_servers,
+        fanout=fanout,
+        balancer=balancer,
+        arrivals=arrivals,
+        rate=rate,
+        requests=int(retained.size),
+        warmup=warmup,
+        quantile_values=values,
+        queues_observed=True,
+    )
+
+
+def record_degenerate_run(
+    *,
+    result,
+    rate: float,
+    seed: int,
+    balancer: str,
+    arrivals: str,
+    warmup: int,
+) -> None:
+    """Capture the 1-server/fanout-1 M/G/1 delegation path.
+
+    The delegated :class:`~repro.queueing.mg1.QueueResult` keeps only
+    retained waits/services, so queue lengths at dispatch are not
+    reconstructible (``queues_observed=False``; misplacement is
+    identically zero with one server anyway).  Arrival epochs are
+    re-derived from a *fresh* generator with the simulator's seed — the
+    M/G/1 path draws all inter-arrivals in bulk first, so the replay is
+    bit-exact without touching the simulation's own stream.
+    """
+    if not _enabled:
+        return
+    waits = np.asarray(result.wait_times, dtype=float)
+    services = np.asarray(result.service_times, dtype=float)
+    if waits.size == 0:
+        return
+    retained = waits + services
+    n = int(waits.size) + warmup
+
+    from repro.queueing.stats import percentile
+
+    gaps = np.random.default_rng(seed).exponential(1.0 / rate, size=n)
+    epochs = np.cumsum(gaps)
+
+    quantiles = tuple(sorted(set(_config.quantiles)))
+    values = tuple((q, percentile(retained, q)) for q in quantiles)
+
+    selected: set[int] = set()
+    exceed_idx: dict[float, np.ndarray] = {}
+    for q, v in values:
+        idx = np.flatnonzero(retained > v)
+        exceed_idx[q] = idx
+        selected.update(int(j) for j in idx)
+    if _config.threshold_s is not None:
+        selected.update(
+            int(j) for j in np.flatnonzero(retained > _config.threshold_s)
+        )
+    if _config.reservoir > 0:
+        rnd = random.Random(_RESERVOIR_SALT ^ (seed if seed is not None else 0))
+        k = min(_config.reservoir, int(waits.size))
+        selected.update(rnd.sample(range(int(waits.size)), k))
+
+    records = tuple(
+        RequestRecord(
+            index=warmup + j,
+            arrival_s=float(epochs[warmup + j]),
+            sojourn_s=float(retained[j]),
+            servers=(0,),
+            queue_lens=(0,),
+            min_queue_len=0,
+            waits=(float(waits[j]),),
+            services=(float(services[j]),),
+            crit_leaf=0,
+        )
+        for j in sorted(selected)
+    )
+    by_index = {r.index: r for r in records}
+    attributions = tuple(
+        _attribute(
+            q, v, [by_index[warmup + int(j)] for j in exceed_idx[q]], 1
+        )
+        for q, v in values
+    )
+    slos = _slo_stats(retained)
+    _finish_run(
+        records=records,
+        attributions=attributions,
+        slos=slos,
+        n_servers=1,
+        fanout=1,
+        balancer=balancer,
+        arrivals=arrivals,
+        rate=rate,
+        requests=int(waits.size),
+        warmup=warmup,
+        quantile_values=values,
+        queues_observed=False,
+    )
+
+
+def _extract(
+    epochs: np.ndarray,
+    assign: np.ndarray,
+    per_server: list[tuple[np.ndarray, np.ndarray]],
+    n_servers: int,
+    fanout: int,
+    J: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-leaf wait/service and dispatch-time queue lengths for the
+    selected requests ``J``.
+
+    Queue length at server ``i`` when request ``j`` dispatches is
+    ``#leaves assigned to i from requests < j`` minus ``#departures at
+    i <= t_j`` — exactly the count the global event loop maintains live
+    (it pops ``dep <= t`` before selecting).  FCFS departures are
+    non-decreasing in arrival order, so both counts are single
+    ``searchsorted`` calls.
+    """
+    m = int(J.size)
+    waits_sel = np.empty((m, fanout))
+    services_sel = np.empty((m, fanout))
+    qlens_sel = np.zeros((m, fanout), dtype=np.int64)
+    minq_sel = np.full(m, np.iinfo(np.int64).max, dtype=np.int64)
+    if m == 0:
+        return waits_sel, services_sel, qlens_sel, minq_sel
+    leaf_server = assign.ravel()
+    t_sel = epochs[J]
+    assign_sel = assign[J]
+    slots = np.arange(fanout, dtype=np.int64)
+    leaf_global = J[:, None] * fanout + slots[None, :]
+    for i in range(n_servers):
+        w_arr, s_arr = per_server[i]
+        sel_i = np.flatnonzero(leaf_server == i)
+        dep_i = epochs[sel_i // fanout] + w_arr + s_arr
+        arr_count = np.searchsorted(sel_i, J * fanout)
+        dep_count = np.searchsorted(dep_i, t_sel, side="right")
+        q_i = arr_count - dep_count
+        np.minimum(minq_sel, q_i, out=minq_sel)
+        mask = assign_sel == i
+        if mask.any():
+            pos = np.searchsorted(sel_i, leaf_global[mask])
+            waits_sel[mask] = w_arr[pos]
+            services_sel[mask] = s_arr[pos]
+            qlens_sel[mask] = np.broadcast_to(q_i[:, None], mask.shape)[mask]
+    return waits_sel, services_sel, qlens_sel, minq_sel
+
+
+def _build_records(
+    J, epochs, sojourns, assign, waits_sel, services_sel, qlens_sel,
+    minq_sel, crit,
+) -> tuple[RequestRecord, ...]:
+    records = []
+    for row, j in enumerate(J):
+        j = int(j)
+        records.append(
+            RequestRecord(
+                index=j,
+                arrival_s=float(epochs[j]),
+                sojourn_s=float(sojourns[j]),
+                servers=tuple(int(x) for x in assign[j]),
+                queue_lens=tuple(int(x) for x in qlens_sel[row]),
+                min_queue_len=int(minq_sel[row]),
+                waits=tuple(float(x) for x in waits_sel[row]),
+                services=tuple(float(x) for x in services_sel[row]),
+                crit_leaf=int(crit[row]),
+            )
+        )
+    return tuple(records)
+
+
+def _attribute(
+    quantile: float,
+    threshold_s: float,
+    exceeding: list[RequestRecord],
+    fanout: int,
+) -> CauseShares:
+    """Split the quantile's exceedance mass into cause shares.
+
+    Per request, the exceedance (integer picoseconds) is distributed
+    over four responsibility weights by largest remainder
+    (:func:`repro.prof._distribute`), so per-request and per-run share
+    sums are exact integer identities.
+    """
+    from repro.prof import _distribute
+
+    totals = {cause: 0 for cause in CAUSES}
+    exceedance_ps = 0
+    for rec in exceeding:
+        e_ps = int(round((rec.sojourn_s - threshold_s) * _PS))
+        if e_ps <= 0:
+            continue
+        exceedance_ps += e_ps
+        crit_wait = rec.crit_wait_s
+        qdelta = max(0, rec.crit_queue_len - rec.min_queue_len)
+        mis_frac = qdelta / rec.crit_queue_len if rec.crit_queue_len > 0 else 0.0
+        w_mis = crit_wait * mis_frac
+        w_queue = max(0.0, crit_wait - w_mis)
+        w_straggle = max(0.0, rec.straggle_s) if fanout > 1 else 0.0
+        weights = [
+            int(round(w_queue * _PS)),
+            int(round(rec.crit_service_s * _PS)),
+            int(round(w_straggle * _PS)),
+            int(round(w_mis * _PS)),
+        ]
+        if sum(weights) <= 0:
+            # A zero-weight exceedance (all components below the ps
+            # grid) charges service: the request did run.
+            totals["service"] += e_ps
+            continue
+        for cause, share in zip(CAUSES, _distribute(e_ps, weights)):
+            totals[cause] += share
+    return CauseShares(
+        quantile=quantile,
+        threshold_s=threshold_s,
+        requests=len(exceeding),
+        exceedance_ps=exceedance_ps,
+        shares_ps=totals,
+    )
+
+
+def _slo_stats(retained: np.ndarray) -> tuple[SLOStat, ...]:
+    from repro.cluster.metrics import (
+        burn_rate,
+        slo_exceedances,
+        worst_window_exceedances,
+    )
+
+    stats = []
+    n = int(retained.size)
+    for objective in _config.slos:
+        over = slo_exceedances(retained, objective.latency_s)
+        exceed = int(np.count_nonzero(over))
+        burn = burn_rate(exceed, n, objective.target)
+        window = min(_config.burn_window, n)
+        worst = burn_rate(
+            worst_window_exceedances(over, window), window, objective.target
+        )
+        stats.append(
+            SLOStat(
+                latency_s=objective.latency_s,
+                target=objective.target,
+                requests=n,
+                exceedances=exceed,
+                burn_rate=burn,
+                worst_window_burn=worst,
+                window=window,
+            )
+        )
+    return tuple(stats)
+
+
+def _finish_run(
+    *,
+    records: tuple[RequestRecord, ...],
+    attributions: tuple[CauseShares, ...],
+    slos: tuple[SLOStat, ...],
+    n_servers: int,
+    fanout: int,
+    balancer: str,
+    arrivals: str,
+    rate: float,
+    requests: int,
+    warmup: int,
+    quantile_values: tuple[tuple[float, float], ...],
+    queues_observed: bool,
+) -> None:
+    dropped = 0
+    if len(records) > RECORD_CAP:
+        kept = sorted(records, key=lambda r: (-r.sojourn_s, r.index))[:RECORD_CAP]
+        dropped = len(records) - RECORD_CAP
+        records = tuple(sorted(kept, key=lambda r: r.index))
+        _drop("records", dropped)
+    run = ClusterRunObs(
+        design=_context.get("design", ""),
+        workload=_context.get("workload", ""),
+        load=_context_load(),
+        n_servers=n_servers,
+        fanout=fanout,
+        balancer=balancer,
+        arrivals=arrivals,
+        rate=rate,
+        requests=requests,
+        warmup=warmup,
+        quantile_values=quantile_values,
+        attributions=attributions,
+        slos=slos,
+        records=records,
+        queues_observed=queues_observed,
+        threshold_s=_config.threshold_s,
+        reservoir=_config.reservoir,
+        dropped_records=dropped,
+    )
+    # Guard before publication, like every other result type.
+    from repro import validate
+
+    validate.dispatch(
+        run,
+        subject=(
+            f"tailobs:{run.design or '?'}/{run.workload or '?'}"
+            f"/{balancer}x{n_servers}f{fanout}"
+        ),
+    )
+    if len(_runs) < RUN_CAP:
+        _runs.append(run)
+    else:
+        _drop("runs")
+    if obs.is_enabled():
+        obs.add("tailobs.runs")
+        obs.add("tailobs.records", len(records))
+        for att in attributions:
+            obs.add(
+                f"tailobs.exceedances.p{att.quantile * 100:g}".replace(".", "_"),
+                att.requests,
+            )
+        for stat in slos:
+            obs.add(f"tailobs.slo.{stat.name}.exceedances", stat.exceedances)
+            obs.gauge(f"tailobs.slo.{stat.name}.burn_rate", stat.burn_rate)
+            obs.gauge(
+                f"tailobs.slo.{stat.name}.worst_window_burn",
+                stat.worst_window_burn,
+            )
+
+
+def snapshot() -> TailObsSnapshot:
+    """Freeze the captured runs for rendering/export."""
+    return TailObsSnapshot(runs=tuple(_runs), dropped=dict(_dropped))
+
+
+def live_totals() -> dict[str, int]:
+    """Cheap activity totals for ``--stats`` reporting."""
+    return {
+        "runs": len(_runs),
+        "records": sum(len(r.records) for r in _runs),
+        "slo_objectives": len(_config.slos),
+    }
+
+
+# ----------------------------------------------------------------------
+# Worker deltas (cross-process aggregation)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TailObsMark:
+    """A point in this process's tailobs streams (see :func:`mark`)."""
+
+    num_runs: int
+    dropped: dict[str, int]
+
+
+@dataclass(frozen=True)
+class TailObsDelta:
+    """Everything captured after a :class:`TailObsMark` — picklable, so
+    pool workers return it with their cell results."""
+
+    runs: tuple[ClusterRunObs, ...]
+    dropped: dict[str, int]
+
+    @property
+    def empty(self) -> bool:
+        return not (self.runs or self.dropped)
+
+
+def mark() -> TailObsMark:
+    return TailObsMark(num_runs=len(_runs), dropped=dict(_dropped))
+
+
+def delta_since(before: TailObsMark) -> TailObsDelta:
+    dropped = {}
+    for key, total in _dropped.items():
+        d = total - before.dropped.get(key, 0)
+        if d:
+            dropped[key] = d
+    return TailObsDelta(runs=tuple(_runs[before.num_runs :]), dropped=dropped)
+
+
+def merge_delta(delta: TailObsDelta) -> None:
+    """Graft a worker's delta; merging in submission order keeps pooled
+    sweeps equal to serial capture."""
+    if not _enabled:
+        return
+    for run in delta.runs:
+        if len(_runs) < RUN_CAP:
+            _runs.append(run)
+        else:
+            _drop("runs")
+    for key, v in delta.dropped.items():
+        _dropped[key] = _dropped.get(key, 0) + v
+
+
+def config_for_worker() -> dict[str, Any]:
+    """The parent's tailobs config for :func:`configure_worker`."""
+    return {"enabled": _enabled, "config": _config}
+
+
+def configure_worker(config: dict[str, Any]) -> None:
+    """Apply a parent's config inside a pool worker: forked state must
+    not leak into the worker's delta, so start from a clean slate."""
+    reset()
+    cfg = config.get("config")
+    if isinstance(cfg, TailObsConfig):
+        configure(cfg)
+    if config.get("enabled"):
+        enable()
+
+
+# ----------------------------------------------------------------------
+# Export (JSONL trace)
+# ----------------------------------------------------------------------
+
+
+def export_to_obs(snap: TailObsSnapshot) -> None:
+    """Stream a snapshot into the obs JSONL trace as ``type=cluster``
+    records (no-op unless a trace stream is attached).  Per-request
+    records are capped at :data:`EXPORT_RECORD_CAP` per run (highest
+    sojourns first); the run record counts what was withheld."""
+    for run in snap.runs:
+        exported = sorted(run.records, key=lambda r: (-r.sojourn_s, r.index))[
+            :EXPORT_RECORD_CAP
+        ]
+        obs.emit_record(
+            {
+                "type": "cluster",
+                "kind": "run",
+                "design": run.design,
+                "workload": run.workload,
+                "load": run.load,
+                "n_servers": run.n_servers,
+                "fanout": run.fanout,
+                "balancer": run.balancer,
+                "arrivals": run.arrivals,
+                "rate": run.rate,
+                "requests": run.requests,
+                "warmup": run.warmup,
+                "queues_observed": run.queues_observed,
+                "quantiles": {
+                    f"{q:g}": v for q, v in run.quantile_values
+                },
+                "records": len(run.records),
+                "records_exported": len(exported),
+                "records_dropped": run.dropped_records,
+            }
+        )
+        for att in run.attributions:
+            obs.emit_record(
+                {
+                    "type": "cluster",
+                    "kind": "attribution",
+                    "design": run.design,
+                    "workload": run.workload,
+                    "load": run.load,
+                    "quantile": att.quantile,
+                    "threshold_s": att.threshold_s,
+                    "requests": att.requests,
+                    "exceedance_ps": att.exceedance_ps,
+                    "shares_ps": dict(att.shares_ps),
+                }
+            )
+        for stat in run.slos:
+            obs.emit_record(
+                {
+                    "type": "cluster",
+                    "kind": "slo",
+                    "design": run.design,
+                    "workload": run.workload,
+                    "load": run.load,
+                    "objective": stat.name,
+                    "latency_s": stat.latency_s,
+                    "target": stat.target,
+                    "requests": stat.requests,
+                    "exceedances": stat.exceedances,
+                    "burn_rate": stat.burn_rate,
+                    "worst_window_burn": stat.worst_window_burn,
+                    "window": stat.window,
+                }
+            )
+        for rec in exported:
+            obs.emit_record(
+                {
+                    "type": "cluster",
+                    "kind": "request",
+                    "index": rec.index,
+                    "arrival_s": rec.arrival_s,
+                    "sojourn_s": rec.sojourn_s,
+                    "servers": list(rec.servers),
+                    "queue_lens": list(rec.queue_lens),
+                    "min_queue_len": rec.min_queue_len,
+                    "waits": list(rec.waits),
+                    "services": list(rec.services),
+                    "crit_leaf": rec.crit_leaf,
+                    "crit_server": rec.crit_server,
+                }
+            )
+
+
+# ----------------------------------------------------------------------
+# Rendering (CLI-facing)
+# ----------------------------------------------------------------------
+
+#: Exemplars shown per run in the report table.
+MAX_EXEMPLAR_ROWS = 8
+
+#: Exemplars walked in the cross-layer drill-down.
+DRILL_EXEMPLARS = 3
+
+
+def _run_title(run: ClusterRunObs) -> str:
+    label = (
+        f"{run.design or '?'}/{run.workload or '?'}"
+        + (f" load {run.load:g}" if run.load is not None else "")
+    )
+    return (
+        f"cluster tail report: {label} — {run.n_servers} server(s),"
+        f" fanout {run.fanout}, {run.balancer}/{run.arrivals}"
+    )
+
+
+def _render_attribution(run: ClusterRunObs) -> str:
+    from repro.harness.reporting import format_table
+
+    rows = []
+    for att in run.attributions:
+        rows.append(
+            [
+                f"p{att.quantile * 100:g}",
+                f"{att.threshold_s * 1e6:.2f}",
+                att.requests,
+                f"{att.exceedance_ps / 1e9:.3f}",
+            ]
+            + [f"{100 * att.share(cause):.1f}%" for cause in CAUSES]
+        )
+    return format_table(
+        ["quantile", "threshold us", "exceed", "mass ms"]
+        + list(CAUSES),
+        rows,
+        title="tail attribution (share of exceedance mass)",
+    )
+
+
+def _render_slos(run: ClusterRunObs) -> str:
+    from repro.harness.reporting import format_table
+
+    rows = [
+        [
+            stat.name,
+            f"p{stat.target * 100:g}",
+            stat.exceedances,
+            f"{stat.exceedances / stat.requests:.6f}" if stat.requests else "-",
+            f"{stat.burn_rate:.3f}",
+            f"{stat.worst_window_burn:.3f}",
+        ]
+        for stat in run.slos
+    ]
+    return format_table(
+        [
+            "objective",
+            "target",
+            "exceed",
+            "fraction",
+            "burn rate",
+            f"worst burn (w={run.slos[0].window})",
+        ],
+        rows,
+        title="SLO objectives",
+    )
+
+
+def _render_exemplars(run: ClusterRunObs) -> str:
+    from repro.harness.reporting import format_table
+
+    top = sorted(run.records, key=lambda r: (-r.sojourn_s, r.index))
+    rows = [
+        [
+            rec.index,
+            f"{rec.sojourn_s * 1e6:.2f}",
+            rec.crit_server,
+            f"{rec.crit_wait_s * 1e6:.2f}",
+            f"{rec.crit_service_s * 1e6:.2f}",
+            rec.crit_queue_len,
+            rec.min_queue_len,
+            f"{rec.straggle_s * 1e6:.2f}" if run.fanout > 1 else "-",
+        ]
+        for rec in top[:MAX_EXEMPLAR_ROWS]
+    ]
+    return format_table(
+        [
+            "request",
+            "sojourn us",
+            "crit server",
+            "wait us",
+            "service us",
+            "qlen",
+            "min qlen",
+            "straggle us",
+        ],
+        rows,
+        title="slowest recorded requests (critical path)",
+    )
+
+
+def _render_drill(run: ClusterRunObs, prof_snap) -> str:
+    """Cross-layer join: exceedance exemplar -> that server's M/G/1
+    waterfall -> the design's top-down slot causes."""
+    lines = [
+        "cross-layer drill-down (exemplar -> server waterfall ->"
+        " top-down slot causes)"
+    ]
+    waterfalls = {
+        w.server: w
+        for w in prof_snap.waterfalls
+        if w.server >= 0 and (not run.workload or w.workload == run.workload)
+    }
+    top = sorted(run.records, key=lambda r: (-r.sojourn_s, r.index))
+    for rec in top[:DRILL_EXEMPLARS]:
+        line = (
+            f"req {rec.index}: sojourn {rec.sojourn_s * 1e6:.2f}us ->"
+            f" server {rec.crit_server}"
+            f" (wait {rec.crit_wait_s * 1e6:.2f}us,"
+            f" service {rec.crit_service_s * 1e6:.2f}us,"
+            f" qlen {rec.crit_queue_len} vs min {rec.min_queue_len})"
+        )
+        wf = waterfalls.get(rec.crit_server)
+        if wf is not None:
+            line += (
+                f"\n    server {rec.crit_server} waterfall:"
+                f" mean wait {wf.mean_wait_s * 1e6:.2f}us,"
+                f" mean service {wf.mean_service_s * 1e6:.2f}us,"
+                f" p99 sojourn {wf.p99_sojourn_s * 1e6:.2f}us"
+                f" over {wf.requests} leaf request(s)"
+            )
+        lines.append(line)
+    categories: dict[str, int] = {}
+    prefix = f"{run.workload}/" if run.workload else ""
+    for core in prof_snap.cores:
+        if prefix and not core.core.startswith(prefix):
+            continue
+        for name, slots in core.by_category().items():
+            categories[name] = categories.get(name, 0) + slots
+    total = sum(categories.values())
+    if total:
+        parts = ", ".join(
+            f"{name} {100 * slots / total:.1f}%"
+            for name, slots in sorted(
+                categories.items(), key=lambda kv: -kv[1]
+            )
+            if slots
+        )
+        lines.append(f"  top-down slots ({run.workload or 'all'} cores): {parts}")
+    return "\n".join(lines)
+
+
+def render_tail_report(snap: TailObsSnapshot, prof_snap=None) -> str:
+    """The ``--tail-report`` body: per run, an attribution table, SLO
+    verdicts, the slowest exemplars, and (when a profile snapshot is
+    supplied) the cross-layer drill-down."""
+    if snap.empty:
+        return "tailobs: no cluster runs captured"
+    sections: list[str] = []
+    for run in snap.runs:
+        block = [_run_title(run)]
+        quant = " ".join(
+            f"p{q * 100:g}={v * 1e6:.2f}us" for q, v in run.quantile_values
+        )
+        threshold = (
+            f"{run.threshold_s * 1e6:g}us"
+            if run.threshold_s is not None
+            else "none"
+        )
+        block.append(
+            f"requests={run.requests} {quant} threshold={threshold}"
+            f" reservoir={run.reservoir} records={len(run.records)}"
+            f" (dropped {run.dropped_records})"
+            + ("" if run.queues_observed else " [queues not observed]")
+        )
+        block.append(_render_attribution(run))
+        if run.slos:
+            block.append(_render_slos(run))
+        if run.records:
+            block.append(_render_exemplars(run))
+        if prof_snap is not None and run.records:
+            block.append(_render_drill(run, prof_snap))
+        sections.append("\n\n".join(block))
+    if snap.dropped:
+        sections.append(
+            "dropped (capped): "
+            + ", ".join(f"{k}={v}" for k, v in sorted(snap.dropped.items()))
+        )
+    return "\n\n".join(sections)
+
+
+def _replace_config(**kwargs) -> TailObsConfig:
+    """Convenience for the CLI: the current config with overrides."""
+    return replace(_config, **kwargs)

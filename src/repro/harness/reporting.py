@@ -69,6 +69,11 @@ def format_grid_stats(stats: "GridRunStats") -> str:
     if prof.is_enabled():
         for name, value in sorted(prof.live_totals().items()):
             rows.append([f"prof.{name}", value])
+    from repro.cluster import tailobs
+
+    if tailobs.is_enabled():
+        for name, value in sorted(tailobs.live_totals().items()):
+            rows.append([f"tailobs.{name}", value])
     for timing in stats.slowest(3):
         rows.append(
             [

@@ -51,6 +51,9 @@ class TraceSummary:
     #: ``{"type": "profile"}`` records in the trace, keyed by their
     #: ``kind`` (core/dyad/interval/waterfall/tail).
     profile_records: dict[str, int] = field(default_factory=dict)
+    #: ``{"type": "cluster"}`` tail-observability records, keyed by
+    #: their ``kind`` (run/attribution/slo/request).
+    cluster_records: dict[str, int] = field(default_factory=dict)
     manifest: dict[str, Any] | None = None
     num_records: int = 0
 
@@ -102,6 +105,9 @@ def summarize_records(records: list[dict[str, Any]]) -> TraceSummary:
         elif kind == "profile":
             pk = str(obj.get("kind", "unknown"))
             summary.profile_records[pk] = summary.profile_records.get(pk, 0) + 1
+        elif kind == "cluster":
+            ck = str(obj.get("kind", "unknown"))
+            summary.cluster_records[ck] = summary.cluster_records.get(ck, 0) + 1
         elif kind == "manifest":
             summary.manifest = {k: v for k, v in obj.items() if k != "type"}
     return summary
@@ -165,6 +171,13 @@ def render_prometheus(summary: TraceSummary) -> str:
             lines.append(
                 f'repro_profile_record_count{{kind="{name}"}}'
                 f" {summary.profile_records[name]}"
+            )
+    if summary.cluster_records:
+        lines.append("# TYPE repro_cluster_record_count counter")
+        for name in sorted(summary.cluster_records):
+            lines.append(
+                f'repro_cluster_record_count{{kind="{name}"}}'
+                f" {summary.cluster_records[name]}"
             )
     if not lines:
         return "# no metrics recorded"

@@ -427,6 +427,7 @@ def record_mg1_run(
     penalized,
     penalty: float,
     seed: int | None,
+    server: int = -1,
 ) -> None:
     """Decompose one M/G/1 segment into queue-wait / service /
     restart-penalty, with deterministic per-request exemplars.
@@ -481,6 +482,7 @@ def record_mg1_run(
         p50_sojourn_s=percentile(sojourns, 0.50),
         p99_sojourn_s=percentile(sojourns, 0.99),
         exemplars=exemplars,
+        server=server,
     )
     if len(_waterfalls) < WATERFALL_CAP:
         _waterfalls.append(record)
@@ -557,6 +559,9 @@ class WaterfallRecord:
     p50_sojourn_s: float
     p99_sojourn_s: float
     exemplars: tuple[RequestExemplar, ...] = ()
+    #: Cluster server index when this segment is one leaf server of a
+    #: cluster run (joined against ``tailobs`` records); -1 otherwise.
+    server: int = -1
 
 
 @dataclass(frozen=True)
@@ -991,6 +996,7 @@ def export_to_obs(snap: ProfileSnapshot) -> None:
                 "penalty_s": record.penalty_s,
                 "p50_sojourn_s": record.p50_sojourn_s,
                 "p99_sojourn_s": record.p99_sojourn_s,
+                "server": record.server,
                 "exemplars": [
                     {
                         "index": e.index,

@@ -137,8 +137,9 @@ def render_waterfalls(snap: ProfileSnapshot) -> str:
     """Request latency waterfalls with their tail exemplars."""
     blocks: list[str] = []
     for record in snap.waterfalls[:MAX_WATERFALLS]:
+        server = f" server={record.server}" if record.server >= 0 else ""
         header = (
-            f"waterfall {record.design}/{record.workload}"
+            f"waterfall {record.design}/{record.workload}{server}"
             f" rate={record.rate:.4g}/s requests={record.requests}"
             f" wait={record.mean_wait_s * 1e6:.2f}us"
             f" service={record.mean_service_s * 1e6:.2f}us"

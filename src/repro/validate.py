@@ -243,12 +243,15 @@ def check(result: Any, subject: str = "") -> list[Violation]:
     """
     from repro.cluster.experiment import ClusterCellResult
     from repro.cluster.sim import ClusterResult
+    from repro.cluster.tailobs import ClusterRunObs
     from repro.harness.experiment import CellResult
     from repro.harness.measure import CoreMeasurement
     from repro.queueing.mg1 import QueueResult
 
     if isinstance(result, ClusterResult):
         return check_cluster_result(result, subject=subject or "cluster")
+    if isinstance(result, ClusterRunObs):
+        return check_cluster_run_obs(result, subject=subject or "tailobs")
     if isinstance(result, ClusterCellResult):
         return check_cluster_cell(
             result, subject=subject or _cluster_cell_subject(result)
@@ -631,6 +634,86 @@ def check_cluster_cell(cell, subject: str = "") -> list[Violation]:
             "utilization spread must be non-negative and finite",
             observed=cell.utilization_std,
         )
+    return out
+
+
+def check_cluster_run_obs(run, subject: str = "tailobs") -> list[Violation]:
+    """Exactness invariants of one tail-observability capture.
+
+    * **critical-path reconciliation** on every recorded request: the
+      argmax leaf's ``wait + service`` equals the fork-join sojourn
+      *exactly* (``==``, not approx — the reconstruction repeats the
+      executor's own float addition), and no other leaf sojourn exceeds
+      the critical one;
+    * **attribution conservation** per quantile: the integer-picosecond
+      cause shares sum to the recorded exceedance total exactly, and
+      never go negative;
+    * structural sanity: chosen servers in range and ``fanout``-many,
+      chosen queue lengths never below the observed minimum (when
+      queues were observed).
+    """
+    out: list[Violation] = []
+
+    def bad(invariant, message, observed=None, expected=None):
+        out.append(Violation(invariant, subject, message, observed, expected))
+
+    for rec in run.records:
+        crit = rec.waits[rec.crit_leaf] + rec.services[rec.crit_leaf]
+        if crit != rec.sojourn_s:
+            bad(
+                "crit-path-reconciliation",
+                f"request {rec.index}: critical wait+service differs from"
+                " fork-join sojourn",
+                observed=crit,
+                expected=rec.sojourn_s,
+            )
+        if any(
+            w + s > rec.sojourn_s for w, s in zip(rec.waits, rec.services)
+        ):
+            bad(
+                "crit-path-max",
+                f"request {rec.index}: a leaf sojourn exceeds the"
+                " critical path",
+                observed=max(
+                    w + s for w, s in zip(rec.waits, rec.services)
+                ),
+                expected=rec.sojourn_s,
+            )
+        if len(rec.servers) != run.fanout or not all(
+            0 <= s < run.n_servers for s in rec.servers
+        ):
+            bad(
+                "dispatch-shape",
+                f"request {rec.index}: chosen servers malformed",
+                observed=float(len(rec.servers)),
+                expected=float(run.fanout),
+            )
+        if run.queues_observed and any(
+            q < rec.min_queue_len for q in rec.queue_lens
+        ):
+            bad(
+                "queue-floor",
+                f"request {rec.index}: a chosen queue is below the"
+                " cluster minimum",
+                observed=float(min(rec.queue_lens)),
+                expected=float(rec.min_queue_len),
+            )
+    for att in run.attributions:
+        total = sum(att.shares_ps.values())
+        if total != att.exceedance_ps:
+            bad(
+                "attribution-conservation",
+                f"p{att.quantile * 100:g}: cause shares do not sum to the"
+                " exceedance total",
+                observed=float(total),
+                expected=float(att.exceedance_ps),
+            )
+        if any(v < 0 for v in att.shares_ps.values()):
+            bad(
+                "attribution-non-negative",
+                f"p{att.quantile * 100:g}: negative cause share",
+                observed=float(min(att.shares_ps.values())),
+            )
     return out
 
 

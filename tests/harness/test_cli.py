@@ -99,3 +99,82 @@ def test_cluster_runs(capsys):
         assert "req/W" in out
     finally:
         cli.FIDELITIES["fast"] = original
+
+
+def test_cluster_tail_report_and_trace(capsys, tmp_path):
+    import json
+
+    from tests.harness.test_measure import TINY
+    import repro.cli as cli
+    from repro.cluster import tailobs
+
+    original = cli.FIDELITIES["fast"]
+    cli.FIDELITIES["fast"] = TINY
+    trace = tmp_path / "cluster.jsonl"
+    try:
+        assert (
+            main(
+                [
+                    "cluster", "duplexity", "wordstem", "0.6",
+                    "--servers", "4", "--fanout", "2", "--balancer", "jsq",
+                    "--cluster-requests", "3000", "--cluster-warmup", "300",
+                    "--tail-report", "--slo", "25", "--slo", "40:0.99",
+                    "--trace", str(trace),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cluster tail report: duplexity/WordStem load 0.6" in out
+        assert "tail attribution (share of exceedance mass)" in out
+        assert "SLO objectives" in out
+        assert "25us" in out and "40us" in out
+        assert "slowest recorded requests" in out
+        # The trace carries the telemetry as type=cluster records and the
+        # manifest sidecar pins the topology.
+        records = [json.loads(l) for l in trace.read_text().splitlines()]
+        kinds = {r.get("kind") for r in records if r.get("type") == "cluster"}
+        assert {"run", "attribution", "slo", "request"} <= kinds
+        manifest = json.loads((tmp_path / "cluster.manifest.json").read_text())
+        assert manifest["target"] == "cluster"
+        assert manifest["cluster"]["balancer"] == "jsq"
+        assert manifest["cluster"]["servers"] == 4
+        assert manifest["cluster"]["fanout"] == 2
+        # Torn down by the CLI.
+        assert not tailobs.is_enabled()
+    finally:
+        cli.FIDELITIES["fast"] = original
+        tailobs.reset()
+
+
+def test_cluster_report_counts_tail_records(capsys, tmp_path):
+    from tests.harness.test_measure import TINY
+    import repro.cli as cli
+    from repro.cluster import tailobs
+
+    original = cli.FIDELITIES["fast"]
+    cli.FIDELITIES["fast"] = TINY
+    trace = tmp_path / "cluster.jsonl"
+    try:
+        main(
+            [
+                "cluster", "duplexity", "wordstem", "0.6",
+                "--servers", "4", "--fanout", "2", "--balancer", "random",
+                "--cluster-requests", "3000", "--cluster-warmup", "300",
+                "--tail-report", "--trace", str(trace),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert 'repro_cluster_record_count{kind="run"} 1' in out
+        assert 'repro_cluster_record_count{kind="attribution"}' in out
+        assert "repro_tailobs_runs_total 1" in out
+    finally:
+        cli.FIDELITIES["fast"] = original
+        tailobs.reset()
+
+
+def test_cluster_slo_parse_error():
+    with pytest.raises(SystemExit, match="bad --slo"):
+        main(["cluster", "duplexity", "wordstem", "0.6", "--slo", "soon"])

@@ -165,6 +165,36 @@ def test_cluster_golden_cells_match(cluster_payload):
     assert not problems, _REGEN_HINT + "\n" + "\n".join(problems[:20])
 
 
+def test_cluster_golden_byte_identical_with_tailobs_enabled():
+    """Tail telemetry is result-transparent: the cluster golden payload
+    serializes identically with per-request capture on (its reservoir
+    RNG is private, so no simulation stream shifts)."""
+    from repro.cluster import tailobs
+
+    previous = cache.current_config()
+    try:
+        cache.configure(enabled=False)
+        clear_cache()
+        clear_tail_cache()
+        clear_cluster_cache()
+        tailobs.reset()
+        plain = json.dumps(build_cluster_payload(), sort_keys=True)
+        clear_cache()
+        clear_tail_cache()
+        clear_cluster_cache()
+        tailobs.enable()
+        traced = json.dumps(build_cluster_payload(), sort_keys=True)
+        captured = len(tailobs.snapshot().runs)
+    finally:
+        tailobs.reset()
+        clear_cache()
+        clear_tail_cache()
+        clear_cluster_cache()
+        cache.configure(**previous)
+    assert captured > 0  # telemetry actually ran on the second leg
+    assert traced == plain
+
+
 @pytest.mark.skipif(
     not fastpath.is_available(), reason="no C compiler for the fastpath kernel"
 )

@@ -47,11 +47,13 @@ def test_grid_stats_surface_errors_and_kind_rates():
         hits=3,
         misses=1,
         errors=2,
-        kind_hits={"measure": 2, "tail": 1},
-        kind_misses={"tail": 1},
+        kind_hits={"measure": 2, "tail": 1, "cluster": 3},
+        kind_misses={"tail": 1, "cluster": 1},
     )
     out = format_grid_stats(stats)
     assert "disk cache errors" in out
     assert "disk cache [measure] hit rate" in out
     assert "1.000 (2/2)" in out  # measure: 2 hits, 0 misses
     assert "0.500 (1/2)" in out  # tail: 1 hit, 1 miss
+    assert "disk cache [cluster] hit rate" in out
+    assert "0.750 (3/4)" in out  # cluster: 3 hits, 1 miss
