@@ -15,11 +15,14 @@ pinned cluster sweep each gate at 25% over their committed baselines, so
 the fast path cannot silently rot back toward reference speed; and the
 cluster sweep with tail telemetry *disabled* gates at 3% over its own
 baseline, so :mod:`repro.cluster.tailobs` stays near-free when off.
-The benchmark also re-runs the cluster sweep with telemetry *on* and
-fails if the results differ at all — telemetry must never change
-simulation output.  ``--no-gate`` skips the baseline gates (e.g. when
-profiling on a deliberately slow machine); they also skip themselves
-when no C compiler is available.
+The same 3% headroom applies against ``cluster_wall_s_energy_off`` for
+the :mod:`repro.energy` attribution plane.  The benchmark also re-runs
+the cluster sweep with tail telemetry *on*, and once more with the
+energy plane on, and fails if either pass's results differ at all —
+telemetry must never change simulation output (the energy pass must
+additionally conserve exactly).  ``--no-gate`` skips the baseline gates
+(e.g. when profiling on a deliberately slow machine); they also skip
+themselves when no C compiler is available.
 
 Usage::
 
@@ -39,7 +42,7 @@ sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
 
-from repro import obs, validate  # noqa: E402
+from repro import energy, obs, prof, validate  # noqa: E402
 from repro.cluster import tailobs  # noqa: E402
 from repro.cluster.experiment import (  # noqa: E402
     ClusterConfig,
@@ -93,6 +96,11 @@ GATE_HEADROOM = 1.25
 #: the off path is a single flag check per run, so any per-request cost
 #: leaking onto it shows up far above this line.
 TAILOBS_OFF_HEADROOM = 1.03
+
+#: Energy-off cluster gate, same shape: the telemetry-off sweep may
+#: exceed ``cluster_wall_s_energy_off`` by at most 3% — the energy
+#: plane's off path is one flag check per record site.
+ENERGY_OFF_HEADROOM = 1.03
 
 
 def _workloads():
@@ -194,6 +202,29 @@ def main(argv: list[str] | None = None) -> int:
             cache.configure(root=tmp, enabled=True)
             telemetry_identical = cluster_cell_on == cluster_cell
 
+            # And once more with the energy-attribution plane on (which
+            # also turns the profiler on): identical results again, plus
+            # the ledger volume and the exact-conservation check.
+            cache.configure(enabled=False)
+            energy.reset()
+            prof.reset()
+            energy.enable()
+            try:
+                cluster_cell_energy, cluster_wall_energy, _ = _cluster_sweep()
+                esnap = energy.snapshot()
+                energy_records = (
+                    len(esnap.cores)
+                    + len(esnap.dyads)
+                    + len(esnap.waterfalls)
+                    + len(esnap.cluster_runs)
+                )
+                energy_conserved = esnap.conserved() and not esnap.empty
+            finally:
+                energy.reset()
+                prof.reset()
+            cache.configure(root=tmp, enabled=True)
+            energy_identical = cluster_cell_energy == cluster_cell
+
             # Warm pass: keep the disk layer, drop the in-memory layers
             # so every cell exercises the disk-cache read path.
             clear_measure_cache()
@@ -232,6 +263,15 @@ def main(argv: list[str] | None = None) -> int:
             ),
             "tailobs_records": tailobs_records,
             "tailobs_identical_results": telemetry_identical,
+            "wall_s_energy_on": round(cluster_wall_energy, 3),
+            "energy_on_overhead": (
+                round(cluster_wall_energy / cluster_wall, 3)
+                if cluster_wall > 0
+                else 0.0
+            ),
+            "energy_records": energy_records,
+            "energy_identical_results": energy_identical,
+            "energy_conserved": energy_conserved,
             "p999_us": round(cluster_cell.p999_us, 3),
             "p999_rel_err": round(cluster_cell.p999_rel_err, 5),
             "requests_per_watt": round(cluster_cell.requests_per_watt, 1),
@@ -269,6 +309,22 @@ def main(argv: list[str] | None = None) -> int:
             "TAILOBS IDENTITY FAILED: the cluster cell differs with tail"
             " telemetry on — telemetry must never change simulation"
             " results",
+            file=sys.stderr,
+        )
+        failed = True
+    if not energy_identical:
+        print(
+            "ENERGY IDENTITY FAILED: the cluster cell differs with the"
+            " energy plane on — telemetry must never change simulation"
+            " results",
+            file=sys.stderr,
+        )
+        failed = True
+    if not energy_conserved:
+        print(
+            "ENERGY CONSERVATION FAILED: the energy pass captured no"
+            " ledgers or a ledger's integer shares do not sum to its"
+            " power-model total",
             file=sys.stderr,
         )
         failed = True
@@ -311,6 +367,20 @@ def main(argv: list[str] | None = None) -> int:
                 f" sweep took {cluster_wall:.3f}s, over the gate of"
                 f" {tail_off_limit:.3f}s ({tail_off_baseline}s baseline x"
                 f" {TAILOBS_OFF_HEADROOM}); tail telemetry must stay"
+                " near-free when disabled — if the slowdown is intentional,"
+                f" update {BASELINE_PATH.name} and review the diff",
+                file=sys.stderr,
+            )
+            return 1
+    energy_off_baseline = baseline.get("cluster_wall_s_energy_off")
+    if energy_off_baseline is not None:
+        energy_off_limit = energy_off_baseline * ENERGY_OFF_HEADROOM
+        if cluster_wall > energy_off_limit:
+            print(
+                f"ENERGY OFF-PATH GATE FAILED: the telemetry-off cluster"
+                f" sweep took {cluster_wall:.3f}s, over the gate of"
+                f" {energy_off_limit:.3f}s ({energy_off_baseline}s baseline"
+                f" x {ENERGY_OFF_HEADROOM}); energy attribution must stay"
                 " near-free when disabled — if the slowdown is intentional,"
                 f" update {BASELINE_PATH.name} and review the diff",
                 file=sys.stderr,

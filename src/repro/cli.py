@@ -58,6 +58,21 @@ workload's top-down slot causes.  With ``--trace``, the captured runs
 stream into the JSONL trace as ``type=cluster`` records (counted by
 ``repro report``); ``REPRO_TAILOBS=1`` enables in-memory capture for
 any target.  Tail telemetry never changes simulation results either.
+
+``energy`` re-simulates one cell with the energy-attribution plane
+(:mod:`repro.energy`) on and prints the exact joule ledger: per-core
+shares (dynamic-main / dynamic-filler / static-while-retiring /
+morph-overhead / static-while-stalled, integer-picojoule conservation
+against the power model), the dyad phase energy breakdown, M/G/1
+static-energy waterfalls and per-request energy exemplars.  ``cluster
+... --energy`` re-simulates the sweep with energy capture on and
+appends requests-per-joule, the wasted-static energy tax and
+per-server energy spread; ``--energy-budget UJ`` adds an
+energy-per-request budget with burn rates.  ``REPRO_ENERGY=1`` enables
+capture for any target; with ``--trace``, ledgers stream as
+``type=energy`` records and the manifest records the power-model
+coefficients.  Energy telemetry never changes simulation results
+either.
 """
 
 from __future__ import annotations
@@ -66,7 +81,7 @@ import argparse
 import os
 import sys
 
-from repro import obs, prof
+from repro import energy, obs, prof
 from repro import validate as validation
 from repro.harness import cache, figures
 from repro.harness.fidelity import BENCH, FAST, FULL, Fidelity
@@ -77,7 +92,12 @@ from repro.harness.reporting import (
     format_violations,
 )
 from repro.obs import export as obs_export
-from repro.obs.manifest import build_manifest, manifest_path_for, write_manifest
+from repro.obs.manifest import (
+    build_manifest,
+    manifest_path_for,
+    update_manifest,
+    write_manifest,
+)
 from repro.workloads.microservices import standard_microservices
 
 FIDELITIES: dict[str, Fidelity] = {"fast": FAST, "bench": BENCH, "full": FULL}
@@ -167,14 +187,14 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         help=(
             "table1|table2|fig1a|fig1b|fig1c|fig2a|fig2b|fig5a..fig5f|"
-            "fig6|cell|cluster|validate|report|profile"
+            "fig6|cell|cluster|validate|report|profile|energy"
         ),
     )
     parser.add_argument(
         "args",
         nargs="*",
         help=(
-            "for `cell`/`profile`: DESIGN WORKLOAD LOAD;"
+            "for `cell`/`profile`/`energy`: DESIGN WORKLOAD LOAD;"
             " for `cluster`: DESIGN WORKLOAD LOAD [LOAD ...];"
             " for `report`: TRACE_PATH"
         ),
@@ -283,6 +303,24 @@ def main(argv: list[str] | None = None) -> int:
             " causes; implies --tail-report"
         ),
     )
+    cluster_group.add_argument(
+        "--energy",
+        action="store_true",
+        help=(
+            "re-simulate with the energy-attribution plane on and append"
+            " the cluster energy report (requests-per-joule, wasted-static"
+            " tax, per-server spread); bypasses the result caches"
+        ),
+    )
+    cluster_group.add_argument(
+        "--energy-budget",
+        type=float,
+        metavar="UJ",
+        help=(
+            "energy-per-request budget in microjoules; burn rates are"
+            " reported against it; implies --energy"
+        ),
+    )
     parser.add_argument(
         "--fastpath",
         choices=("auto", "on", "off"),
@@ -311,12 +349,27 @@ def main(argv: list[str] | None = None) -> int:
 
     enabled_obs = _enable_obs(options, target, fidelity, argv)
     enabled_prof = target == "profile" or prof.enable_from_env()
+    enabled_energy = (
+        target == "energy"
+        or _energy_requested(options, target)
+        or energy.enable_from_env()
+    )
     enabled_tailobs = _enable_tailobs(options, target)
     try:
         return _run_target(options, target, fidelity)
     finally:
         from repro.cluster import tailobs
 
+        if enabled_energy and energy.is_enabled():
+            # The captured joule ledgers stream into the trace as
+            # type=energy records before the closing counters record.
+            if obs.trace_path() is not None:
+                energy.export_to_obs(energy.snapshot())
+            energy.disable()
+            if not enabled_prof:
+                # The energy plane turned the profiler on for its slot
+                # streams; nothing else asked for profile records.
+                prof.disable()
         if enabled_prof and prof.is_enabled():
             # REPRO_PROF alongside --trace: stream the profile records
             # into the trace before the closing counters record.
@@ -357,6 +410,13 @@ def _enable_obs(
                 "requests": options.cluster_requests,
                 "warmup": options.cluster_warmup,
             }
+        if target in ("cell", "profile", "cluster", "energy") and options.args:
+            # Pin the power-model coefficients next to the fidelity
+            # knobs: energy numbers are reproducible from the trace
+            # alone (unknown designs simply carry no power block).
+            power = _power_manifest(options.args[0])
+            if power is not None:
+                extra["power"] = power
         manifest = build_manifest(
             target=target,
             fidelity=fidelity,
@@ -376,6 +436,38 @@ def _tail_requested(options, target: str) -> bool:
         or options.slo
         or options.tail_threshold_us is not None
     )
+
+
+def _energy_requested(options, target: str) -> bool:
+    return target == "cluster" and bool(
+        options.energy or options.energy_budget is not None
+    )
+
+
+def _power_manifest(design_name: str) -> dict | None:
+    """Power-model coefficients for the manifest, or ``None`` when the
+    design has no power row."""
+    import dataclasses
+
+    from repro.harness.metrics import LLC_MB_PER_PAIRING
+    from repro.power.mcpat import (
+        STATIC_W_PER_MM2,
+        core_power_model,
+        lender_power_model,
+        llc_static_w,
+    )
+
+    try:
+        core = core_power_model(design_name)
+    except ValueError:
+        return None
+    return {
+        "design": design_name,
+        "core": dataclasses.asdict(core),
+        "lender": dataclasses.asdict(lender_power_model()),
+        "llc_static_w": llc_static_w(LLC_MB_PER_PAIRING),
+        "static_w_per_mm2": STATIC_W_PER_MM2,
+    }
 
 
 def _parse_slo(raw: str):
@@ -442,6 +534,8 @@ def _run_target(options, target: str, fidelity: Fidelity) -> int:
         exit_code = _run_validate(options, fidelity, run_stats)
     elif target == "profile":
         exit_code = _run_profile(options, fidelity, run_stats)
+    elif target == "energy":
+        exit_code = _run_energy(options, fidelity, run_stats)
     elif target in GRID_FIGURES:
         grid = figures.evaluation_grid(
             fidelity=fidelity,
@@ -514,7 +608,8 @@ def _run_cluster(options, fidelity: Fidelity, run_stats: GridRunStats) -> int:
         warmup=options.cluster_warmup,
     )
     tail_mode = _tail_requested(options, "cluster")
-    if tail_mode:
+    energy_mode = _energy_requested(options, "cluster")
+    if tail_mode or energy_mode:
         # A warm cache would leave telemetry with nothing to record
         # (cached cells never simulate), so — exactly like `profile` —
         # the disk layer is disabled and the in-memory cluster cache
@@ -532,6 +627,20 @@ def _run_cluster(options, fidelity: Fidelity, run_stats: GridRunStats) -> int:
             clear_tail_cache()
             prof.reset()
             prof.enable()
+    if energy_mode:
+        # Energy attribution rides on the profiler's slot streams
+        # (energy.enable() turns it on) and needs fresh per-server
+        # measurements, so the measurement caches are cleared too.
+        from repro.harness.experiment import clear_tail_cache
+        from repro.harness.measure import clear_cache as clear_measure_cache
+
+        clear_measure_cache()
+        clear_tail_cache()
+        prof.reset()
+        energy.reset()
+        energy.enable()
+        if options.energy_budget is not None:
+            energy.set_budget(options.energy_budget * 1e-6)
     cells = run_cluster_sweep(
         design,
         workload,
@@ -549,8 +658,8 @@ def _run_cluster(options, fidelity: Fidelity, run_stats: GridRunStats) -> int:
             f"{100 * c.p999_rel_err:.1f}%",
             f"{c.mean_utilization:.3f}",
             f"{c.max_utilization - c.min_utilization:.3f}",
-            f"{c.total_power_w:.1f}",
-            f"{c.requests_per_watt:.0f}",
+            "-" if c.total_power_w is None else f"{c.total_power_w:.1f}",
+            "-" if c.requests_per_watt is None else f"{c.requests_per_watt:.0f}",
         ]
         for c in cells
     ]
@@ -574,6 +683,18 @@ def _run_cluster(options, fidelity: Fidelity, run_stats: GridRunStats) -> int:
             ),
         )
     )
+    powers = [c.total_power_w for c in cells if c.total_power_w is not None]
+    if powers:
+        # Headline power for the sweep: the final (highest-load) point —
+        # exported as a gauge and patched into the sidecar manifest so
+        # energy numbers are reproducible from the trace alone.
+        if obs.is_enabled():
+            obs.gauge("cluster.total_power_w", powers[-1])
+        if obs.trace_path() is not None:
+            update_manifest(
+                manifest_path_for(obs.trace_path()),
+                {"total_power_w": powers[-1]},
+            )
     if tail_mode:
         snap = tailobs.snapshot()
         if snap.empty:
@@ -587,6 +708,24 @@ def _run_cluster(options, fidelity: Fidelity, run_stats: GridRunStats) -> int:
             prof.disable()
         print()
         print(tailobs.render_tail_report(snap, prof_snap))
+    if energy_mode:
+        from repro.energy.render import (
+            render_cluster_energy,
+            render_energy_waterfalls,
+        )
+
+        esnap = energy.snapshot()
+        if esnap.empty:
+            print("energy: no energy ledgers captured", file=sys.stderr)
+            return 1
+        print()
+        print(render_cluster_energy(esnap))
+        waterfalls = render_energy_waterfalls(esnap)
+        if waterfalls:
+            print()
+            print(waterfalls)
+        if not esnap.conserved():
+            return 1
     return 0
 
 
@@ -636,6 +775,48 @@ def _run_profile(options, fidelity: Fidelity, run_stats: GridRunStats) -> int:
             fh.write(prof_render.render_folded(snap) + "\n")
     if obs.trace_path() is not None:
         prof.export_to_obs(snap)
+    prof.disable()
+    return 0 if snap.conserved() else 1
+
+
+def _run_energy(options, fidelity: Fidelity, run_stats: GridRunStats) -> int:
+    """Energy-attribute one cell: re-simulate it with the profiler and
+    the energy plane on and render the joule ledger — per-core shares,
+    dyad phase energies, M/G/1 static waterfalls, request exemplars.
+
+    Like ``profile``, both cache layers are disabled and the in-memory
+    caches cleared (cached cells never simulate, which would leave the
+    ledger empty).  Exit status is non-zero if nothing was captured or
+    any ledger fails the exact integer conservation identity.
+    """
+    from repro.energy.render import render_energy_report
+    from repro.harness.experiment import clear_tail_cache
+    from repro.harness.measure import clear_cache as clear_measure_cache
+
+    if len(options.args) != 3:
+        raise SystemExit("usage: repro energy DESIGN WORKLOAD LOAD")
+    design, workload_name, load = options.args
+    (workload,) = _workloads(workload_name)
+    cache.configure(enabled=False)
+    clear_measure_cache()
+    clear_tail_cache()
+    prof.reset()
+    energy.reset()
+    energy.enable()
+    if options.energy_budget is not None:
+        energy.set_budget(options.energy_budget * 1e-6)
+    run_single_cell(design, workload, float(load), fidelity, stats=run_stats)
+    prof_snap = prof.snapshot()
+    snap = energy.snapshot()
+    if snap.empty:
+        print("energy: no energy data captured", file=sys.stderr)
+        energy.disable()
+        prof.disable()
+        return 1
+    print(render_energy_report(snap, prof_snap))
+    if obs.trace_path() is not None:
+        energy.export_to_obs(snap)
+    energy.disable()
     prof.disable()
     return 0 if snap.conserved() else 1
 

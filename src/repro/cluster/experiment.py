@@ -29,7 +29,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
-from repro import obs, prof, validate
+from repro import energy, obs, prof, validate
 from repro.cluster import tailobs
 from repro.cluster.arrivals import (
     ArrivalProcess,
@@ -38,7 +38,7 @@ from repro.cluster.arrivals import (
     PoissonArrivals,
 )
 from repro.cluster.balancers import BALANCERS
-from repro.cluster.metrics import cluster_power_w, summarize
+from repro.cluster.metrics import cluster_power_w, energy_summary, summarize
 from repro.cluster.sim import ClusterSimulator
 from repro.common.rng import derive_seed
 from repro.core.designs import Design, get_design
@@ -148,8 +148,10 @@ class ClusterCellResult:
     min_utilization: float
     max_utilization: float
     utilization_std: float
-    total_power_w: float
-    requests_per_watt: float
+    #: ``None`` when the design has no power model (see
+    #: :func:`repro.cluster.metrics.cluster_power_w`).
+    total_power_w: float | None
+    requests_per_watt: float | None
 
 
 def _cell_key(
@@ -273,6 +275,27 @@ def run_cluster_cell(
 
         power = cluster_power_w(design, m, workload, load, result)
         summary = summarize(result, power)
+        if energy.is_enabled():
+            esum = energy_summary(
+                design, m, workload, load, result,
+                budget_j=energy.budget_j(),
+            )
+            if esum is not None:
+                energy.record_cluster_run(
+                    design=design.name,
+                    workload=workload.name,
+                    load=float(load),
+                    servers=esum.servers,
+                    requests=esum.requests,
+                    duration_s=esum.duration_s,
+                    total_j=esum.total_j,
+                    energy_per_request_j=esum.energy_per_request_j,
+                    requests_per_joule=esum.requests_per_joule,
+                    wasted_static_fraction=esum.wasted_static_fraction,
+                    server_energy_min_j=esum.server_energy_min_j,
+                    server_energy_mean_j=esum.server_energy_mean_j,
+                    server_energy_max_j=esum.server_energy_max_j,
+                )
         cell = ClusterCellResult(
             design_name=design.name,
             workload_name=workload.name,
@@ -328,6 +351,7 @@ def _worker_load(
     prof_config: dict,
     fastpath_config: dict,
     tailobs_config: dict,
+    energy_config: dict,
 ):
     """Pool-worker entry point; same delta-report discipline as
     :func:`repro.harness.parallel._worker_chunk`."""
@@ -338,10 +362,12 @@ def _worker_load(
     prof.configure_worker(prof_config)
     fastpath.configure_worker(fastpath_config)
     tailobs.configure_worker(tailobs_config)
+    energy.configure_worker(energy_config)
     before = disk_cache.stats_snapshot()
     obs_mark = obs.mark()
     prof_mark = prof.mark()
     tailobs_mark = tailobs.mark()
+    energy_mark = energy.mark()
     cell, wall_s = _evaluate_load(design_name, workload, load, config, fidelity)
     delta = disk_cache.stats_snapshot().since(before)
     return (
@@ -351,6 +377,7 @@ def _worker_load(
         obs.delta_since(obs_mark),
         prof.delta_since(prof_mark),
         tailobs.delta_since(tailobs_mark),
+        energy.delta_since(energy_mark),
     )
 
 
@@ -432,6 +459,7 @@ def _sweep_pooled(
     prof_config = prof.config_for_worker()
     fastpath_config = fastpath.config_for_worker()
     tailobs_config = tailobs.config_for_worker()
+    energy_config = energy.config_for_worker()
     max_workers = min(workers, len(loads))
     try:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
@@ -448,6 +476,7 @@ def _sweep_pooled(
                     prof_config,
                     fastpath_config,
                     tailobs_config,
+                    energy_config,
                 )
                 for load in loads
             ]
@@ -460,6 +489,7 @@ def _sweep_pooled(
                     obs_delta,
                     prof_delta,
                     tailobs_delta,
+                    energy_delta,
                 ) = future.result()
                 outcome.append((cell, wall_s))
                 if stats is not None:
@@ -467,6 +497,7 @@ def _sweep_pooled(
                 obs.merge_delta(obs_delta)
                 prof.merge_delta(prof_delta)
                 tailobs.merge_delta(tailobs_delta)
+                energy.merge_delta(energy_delta)
     except (BrokenProcessPool, pickle.PicklingError, OSError):
         if stats is not None:
             stats.serial_fallbacks += 1

@@ -42,8 +42,10 @@ class ClusterSummary:
     min_utilization: float
     max_utilization: float
     utilization_std: float
-    total_power_w: float
-    requests_per_watt: float
+    #: ``None`` when no power model exists for the design (distinct from
+    #: a true 0.0 — an unknown design must not report as "free").
+    total_power_w: float | None
+    requests_per_watt: float | None
 
     @property
     def p999_relative_error(self) -> float:
@@ -92,15 +94,19 @@ def cluster_power_w(
     workload: Microservice,
     load: float,
     result: ClusterResult,
-) -> float:
+) -> float | None:
     """Total cluster power: one dyad pairing per server, each at its
-    realized utilization."""
-    return float(
-        sum(
-            dyad_power_w(design, m, workload, server.utilization, load)
-            for server in result.servers
+    realized utilization.  ``None`` when the design has no Table II
+    power row (custom designs) — never a silent 0.0."""
+    try:
+        return float(
+            sum(
+                dyad_power_w(design, m, workload, server.utilization, load)
+                for server in result.servers
+            )
         )
-    )
+    except ValueError:
+        return None
 
 
 def slo_exceedances(sojourns: np.ndarray, latency_s: float) -> np.ndarray:
@@ -133,14 +139,19 @@ def worst_window_exceedances(over: np.ndarray, window: int) -> int:
     return int(rolling.max())
 
 
-def summarize(result: ClusterResult, total_power_w: float) -> ClusterSummary:
+def summarize(
+    result: ClusterResult, total_power_w: float | None
+) -> ClusterSummary:
     """Batch-means tails + utilization spread + requests-per-watt."""
     p99 = batch_means_percentile(result.sojourn_times, 0.99)
     p999 = batch_means_percentile(result.sojourn_times, 0.999)
     utils = result.utilizations
-    requests_per_watt = (
-        result.arrival_rate / total_power_w if total_power_w > 0 else 0.0
-    )
+    if total_power_w is None:
+        requests_per_watt = None
+    else:
+        requests_per_watt = (
+            result.arrival_rate / total_power_w if total_power_w > 0 else 0.0
+        )
     return ClusterSummary(
         p99_s=p99.value,
         p99_half_width_s=p99.half_width,
@@ -153,4 +164,98 @@ def summarize(result: ClusterResult, total_power_w: float) -> ClusterSummary:
         utilization_std=float(utils.std()),
         total_power_w=total_power_w,
         requests_per_watt=requests_per_watt,
+    )
+
+
+@dataclass(frozen=True)
+class ClusterEnergySummary:
+    """Cluster-level joule accounting for one run window.
+
+    Energies are power-model watts integrated over the run's duration;
+    ``wasted_static_fraction`` is the share of the total burned as
+    static power while servers sat idle — the paper's
+    killer-microsecond energy tax, which filler threads exist to
+    reclaim.
+    """
+
+    servers: int
+    requests: int
+    duration_s: float
+    total_j: float
+    energy_per_request_j: float
+    requests_per_joule: float
+    wasted_static_fraction: float
+    server_energy_min_j: float
+    server_energy_mean_j: float
+    server_energy_max_j: float
+    budget_j: float | None = None
+    burn_rate: float | None = None
+
+
+def dyad_static_w() -> float:
+    """Static power of one dyad pairing (master + lender + LLC slice) —
+    burned regardless of utilization."""
+    return (
+        lender_power_model().static_w + llc_static_w(LLC_MB_PER_PAIRING)
+    )
+
+
+def energy_summary(
+    design: Design | str,
+    m: CoreMeasurement,
+    workload: Microservice,
+    load: float,
+    result: ClusterResult,
+    budget_j: float | None = None,
+) -> ClusterEnergySummary | None:
+    """Integrate the realized-utilization power composition over the
+    run window.  ``None`` when the design has no power row (mirrors
+    :func:`cluster_power_w`)."""
+    if isinstance(design, str):
+        design_obj = design
+        design_name = design
+    else:
+        design_obj = design
+        design_name = design.name
+    try:
+        core_static_w = core_power_model(design_name).static_w
+    except ValueError:
+        return None
+    static_w = core_static_w + dyad_static_w()
+    duration = float(result.duration)
+    requests = int(result.sojourn_times.size)
+    server_j = [
+        dyad_power_w(design_obj, m, workload, server.utilization, load)
+        * duration
+        for server in result.servers
+    ]
+    total_j = float(sum(server_j))
+    wasted_j = float(
+        sum(
+            static_w * (1.0 - min(max(server.utilization, 0.0), 1.0))
+            * duration
+            for server in result.servers
+        )
+    )
+    energy_per_request = total_j / requests if requests else 0.0
+    burn = (
+        energy_per_request / budget_j
+        if budget_j is not None and budget_j > 0
+        else None
+    )
+    return ClusterEnergySummary(
+        servers=len(result.servers),
+        requests=requests,
+        duration_s=duration,
+        total_j=total_j,
+        energy_per_request_j=energy_per_request,
+        requests_per_joule=requests / total_j if total_j > 0 else 0.0,
+        wasted_static_fraction=wasted_j / total_j if total_j > 0 else 0.0,
+        server_energy_min_j=float(min(server_j)) if server_j else 0.0,
+        server_energy_mean_j=(
+            total_j / len(server_j) if server_j else 0.0
+        ),
+        server_energy_max_j=float(max(server_j)) if server_j else 0.0,
+        budget_j=budget_j,
+        burn_rate=burn,
     )

@@ -537,6 +537,19 @@ class ClusterSimulator:
                         seed=derive_seed(self.seed, f"cluster-server/{i}"),
                         server=i,
                     )
+        from repro import energy
+
+        if energy.is_enabled():
+            # Per-server static-energy waterfalls next to the profiler's
+            # latency waterfalls (same server tags).
+            for i, qr in enumerate(servers):
+                energy.record_mg1_run(
+                    rate=rate_leaf,
+                    requests=int(qr.service_times.size),
+                    busy_s=float(qr.busy_time),
+                    duration_s=float(qr.duration),
+                    server=i,
+                )
         if tailobs.is_enabled() and assign is not None:
             tailobs.record_cluster_run(
                 epochs=epochs,

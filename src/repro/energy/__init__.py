@@ -1,0 +1,806 @@
+"""Energy attribution plane: exact joule ledgers from slot streams.
+
+Rides the :mod:`repro.obs` / :mod:`repro.prof` fast-path discipline:
+**off by default and near-free when off** (one flag check per site),
+and **never changes simulation results** — the plane only reads the
+profiler's counters and its own duration/busy scalars, never a
+simulation RNG stream, so golden grids stay byte-identical whether
+energy telemetry is on or off.
+
+Three ledgers, all on an integer picojoule grid so conservation is an
+arithmetic identity rather than a floating-point approximation:
+
+* **Core ledgers** — :func:`snapshot` maps each profiled core's
+  top-down slot pool (:class:`~repro.prof.CoreProfile`) through its
+  :class:`~repro.power.mcpat.CorePower` model.  Dynamic energy is exact
+  (retired instructions x the mode's per-instruction energy, on a pJ
+  grid); static energy ``round(static_w x cycles / f x 1e12)`` is split
+  over the slot causes with :func:`repro.prof._distribute`
+  (largest-remainder, exact), then rolled up into five shares —
+  ``dynamic_main`` / ``dynamic_filler`` / ``static_retiring`` /
+  ``morph_overhead`` / ``static_stalled`` — that sum *exactly* to the
+  power model integrated over the run's cycles.  Master and filler
+  engines of a dyad are separate ledger rows: their cycle pools
+  partition wall-clock (filler engines run inside master idle windows),
+  so each row charges the core's full static power for its own cycles.
+* **Dyad ledgers** — the profiler's morph/lender phase rollup
+  (:class:`~repro.prof.DyadProfile`) costed the same way: static split
+  over phase cycles, dynamic per phase (OoO energy in
+  ``MASTER_COMPUTE``, in-order energy elsewhere), phases summing
+  exactly to the total.
+* **Request waterfalls** — :func:`record_mg1_run` (called from the
+  M/G/1 simulators and the cluster assembler next to the profiler's
+  latency waterfalls) amortizes the master core's *static* energy over
+  one segment's wall-clock into ``service`` / ``morph_penalty`` /
+  ``idle`` shares on the same grid.  Static only, by design: dynamic
+  energy is attributed exactly at the core ledger where instructions
+  are counted, while the queueing layer only knows durations.
+
+Cluster sweeps additionally record :class:`ClusterEnergyRecord` rows
+(requests-per-joule, the wasted-static "killer-microsecond energy tax",
+per-server energy spread, optional energy-per-request budget burn) via
+:func:`record_cluster_run`, fed by
+:func:`repro.cluster.metrics.energy_summary`.
+
+Enabling energy capture enables the profiler (the ledgers are derived
+from its slot streams); pool workers ship an :class:`EnergyDelta` back
+to the parent (:func:`mark` / :func:`delta_since` / :func:`merge_delta`)
+so pooled sweeps reproduce serial ledgers.  Every snapshot is pushed
+through :func:`repro.validate.dispatch`, whose energy-conservation law
+recomputes the grid totals from the stored model inputs.
+
+Enable with :func:`enable`, ``REPRO_ENERGY=1`` (:func:`enable_from_env`),
+``python -m repro energy DESIGN WORKLOAD LOAD``, or ``--energy`` on the
+cluster CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import obs, prof
+from repro.prof import _distribute
+from repro.prof.taxonomy import CATEGORY, NUM_CAUSES, DyadPhase, SlotCause
+from repro.power.mcpat import CorePower, core_power_model, lender_power_model
+
+__all__ = [
+    "ClusterEnergyRecord",
+    "CoreEnergy",
+    "DyadEnergy",
+    "EnergyDelta",
+    "EnergyMark",
+    "EnergySnapshot",
+    "EnergyWaterfall",
+    "budget_j",
+    "config_for_worker",
+    "configure_worker",
+    "delta_since",
+    "disable",
+    "enable",
+    "enable_from_env",
+    "export_to_obs",
+    "is_enabled",
+    "live_totals",
+    "mark",
+    "merge_delta",
+    "record_cluster_run",
+    "record_mg1_run",
+    "reset",
+    "set_budget",
+    "snapshot",
+]
+
+#: Caps on the unbounded streams, same append-only discipline as
+#: :mod:`repro.prof` (lists stop growing, with a dropped-count, so
+#: :func:`delta_since` can slice them).
+WATERFALL_CAP = 512
+CLUSTER_RUN_CAP = 256
+
+#: Core shares every ledger row carries (display order).
+CORE_SHARES = (
+    "dynamic_main",
+    "dynamic_filler",
+    "static_retiring",
+    "morph_overhead",
+    "static_stalled",
+)
+
+#: Waterfall shares (display order).
+WATERFALL_SHARES = ("service", "morph_penalty", "idle")
+
+
+# ----------------------------------------------------------------------
+# Process-wide state (single-threaded by design, like repro.prof)
+# ----------------------------------------------------------------------
+
+_enabled: bool = False
+_budget_j: float | None = None
+_waterfalls: list["EnergyWaterfall"] = []
+_cluster_runs: list["ClusterEnergyRecord"] = []
+_dropped: dict[str, int] = {}
+
+
+def is_enabled() -> bool:
+    """Whether energy capture is active (hot paths check this once)."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn energy capture on.
+
+    The ledgers are derived from the profiler's slot streams, so this
+    also enables :mod:`repro.prof`; result transparency is inherited
+    from the profiler's (golden-tested) byte-identity guarantee."""
+    global _enabled
+    _enabled = True
+    prof.enable()
+
+
+def disable() -> None:
+    """Stop capturing (accumulated records are kept; profiler state is
+    left alone — callers that enabled it decide its lifetime)."""
+    global _enabled
+    _enabled = False
+
+
+def reset() -> None:
+    """Disable and drop everything captured so far."""
+    global _enabled, _budget_j
+    _enabled = False
+    _budget_j = None
+    _waterfalls.clear()
+    _cluster_runs.clear()
+    _dropped.clear()
+
+
+def enable_from_env() -> bool:
+    """Enable when ``REPRO_ENERGY`` is set to a truthy value."""
+    import os
+
+    value = os.environ.get("REPRO_ENERGY", "").strip().lower()
+    if value in ("", "0", "false", "off", "no"):
+        return False
+    enable()
+    return True
+
+
+def set_budget(budget: float | None) -> None:
+    """Set the energy-per-request budget (joules) burn rates are
+    computed against; ``None`` clears it."""
+    global _budget_j
+    _budget_j = float(budget) if budget is not None else None
+
+
+def budget_j() -> float | None:
+    return _budget_j
+
+
+def _drop(key: str, count: int = 1) -> None:
+    _dropped[key] = _dropped.get(key, 0) + count
+
+
+# ----------------------------------------------------------------------
+# Ledger records
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoreEnergy:
+    """Exact joule attribution of one profiled core's slot pool.
+
+    ``total_pj == static_pj + (retired_main + retired_filler) * epi_pj``
+    and both share maps conserve their totals as integer identities.
+    """
+
+    core: str
+    mode: str
+    design: str
+    frequency_hz: float
+    width: int
+    cycles: int
+    static_w: float
+    #: Dynamic energy per retired instruction in this core's mode (pJ).
+    epi_pj: int
+    retired_main: int
+    retired_filler: int
+    static_pj: int
+    total_pj: int
+    #: Five-way rollup (see :data:`CORE_SHARES`); sums to ``total_pj``.
+    shares_pj: dict[str, int]
+    #: Static energy by top-down category; sums to ``static_pj``.
+    static_by_category_pj: dict[str, int]
+
+    def conserved(self) -> bool:
+        return (
+            sum(self.shares_pj.values()) == self.total_pj
+            and sum(self.static_by_category_pj.values()) == self.static_pj
+        )
+
+
+@dataclass(frozen=True)
+class DyadEnergy:
+    """Joule attribution of one dyad design's phase rollup."""
+
+    design: str
+    frequency_hz: float
+    static_w: float
+    cycles: int
+    static_pj: int
+    total_pj: int
+    #: phase int -> static + dynamic energy; sums to ``total_pj``.
+    phases_pj: dict[int, int]
+    #: phase int -> dynamic-only energy (retired instructions x EPI).
+    dynamic_pj: dict[int, int]
+
+    def conserved(self) -> bool:
+        return sum(self.phases_pj.values()) == self.total_pj
+
+
+@dataclass(frozen=True)
+class EnergyWaterfall:
+    """Static energy of one M/G/1 segment amortized over its requests.
+
+    ``sum(shares_pj.values()) == total_static_pj ==
+    round(static_w x duration_s x 1e12)`` exactly.
+    """
+
+    design: str
+    workload: str
+    rate: float
+    requests: int
+    duration_s: float
+    busy_s: float
+    penalty_s: float
+    static_w: float
+    total_static_pj: int
+    #: service / morph_penalty / idle split (see :data:`WATERFALL_SHARES`).
+    shares_pj: dict[str, int]
+    server: int = -1
+
+    def conserved(self) -> bool:
+        return sum(self.shares_pj.values()) == self.total_static_pj
+
+    @property
+    def static_per_request_pj(self) -> float:
+        return self.total_static_pj / self.requests if self.requests else 0.0
+
+
+@dataclass(frozen=True)
+class ClusterEnergyRecord:
+    """Cluster-level energy rollup for one (design, workload, load) run."""
+
+    design: str
+    workload: str
+    load: float
+    servers: int
+    requests: int
+    duration_s: float
+    total_j: float
+    energy_per_request_j: float
+    requests_per_joule: float
+    #: Fraction of total energy that was static power burned while
+    #: servers sat idle — the killer-microsecond energy tax.
+    wasted_static_fraction: float
+    server_energy_min_j: float
+    server_energy_mean_j: float
+    server_energy_max_j: float
+    budget_j: float | None = None
+    #: ``energy_per_request_j / budget_j`` when a budget is set.
+    burn_rate: float | None = None
+
+
+@dataclass(frozen=True)
+class EnergySnapshot:
+    """Everything the energy plane attributed, conservation-checked."""
+
+    cores: tuple[CoreEnergy, ...] = ()
+    dyads: tuple[DyadEnergy, ...] = ()
+    waterfalls: tuple[EnergyWaterfall, ...] = ()
+    cluster_runs: tuple[ClusterEnergyRecord, ...] = ()
+    #: Profiled cores/dyads with no resolvable power model (missing
+    #: design label, unknown design, or zero frequency) — reported,
+    #: never silently costed.
+    unmodeled_cores: tuple[str, ...] = ()
+    unmodeled_dyads: tuple[str, ...] = ()
+    budget_j: float | None = None
+    dropped: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.cores or self.dyads or self.waterfalls or self.cluster_runs
+        )
+
+    def conserved(self) -> bool:
+        return (
+            all(core.conserved() for core in self.cores)
+            and all(dyad.conserved() for dyad in self.dyads)
+            and all(w.conserved() for w in self.waterfalls)
+        )
+
+    def total_pj(self) -> int:
+        return sum(core.total_pj for core in self.cores)
+
+
+# ----------------------------------------------------------------------
+# Core / dyad costing (reads prof's attributed snapshot)
+# ----------------------------------------------------------------------
+
+
+def _mode_is_ooo(mode: str) -> bool:
+    """Whether a registered engine mode retires at OoO energy cost.
+
+    ``ooo``, classic SMT frontends and the morphable HSMT master retire
+    through the OoO datapath; the lender (``ino-smt``) and filler modes
+    retire in-order (rename/select off, per MorphCore's energy
+    argument).  Unregistered cores default to OoO (the conservative,
+    higher-energy assumption)."""
+    return mode in ("ooo", "hsmt", "unknown") or mode.startswith("smt")
+
+
+def _core_model(core: prof.CoreProfile) -> CorePower | None:
+    if core.frequency_hz <= 0 or core.width <= 0:
+        return None
+    if core.mode == "ino-smt":
+        return lender_power_model()
+    if not core.design:
+        return None
+    try:
+        return core_power_model(core.design)
+    except ValueError:
+        return None
+
+
+def _is_main_thread(name: str) -> bool:
+    """Latency-critical threads: the dyad master and SMT thread 0."""
+    return name.endswith(".master") or name.endswith(".t0")
+
+
+def _core_energy(core: prof.CoreProfile, model: CorePower) -> CoreEnergy:
+    cycles = core.slots_total // core.width
+    epi_nj = (
+        model.epi_ooo_nj if _mode_is_ooo(core.mode) else model.epi_inorder_nj
+    )
+    epi_pj = round(epi_nj * 1000.0)
+    retired_main = 0
+    retired_filler = 0
+    for thread in core.threads:
+        n = thread.slots.get(int(SlotCause.RETIRING), 0)
+        if _is_main_thread(thread.thread):
+            retired_main += n
+        else:
+            retired_filler += n
+    static_pj = round(model.static_w * cycles / core.frequency_hz * 1e12)
+    weights = [core.slots.get(cause, 0) for cause in range(NUM_CAUSES)]
+    alloc = _distribute(static_pj, weights)
+    # The slot pool is never empty here (slots_total > 0), so the
+    # largest-remainder split conserves static_pj exactly.
+    static_retiring = alloc[int(SlotCause.RETIRING)]
+    morph_overhead = alloc[int(SlotCause.CONTEXT_SWAP)]
+    shares = {
+        "dynamic_main": retired_main * epi_pj,
+        "dynamic_filler": retired_filler * epi_pj,
+        "static_retiring": static_retiring,
+        "morph_overhead": morph_overhead,
+        "static_stalled": static_pj - static_retiring - morph_overhead,
+    }
+    by_category: dict[str, int] = {}
+    for cause in range(NUM_CAUSES):
+        if alloc[cause]:
+            cat = CATEGORY[SlotCause(cause)]
+            by_category[cat] = by_category.get(cat, 0) + alloc[cause]
+    return CoreEnergy(
+        core=core.core,
+        mode=core.mode,
+        design=core.design,
+        frequency_hz=core.frequency_hz,
+        width=core.width,
+        cycles=cycles,
+        static_w=model.static_w,
+        epi_pj=epi_pj,
+        retired_main=retired_main,
+        retired_filler=retired_filler,
+        static_pj=static_pj,
+        total_pj=static_pj + shares["dynamic_main"] + shares["dynamic_filler"],
+        shares_pj=shares,
+        static_by_category_pj=by_category,
+    )
+
+
+def _dyad_energy(dyad: prof.DyadProfile) -> DyadEnergy | None:
+    from repro.core.designs import get_design
+
+    try:
+        design = get_design(dyad.design)
+        model = core_power_model(dyad.design)
+    except (KeyError, ValueError):
+        return None
+    frequency_hz = float(design.frequency_hz)
+    if frequency_hz <= 0:
+        return None
+    cycles = sum(dyad.cycles.values())
+    if cycles <= 0:
+        return None
+    epi_ooo_pj = round(model.epi_ooo_nj * 1000.0)
+    epi_ino_pj = round(model.epi_inorder_nj * 1000.0)
+    static_pj = round(model.static_w * cycles / frequency_hz * 1e12)
+    phases = sorted(set(dyad.cycles) | set(dyad.instructions))
+    weights = [dyad.cycles.get(p, 0) for p in phases]
+    alloc = _distribute(static_pj, weights)
+    dynamic: dict[int, int] = {}
+    phases_pj: dict[int, int] = {}
+    for i, p in enumerate(phases):
+        instr = dyad.instructions.get(p, 0)
+        epi = epi_ooo_pj if p == int(DyadPhase.MASTER_COMPUTE) else epi_ino_pj
+        dynamic[p] = instr * epi
+        phases_pj[p] = alloc[i] + dynamic[p]
+    return DyadEnergy(
+        design=dyad.design,
+        frequency_hz=frequency_hz,
+        static_w=model.static_w,
+        cycles=cycles,
+        static_pj=static_pj,
+        total_pj=static_pj + sum(dynamic.values()),
+        phases_pj=phases_pj,
+        dynamic_pj=dynamic,
+    )
+
+
+# ----------------------------------------------------------------------
+# Request waterfalls (queueing-facing)
+# ----------------------------------------------------------------------
+
+
+def record_mg1_run(
+    *,
+    rate: float,
+    requests: int,
+    busy_s: float,
+    duration_s: float,
+    penalized=None,
+    penalty: float = 0.0,
+    server: int = -1,
+) -> None:
+    """Amortize one M/G/1 segment's static energy over its wall-clock.
+
+    Called next to :func:`repro.prof.record_mg1_run` with the segment's
+    post-warmup request count, total busy time and window duration.
+    ``penalized`` (optional bool/uint8 array) and ``penalty`` carve the
+    morph/restart-penalty seconds out of the busy share.  The
+    design/workload labels come from the ambient :func:`prof.context`;
+    segments with no resolvable design are counted as dropped, never
+    guessed at.
+    """
+    if not _enabled or requests <= 0 or duration_s <= 0:
+        return
+    labels = prof.context_labels()
+    design = labels.get("design", "")
+    try:
+        static_w = core_power_model(design).static_w if design else None
+    except ValueError:
+        static_w = None
+    if static_w is None:
+        _drop("waterfalls_unmodeled")
+        return
+    penalty_total_s = 0.0
+    if penalized is not None and penalty > 0.0:
+        import numpy as np
+
+        penalty_total_s = penalty * int(np.count_nonzero(penalized))
+    total_static_pj = round(static_w * duration_s * 1e12)
+    weights = [
+        max(0, round((busy_s - penalty_total_s) * 1e12)),
+        max(0, round(penalty_total_s * 1e12)),
+        max(0, round((duration_s - busy_s) * 1e12)),
+    ]
+    alloc = _distribute(total_static_pj, weights)
+    # Degenerate weight vector (zero-length window measured as zero
+    # picoseconds): park the residual in idle so the record conserves.
+    residual = total_static_pj - sum(alloc)
+    if residual:
+        alloc[2] += residual
+    record = EnergyWaterfall(
+        design=design,
+        workload=labels.get("workload", ""),
+        rate=rate,
+        requests=int(requests),
+        duration_s=float(duration_s),
+        busy_s=float(busy_s),
+        penalty_s=float(penalty_total_s),
+        static_w=static_w,
+        total_static_pj=total_static_pj,
+        shares_pj=dict(zip(WATERFALL_SHARES, alloc)),
+        server=server,
+    )
+    if len(_waterfalls) < WATERFALL_CAP:
+        _waterfalls.append(record)
+        if obs.is_enabled():
+            obs.add("energy.waterfalls")
+    else:
+        _drop("waterfalls")
+
+
+def record_cluster_run(
+    *,
+    design: str,
+    workload: str,
+    load: float,
+    servers: int,
+    requests: int,
+    duration_s: float,
+    total_j: float,
+    energy_per_request_j: float,
+    requests_per_joule: float,
+    wasted_static_fraction: float,
+    server_energy_min_j: float,
+    server_energy_mean_j: float,
+    server_energy_max_j: float,
+) -> None:
+    """Record one cluster run's energy rollup (see
+    :func:`repro.cluster.metrics.energy_summary`)."""
+    if not _enabled:
+        return
+    burn = (
+        energy_per_request_j / _budget_j
+        if _budget_j is not None and _budget_j > 0
+        else None
+    )
+    record = ClusterEnergyRecord(
+        design=design,
+        workload=workload,
+        load=load,
+        servers=int(servers),
+        requests=int(requests),
+        duration_s=float(duration_s),
+        total_j=float(total_j),
+        energy_per_request_j=float(energy_per_request_j),
+        requests_per_joule=float(requests_per_joule),
+        wasted_static_fraction=float(wasted_static_fraction),
+        server_energy_min_j=float(server_energy_min_j),
+        server_energy_mean_j=float(server_energy_mean_j),
+        server_energy_max_j=float(server_energy_max_j),
+        budget_j=_budget_j,
+        burn_rate=burn,
+    )
+    if len(_cluster_runs) < CLUSTER_RUN_CAP:
+        _cluster_runs.append(record)
+        if obs.is_enabled():
+            obs.add("energy.cluster_runs")
+    else:
+        _drop("cluster_runs")
+
+
+# ----------------------------------------------------------------------
+# Snapshot
+# ----------------------------------------------------------------------
+
+
+def snapshot() -> EnergySnapshot:
+    """Cost the profiler's attributed snapshot and freeze everything.
+
+    Every returned ledger row conserves exactly by construction; the
+    snapshot is additionally pushed through :func:`repro.validate.dispatch`,
+    whose energy-conservation law *recomputes* the grid totals from the
+    stored model inputs (so a costing bug cannot self-certify).
+    """
+    from repro import validate
+
+    prof_snap = prof.snapshot()
+    cores = []
+    unmodeled_cores = []
+    for core in prof_snap.cores:
+        model = _core_model(core)
+        if model is None or core.slots_total <= 0:
+            unmodeled_cores.append(core.core)
+            continue
+        cores.append(_core_energy(core, model))
+    dyads = []
+    unmodeled_dyads = []
+    for dyad in prof_snap.dyads:
+        ledger = _dyad_energy(dyad)
+        if ledger is None:
+            unmodeled_dyads.append(dyad.design)
+            continue
+        dyads.append(ledger)
+    snap = EnergySnapshot(
+        cores=tuple(cores),
+        dyads=tuple(dyads),
+        waterfalls=tuple(_waterfalls),
+        cluster_runs=tuple(_cluster_runs),
+        unmodeled_cores=tuple(unmodeled_cores),
+        unmodeled_dyads=tuple(unmodeled_dyads),
+        budget_j=_budget_j,
+        dropped=dict(_dropped),
+    )
+    validate.dispatch(snap)
+    return snap
+
+
+def live_totals() -> dict[str, int]:
+    """Cheap activity totals for ``--stats`` reporting."""
+    return {
+        "waterfalls": len(_waterfalls),
+        "cluster_runs": len(_cluster_runs),
+    }
+
+
+# ----------------------------------------------------------------------
+# Worker deltas (cross-process aggregation)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EnergyMark:
+    """A point in this process's energy streams (see :func:`mark`)."""
+
+    num_waterfalls: int
+    num_cluster_runs: int
+    dropped: dict[str, int]
+
+
+@dataclass(frozen=True)
+class EnergyDelta:
+    """Everything recorded after an :class:`EnergyMark` — picklable, so
+    pool workers return it with their chunk results.  Core/dyad ledgers
+    are *derived* from profiler state at snapshot time and ride the
+    :class:`~repro.prof.ProfDelta` plumbing; only the energy plane's own
+    streams ship here."""
+
+    waterfalls: tuple[EnergyWaterfall, ...]
+    cluster_runs: tuple[ClusterEnergyRecord, ...]
+    dropped: dict[str, int]
+
+    @property
+    def empty(self) -> bool:
+        return not (self.waterfalls or self.cluster_runs or self.dropped)
+
+
+def mark() -> EnergyMark:
+    """Snapshot the energy stream positions (cheap)."""
+    return EnergyMark(
+        num_waterfalls=len(_waterfalls),
+        num_cluster_runs=len(_cluster_runs),
+        dropped=dict(_dropped),
+    )
+
+
+def delta_since(before: EnergyMark) -> EnergyDelta:
+    """Everything recorded after ``before``, as additive deltas."""
+    dropped = {}
+    for key, total in _dropped.items():
+        d = total - before.dropped.get(key, 0)
+        if d:
+            dropped[key] = d
+    return EnergyDelta(
+        waterfalls=tuple(_waterfalls[before.num_waterfalls :]),
+        cluster_runs=tuple(_cluster_runs[before.num_cluster_runs :]),
+        dropped=dropped,
+    )
+
+
+def merge_delta(delta: EnergyDelta) -> None:
+    """Graft a worker's :class:`EnergyDelta` into this process's
+    streams, under the same caps as local capture."""
+    if not _enabled:
+        return
+    for record in delta.waterfalls:
+        if len(_waterfalls) < WATERFALL_CAP:
+            _waterfalls.append(record)
+        else:
+            _drop("waterfalls")
+    for record in delta.cluster_runs:
+        if len(_cluster_runs) < CLUSTER_RUN_CAP:
+            _cluster_runs.append(record)
+        else:
+            _drop("cluster_runs")
+    for key, v in delta.dropped.items():
+        _dropped[key] = _dropped.get(key, 0) + v
+
+
+def config_for_worker() -> dict[str, Any]:
+    """The parent's energy config for :func:`configure_worker`."""
+    return {"enabled": _enabled, "budget_j": _budget_j}
+
+
+def configure_worker(config: dict[str, Any]) -> None:
+    """Apply a parent's :func:`config_for_worker` inside a pool worker
+    (worker state starts clean; see :func:`repro.prof.configure_worker`)."""
+    reset()
+    if config.get("enabled"):
+        enable()
+        set_budget(config.get("budget_j"))
+
+
+# ----------------------------------------------------------------------
+# Export
+# ----------------------------------------------------------------------
+
+
+def export_to_obs(snap: EnergySnapshot) -> None:
+    """Stream a snapshot into the obs JSONL trace as ``type=energy``
+    records (no-op unless a trace stream is attached)."""
+    for core in snap.cores:
+        obs.emit_record(
+            {
+                "type": "energy",
+                "kind": "core",
+                "core": core.core,
+                "mode": core.mode,
+                "design": core.design,
+                "frequency_hz": core.frequency_hz,
+                "cycles": core.cycles,
+                "static_w": core.static_w,
+                "epi_pj": core.epi_pj,
+                "retired_main": core.retired_main,
+                "retired_filler": core.retired_filler,
+                "static_pj": core.static_pj,
+                "total_pj": core.total_pj,
+                "conserved": core.conserved(),
+                "shares_pj": dict(core.shares_pj),
+                "static_by_category_pj": dict(core.static_by_category_pj),
+            }
+        )
+    for dyad in snap.dyads:
+        obs.emit_record(
+            {
+                "type": "energy",
+                "kind": "dyad",
+                "design": dyad.design,
+                "frequency_hz": dyad.frequency_hz,
+                "static_w": dyad.static_w,
+                "cycles": dyad.cycles,
+                "static_pj": dyad.static_pj,
+                "total_pj": dyad.total_pj,
+                "conserved": dyad.conserved(),
+                "phases_pj": {
+                    DyadPhase(p).name: v
+                    for p, v in sorted(dyad.phases_pj.items())
+                },
+                "dynamic_pj": {
+                    DyadPhase(p).name: v
+                    for p, v in sorted(dyad.dynamic_pj.items())
+                },
+            }
+        )
+    for record in snap.waterfalls:
+        obs.emit_record(
+            {
+                "type": "energy",
+                "kind": "waterfall",
+                "design": record.design,
+                "workload": record.workload,
+                "rate": record.rate,
+                "requests": record.requests,
+                "duration_s": record.duration_s,
+                "busy_s": record.busy_s,
+                "penalty_s": record.penalty_s,
+                "static_w": record.static_w,
+                "total_static_pj": record.total_static_pj,
+                "conserved": record.conserved(),
+                "shares_pj": dict(record.shares_pj),
+                "server": record.server,
+            }
+        )
+    for run in snap.cluster_runs:
+        obs.emit_record(
+            {
+                "type": "energy",
+                "kind": "cluster",
+                "design": run.design,
+                "workload": run.workload,
+                "load": run.load,
+                "servers": run.servers,
+                "requests": run.requests,
+                "duration_s": run.duration_s,
+                "total_j": run.total_j,
+                "energy_per_request_j": run.energy_per_request_j,
+                "requests_per_joule": run.requests_per_joule,
+                "wasted_static_fraction": run.wasted_static_fraction,
+                "server_energy_min_j": run.server_energy_min_j,
+                "server_energy_mean_j": run.server_energy_mean_j,
+                "server_energy_max_j": run.server_energy_max_j,
+                "budget_j": run.budget_j,
+                "burn_rate": run.burn_rate,
+            }
+        )

@@ -1,0 +1,269 @@
+"""Plain-text rendering of an :class:`~repro.energy.EnergySnapshot`.
+
+``python -m repro energy`` prints :func:`render_energy_report`: a
+per-core energy tree (five-way shares over the power-model total, with
+an explicit conservation check line and a static-by-category rollup),
+the dyad phase breakdown, the M/G/1 static-energy waterfalls, and —
+when a profiler snapshot is supplied — per-request energy exemplars
+costed at the master core's static power.
+"""
+
+from __future__ import annotations
+
+from repro.energy import (
+    CORE_SHARES,
+    WATERFALL_SHARES,
+    EnergySnapshot,
+)
+from repro.harness.reporting import format_table
+from repro.prof import ProfileSnapshot
+from repro.prof.taxonomy import CATEGORIES, DyadPhase
+
+#: Waterfall records rendered (the full stream still goes to the trace).
+MAX_WATERFALLS = 8
+
+#: Exemplars shown in the per-request energy section.
+MAX_EXEMPLARS = 6
+
+
+def _pct(part: int, whole: int) -> str:
+    return f"{100.0 * part / whole:5.1f}%" if whole else "    -"
+
+
+def _uj(pj: float) -> str:
+    """Picojoules as microjoules for the human columns."""
+    return f"{pj / 1e6:.3f}"
+
+
+def render_energy_tree(snap: EnergySnapshot) -> str:
+    """The per-core energy tree: model line, five shares, category
+    rollup of the static part, conservation check."""
+    lines: list[str] = []
+    for core in snap.cores:
+        total = core.total_pj
+        lines.append(
+            f"core {core.core} [{core.mode}] design={core.design or '-'}"
+            f" static={core.static_w:.2f}W epi={core.epi_pj}pJ"
+            f" cycles={core.cycles}"
+        )
+        lines.append(
+            f"  total {total} pJ ({_uj(total)} uJ)"
+            f"  [static {core.static_pj} + dynamic"
+            f" {total - core.static_pj}]"
+        )
+        for share in CORE_SHARES:
+            pj = core.shares_pj.get(share, 0)
+            if pj:
+                lines.append(f"    {share:<16} {_pct(pj, total)}  {pj}")
+        cats = ", ".join(
+            f"{cat}={core.static_by_category_pj[cat]}"
+            for cat in CATEGORIES
+            if core.static_by_category_pj.get(cat)
+        )
+        if cats:
+            lines.append(f"  static by category: {cats}")
+        status = "exact" if core.conserved() else "VIOLATED"
+        lines.append(
+            f"  conservation: sum(shares) == static + dynamic [{status}]"
+        )
+        lines.append("")
+    if snap.unmodeled_cores:
+        lines.append(
+            "unmodeled cores (no power model): "
+            + ", ".join(snap.unmodeled_cores)
+        )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_dyad_energy(snap: EnergySnapshot) -> str:
+    """Per-design dyad phase energy table (static share + dynamic)."""
+    blocks: list[str] = []
+    for dyad in snap.dyads:
+        rows = []
+        for phase, pj in sorted(dyad.phases_pj.items()):
+            dyn = dyad.dynamic_pj.get(phase, 0)
+            rows.append(
+                [
+                    DyadPhase(phase).name,
+                    pj,
+                    dyn,
+                    pj - dyn,
+                    _pct(pj, dyad.total_pj),
+                ]
+            )
+        status = "exact" if dyad.conserved() else "VIOLATED"
+        blocks.append(
+            format_table(
+                ["phase", "total_pj", "dynamic_pj", "static_pj", "share"],
+                rows,
+                title=(
+                    f"dyad {dyad.design}: {dyad.total_pj} pJ"
+                    f" ({_uj(dyad.total_pj)} uJ) over {dyad.cycles} cycles"
+                    f" [{status}]"
+                ),
+            )
+        )
+    if snap.unmodeled_dyads:
+        blocks.append(
+            "unmodeled dyads (no power model): "
+            + ", ".join(snap.unmodeled_dyads)
+        )
+    return "\n\n".join(blocks)
+
+
+def render_energy_waterfalls(snap: EnergySnapshot) -> str:
+    """M/G/1 static-energy waterfalls: service/penalty/idle shares."""
+    records = snap.waterfalls[:MAX_WATERFALLS]
+    if not records:
+        return ""
+    rows = []
+    for w in records:
+        shares = " / ".join(
+            _pct(w.shares_pj.get(name, 0), w.total_static_pj).strip()
+            for name in WATERFALL_SHARES
+        )
+        rows.append(
+            [
+                w.design,
+                w.workload,
+                f"{w.rate:.0f}",
+                w.requests,
+                w.server if w.server >= 0 else "-",
+                _uj(w.total_static_pj),
+                _uj(w.static_per_request_pj),
+                shares,
+            ]
+        )
+    title = "static-energy waterfalls (service / morph_penalty / idle)"
+    hidden = len(snap.waterfalls) - len(records)
+    if hidden > 0:
+        title += f" [+{hidden} more in trace]"
+    return format_table(
+        [
+            "design",
+            "workload",
+            "rate",
+            "requests",
+            "server",
+            "static_uj",
+            "uj/req",
+            "shares",
+        ],
+        rows,
+        title=title,
+    )
+
+
+def render_cluster_energy(snap: EnergySnapshot) -> str:
+    """Cluster energy rollups: requests-per-joule, wasted-static tax."""
+    if not snap.cluster_runs:
+        return ""
+    rows = []
+    for run in snap.cluster_runs:
+        rows.append(
+            [
+                run.design,
+                run.workload,
+                f"{run.load:.2f}",
+                run.servers,
+                f"{run.total_j:.3f}",
+                f"{run.energy_per_request_j * 1e6:.2f}",
+                f"{run.requests_per_joule:.0f}",
+                f"{run.wasted_static_fraction:.3f}",
+                (
+                    f"{run.burn_rate:.2f}"
+                    if run.burn_rate is not None
+                    else "-"
+                ),
+            ]
+        )
+    return format_table(
+        [
+            "design",
+            "workload",
+            "load",
+            "servers",
+            "total_j",
+            "uj/req",
+            "req/J",
+            "wasted_static",
+            "burn",
+        ],
+        rows,
+        title="cluster energy (wasted_static = idle static / total)",
+    )
+
+
+def render_request_exemplars(
+    snap: EnergySnapshot, prof_snap: ProfileSnapshot
+) -> str:
+    """Tail-request exemplars costed at the segment's static power:
+    the joules one slow request holds the core for."""
+    blocks: list[str] = []
+    static_by_key = {
+        (w.design, w.workload, w.server): w.static_w for w in snap.waterfalls
+    }
+    for record in prof_snap.waterfalls[:MAX_WATERFALLS]:
+        static_w = static_by_key.get(
+            (record.design, record.workload, record.server)
+        )
+        if static_w is None or not record.exemplars:
+            continue
+        rows = []
+        for e in record.exemplars[:MAX_EXEMPLARS]:
+            rows.append(
+                [
+                    e.index,
+                    f"{e.sojourn_s * 1e6:.1f}",
+                    f"{static_w * e.wait_s * 1e6:.2f}",
+                    f"{static_w * e.service_s * 1e6:.2f}",
+                    f"{static_w * e.penalty_s * 1e6:.2f}",
+                    f"{static_w * e.sojourn_s * 1e6:.2f}",
+                ]
+            )
+        blocks.append(
+            format_table(
+                [
+                    "request",
+                    "sojourn_us",
+                    "wait_uj",
+                    "service_uj",
+                    "penalty_uj",
+                    "total_uj",
+                ],
+                rows,
+                title=(
+                    f"request energy exemplars"
+                    f" {record.design}/{record.workload}"
+                    f" @{record.rate:.0f}/s ({static_w:.2f}W static)"
+                ),
+            )
+        )
+        if len(blocks) >= 2:
+            break
+    return "\n\n".join(blocks)
+
+
+def render_energy_report(
+    snap: EnergySnapshot, prof_snap: ProfileSnapshot | None = None
+) -> str:
+    """The full ``python -m repro energy`` report."""
+    if snap.empty:
+        return "energy: nothing captured"
+    sections = [
+        render_energy_tree(snap),
+        render_dyad_energy(snap),
+        render_energy_waterfalls(snap),
+        render_cluster_energy(snap),
+    ]
+    if prof_snap is not None:
+        sections.append(render_request_exemplars(snap, prof_snap))
+    if snap.budget_j is not None:
+        sections.append(f"energy budget: {snap.budget_j * 1e6:.2f} uJ/request")
+    if snap.dropped:
+        sections.append(
+            "dropped: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(snap.dropped.items()))
+        )
+    return "\n\n".join(s for s in sections if s)

@@ -31,7 +31,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
-from repro import obs, prof, validate
+from repro import energy, obs, prof, validate
 from repro.uarch import fastpath
 from repro.core.designs import DESIGN_NAMES
 from repro.harness import cache as disk_cache
@@ -226,23 +226,26 @@ def _worker_chunk(
     obs_config: dict,
     prof_config: dict,
     fastpath_config: dict,
+    energy_config: dict | None = None,
 ):
     """Pool-worker entry point: evaluate one chunk under the parent's
-    cache/observability/profiling/fastpath configuration and report the
-    worker-side cache, observation and profile deltas.
+    cache/observability/profiling/fastpath/energy configuration and
+    report the worker-side cache, observation, profile and energy
+    deltas.
 
-    Pool workers are reused across chunks, so all three reports are
-    *deltas* from a pre-chunk snapshot (the ``CacheStats.since()``
-    discipline) — absolute totals would double-count earlier chunks on
-    merge.
+    Pool workers are reused across chunks, so all reports are *deltas*
+    from a pre-chunk snapshot (the ``CacheStats.since()`` discipline) —
+    absolute totals would double-count earlier chunks on merge.
     """
     disk_cache.configure(**cache_config)
     obs.configure_worker(obs_config)
     prof.configure_worker(prof_config)
     fastpath.configure_worker(fastpath_config)
+    energy.configure_worker(energy_config or {})
     before = disk_cache.stats_snapshot()
     obs_mark = obs.mark()
     prof_mark = prof.mark()
+    energy_mark = energy.mark()
     results, timings = _evaluate_chunk(design_names, workload, loads, fidelity)
     delta = disk_cache.stats_snapshot().since(before)
     return (
@@ -251,6 +254,7 @@ def _worker_chunk(
         delta,
         obs.delta_since(obs_mark),
         prof.delta_since(prof_mark),
+        energy.delta_since(energy_mark),
     )
 
 
@@ -284,6 +288,7 @@ def _run_pooled(
     obs_config = obs.config_for_worker()
     prof_config = prof.config_for_worker()
     fastpath_config = fastpath.config_for_worker()
+    energy_config = energy.config_for_worker()
     max_workers = min(workers, len(workloads))
     try:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
@@ -298,20 +303,27 @@ def _run_pooled(
                     obs_config,
                     prof_config,
                     fastpath_config,
+                    energy_config,
                 )
                 for workload in workloads
             ]
             # Gathered in submission order: deterministic result order.
             chunks = []
             for future in futures:
-                results, timings, delta, obs_delta, prof_delta = (
-                    future.result()
-                )
+                (
+                    results,
+                    timings,
+                    delta,
+                    obs_delta,
+                    prof_delta,
+                    energy_delta,
+                ) = future.result()
                 chunks.append((results, timings))
                 if stats is not None:
                     stats.disk.merge(delta)
                 obs.merge_delta(obs_delta)
                 prof.merge_delta(prof_delta)
+                energy.merge_delta(energy_delta)
     except (BrokenProcessPool, pickle.PicklingError, OSError):
         if stats is not None:
             stats.serial_fallbacks += 1

@@ -74,6 +74,11 @@ def format_grid_stats(stats: "GridRunStats") -> str:
     if tailobs.is_enabled():
         for name, value in sorted(tailobs.live_totals().items()):
             rows.append([f"tailobs.{name}", value])
+    from repro import energy
+
+    if energy.is_enabled():
+        for name, value in sorted(energy.live_totals().items()):
+            rows.append([f"energy.{name}", value])
     for timing in stats.slowest(3):
         rows.append(
             [
@@ -108,6 +113,9 @@ def format_violations(violations: Sequence["Violation"]) -> str:
 
 
 def _fmt(cell: object) -> str:
+    if cell is None:
+        # Distinct from 0: "no model / not measured", never "free".
+        return "-"
     if isinstance(cell, float):
         if cell == 0:
             return "0"

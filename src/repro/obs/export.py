@@ -54,6 +54,9 @@ class TraceSummary:
     #: ``{"type": "cluster"}`` tail-observability records, keyed by
     #: their ``kind`` (run/attribution/slo/request).
     cluster_records: dict[str, int] = field(default_factory=dict)
+    #: ``{"type": "energy"}`` joule-ledger records, keyed by their
+    #: ``kind`` (core/dyad/waterfall/cluster).
+    energy_records: dict[str, int] = field(default_factory=dict)
     manifest: dict[str, Any] | None = None
     num_records: int = 0
 
@@ -108,6 +111,9 @@ def summarize_records(records: list[dict[str, Any]]) -> TraceSummary:
         elif kind == "cluster":
             ck = str(obj.get("kind", "unknown"))
             summary.cluster_records[ck] = summary.cluster_records.get(ck, 0) + 1
+        elif kind == "energy":
+            ek = str(obj.get("kind", "unknown"))
+            summary.energy_records[ek] = summary.energy_records.get(ek, 0) + 1
         elif kind == "manifest":
             summary.manifest = {k: v for k, v in obj.items() if k != "type"}
     return summary
@@ -179,6 +185,13 @@ def render_prometheus(summary: TraceSummary) -> str:
                 f'repro_cluster_record_count{{kind="{name}"}}'
                 f" {summary.cluster_records[name]}"
             )
+    if summary.energy_records:
+        lines.append("# TYPE repro_energy_record_count counter")
+        for name in sorted(summary.energy_records):
+            lines.append(
+                f'repro_energy_record_count{{kind="{name}"}}'
+                f" {summary.energy_records[name]}"
+            )
     if not lines:
         return "# no metrics recorded"
     return "\n".join(lines)
@@ -187,21 +200,43 @@ def render_prometheus(summary: TraceSummary) -> str:
 def render_report(path: str | os.PathLike[str]) -> str:
     """The ``python -m repro report`` body for one trace file: a short
     manifest header plus the Prometheus metrics dump."""
+    from repro.obs.manifest import load_manifest, manifest_path_for
+
     summary = summarize_trace(path)
+    # Prefer the sidecar manifest: it is patched post-run with values
+    # (total_power_w) the embedded first-line record cannot know yet.
+    manifest = summary.manifest
+    sidecar = manifest_path_for(path)
+    if sidecar.exists():
+        try:
+            manifest = load_manifest(sidecar)
+        except (OSError, json.JSONDecodeError):
+            pass
     header = [f"# trace: {path} ({summary.num_records} records)"]
-    if summary.manifest:
-        pkg = summary.manifest.get("package") or {}
-        fidelity = summary.manifest.get("fidelity")
+    if manifest:
+        pkg = manifest.get("package") or {}
+        fidelity = manifest.get("fidelity")
         fidelity_name = (
             fidelity.get("name") if isinstance(fidelity, dict) else fidelity
         )
         header.append(
             "# manifest: "
-            f"target={summary.manifest.get('target')}"
+            f"target={manifest.get('target')}"
             f" fidelity={fidelity_name}"
             f" version={pkg.get('version')}"
-            f" schema={summary.manifest.get('cache_schema_version')}"
+            f" schema={manifest.get('cache_schema_version')}"
         )
+        power = manifest.get("power")
+        if isinstance(power, dict):
+            core = power.get("core") or {}
+            header.append(
+                "# power: "
+                f"design={power.get('design')}"
+                f" static_w={core.get('static_w')}"
+                f" epi_ooo_nj={core.get('epi_ooo_nj')}"
+                f" epi_inorder_nj={core.get('epi_inorder_nj')}"
+                f" total_power_w={manifest.get('total_power_w')}"
+            )
     return "\n".join(header) + "\n" + render_prometheus(summary)
 
 

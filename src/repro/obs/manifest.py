@@ -113,10 +113,30 @@ def load_manifest(path: str | os.PathLike[str]) -> dict[str, Any]:
     return json.loads(Path(path).read_text(encoding="utf-8"))
 
 
+def update_manifest(
+    path: str | os.PathLike[str], extra: dict[str, Any]
+) -> Path | None:
+    """Merge ``extra`` into an existing sidecar manifest, atomically.
+
+    Used for values only known *after* the run (e.g. the realized
+    ``total_power_w``): the manifest is written at run start, then
+    patched in place.  Returns ``None`` when there is no readable
+    manifest at ``path`` (nothing to patch; never raises for that).
+    """
+    path = Path(path)
+    try:
+        manifest = load_manifest(path)
+    except (OSError, json.JSONDecodeError):
+        return None
+    manifest.update(extra)
+    return write_manifest(path, manifest)
+
+
 __all__ = [
     "MANIFEST_SCHEMA",
     "build_manifest",
     "load_manifest",
     "manifest_path_for",
+    "update_manifest",
     "write_manifest",
 ]

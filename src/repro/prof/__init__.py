@@ -78,6 +78,7 @@ __all__ = [
     "config_for_worker",
     "configure_worker",
     "context",
+    "context_labels",
     "delta_since",
     "disable",
     "enable",
@@ -204,6 +205,13 @@ def context(**labels: str):
                 _context.pop(k, None)
             else:
                 _context[k] = v
+
+
+def context_labels() -> dict[str, str]:
+    """Copy of the ambient :func:`context` labels (``design``,
+    ``workload``, ...); consumers like :mod:`repro.energy` tag their
+    records with these without reaching into private state."""
+    return dict(_context)
 
 
 def _core_key(name: str) -> str:
@@ -344,7 +352,15 @@ def account_run(engine, cycles: int) -> None:
     if not _enabled:
         return
     core = _core_key(engine.name)
-    _core_meta.setdefault(core, {"mode": "unknown", "width": engine.width})
+    _core_meta.setdefault(
+        core,
+        {
+            "mode": "unknown",
+            "width": engine.width,
+            "design": _context.get("design", ""),
+            "frequency_hz": float(getattr(engine, "frequency_hz", 0.0)),
+        },
+    )
     slots = engine.width * cycles
     if slots:
         _slots_total[core] = _slots_total.get(core, 0) + slots
@@ -372,7 +388,12 @@ def register_core(engine, mode: str) -> None:
     ...) for the profile report.  Called by the core models."""
     if not _enabled:
         return
-    _core_meta[_core_key(engine.name)] = {"mode": mode, "width": engine.width}
+    _core_meta[_core_key(engine.name)] = {
+        "mode": mode,
+        "width": engine.width,
+        "design": _context.get("design", ""),
+        "frequency_hz": float(getattr(engine, "frequency_hz", 0.0)),
+    }
 
 
 def charge_core(engine, cause: int, cycles: int) -> None:
@@ -593,6 +614,11 @@ class CoreProfile:
     slots_total: int
     slots: dict[int, int]
     threads: tuple[ThreadSlots, ...] = ()
+    #: Design the core was simulated under (ambient ``context`` label at
+    #: registration time); "" when the run carried no design label.
+    design: str = ""
+    #: Engine clock; 0.0 when the engine predates frequency metadata.
+    frequency_hz: float = 0.0
 
     def conserved(self) -> bool:
         return sum(self.slots.values()) == self.slots_total
@@ -728,6 +754,8 @@ def snapshot() -> ProfileSnapshot:
                     ThreadSlots(thread=t, slots=dict(b))
                     for t, b in sorted(per_thread.items())
                 ),
+                design=str(meta.get("design", "")),
+                frequency_hz=float(meta.get("frequency_hz", 0.0)),
             )
         )
     designs = sorted({d for d, _ in _dyad_cycles} | {d for d, _ in _dyad_instr})

@@ -26,7 +26,7 @@ from typing import Protocol
 
 import numpy as np
 
-from repro import obs, prof
+from repro import energy, obs, prof
 from repro.common.distributions import Distribution
 
 
@@ -285,6 +285,15 @@ class MG1Simulator:
                 penalty=penalty,
                 seed=self.seed,
             )
+            if energy.is_enabled():
+                energy.record_mg1_run(
+                    rate=self.arrival_rate,
+                    requests=num_requests - warmup,
+                    busy_s=busy,
+                    duration_s=duration,
+                    penalized=penalized[warmup:] if penalty > 0 else None,
+                    penalty=penalty,
+                )
         return QueueResult(
             wait_times=waits[warmup:],
             service_times=services[warmup:],
@@ -367,6 +376,17 @@ class MG1Simulator:
                 penalty=prof_penalty,
                 seed=self.seed,
             )
+            if energy.is_enabled():
+                energy.record_mg1_run(
+                    rate=self.arrival_rate,
+                    requests=num_requests - warmup,
+                    busy_s=busy,
+                    duration_s=duration,
+                    penalized=(
+                        penalized[warmup:] != 0 if prof_penalty > 0 else None
+                    ),
+                    penalty=prof_penalty,
+                )
         return QueueResult(
             wait_times=waits[warmup:],
             service_times=services[warmup:],

@@ -244,6 +244,7 @@ def check(result: Any, subject: str = "") -> list[Violation]:
     from repro.cluster.experiment import ClusterCellResult
     from repro.cluster.sim import ClusterResult
     from repro.cluster.tailobs import ClusterRunObs
+    from repro.energy import EnergySnapshot
     from repro.harness.experiment import CellResult
     from repro.harness.measure import CoreMeasurement
     from repro.queueing.mg1 import QueueResult
@@ -252,6 +253,8 @@ def check(result: Any, subject: str = "") -> list[Violation]:
         return check_cluster_result(result, subject=subject or "cluster")
     if isinstance(result, ClusterRunObs):
         return check_cluster_run_obs(result, subject=subject or "tailobs")
+    if isinstance(result, EnergySnapshot):
+        return check_energy_snapshot(result, subject=subject or "energy")
     if isinstance(result, ClusterCellResult):
         return check_cluster_cell(
             result, subject=subject or _cluster_cell_subject(result)
@@ -579,10 +582,14 @@ def check_cluster_cell(cell, subject: str = "") -> list[Violation]:
     positive_finite = {
         "p99_us": cell.p99_us,
         "p999_us": cell.p999_us,
+        # None means "no power model for this design" (a reported state,
+        # not a violation); only a present value must be positive.
         "total_power_w": cell.total_power_w,
         "requests_per_watt": cell.requests_per_watt,
     }
     for name, value in positive_finite.items():
+        if value is None:
+            continue
         if not math.isfinite(value) or value <= 0:
             bad(
                 "positive-finite",
@@ -713,6 +720,172 @@ def check_cluster_run_obs(run, subject: str = "tailobs") -> list[Violation]:
                 "attribution-non-negative",
                 f"p{att.quantile * 100:g}: negative cause share",
                 observed=float(min(att.shares_ps.values())),
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# EnergySnapshot
+# ----------------------------------------------------------------------
+
+
+def check_energy_snapshot(snap, subject: str = "energy") -> list[Violation]:
+    """The energy-conservation law.
+
+    Every ledger row must conserve *exactly* on the integer picojoule
+    grid, recomputed here from the stored power-model inputs (so a
+    costing bug in :mod:`repro.energy` cannot self-certify):
+
+    * **core**: ``sum(shares) == total == round(static_w x cycles / f
+      x 1e12) + (retired_main + retired_filler) x epi_pj``, the
+      static-by-category rollup sums to the static part, and no share
+      goes negative;
+    * **dyad**: phase energies sum to the recomputed static + dynamic
+      total;
+    * **waterfall**: the service/penalty/idle shares sum to
+      ``round(static_w x duration x 1e12)`` exactly;
+    * **cluster**: wasted-static fraction in [0, 1], energies and burn
+      rates non-negative.
+    """
+    out: list[Violation] = []
+
+    def bad(invariant, message, observed=None, expected=None):
+        out.append(Violation(invariant, subject, message, observed, expected))
+
+    for core in snap.cores:
+        static_pj = round(
+            core.static_w * core.cycles / core.frequency_hz * 1e12
+        )
+        dynamic_pj = (core.retired_main + core.retired_filler) * core.epi_pj
+        if core.static_pj != static_pj:
+            bad(
+                "energy-static-recompute",
+                f"{core.core}: stored static energy differs from the"
+                " power model integrated over the run's cycles",
+                observed=float(core.static_pj),
+                expected=float(static_pj),
+            )
+        if core.total_pj != static_pj + dynamic_pj:
+            bad(
+                "energy-total-recompute",
+                f"{core.core}: total differs from recomputed"
+                " static + dynamic",
+                observed=float(core.total_pj),
+                expected=float(static_pj + dynamic_pj),
+            )
+        if sum(core.shares_pj.values()) != core.total_pj:
+            bad(
+                "energy-conservation",
+                f"{core.core}: shares do not sum to the total",
+                observed=float(sum(core.shares_pj.values())),
+                expected=float(core.total_pj),
+            )
+        if sum(core.static_by_category_pj.values()) != core.static_pj:
+            bad(
+                "energy-category-conservation",
+                f"{core.core}: static-by-category does not sum to the"
+                " static part",
+                observed=float(sum(core.static_by_category_pj.values())),
+                expected=float(core.static_pj),
+            )
+        if any(v < 0 for v in core.shares_pj.values()):
+            bad(
+                "energy-non-negative",
+                f"{core.core}: negative energy share",
+                observed=float(min(core.shares_pj.values())),
+            )
+    for dyad in snap.dyads:
+        static_pj = round(
+            dyad.static_w * dyad.cycles / dyad.frequency_hz * 1e12
+        )
+        if dyad.static_pj != static_pj:
+            bad(
+                "energy-static-recompute",
+                f"dyad {dyad.design}: stored static energy differs from"
+                " the power model over the phase cycles",
+                observed=float(dyad.static_pj),
+                expected=float(static_pj),
+            )
+        expected_total = static_pj + sum(dyad.dynamic_pj.values())
+        if dyad.total_pj != expected_total:
+            bad(
+                "energy-total-recompute",
+                f"dyad {dyad.design}: total differs from recomputed"
+                " static + dynamic",
+                observed=float(dyad.total_pj),
+                expected=float(expected_total),
+            )
+        if sum(dyad.phases_pj.values()) != dyad.total_pj:
+            bad(
+                "energy-conservation",
+                f"dyad {dyad.design}: phase energies do not sum to the"
+                " total",
+                observed=float(sum(dyad.phases_pj.values())),
+                expected=float(dyad.total_pj),
+            )
+    for w in snap.waterfalls:
+        static_pj = round(w.static_w * w.duration_s * 1e12)
+        if w.total_static_pj != static_pj:
+            bad(
+                "energy-static-recompute",
+                f"waterfall {w.design}/{w.workload}: stored static"
+                " energy differs from static_w x duration",
+                observed=float(w.total_static_pj),
+                expected=float(static_pj),
+            )
+        if sum(w.shares_pj.values()) != w.total_static_pj:
+            bad(
+                "energy-conservation",
+                f"waterfall {w.design}/{w.workload}: shares do not sum"
+                " to the static total",
+                observed=float(sum(w.shares_pj.values())),
+                expected=float(w.total_static_pj),
+            )
+        if any(v < 0 for v in w.shares_pj.values()):
+            bad(
+                "energy-non-negative",
+                f"waterfall {w.design}/{w.workload}: negative share",
+                observed=float(min(w.shares_pj.values())),
+            )
+    for run in snap.cluster_runs:
+        if not 0.0 <= run.wasted_static_fraction <= 1.0 + 1e-9:
+            bad(
+                "energy-wasted-range",
+                f"cluster {run.design}/{run.workload}@{run.load:g}:"
+                " wasted-static fraction outside [0, 1]",
+                observed=run.wasted_static_fraction,
+            )
+        for name, value in (
+            ("total_j", run.total_j),
+            ("energy_per_request_j", run.energy_per_request_j),
+            ("requests_per_joule", run.requests_per_joule),
+        ):
+            if not math.isfinite(value) or value < 0:
+                bad(
+                    "energy-non-negative",
+                    f"cluster {run.design}/{run.workload}@{run.load:g}:"
+                    f" {name} must be non-negative and finite",
+                    observed=value,
+                )
+        if run.burn_rate is not None and (
+            not math.isfinite(run.burn_rate) or run.burn_rate < 0
+        ):
+            bad(
+                "energy-burn-range",
+                f"cluster {run.design}/{run.workload}@{run.load:g}:"
+                " burn rate must be non-negative and finite",
+                observed=run.burn_rate,
+            )
+        if not (
+            run.server_energy_min_j - 1e-9
+            <= run.server_energy_mean_j
+            <= run.server_energy_max_j + 1e-9
+        ):
+            bad(
+                "energy-spread-ordering",
+                f"cluster {run.design}/{run.workload}@{run.load:g}:"
+                " mean server energy outside [min, max]",
+                observed=run.server_energy_mean_j,
             )
     return out
 
@@ -957,6 +1130,7 @@ __all__ = [
     "check_cluster_cell",
     "check_cluster_result",
     "check_core_measurement",
+    "check_energy_snapshot",
     "check_grid",
     "check_queue_result",
     "check_tail_value",

@@ -1,0 +1,590 @@
+"""Energy attribution plane: exact integer conservation, worker deltas,
+non-interference, the CLI target, and the degenerate power paths.
+
+The properties pinned here mirror the prof/tailobs integration suites:
+
+* every ledger row conserves as an *integer* identity — shares sum to
+  the power model integrated over the run's cycles, recomputable from
+  the stored model inputs (and the validator recomputes them);
+* energy capture never changes simulation results — the golden grid
+  payload is byte-identical with the plane on or off;
+* a pooled sweep reproduces the serial run's ledgers exactly;
+* the ``energy`` CLI target renders a conservation-checked report and
+  streams ``type=energy`` records plus power-model coefficients into
+  the trace/manifest.
+"""
+
+import dataclasses
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import energy, obs, prof, validate
+from repro.cli import main
+from repro.energy import (
+    CLUSTER_RUN_CAP,
+    CORE_SHARES,
+    WATERFALL_CAP,
+    WATERFALL_SHARES,
+    EnergySnapshot,
+)
+from repro.energy.render import render_energy_report
+from repro.harness import cache
+from repro.harness.experiment import clear_tail_cache, run_grid
+from repro.harness.measure import clear_cache
+from repro.harness.parallel import GridRunStats, run_single_cell
+from repro.harness.reporting import format_grid_stats, format_table
+from repro.power.mcpat import core_power_model, lender_power_model
+from repro.workloads.microservices import mcrouter
+from tests.harness.test_measure import TINY
+
+
+@pytest.fixture(autouse=True)
+def _clean_planes():
+    energy.reset()
+    prof.reset()
+    obs.reset()
+    yield
+    energy.reset()
+    prof.reset()
+    obs.reset()
+
+
+@pytest.fixture
+def fresh_caches(tmp_path):
+    previous = cache.current_config()
+    clear_cache()
+    clear_tail_cache()
+    cache.configure(root=tmp_path / "cache")
+    yield
+    clear_cache()
+    clear_tail_cache()
+    cache.configure(**previous)
+
+
+@pytest.fixture(scope="module")
+def cell_snapshots():
+    """One energy-profiled simulation of both designs, shared by the
+    conservation tests (frozen snapshots; state is reset afterwards)."""
+    previous = cache.current_config()
+    clear_cache()
+    clear_tail_cache()
+    cache.configure(enabled=False)
+    prof.reset()
+    energy.reset()
+    energy.enable()
+    for design in ("baseline", "duplexity"):
+        run_single_cell(design, mcrouter(), 0.6, TINY)
+    esnap = energy.snapshot()
+    psnap = prof.snapshot()
+    energy.reset()
+    prof.reset()
+    clear_cache()
+    clear_tail_cache()
+    cache.configure(**previous)
+    return esnap, psnap
+
+
+class TestLifecycle:
+    def test_off_by_default_records_nothing(self):
+        assert not energy.is_enabled()
+        with prof.context(design="baseline", workload="W"):
+            energy.record_mg1_run(
+                rate=1e5, requests=10, busy_s=0.5, duration_s=1.0
+            )
+        assert energy.snapshot().empty
+
+    def test_enable_implies_prof(self):
+        energy.enable()
+        assert energy.is_enabled()
+        assert prof.is_enabled()
+        energy.disable()
+        assert not energy.is_enabled()
+        # The profiler's lifetime belongs to whoever enabled it.
+        assert prof.is_enabled()
+
+    def test_reset_clears_everything(self):
+        energy.enable()
+        energy.set_budget(1e-4)
+        with prof.context(design="baseline", workload="W"):
+            energy.record_mg1_run(
+                rate=1e5, requests=10, busy_s=0.5, duration_s=1.0
+            )
+        assert energy.live_totals()["waterfalls"] == 1
+        energy.reset()
+        assert not energy.is_enabled()
+        assert energy.budget_j() is None
+        assert energy.snapshot().empty
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", "no"])
+    def test_env_falsy(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_ENERGY", value)
+        assert not energy.enable_from_env()
+        assert not energy.is_enabled()
+
+    def test_env_truthy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENERGY", "1")
+        assert energy.enable_from_env()
+        assert energy.is_enabled()
+        assert prof.is_enabled()
+
+
+class TestCoreConservation:
+    def test_every_core_conserves_exactly(self, cell_snapshots):
+        esnap, _ = cell_snapshots
+        assert esnap.cores
+        # Core keys are workload-namespaced; the second design's run
+        # re-registers the same engines, so its meta wins.
+        assert {c.design for c in esnap.cores} == {"duplexity"}
+        for core in esnap.cores:
+            assert core.conserved()
+            # Recompute the grid totals from the stored model inputs.
+            static = round(
+                core.static_w * core.cycles / core.frequency_hz * 1e12
+            )
+            dynamic = (core.retired_main + core.retired_filler) * core.epi_pj
+            assert core.static_pj == static
+            assert core.total_pj == static + dynamic
+            assert sum(core.shares_pj.values()) == core.total_pj
+            assert sum(core.static_by_category_pj.values()) == core.static_pj
+            assert set(core.shares_pj) == set(CORE_SHARES)
+            assert all(v >= 0 for v in core.shares_pj.values())
+
+    def test_mode_to_epi_classification(self, cell_snapshots):
+        esnap, _ = cell_snapshots
+        by_mode = {}
+        for core in esnap.cores:
+            by_mode.setdefault(core.mode, core)
+        for mode, core in by_mode.items():
+            if mode == "ino-smt":
+                # The lender: its own (smaller) power model, in-order EPI.
+                lender = lender_power_model()
+                assert core.static_w == lender.static_w
+                assert core.epi_pj == round(lender.epi_inorder_nj * 1000)
+            elif mode in ("hsmt-filler", "ino-filler"):
+                assert core.epi_pj == 450
+            else:  # ooo / hsmt / smt* / unknown retire through OoO
+                assert core.epi_pj == 900
+
+    def test_dyad_phases_conserve(self, cell_snapshots):
+        esnap, _ = cell_snapshots
+        assert esnap.dyads
+        (dup,) = [d for d in esnap.dyads if d.design == "duplexity"]
+        for dyad in esnap.dyads:
+            assert dyad.conserved()
+            assert sum(dyad.phases_pj.values()) == dyad.total_pj
+            assert dyad.total_pj == dyad.static_pj + sum(
+                dyad.dynamic_pj.values()
+            )
+        assert dup.cycles > 0
+        assert dup.total_pj > 0
+
+    def test_mg1_waterfalls_join_the_run(self, cell_snapshots):
+        esnap, _ = cell_snapshots
+        assert esnap.waterfalls
+        for w in esnap.waterfalls:
+            assert w.conserved()
+            assert w.total_static_pj == round(
+                w.static_w * w.duration_s * 1e12
+            )
+            assert set(w.shares_pj) == set(WATERFALL_SHARES)
+            assert all(v >= 0 for v in w.shares_pj.values())
+            assert w.rate > 0 and w.requests > 0
+            assert w.static_per_request_pj > 0
+
+    def test_validator_passes_the_real_snapshot(self, cell_snapshots):
+        esnap, _ = cell_snapshots
+        assert validate.check(esnap) == []
+        assert esnap.conserved()
+
+    def test_render_report(self, cell_snapshots):
+        esnap, psnap = cell_snapshots
+        text = render_energy_report(esnap, psnap)
+        assert "conservation: sum(shares) == static + dynamic [exact]" in text
+        assert "VIOLATED" not in text
+        assert "static-energy waterfalls" in text
+        assert "request energy exemplars" in text
+        # Empty snapshots render without crashing.
+        assert render_energy_report(EnergySnapshot()) is not None
+
+
+class TestValidatorCatchesTampering:
+    def test_tampered_core_total(self, cell_snapshots):
+        esnap, _ = cell_snapshots
+        bad_core = dataclasses.replace(
+            esnap.cores[0], total_pj=esnap.cores[0].total_pj + 1
+        )
+        bad = dataclasses.replace(esnap, cores=(bad_core,), dyads=(),
+                                  waterfalls=(), cluster_runs=())
+        violations = validate.check(bad)
+        assert violations
+        assert all(v.invariant.startswith("energy-") for v in violations)
+
+    def test_tampered_waterfall(self, cell_snapshots):
+        esnap, _ = cell_snapshots
+        w = esnap.waterfalls[0]
+        bad_w = dataclasses.replace(w, total_static_pj=w.total_static_pj + 7)
+        bad = dataclasses.replace(esnap, cores=(), dyads=(),
+                                  waterfalls=(bad_w,), cluster_runs=())
+        assert validate.check(bad)
+
+    def test_bad_cluster_fraction(self):
+        energy.enable()
+        energy.record_cluster_run(
+            design="duplexity", workload="W", load=0.5, servers=4,
+            requests=100, duration_s=1.0, total_j=10.0,
+            energy_per_request_j=0.1, requests_per_joule=10.0,
+            wasted_static_fraction=1.5,  # impossible
+            server_energy_min_j=2.0, server_energy_mean_j=2.5,
+            server_energy_max_j=3.0,
+        )
+        with validate.collecting() as found:
+            energy.snapshot()
+        assert any(v.invariant == "energy-wasted-range" for v in found)
+
+
+class TestWaterfallRecording:
+    def test_shares_split_busy_idle(self):
+        energy.enable()
+        with prof.context(design="baseline", workload="W"):
+            energy.record_mg1_run(
+                rate=1e5, requests=100, busy_s=0.25, duration_s=1.0
+            )
+        (w,) = energy.snapshot().waterfalls
+        static_w = core_power_model("baseline").static_w
+        assert w.total_static_pj == round(static_w * 1e12)
+        assert w.conserved()
+        assert w.shares_pj["morph_penalty"] == 0
+        # 25/75 split of a pure busy/idle window (integer grid, so up
+        # to one pJ of largest-remainder rounding).
+        assert w.shares_pj["service"] == pytest.approx(
+            0.25 * w.total_static_pj, abs=1
+        )
+        assert w.shares_pj["idle"] == pytest.approx(
+            0.75 * w.total_static_pj, abs=1
+        )
+
+    def test_penalty_share_carved_from_busy(self):
+        energy.enable()
+        penalized = np.array([1, 0, 1, 1], dtype=np.uint8)
+        with prof.context(design="duplexity", workload="W"):
+            energy.record_mg1_run(
+                rate=1e5, requests=4, busy_s=0.5, duration_s=1.0,
+                penalized=penalized, penalty=0.05,
+            )
+        (w,) = energy.snapshot().waterfalls
+        assert w.penalty_s == pytest.approx(0.15)
+        assert w.shares_pj["morph_penalty"] > 0
+        assert w.conserved()
+
+    def test_degenerate_window_parks_residual_in_idle(self):
+        # A window measured as zero picoseconds still conserves: the
+        # whole (rounded) static budget lands in idle.
+        energy.enable()
+        with prof.context(design="duplexity", workload="W"):
+            energy.record_mg1_run(
+                rate=1e5, requests=1, busy_s=0.0, duration_s=4e-13
+            )
+        (w,) = energy.snapshot().waterfalls
+        assert w.conserved()
+        assert sum(w.shares_pj.values()) == w.total_static_pj
+
+    def test_unknown_design_is_dropped_not_guessed(self):
+        energy.enable()
+        with prof.context(design="vliw", workload="W"):
+            energy.record_mg1_run(
+                rate=1e5, requests=10, busy_s=0.5, duration_s=1.0
+            )
+        snap = energy.snapshot()
+        assert not snap.waterfalls
+        assert snap.dropped.get("waterfalls_unmodeled") == 1
+
+    def test_zero_requests_records_nothing(self):
+        energy.enable()
+        with prof.context(design="baseline", workload="W"):
+            energy.record_mg1_run(
+                rate=1e5, requests=0, busy_s=0.5, duration_s=1.0
+            )
+        assert not energy.snapshot().waterfalls
+
+    def test_cap_counts_drops(self):
+        energy.enable()
+        with prof.context(design="baseline", workload="W"):
+            for _ in range(WATERFALL_CAP + 5):
+                energy.record_mg1_run(
+                    rate=1e5, requests=1, busy_s=0.5, duration_s=1.0
+                )
+        snap = energy.snapshot()
+        assert len(snap.waterfalls) == WATERFALL_CAP
+        assert snap.dropped["waterfalls"] == 5
+
+
+class TestClusterRecords:
+    def test_burn_rate_against_budget(self):
+        energy.enable()
+        energy.set_budget(2e-4)
+        energy.record_cluster_run(
+            design="duplexity", workload="W", load=0.5, servers=4,
+            requests=1000, duration_s=1.0, total_j=0.17,
+            energy_per_request_j=1.7e-4, requests_per_joule=5882.0,
+            wasted_static_fraction=0.2,
+            server_energy_min_j=0.04, server_energy_mean_j=0.0425,
+            server_energy_max_j=0.045,
+        )
+        (run,) = energy.snapshot().cluster_runs
+        assert run.budget_j == 2e-4
+        assert run.burn_rate == pytest.approx(1.7e-4 / 2e-4)
+
+    def test_no_budget_no_burn(self):
+        energy.enable()
+        energy.record_cluster_run(
+            design="duplexity", workload="W", load=0.5, servers=4,
+            requests=1000, duration_s=1.0, total_j=0.17,
+            energy_per_request_j=1.7e-4, requests_per_joule=5882.0,
+            wasted_static_fraction=0.2,
+            server_energy_min_j=0.04, server_energy_mean_j=0.0425,
+            server_energy_max_j=0.045,
+        )
+        (run,) = energy.snapshot().cluster_runs
+        assert run.budget_j is None and run.burn_rate is None
+
+    def test_cap_counts_drops(self):
+        energy.enable()
+        for _ in range(CLUSTER_RUN_CAP + 3):
+            energy.record_cluster_run(
+                design="d", workload="W", load=0.5, servers=1, requests=1,
+                duration_s=1.0, total_j=1.0, energy_per_request_j=1.0,
+                requests_per_joule=1.0, wasted_static_fraction=0.0,
+                server_energy_min_j=1.0, server_energy_mean_j=1.0,
+                server_energy_max_j=1.0,
+            )
+        assert energy.live_totals()["cluster_runs"] == CLUSTER_RUN_CAP
+        assert energy.snapshot().dropped["cluster_runs"] == 3
+
+
+class TestWorkerDeltas:
+    def _one_waterfall(self):
+        with prof.context(design="baseline", workload="W"):
+            energy.record_mg1_run(
+                rate=1e5, requests=10, busy_s=0.5, duration_s=1.0
+            )
+
+    def test_mark_delta_merge_round_trip(self):
+        energy.enable()
+        self._one_waterfall()
+        before = energy.mark()
+        self._one_waterfall()
+        delta = energy.delta_since(before)
+        assert len(delta.waterfalls) == 1
+        assert not delta.empty
+        # A second process would merge this delta on top of its own
+        # stream; merging locally must reproduce append exactly.
+        restored = pickle.loads(pickle.dumps(delta))
+        energy.merge_delta(restored)
+        snap = energy.snapshot()
+        assert len(snap.waterfalls) == 3
+        assert snap.waterfalls[2] == snap.waterfalls[1]
+
+    def test_merge_is_noop_when_disabled(self):
+        energy.enable()
+        self._one_waterfall()
+        delta = energy.delta_since(energy.EnergyMark(0, 0, {}))
+        energy.reset()
+        energy.merge_delta(delta)
+        assert energy.snapshot().empty
+
+    def test_worker_config_round_trip(self):
+        energy.enable()
+        energy.set_budget(3e-4)
+        config = energy.config_for_worker()
+        # Simulate a fresh pool worker with stale local state.
+        energy.reset()
+        energy.enable()
+        self._one_waterfall()
+        energy.configure_worker(config)
+        assert energy.is_enabled()
+        assert prof.is_enabled()
+        assert energy.budget_j() == 3e-4
+        assert energy.snapshot().empty  # reset-first: no stale records
+
+    def test_disabled_parent_config_keeps_worker_off(self):
+        config = energy.config_for_worker()
+        energy.configure_worker(config)
+        assert not energy.is_enabled()
+
+    def test_pooled_sweep_matches_serial(self, fresh_caches):
+        cache.configure(enabled=False)
+        grid = dict(
+            designs=["baseline", "duplexity"],
+            loads=(0.3, 0.7),
+            fidelity=TINY,
+            workloads=[mcrouter()],
+        )
+        energy.enable()
+        serial_results = run_grid(workers=1, **grid)
+        serial = energy.snapshot()
+        assert not serial.empty
+
+        energy.reset()
+        prof.reset()
+        clear_cache()
+        clear_tail_cache()
+        energy.enable()
+        pooled_results = run_grid(workers=2, **grid)
+        pooled = energy.snapshot()
+
+        assert pooled_results == serial_results
+        assert pooled == serial  # cores, dyads, waterfalls, drops
+
+
+class TestNonInterference:
+    def test_golden_payload_byte_identical_with_energy(self, fresh_caches):
+        from tests.golden import build_payload
+
+        plain = json.dumps(build_payload(), sort_keys=True)
+        clear_cache()
+        clear_tail_cache()
+        cache.configure(enabled=False)
+        energy.enable()
+        energized = json.dumps(build_payload(), sort_keys=True)
+        assert energized == plain
+
+    def test_stats_surface_energy_counters(self):
+        energy.enable()
+        with prof.context(design="baseline", workload="W"):
+            energy.record_mg1_run(
+                rate=1e5, requests=10, busy_s=0.5, duration_s=1.0
+            )
+        text = format_grid_stats(GridRunStats())
+        assert "energy.waterfalls" in text
+        energy.disable()
+        assert "energy." not in format_grid_stats(GridRunStats())
+
+
+class TestMetricsDegenerate:
+    def test_energy_summary_none_for_unknown_design(self):
+        from repro.cluster.metrics import energy_summary
+
+        # No power row: the summary is None, never a silent zero —
+        # the ValueError short-circuits before the measurement or the
+        # result are touched.
+        assert energy_summary("vliw", None, None, 0.5, None) is None
+
+    def test_none_power_renders_as_dash(self):
+        from repro.harness.reporting import _fmt
+
+        assert _fmt(None) == "-"
+        assert _fmt(0.0) == "0"
+        table = format_table(["power (W)"], [[None]])
+        assert "-" in table.splitlines()[-1]
+
+
+class TestCli:
+    @pytest.fixture
+    def tiny_cli(self):
+        import repro.cli as cli
+
+        original = cli.FIDELITIES["fast"]
+        cli.FIDELITIES["fast"] = TINY
+        yield
+        cli.FIDELITIES["fast"] = original
+
+    def test_energy_target_renders(self, tiny_cli, fresh_caches, capsys):
+        assert main(["energy", "duplexity", "mcrouter", "0.5"]) == 0
+        assert not energy.is_enabled()  # torn down by the CLI
+        assert not prof.is_enabled()
+        out = capsys.readouterr().out
+        assert "conservation: sum(shares) == static + dynamic [exact]" in out
+        assert "VIOLATED" not in out
+        assert "dyad duplexity" in out
+        assert "static-energy waterfalls" in out
+
+    def test_energy_target_exports_trace_and_manifest(
+        self, tiny_cli, fresh_caches, tmp_path, capsys
+    ):
+        trace_file = tmp_path / "e.jsonl"
+        assert (
+            main(
+                [
+                    "energy", "duplexity", "mcrouter", "0.5",
+                    "--trace", str(trace_file),
+                ]
+            )
+            == 0
+        )
+        records = [
+            json.loads(line) for line in trace_file.read_text().splitlines()
+        ]
+        energy_records = [r for r in records if r["type"] == "energy"]
+        kinds = {r["kind"] for r in energy_records}
+        assert {"core", "dyad", "waterfall"} <= kinds
+        for r in energy_records:
+            if r["kind"] == "core":
+                assert r["conserved"] is True
+                assert sum(r["shares_pj"].values()) == r["total_pj"]
+        manifest = json.loads(
+            (tmp_path / "e.manifest.json").read_text()
+        )
+        power = manifest["power"]
+        assert power["design"] == "duplexity"
+        assert power["core"]["static_w"] == pytest.approx(
+            core_power_model("duplexity").static_w
+        )
+        assert power["lender"]["epi_ooo_nj"] == pytest.approx(0.45)
+        assert power["static_w_per_mm2"] == 0.25
+        capsys.readouterr()
+        assert main(["report", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert 'repro_energy_record_count{kind="core"}' in out
+        assert "# power: design=duplexity" in out
+
+    def test_energy_env_variable_on_cell_target(
+        self, tiny_cli, fresh_caches, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_ENERGY", "1")
+        assert main(["cell", "baseline", "mcrouter", "0.5"]) == 0
+        assert not energy.is_enabled()
+        assert not prof.is_enabled()
+
+    def test_energy_rejects_bad_args(self):
+        with pytest.raises(SystemExit, match="usage: repro energy"):
+            main(["energy", "duplexity"])
+
+    def test_cluster_energy_flag(
+        self, tiny_cli, fresh_caches, tmp_path, capsys
+    ):
+        trace_file = tmp_path / "c.jsonl"
+        assert (
+            main(
+                [
+                    "cluster", "duplexity", "mcrouter", "0.5",
+                    "--servers", "2", "--energy-budget", "500",
+                    "--trace", str(trace_file),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cluster energy" in out
+        assert "wasted_static" in out
+        records = [
+            json.loads(line) for line in trace_file.read_text().splitlines()
+        ]
+        cluster_energy = [
+            r
+            for r in records
+            if r["type"] == "energy" and r["kind"] == "cluster"
+        ]
+        assert len(cluster_energy) == 1
+        rec = cluster_energy[0]
+        assert rec["budget_j"] == pytest.approx(500e-6)
+        assert rec["burn_rate"] == pytest.approx(
+            rec["energy_per_request_j"] / 500e-6
+        )
+        assert 0.0 <= rec["wasted_static_fraction"] <= 1.0
+        # Post-run manifest patch: the realized cluster power.
+        manifest = json.loads((tmp_path / "c.manifest.json").read_text())
+        assert manifest["total_power_w"] > 0
+        assert manifest["power"]["design"] == "duplexity"

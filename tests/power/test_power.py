@@ -22,6 +22,7 @@ from repro.power.cacti import (
 from repro.power.frequency import design_frequency_ghz
 from repro.power.mcpat import (
     AREA_FRACTIONS,
+    STATIC_W_PER_MM2,
     core_power_model,
     design_area_mm2,
     lender_power_model,
@@ -125,6 +126,42 @@ class TestMcpat:
         assert lender.power_w(ooo_ips=rate) == pytest.approx(
             lender.power_w(ooo_ips=0.0, inorder_ips=rate)
         )
+
+    def test_lender_at_zero_inorder_ips_is_static_only(self):
+        # The edge the energy plane leans on: an idle lender burns
+        # exactly its leakage — no dynamic floor sneaks in.
+        lender = lender_power_model()
+        assert lender.power_w(ooo_ips=0.0, inorder_ips=0.0) == lender.static_w
+        assert lender.static_w > 0
+
+    @pytest.mark.parametrize("megabytes", [0.5, 1.0, 2.0, 8.0])
+    def test_llc_static_consistent_with_density(self, megabytes):
+        # llc_static_w must track the area model and the shared leakage
+        # density (SRAM discounted to 40% of logic), not drift on its
+        # own constant.
+        assert llc_static_w(megabytes) == pytest.approx(
+            llc_area_mm2(megabytes) * STATIC_W_PER_MM2 * 0.4
+        )
+        assert llc_static_w(2 * megabytes) == pytest.approx(
+            2 * llc_static_w(megabytes)
+        )
+
+    @pytest.mark.parametrize(
+        "design",
+        ["baseline", "smt", "morphcore", "duplexity", "duplexity_replication"],
+    )
+    def test_power_monotone_in_both_rates(self, design):
+        # Property: power_w is (strictly) monotone in each instruction
+        # rate with the other held fixed, across the rate grid.
+        model = core_power_model(design)
+        rates = [0.0, 1e8, 1e9, 4e9, 1.6e10]
+        for fixed in rates:
+            ooo_curve = [model.power_w(r, fixed) for r in rates]
+            ino_curve = [model.power_w(fixed, r) for r in rates]
+            for lo, hi in zip(ooo_curve, ooo_curve[1:]):
+                assert hi > lo
+            for lo, hi in zip(ino_curve, ino_curve[1:]):
+                assert hi > lo
 
 
 class TestFrequency:
