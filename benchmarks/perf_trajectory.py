@@ -10,9 +10,11 @@ artifact, so the simulator's performance trajectory is tracked across
 commits.
 
 Thresholds that *do* fail the build, all against
-``benchmarks/perf_baseline.json``: the compiled cold sweep and the
-pinned cluster sweep each gate at 25% over their committed baselines, so
-the fast path cannot silently rot back toward reference speed; and the
+``benchmarks/perf_baseline.json``: the compiled cold sweep, the pinned
+cluster sweep, and the pinned JSQ event-kernel sweep each gate at 25%
+over their committed baselines, so the fast path cannot silently rot
+back toward reference speed; the JSQ sweep must additionally run the
+compiled event kernel at >= 10x over a Python-loop extrapolation; and the
 cluster sweep with tail telemetry *disabled* gates at 3% over its own
 baseline, so :mod:`repro.cluster.tailobs` stays near-free when off.
 The same 3% headroom applies against ``cluster_wall_s_energy_off`` for
@@ -46,13 +48,18 @@ from repro import energy, obs, prof, validate  # noqa: E402
 from repro.cluster import tailobs  # noqa: E402
 from repro.cluster.experiment import (  # noqa: E402
     ClusterConfig,
+    arrival_process_for,
     clear_cluster_cache,
     run_cluster_cell,
 )
-from repro.harness import cache  # noqa: E402
+from repro.cluster.sim import ClusterSimulator  # noqa: E402
+from repro.common.rng import derive_seed  # noqa: E402
+from repro.core.designs import get_design  # noqa: E402
+from repro.harness import cache, metrics  # noqa: E402
 from repro.harness.experiment import clear_tail_cache  # noqa: E402
 from repro.harness.fidelity import FAST  # noqa: E402
 from repro.harness.measure import clear_cache as clear_measure_cache  # noqa: E402
+from repro.harness.measure import measure  # noqa: E402
 from repro.harness.parallel import GridRunStats, run_grid_cells  # noqa: E402
 from repro.uarch import fastpath  # noqa: E402
 from repro.workloads.microservices import standard_microservices  # noqa: E402
@@ -76,6 +83,27 @@ CLUSTER_CONFIG = ClusterConfig(
 )
 CLUSTER_WORKLOAD = "WordStem"
 CLUSTER_LOAD = 0.7
+
+#: Pinned JSQ sweep: the same acceptance-scale topology routed through a
+#: state-dependent balancer, so every request crosses the compiled event
+#: kernel (live dispatch-stream PCG64, pre-drawn service buffers).
+JSQ_CLUSTER_CONFIG = ClusterConfig(
+    n_servers=16,
+    fanout=8,
+    balancer="jsq",
+    num_requests=1_000_000,
+    warmup=50_000,
+)
+
+#: The interpreter-loop leg runs at this reduced request count and is
+#: extrapolated linearly to the pinned scale (the Python event loop is
+#: O(requests); measuring the full million would dominate the benchmark).
+JSQ_PYTHON_REQUESTS = 40_000
+JSQ_PYTHON_WARMUP = 2_000
+
+#: Minimum compiled-over-Python speedup for the pinned JSQ sweep; below
+#: this line the event kernel is presumed broken (or bypassed).
+JSQ_MIN_SPEEDUP = 10.0
 
 #: A cluster p99.9 batch-means CI wider than this fails the benchmark:
 #: the pinned sweep must be statistically converged, not just fast.
@@ -136,6 +164,83 @@ def _cluster_sweep():
             "duplexity", workload, CLUSTER_LOAD, CLUSTER_CONFIG, FAST
         )
     return cell, time.perf_counter() - start, list(found)
+
+
+def _jsq_simulator(
+    num_requests: int, force_event_loop: bool | str = False
+) -> ClusterSimulator:
+    """The pinned JSQ simulator, built exactly like ``run_cluster_cell``
+    (same measurement-derived service model, saturation-clamped rate, and
+    derived seed) so the timed runs match the experiment path."""
+    workload = {w.name: w for w in standard_microservices()}[CLUSTER_WORKLOAD]
+    design = get_design("duplexity")
+    m = measure(design, workload, FAST)
+    base = measure("baseline", workload, FAST)
+    service = metrics.service_model_for(design, m, base, workload)
+    config = JSQ_CLUSTER_CONFIG
+    nominal_mean = workload.service_distribution().mean()
+    service_mean = service.mean_service_time()
+    rate = CLUSTER_LOAD * config.n_servers / (config.fanout * nominal_mean)
+    if rate * config.fanout / config.n_servers * service_mean >= (
+        metrics.SATURATION_RHO
+    ):
+        rate = (
+            metrics.SATURATION_RHO
+            * config.n_servers
+            / (config.fanout * service_mean)
+        )
+    return ClusterSimulator(
+        arrival_process_for(config, rate, num_requests),
+        service,
+        n_servers=config.n_servers,
+        fanout=config.fanout,
+        balancer=config.balancer,
+        seed=derive_seed(FAST.seed, f"cluster-cell/{config.seed}"),
+        force_event_loop=force_event_loop,
+    )
+
+
+def _jsq_sweep(compiled_available: bool):
+    """Time the pinned JSQ sweep on the event kernel, plus a reduced
+    Python-loop leg extrapolated to the same scale.
+
+    Returns a dict for the payload's ``cluster_jsq`` section plus the
+    raw numbers the gates need.  Without a compiler the "compiled" leg
+    runs the interpreter at the reduced size (the payload records which).
+    """
+    num_requests, warmup = JSQ_CLUSTER_CONFIG.requests_for(FAST)
+    if not compiled_available:
+        num_requests, warmup = JSQ_PYTHON_REQUESTS, JSQ_PYTHON_WARMUP
+    sim = _jsq_simulator(num_requests)
+    start = time.perf_counter()
+    result = sim.run(num_requests, warmup)
+    compiled_wall = time.perf_counter() - start
+    violations = validate.check(result, subject="perf-cluster-jsq")
+    kernel_ran = result.fastpath_servers == JSQ_CLUSTER_CONFIG.n_servers
+
+    python_sim = _jsq_simulator(
+        JSQ_PYTHON_REQUESTS, force_event_loop="python"
+    )
+    start = time.perf_counter()
+    python_sim.run(JSQ_PYTHON_REQUESTS, JSQ_PYTHON_WARMUP)
+    python_wall = time.perf_counter() - start
+    python_est = python_wall * (num_requests / JSQ_PYTHON_REQUESTS)
+    speedup = python_est / compiled_wall if compiled_wall > 0 else 0.0
+    section = {
+        "n_servers": JSQ_CLUSTER_CONFIG.n_servers,
+        "fanout": JSQ_CLUSTER_CONFIG.fanout,
+        "balancer": JSQ_CLUSTER_CONFIG.balancer,
+        "requests": num_requests,
+        "load": CLUSTER_LOAD,
+        "event_kernel_ran": kernel_ran,
+        "wall_s_compiled": round(compiled_wall, 3),
+        "python_requests": JSQ_PYTHON_REQUESTS,
+        "wall_s_python": round(python_wall, 3),
+        "wall_s_python_est": round(python_est, 3),
+        "speedup_est": round(speedup, 2),
+        "validation_violations": len(violations),
+    }
+    return section, compiled_wall, speedup, kernel_ran, violations
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -225,6 +330,17 @@ def main(argv: list[str] | None = None) -> int:
             cache.configure(root=tmp, enabled=True)
             energy_identical = cluster_cell_energy == cluster_cell
 
+            # Pinned JSQ sweep: the compiled event kernel at acceptance
+            # scale against an extrapolated Python-loop leg (same warm
+            # measurements, no result caches involved).
+            (
+                jsq_section,
+                jsq_wall,
+                jsq_speedup,
+                jsq_kernel_ran,
+                jsq_violations,
+            ) = _jsq_sweep(compiled_available)
+
             # Warm pass: keep the disk layer, drop the in-memory layers
             # so every cell exercises the disk-cache read path.
             clear_measure_cache()
@@ -280,6 +396,7 @@ def main(argv: list[str] | None = None) -> int:
             ),
             "validation_violations": len(cluster_violations),
         },
+        "cluster_jsq": jsq_section,
     }
     out = pathlib.Path(options.out)
     out.parent.mkdir(parents=True, exist_ok=True)
@@ -328,6 +445,30 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         failed = True
+    if jsq_violations:
+        print(
+            f"JSQ VALIDATION FAILED: {len(jsq_violations)} invariant"
+            " violation(s) in the pinned JSQ sweep:",
+            file=sys.stderr,
+        )
+        for violation in jsq_violations[:10]:
+            print(f"  {violation}", file=sys.stderr)
+        failed = True
+    if compiled_available and not jsq_kernel_ran:
+        print(
+            "JSQ KERNEL FAILED TO BIND: the pinned JSQ sweep fell back to"
+            " the Python event loop despite a compiler being available",
+            file=sys.stderr,
+        )
+        failed = True
+    if compiled_available and jsq_speedup < JSQ_MIN_SPEEDUP:
+        print(
+            f"JSQ SPEEDUP FAILED: compiled event kernel at"
+            f" {jsq_speedup:.1f}x over the Python-loop extrapolation,"
+            f" below the required {JSQ_MIN_SPEEDUP:.0f}x",
+            file=sys.stderr,
+        )
+        failed = True
     if failed:
         return 1
 
@@ -355,6 +496,19 @@ def main(argv: list[str] | None = None) -> int:
                 f" {cluster_limit:.3f}s ({cluster_baseline}s baseline x"
                 f" {GATE_HEADROOM}); if the slowdown is intentional, update"
                 f" {BASELINE_PATH.name} and review the diff",
+                file=sys.stderr,
+            )
+            return 1
+    jsq_baseline = baseline.get("cluster_wall_s_jsq_compiled")
+    if jsq_baseline is not None:
+        jsq_limit = jsq_baseline * GATE_HEADROOM
+        if jsq_wall > jsq_limit:
+            print(
+                f"PERF GATE FAILED: compiled JSQ sweep took"
+                f" {jsq_wall:.3f}s, over the gate of {jsq_limit:.3f}s"
+                f" ({jsq_baseline}s baseline x {GATE_HEADROOM}); if the"
+                f" slowdown is intentional, update {BASELINE_PATH.name}"
+                " and review the diff",
                 file=sys.stderr,
             )
             return 1

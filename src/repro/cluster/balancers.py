@@ -118,14 +118,28 @@ class PowerOfTwoBalancer(Balancer):
     state_dependent = True
 
     def select(self, rng, fanout, n_servers, queue_lengths):
-        available = list(range(n_servers))
+        # Reference semantics: an ordered ``available`` pool with
+        # ``list.remove(best)`` after each pick — O(fanout * n_servers)
+        # per request.  Because that pool starts sorted and in-order
+        # removal keeps it sorted, its k-th entry is just the k-th
+        # smallest server index not yet chosen; tracking only the
+        # (<= fanout) chosen servers makes selection O(fanout^2) with a
+        # draw sequence, and therefore results, byte-identical to the
+        # materialized pool (pinned by a regression test).
         chosen = np.empty(fanout, dtype=np.int64)
+        removed: list[int] = []
         for i in range(fanout):
-            if len(available) <= 2:
-                probes = available
+            remaining = n_servers - i
+            if remaining <= 2:
+                probes = [
+                    self._nth_available(k, removed) for k in range(remaining)
+                ]
             else:
-                picks = rng.choice(len(available), size=2, replace=False)
-                probes = [available[picks[0]], available[picks[1]]]
+                picks = rng.choice(remaining, size=2, replace=False)
+                probes = [
+                    self._nth_available(int(picks[0]), removed),
+                    self._nth_available(int(picks[1]), removed),
+                ]
             best = probes[0]
             for candidate in probes[1:]:
                 if queue_lengths[candidate] < queue_lengths[best] or (
@@ -134,8 +148,21 @@ class PowerOfTwoBalancer(Balancer):
                 ):
                     best = candidate
             chosen[i] = best
-            available.remove(best)
+            position = len(removed)
+            while position > 0 and removed[position - 1] > best:
+                position -= 1
+            removed.insert(position, best)
         return chosen
+
+    @staticmethod
+    def _nth_available(k: int, removed: list[int]) -> int:
+        """The k-th smallest server index not in sorted ``removed``."""
+        for taken in removed:
+            if taken <= k:
+                k += 1
+            else:
+                break
+        return k
 
 
 BALANCERS: dict[str, type[Balancer]] = {

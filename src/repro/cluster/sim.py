@@ -30,7 +30,20 @@ Execution strategy:
   dispatch time, so they run a global-order event loop.  Per-server
   arithmetic and stream consumption are identical, which is pinned by a
   differential test forcing a state-independent policy through both
-  executors.
+  executors.  The event loop itself has two implementations: a compiled
+  C kernel (``rfp_cluster_events``) that consumes the dispatch stream
+  live through a PCG64 port and pre-draws service times through the
+  ``batch_base`` ladder with mid-run eject/refill, and the pure-Python
+  reference loop — byte-identical by construction and by differential
+  test.  Tailobs-enabled runs and ineligible service models stay on the
+  Python loop.
+
+``force_event_loop`` pins the executor choice for tests and
+differential baselines: ``True`` routes state-*independent* balancers
+through the event loop instead of the vectorized per-server path (the
+compiled event kernel may still run), and ``"python"`` additionally
+bypasses the compiled event kernel so the pure-Python reference loop is
+guaranteed.  ``False`` (the default) lets the simulator choose.
 
 Window semantics carry over from the M/G/1 path: the measurement window
 is ``[arrival of mid-tier request warmup, last departure cluster-wide]``
@@ -43,7 +56,7 @@ duration so utilizations are comparable.
 
 from __future__ import annotations
 
-from collections import deque
+import heapq
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -210,6 +223,7 @@ class ClusterSimulator:
         fanout: int = 1,
         balancer: str | Balancer = "random",
         seed: int = 0,
+        force_event_loop: bool | str = False,
     ):
         if isinstance(arrivals, (int, float)):
             arrivals = PoissonArrivals(float(arrivals))
@@ -221,12 +235,21 @@ class ClusterSimulator:
             raise ValueError(
                 f"fan-out must be in [1, n_servers={n_servers}], got {fanout!r}"
             )
+        if force_event_loop not in (False, True, "python"):
+            raise ValueError(
+                "force_event_loop must be False, True or 'python', got "
+                f"{force_event_loop!r}"
+            )
         self.arrivals = arrivals
         self.service = service
         self.n_servers = n_servers
         self.fanout = fanout
         self.balancer = get_balancer(balancer)
         self.seed = seed
+        #: Executor pin (see the module docstring): ``True`` forces the
+        #: global event loop even for state-independent balancers;
+        #: ``"python"`` additionally bypasses the compiled event kernel.
+        self.force_event_loop = force_event_loop
 
     @classmethod
     def at_load(
@@ -238,6 +261,7 @@ class ClusterSimulator:
         balancer: str | Balancer = "random",
         seed: int = 0,
         arrivals=None,
+        force_event_loop: bool | str = False,
     ) -> "ClusterSimulator":
         """Build a cluster offered per-server leaf load ``load`` (rho).
 
@@ -263,6 +287,7 @@ class ClusterSimulator:
             fanout=fanout,
             balancer=balancer,
             seed=seed,
+            force_event_loop=force_event_loop,
         )
 
     def run(self, num_requests: int, warmup: int = 0) -> ClusterResult:
@@ -335,7 +360,7 @@ class ClusterSimulator:
                 self.fanout,
                 self.n_servers,
             )
-        if assign is not None and not getattr(self, "_force_event_loop", False):
+        if assign is not None and not self.force_event_loop:
             return self._run_per_server(streams, epochs, assign, num_requests, warmup)
         return self._run_event_loop(streams, epochs, assign, num_requests, warmup)
 
@@ -385,7 +410,15 @@ class ClusterSimulator:
         num_requests: int,
         warmup: int,
     ) -> ClusterResult:
-        """Global-order executor for state-dependent balancers."""
+        """Global-order executor for state-dependent balancers.
+
+        Tries the compiled event kernel first (dispatch stream consumed
+        live via the C PCG64 port, service draws through ``batch_base``
+        with eject/refill); falls back to the pure-Python reference loop
+        when the kernel is off, unavailable, bypassed
+        (``force_event_loop="python"``), ineligible, or when tail
+        telemetry needs per-request dispatch decisions.
+        """
         from repro.cluster import tailobs
 
         n_servers = self.n_servers
@@ -402,9 +435,40 @@ class ClusterSimulator:
         dispatch_rng = (
             streams.get(DISPATCH_STREAM) if assign is None else None
         )
+        if self.force_event_loop != "python" and not tailobs.is_enabled():
+            from repro.uarch import fastpath
+
+            if fastpath.mode() != "off":
+                from repro.uarch.fastpath import cluster as fp_cluster
+
+                compiled = fp_cluster.run_cluster_events(
+                    epochs=epochs,
+                    assign=assign,
+                    fanout=self.fanout,
+                    n_servers=n_servers,
+                    num_requests=num_requests,
+                    warmup=warmup,
+                    service=self.service,
+                    rngs=rngs,
+                    dispatch_rng=dispatch_rng,
+                    balancer=self.balancer,
+                )
+                if compiled is not None:
+                    sojourns, per_server = compiled
+                    obs.add("cluster.event_kernel_runs")
+                    return self._assemble(
+                        epochs, sojourns, per_server, warmup, n_servers, assign
+                    )
+        obs.add("cluster.event_python_runs")
         completion = [0.0] * n_servers
         queue_lengths = np.zeros(n_servers, dtype=np.int64)
-        departures: list[deque[float]] = [deque() for _ in range(n_servers)]
+        # Global min-heap of (departure epoch, server): draining pending
+        # departures up to each arrival is O(log total) instead of a scan
+        # over every server's deque.  Pop order within ties differs from
+        # the per-server scan, but each pop only decrements its server's
+        # queue length, so the drained state at selection time is
+        # identical (pinned by a differential test).
+        pending: list[tuple[float, int]] = []
         waits_by: list[list[float]] = [[] for _ in range(n_servers)]
         services_by: list[list[float]] = [[] for _ in range(n_servers)]
         idles_by: list[list[float]] = [[] for _ in range(n_servers)]
@@ -412,11 +476,8 @@ class ClusterSimulator:
         sojourns = np.empty(num_requests)
         for j in range(num_requests):
             t = float(epochs[j])
-            for i in range(n_servers):
-                dep = departures[i]
-                while dep and dep[0] <= t:
-                    dep.popleft()
-                    queue_lengths[i] -= 1
+            while pending and pending[0][0] <= t:
+                queue_lengths[heapq.heappop(pending)[1]] -= 1
             if assign is None:
                 chosen = self.balancer.select(
                     dispatch_rng, self.fanout, n_servers, queue_lengths
@@ -451,7 +512,7 @@ class ClusterSimulator:
                     warmup_counts[i] += 1
                 departure = t + wait + s
                 completion[i] = departure
-                departures[i].append(departure)
+                heapq.heappush(pending, (departure, i))
                 queue_lengths[i] += 1
                 sojourn = wait + s
                 if sojourn > worst:

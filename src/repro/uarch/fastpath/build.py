@@ -101,6 +101,24 @@ _SIGNATURES = {
         _I64,
         [_PTR] * 16 + [_PTR] * 9,
     ),
+    "rfp_pcg64_raw": (None, [_PTR, _I64, _PTR]),
+    "rfp_pcg64_doubles": (None, [_PTR, _I64, _PTR]),
+    "rfp_pcg64_bounded": (None, [_PTR, _I64, _PTR, _PTR]),
+    "rfp_pcg64_choice2": (None, [_PTR, _I64, _PTR]),
+    "rfp_cluster_events": (
+        _I64,
+        [
+            _PTR, _I64, _I64, _I64, _I64,  # epochs, n, warmup, fanout, n_servers
+            _I64, _PTR, _PTR,              # mode, assign, pcg state words
+            _I64, ctypes.c_double,         # has_penalty, penalty
+            _PTR, _PTR, _I64,              # svc, svc_filled, cap
+            _PTR, _PTR, _PTR,              # waits, services, idles
+            _PTR, _PTR, _PTR,              # out_cnt, idle_cnt, warmup_cnt
+            _PTR, _PTR,                    # completion, qlen
+            _PTR, _PTR, _I64,              # heap_t, heap_s, heap_cap
+            _PTR, _PTR, _PTR, _PTR,        # sojourns, scratch_d, scratch_i, ctl
+        ],
+    ),
 }
 
 

@@ -2003,3 +2003,425 @@ i64 rfp_tracegen(const double *dp, const i64 *ip, const double *kind_draws,
     }
     return RFP_OK;
 }
+
+/* ------------------------------------------------------------- PCG64
+ * Minimal port of NumPy's PCG64 bit generator (the default_rng stream):
+ * a 128-bit LCG with XSL-RR output, plus the exact draw ladder the
+ * cluster balancers consume — raw 64-bit words, ``random()`` doubles,
+ * and the buffered bounded integers behind ``Generator.choice``
+ * (Lemire rejection over a 32-bit half-word buffer).  State crosses the
+ * boundary as six words [state_hi, state_lo, inc_hi, inc_lo,
+ * has_uint32, uinteger]: seeded from ``Generator.bit_generator.state``
+ * on kernel entry and written back on exit, so the dispatch stream
+ * advances identically to the interpreted path (pinned draw-for-draw by
+ * tests/uarch/test_pcg64_port.py). */
+
+#define RFP_PCG_MULT_HI 0x2360ed051fc65da4ULL
+#define RFP_PCG_MULT_LO 0x4385df649fccf645ULL
+
+typedef struct {
+    uint64_t shi, slo; /* 128-bit LCG state */
+    uint64_t ihi, ilo; /* 128-bit increment (odd) */
+    uint64_t has32;    /* buffered half-word present? */
+    uint64_t u32;      /* the buffered half-word */
+} rfp_pcg;
+
+static void rfp_pcg_load(rfp_pcg *g, const uint64_t *words) {
+    g->shi = words[0];
+    g->slo = words[1];
+    g->ihi = words[2];
+    g->ilo = words[3];
+    g->has32 = words[4];
+    g->u32 = words[5];
+}
+
+static void rfp_pcg_store(const rfp_pcg *g, uint64_t *words) {
+    words[0] = g->shi;
+    words[1] = g->slo;
+    words[2] = g->ihi;
+    words[3] = g->ilo;
+    words[4] = g->has32;
+    words[5] = g->u32;
+}
+
+/* Full 64x64 -> 128 product; the builtin when available, a 32-bit
+ * split otherwise (the LCG step and 64-bit Lemire rejection need the
+ * high word). */
+static inline uint64_t rfp_mul64wide(uint64_t a, uint64_t b, uint64_t *hi) {
+#if defined(__SIZEOF_INT128__)
+    unsigned __int128 p = (unsigned __int128)a * b;
+    *hi = (uint64_t)(p >> 64);
+    return (uint64_t)p;
+#else
+    uint64_t a_lo = (uint32_t)a, a_hi = a >> 32;
+    uint64_t b_lo = (uint32_t)b, b_hi = b >> 32;
+    uint64_t p0 = a_lo * b_lo;
+    uint64_t p1 = a_lo * b_hi;
+    uint64_t p2 = a_hi * b_lo;
+    uint64_t p3 = a_hi * b_hi;
+    uint64_t cross = (p0 >> 32) + (uint32_t)p1 + (uint32_t)p2;
+    *hi = p3 + (p1 >> 32) + (p2 >> 32) + (cross >> 32);
+    return (cross << 32) | (uint32_t)p0;
+#endif
+}
+
+static inline uint64_t rfp_pcg_next64(rfp_pcg *g) {
+    /* state = state * PCG_DEFAULT_MULTIPLIER + inc  (mod 2^128) */
+    uint64_t hi, lo;
+    lo = rfp_mul64wide(g->slo, RFP_PCG_MULT_LO, &hi);
+    hi += g->slo * RFP_PCG_MULT_HI + g->shi * RFP_PCG_MULT_LO;
+    lo += g->ilo;
+    if (lo < g->ilo) hi++;
+    hi += g->ihi;
+    g->slo = lo;
+    g->shi = hi;
+    /* XSL-RR output: rotr64(hi ^ lo, state >> 122) */
+    uint64_t v = hi ^ lo;
+    unsigned r = (unsigned)(hi >> 58);
+    return (v >> r) | (v << ((64 - r) & 63));
+}
+
+static inline uint32_t rfp_pcg_next32(rfp_pcg *g) {
+    if (g->has32) {
+        g->has32 = 0;
+        return (uint32_t)g->u32;
+    }
+    uint64_t n = rfp_pcg_next64(g);
+    g->has32 = 1;
+    g->u32 = n >> 32;
+    return (uint32_t)n;
+}
+
+static inline double rfp_pcg_double(rfp_pcg *g) {
+    /* next_double: 53 high bits / 2^53 — never touches the 32-bit buffer. */
+    return (double)(rfp_pcg_next64(g) >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/* numpy's random_bounded_uint64(off=0, rng, mask=0, use_masked=0):
+ * uniform integer on [0, rng] inclusive.  rng == 0 draws nothing;
+ * 32-bit ranges go through the buffered Lemire path (except the
+ * full 32-bit range, which is one raw half-word); the full 64-bit
+ * range is one raw word; anything else is 64-bit Lemire. */
+static inline uint64_t rfp_pcg_bounded(rfp_pcg *g, uint64_t rng) {
+    if (rng == 0) return 0;
+    if (rng <= 0xffffffffULL) {
+        if (rng == 0xffffffffULL) return (uint64_t)rfp_pcg_next32(g);
+        const uint32_t rng_excl = (uint32_t)rng + 1u;
+        const uint32_t threshold = (uint32_t)((0xffffffffULL - rng) % rng_excl);
+        for (;;) {
+            uint64_t m = (uint64_t)rfp_pcg_next32(g) * rng_excl;
+            if ((uint32_t)m >= threshold) return m >> 32;
+        }
+    }
+    if (rng == 0xffffffffffffffffULL) return rfp_pcg_next64(g);
+    const uint64_t rng_excl = rng + 1;
+    const uint64_t threshold = (0xffffffffffffffffULL - rng) % rng_excl;
+    for (;;) {
+        uint64_t m_hi;
+        uint64_t m_lo = rfp_mul64wide(rfp_pcg_next64(g), rng_excl, &m_hi);
+        if (m_lo >= threshold) return m_hi;
+    }
+}
+
+/* Generator.choice(pop, size=2, replace=False) for pop >= 3: Floyd's
+ * algorithm over a 4-slot open-addressing hash set (numpy sizes the set
+ * from int(1.2 * 2) == 2 picks, giving mask 3), then the closing
+ * Fisher-Yates pass, which for two picks is a single bounded(1) swap
+ * draw.  Exactly numpy's draw sequence, collisions included. */
+static void rfp_pcg_choice2(rfp_pcg *g, i64 pop, i64 *out) {
+    uint64_t hval[4];
+    int hused[4] = {0, 0, 0, 0};
+    i64 idx[2];
+    for (i64 j = pop - 2; j < pop; j++) {
+        uint64_t val = rfp_pcg_bounded(g, (uint64_t)j);
+        uint64_t loc = val & 3u;
+        while (hused[loc] && hval[loc] != val) loc = (loc + 1) & 3u;
+        if (!hused[loc]) {
+            hused[loc] = 1;
+            hval[loc] = val;
+            idx[j - (pop - 2)] = (i64)val;
+        } else {
+            loc = (uint64_t)j & 3u;
+            while (hused[loc]) loc = (loc + 1) & 3u;
+            hused[loc] = 1;
+            hval[loc] = (uint64_t)j;
+            idx[j - (pop - 2)] = j;
+        }
+    }
+    uint64_t jswap = rfp_pcg_bounded(g, 1);
+    i64 tmp = idx[1];
+    idx[1] = idx[jswap];
+    idx[jswap] = tmp;
+    out[0] = idx[0];
+    out[1] = idx[1];
+}
+
+/* Test entry points: drive the generator standalone so the differential
+ * suite can pin every draw kind against numpy.  `words` is the 6-word
+ * state block, updated in place. */
+void rfp_pcg64_raw(uint64_t *words, i64 n, uint64_t *out) {
+    rfp_pcg g;
+    rfp_pcg_load(&g, words);
+    for (i64 i = 0; i < n; i++) out[i] = rfp_pcg_next64(&g);
+    rfp_pcg_store(&g, words);
+}
+
+void rfp_pcg64_doubles(uint64_t *words, i64 n, double *out) {
+    rfp_pcg g;
+    rfp_pcg_load(&g, words);
+    for (i64 i = 0; i < n; i++) out[i] = rfp_pcg_double(&g);
+    rfp_pcg_store(&g, words);
+}
+
+void rfp_pcg64_bounded(uint64_t *words, i64 n, const uint64_t *rng_incl,
+                       uint64_t *out) {
+    rfp_pcg g;
+    rfp_pcg_load(&g, words);
+    for (i64 i = 0; i < n; i++) out[i] = rfp_pcg_bounded(&g, rng_incl[i]);
+    rfp_pcg_store(&g, words);
+}
+
+void rfp_pcg64_choice2(uint64_t *words, i64 pop, i64 *out) {
+    rfp_pcg g;
+    rfp_pcg_load(&g, words);
+    rfp_pcg_choice2(&g, pop, out);
+    rfp_pcg_store(&g, words);
+}
+
+/* ---------------------------------------------- cluster event loop
+ * Port of ClusterSimulator._run_event_loop (cluster/sim.py): the
+ * global-order executor for state-dependent balancers.  Selection
+ * consumes the dispatch PCG64 stream live; service times arrive
+ * pre-drawn per server (the batch_base ladder) and the driver refills
+ * them chunk-wise when the kernel ejects.  All queueing arithmetic is
+ * the reference loop's scalar double ops, so results are byte-identical.
+ */
+
+#define RFPC_DONE 0
+#define RFPC_REFILL 1
+#define RFPC_GROW_OUT 2
+#define RFPC_GROW_HEAP 3
+#define RFPC_ERR_NEGATIVE (-1)
+
+/* Global departure min-heap (pairs of epoch, server). */
+static inline void rfpc_heap_push(double *ht, i64 *hs, i64 *size, double t,
+                                  i64 s) {
+    i64 i = (*size)++;
+    while (i > 0) {
+        i64 p = (i - 1) >> 1;
+        if (ht[p] <= t) break;
+        ht[i] = ht[p];
+        hs[i] = hs[p];
+        i = p;
+    }
+    ht[i] = t;
+    hs[i] = s;
+}
+
+static inline void rfpc_heap_pop(double *ht, i64 *hs, i64 *size) {
+    i64 n = --(*size);
+    double t = ht[n];
+    i64 s = hs[n];
+    i64 i = 0;
+    for (;;) {
+        i64 c = 2 * i + 1;
+        if (c >= n) break;
+        if (c + 1 < n && ht[c + 1] < ht[c]) c++;
+        if (ht[c] >= t) break;
+        ht[i] = ht[c];
+        hs[i] = hs[c];
+        i = c;
+    }
+    ht[i] = t;
+    hs[i] = s;
+}
+
+/* JSQ selection: the first `fanout` entries of
+ * np.lexsort((rng.random(n_servers), queue_lengths)) — i.e. servers
+ * ordered by (queue length, random key, index).  The reference always
+ * draws all n_servers keys; so does this.  `keys` is n_servers scratch,
+ * `sel` holds the chosen servers in rank order. */
+static void rfpc_jsq_select(rfp_pcg *g, i64 n_servers, i64 fanout,
+                            const i64 *qlen, double *keys, i64 *sel) {
+    for (i64 s = 0; s < n_servers; s++) keys[s] = rfp_pcg_double(g);
+    i64 cnt = 0;
+    for (i64 s = 0; s < n_servers; s++) {
+        i64 pos = cnt;
+        while (pos > 0) {
+            i64 t = sel[pos - 1];
+            if (qlen[t] > qlen[s] || (qlen[t] == qlen[s] && keys[t] > keys[s]))
+                pos--;
+            else
+                break;
+        }
+        if (pos >= fanout) continue;
+        i64 end = (cnt < fanout) ? cnt : fanout - 1;
+        for (i64 m = end; m > pos; m--) sel[m] = sel[m - 1];
+        sel[pos] = s;
+        if (cnt < fanout) cnt++;
+    }
+}
+
+/* The k-th smallest server index not yet chosen this request; `removed`
+ * is the sorted chosen list (the C twin of
+ * PowerOfTwoBalancer._nth_available). */
+static inline i64 rfpc_nth_available(i64 k, const i64 *removed, i64 nrem) {
+    for (i64 r = 0; r < nrem; r++) {
+        if (removed[r] <= k) k++;
+        else break;
+    }
+    return k;
+}
+
+/* Power-of-two selection: per pick, two distinct probes via
+ * Generator.choice (Floyd + swap), comparison by queue length with a
+ * fresh double deciding ties — the exact draw order of
+ * PowerOfTwoBalancer.select.  `removed` is fanout scratch. */
+static void rfpc_p2c_select(rfp_pcg *g, i64 n_servers, i64 fanout,
+                            const i64 *qlen, i64 *sel, i64 *removed) {
+    i64 nrem = 0;
+    for (i64 i = 0; i < fanout; i++) {
+        i64 m = n_servers - i;
+        i64 probes[2];
+        i64 nprobes;
+        if (m <= 2) {
+            nprobes = m;
+            for (i64 k = 0; k < m; k++)
+                probes[k] = rfpc_nth_available(k, removed, nrem);
+        } else {
+            i64 picks[2];
+            rfp_pcg_choice2(g, m, picks);
+            probes[0] = rfpc_nth_available(picks[0], removed, nrem);
+            probes[1] = rfpc_nth_available(picks[1], removed, nrem);
+            nprobes = 2;
+        }
+        i64 best = probes[0];
+        for (i64 c = 1; c < nprobes; c++) {
+            i64 cand = probes[c];
+            if (qlen[cand] < qlen[best] ||
+                (qlen[cand] == qlen[best] && rfp_pcg_double(g) < 0.5))
+                best = cand;
+        }
+        sel[i] = best;
+        i64 p = nrem++;
+        while (p > 0 && removed[p - 1] > best) {
+            removed[p] = removed[p - 1];
+            p--;
+        }
+        removed[p] = best;
+    }
+}
+
+/* One cluster event-loop run (resumable).  mode: 0 = precomputed
+ * assignment matrix, 1 = JSQ, 2 = power-of-two.  Per-server outputs are
+ * row-major [n_servers, cap]; `svc` holds pre-drawn base service times
+ * with `svc_filled[s]` valid entries, `out_cnt[s]` of them consumed (so
+ * out_cnt doubles as each server's leaf count).  `ctl` carries
+ * [next request index, heap size] across ejects; the driver re-enters
+ * with the same arrays (grown or refilled) until RFPC_DONE.  The
+ * eject check is amortized: before each slice the kernel computes how
+ * many whole requests are guaranteed to fit (every request consumes at
+ * most one service draw + one output slot per chosen server and fanout
+ * heap slots) and ejects when that budget is zero. */
+i64 rfp_cluster_events(const double *restrict epochs, i64 n, i64 warmup,
+                       i64 fanout, i64 n_servers, i64 mode,
+                       const i64 *restrict assign, uint64_t *pcg_words,
+                       i64 has_penalty, double penalty,
+                       const double *restrict svc,
+                       const i64 *restrict svc_filled, i64 cap,
+                       double *restrict waits, double *restrict services,
+                       double *restrict idles, i64 *restrict out_cnt,
+                       i64 *restrict idle_cnt, i64 *restrict warmup_cnt,
+                       double *restrict completion, i64 *restrict qlen,
+                       double *restrict heap_t, i64 *restrict heap_s,
+                       i64 heap_cap, double *restrict sojourns,
+                       double *restrict scratch_d, i64 *restrict scratch_i,
+                       i64 *ctl) {
+    rfp_pcg g;
+    if (mode != 0) rfp_pcg_load(&g, pcg_words);
+    i64 j = ctl[0];
+    i64 heap_size = ctl[1];
+    i64 *sel = scratch_i;             /* fanout */
+    i64 *removed = scratch_i + fanout; /* fanout */
+    i64 rc = RFPC_DONE;
+    while (j < n) {
+        i64 budget = (heap_cap - heap_size) / fanout;
+        i64 reason = RFPC_GROW_HEAP;
+        for (i64 s = 0; s < n_servers; s++) {
+            i64 room = cap - out_cnt[s];
+            if (room < budget) {
+                budget = room;
+                reason = RFPC_GROW_OUT;
+            }
+            i64 avail = svc_filled[s] - out_cnt[s];
+            if (avail < budget) {
+                budget = avail;
+                reason = RFPC_REFILL;
+            }
+        }
+        if (budget <= 0) {
+            rc = reason;
+            break;
+        }
+        i64 stop = j + budget;
+        if (stop > n) stop = n;
+        for (; j < stop; j++) {
+            double t = epochs[j];
+            while (heap_size > 0 && heap_t[0] <= t) {
+                qlen[heap_s[0]]--;
+                rfpc_heap_pop(heap_t, heap_s, &heap_size);
+            }
+            const i64 *chosen;
+            if (mode == 0) {
+                chosen = assign + j * fanout;
+            } else if (mode == 1) {
+                rfpc_jsq_select(&g, n_servers, fanout, qlen, scratch_d, sel);
+                chosen = sel;
+            } else {
+                rfpc_p2c_select(&g, n_servers, fanout, qlen, sel, removed);
+                chosen = sel;
+            }
+            int retained = j >= warmup;
+            double worst = 0.0;
+            for (i64 c = 0; c < fanout; c++) {
+                i64 i = chosen[c];
+                i64 slot = i * cap + out_cnt[i];
+                double residual = completion[i] - t;
+                double wait, idle_before;
+                if (residual >= 0.0) {
+                    wait = residual;
+                    idle_before = 0.0;
+                } else {
+                    wait = 0.0;
+                    idle_before = -residual;
+                    if (retained && out_cnt[i] > warmup_cnt[i])
+                        idles[i * cap + idle_cnt[i]++] = idle_before;
+                }
+                double service = svc[slot];
+                if (has_penalty && idle_before > 0.0)
+                    service = service + penalty;
+                if (service < 0.0) {
+                    if (mode != 0) rfp_pcg_store(&g, pcg_words);
+                    ctl[0] = j;
+                    ctl[1] = heap_size;
+                    return RFPC_ERR_NEGATIVE;
+                }
+                waits[slot] = wait;
+                services[slot] = service;
+                out_cnt[i]++;
+                if (!retained) warmup_cnt[i]++;
+                double departure = t + wait + service;
+                completion[i] = departure;
+                rfpc_heap_push(heap_t, heap_s, &heap_size, departure, i);
+                qlen[i]++;
+                double sojourn = wait + service;
+                if (sojourn > worst) worst = sojourn;
+            }
+            sojourns[j] = worst;
+        }
+    }
+    if (mode != 0) rfp_pcg_store(&g, pcg_words);
+    ctl[0] = j;
+    ctl[1] = heap_size;
+    return rc;
+}

@@ -104,3 +104,52 @@ def test_state_independent_assignments_deterministic():
         a = get_balancer(name).assignments(np.random.default_rng(5), 100, 2, 4)
         b = get_balancer(name).assignments(np.random.default_rng(5), 100, 2, 4)
         assert np.array_equal(a, b)
+
+
+def _reference_power_of_two_select(rng, fanout, n_servers, queue_lengths):
+    """The pre-optimization PowerOfTwoBalancer.select: a materialized
+    ordered pool with ``list.remove`` — the draw-sequence reference the
+    production implementation must match byte-for-byte."""
+    available = list(range(n_servers))
+    chosen = np.empty(fanout, dtype=np.int64)
+    for i in range(fanout):
+        if len(available) <= 2:
+            probes = available
+        else:
+            picks = rng.choice(len(available), size=2, replace=False)
+            probes = [available[picks[0]], available[picks[1]]]
+        best = probes[0]
+        for candidate in probes[1:]:
+            if queue_lengths[candidate] < queue_lengths[best] or (
+                queue_lengths[candidate] == queue_lengths[best]
+                and rng.random() < 0.5
+            ):
+                best = candidate
+        chosen[i] = best
+        available.remove(best)
+    return chosen
+
+
+def test_power_of_two_select_matches_reference_pool_byte_for_byte():
+    """The O(fanout^2) sorted-removed implementation consumes the
+    dispatch stream draw-for-draw like the O(fanout*n) list pool and
+    returns the same servers, so results stay byte-identical."""
+    balancer = PowerOfTwoBalancer()
+    for seed in range(25):
+        rng_new = np.random.default_rng(seed)
+        rng_ref = np.random.default_rng(seed)
+        for fanout, n_servers in (
+            (1, 2), (1, 3), (2, 3), (2, 4), (3, 5), (4, 8), (8, 16), (16, 16),
+        ):
+            queues = np.random.default_rng(seed * 31 + n_servers).integers(
+                0, 4, size=n_servers
+            )
+            got = balancer.select(rng_new, fanout, n_servers, queues)
+            want = _reference_power_of_two_select(
+                rng_ref, fanout, n_servers, queues
+            )
+            assert np.array_equal(got, want), (seed, fanout, n_servers)
+        # Same number and kind of draws: the streams end in lockstep.
+        assert (
+            rng_new.bit_generator.state == rng_ref.bit_generator.state
+        )

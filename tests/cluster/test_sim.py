@@ -90,8 +90,10 @@ class TestExecutorEquivalence:
                 balancer=balancer, seed=13,
             )
             vectorized = make().run(4_000, 400)
-            forced = make()
-            forced._force_event_loop = True
+            forced = ClusterSimulator.at_load(
+                0.6, SERVICE, n_servers=4, fanout=fanout,
+                balancer=balancer, seed=13, force_event_loop=True,
+            )
             event = forced.run(4_000, 400)
         finally:
             fastpath.set_mode(None)

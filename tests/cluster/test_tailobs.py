@@ -47,9 +47,8 @@ def run_cluster(
     sim = ClusterSimulator.at_load(
         load, SERVICE, n_servers=n_servers, fanout=fanout,
         balancer=balancer, seed=seed,
+        force_event_loop=force_event_loop,
     )
-    if force_event_loop:
-        sim._force_event_loop = True
     return sim.run(n, warmup)
 
 

@@ -88,7 +88,8 @@ def load_golden() -> dict:
 CLUSTER_GOLDEN_PATH = Path(__file__).parent / "cluster_small.json"
 
 #: Representative topologies at one load point: the vectorized executor
-#: (random), the event-loop executor (jsq), and bursty arrivals.
+#: (random), both event-loop balancers (jsq, power-of-two), and bursty
+#: arrivals.
 GOLDEN_CLUSTER_LOAD = 0.6
 
 
@@ -106,6 +107,10 @@ def golden_cluster_configs():
         ),
         ClusterConfig(
             n_servers=4, fanout=2, balancer="random", arrivals="mmpp",
+            num_requests=4000, warmup=400,
+        ),
+        ClusterConfig(
+            n_servers=4, fanout=2, balancer="power_of_two",
             num_requests=4000, warmup=400,
         ),
     )

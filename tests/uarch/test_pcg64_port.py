@@ -1,0 +1,161 @@
+"""Draw-for-draw identity of the C PCG64 port against NumPy.
+
+The cluster event kernel consumes the dispatch stream live through a C
+port of NumPy's PCG64 bit generator.  These tests pin every draw kind
+the balancers use — ``random()`` doubles, the bounded integers behind
+``Generator.choice`` (including the buffered 32-bit Lemire path and its
+half-word carry), raw 64-bit words — plus the state round-trip through
+kernel entry/exit and mid-run eject/resume continuity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.uarch import fastpath
+from repro.uarch.fastpath.build import load_kernel
+
+pytestmark = pytest.mark.skipif(
+    not fastpath.is_available(), reason="no C compiler / kernel unavailable"
+)
+
+_MASK64 = (1 << 64) - 1
+
+
+def pack_state(rng: np.random.Generator) -> np.ndarray:
+    st = rng.bit_generator.state
+    s = st["state"]["state"]
+    inc = st["state"]["inc"]
+    return np.array(
+        [s >> 64, s & _MASK64, inc >> 64, inc & _MASK64,
+         st["has_uint32"], st["uinteger"]],
+        dtype=np.uint64,
+    )
+
+
+def assert_state_matches(rng: np.random.Generator, words: np.ndarray):
+    """The 6-word C state block equals the generator's state dict."""
+    st = rng.bit_generator.state
+    s = st["state"]["state"]
+    inc = st["state"]["inc"]
+    assert int(words[0]) == s >> 64
+    assert int(words[1]) == (s & _MASK64)
+    assert int(words[2]) == inc >> 64
+    assert int(words[3]) == (inc & _MASK64)
+    assert int(words[4]) == st["has_uint32"]
+    if st["has_uint32"]:
+        assert int(words[5]) == st["uinteger"]
+
+
+class TestDrawIdentity:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 12345])
+    def test_doubles_match_generator_random(self, seed):
+        lib = load_kernel()
+        rng = np.random.default_rng(seed)
+        words = pack_state(rng)
+        out = np.empty(257)
+        lib.rfp_pcg64_doubles(words.ctypes.data, 257, out.ctypes.data)
+        assert np.array_equal(out, rng.random(257))
+        assert_state_matches(rng, words)
+
+    @pytest.mark.parametrize("seed", [0, 3, 99])
+    def test_raw_matches_bit_generator(self, seed):
+        lib = load_kernel()
+        rng = np.random.default_rng(seed)
+        words = pack_state(rng)
+        out = np.empty(64, dtype=np.uint64)
+        lib.rfp_pcg64_raw(words.ctypes.data, 64, out.ctypes.data)
+        ref = np.random.default_rng(seed).bit_generator.random_raw(64)
+        assert np.array_equal(out, ref.astype(np.uint64))
+
+    @pytest.mark.parametrize("seed", [0, 5, 41])
+    def test_bounded_matches_generator_integers(self, seed):
+        """All four range classes of random_bounded_uint64: the no-draw
+        degenerate range, buffered 32-bit Lemire (non-power-of-two
+        ranges included), the raw half-word and full-word fast paths,
+        and 64-bit Lemire."""
+        lib = load_kernel()
+        rng = np.random.default_rng(seed)
+        words = pack_state(rng)
+        ranges = np.array(
+            [12, 0, 4, 6, 2**32 - 1, 2**40 + 12345, 2**64 - 1, 99, 1, 12],
+            dtype=np.uint64,
+        )
+        out = np.empty(ranges.size, dtype=np.uint64)
+        lib.rfp_pcg64_bounded(
+            words.ctypes.data, ranges.size, ranges.ctypes.data, out.ctypes.data
+        )
+        ref = [
+            int(rng.integers(0, int(r) + 1, dtype=np.uint64)) if r else 0
+            for r in ranges
+        ]
+        assert list(out) == ref
+        assert_state_matches(rng, words)
+
+    def test_choice2_matches_generator_choice(self):
+        """Floyd's two-pick sampling (hash collisions and the closing
+        shuffle included) across population sizes and seeds."""
+        lib = load_kernel()
+        for seed in range(30):
+            for pop in (3, 4, 5, 7, 11, 16, 40):
+                rng = np.random.default_rng(seed * 97 + pop)
+                words = pack_state(rng)
+                out = np.empty(2, dtype=np.int64)
+                lib.rfp_pcg64_choice2(words.ctypes.data, pop, out.ctypes.data)
+                assert list(out) == list(rng.choice(pop, size=2, replace=False))
+                assert_state_matches(rng, words)
+
+
+class TestStateHandoff:
+    def test_round_trip_without_draws(self):
+        lib = load_kernel()
+        rng = np.random.default_rng(17)
+        words = pack_state(rng)
+        lib.rfp_pcg64_doubles(words.ctypes.data, 0, np.empty(0).ctypes.data)
+        assert np.array_equal(words, pack_state(rng))
+
+    def test_buffered_half_word_crosses_the_boundary(self):
+        """A generator left with has_uint32 set hands its buffered
+        half-word to C, which must consume it before stepping."""
+        lib = load_kernel()
+        rng = np.random.default_rng(23)
+        rng.integers(0, 7)  # leaves a buffered high half-word behind
+        assert rng.bit_generator.state["has_uint32"] == 1
+        words = pack_state(rng)
+        out = np.empty(3, dtype=np.uint64)
+        ranges = np.full(3, 9, dtype=np.uint64)
+        lib.rfp_pcg64_bounded(
+            words.ctypes.data, 3, ranges.ctypes.data, out.ctypes.data
+        )
+        assert list(out) == [int(rng.integers(0, 10)) for _ in range(3)]
+        assert_state_matches(rng, words)
+
+    def test_eject_resume_continuity(self):
+        """Draws split across two kernel entries equal one uninterrupted
+        NumPy pass — the mid-run eject/resume contract."""
+        lib = load_kernel()
+        rng = np.random.default_rng(31)
+        words = pack_state(rng)
+        first = np.empty(11)
+        second = np.empty(13)
+        lib.rfp_pcg64_doubles(words.ctypes.data, 11, first.ctypes.data)
+        lib.rfp_pcg64_doubles(words.ctypes.data, 13, second.ctypes.data)
+        ref = rng.random(24)
+        assert np.array_equal(np.concatenate([first, second]), ref)
+        assert_state_matches(rng, words)
+
+    def test_write_back_resumes_python_stream(self):
+        """After C draws are written back into the Generator, subsequent
+        Python draws continue the stream exactly."""
+        lib = load_kernel()
+        rng = np.random.default_rng(43)
+        ref = np.random.default_rng(43)
+        words = pack_state(rng)
+        out = np.empty(9)
+        lib.rfp_pcg64_doubles(words.ctypes.data, 9, out.ctypes.data)
+        st = rng.bit_generator.state
+        st["state"]["state"] = (int(words[0]) << 64) | int(words[1])
+        st["has_uint32"] = int(words[4])
+        st["uinteger"] = int(words[5])
+        rng.bit_generator.state = st
+        assert np.array_equal(out, ref.random(9))
+        assert np.array_equal(rng.random(17), ref.random(17))
